@@ -1,0 +1,164 @@
+(* conrat: command-line front end.
+
+   Subcommands:
+     run         — run one consensus execution and print the outcome
+     experiment  — run the E1..E10 paper-claim reproductions
+     sweep       — Monte-Carlo sweep of a protocol at one configuration
+     list        — list protocols, adversaries, workloads, experiments
+*)
+
+open Cmdliner
+open Conrat_sim
+open Conrat_harness
+
+let protocol_of_name ~m name =
+  match name with
+  | "standard" -> Conrat_core.Consensus.standard ~m
+  | "bounded" -> Conrat_core.Consensus.standard_bounded ~m ~rounds:8
+  | "constant_rate" -> Conrat_baselines.Baseline.constant_rate_consensus ~m
+  | "cil_racing" -> Conrat_baselines.Baseline.cil_racing ~m
+  | "coin_voting" ->
+    Conrat_core.Consensus.coin_based ~m ~coin:(Conrat_coin.Shared_coin.voting ())
+  | other -> failwith (Printf.sprintf "unknown protocol %S (try `conrat list`)" other)
+
+let protocol_names =
+  [ "standard"; "bounded"; "constant_rate"; "cil_racing"; "coin_voting" ]
+
+let adversary_names =
+  [ "round_robin"; "random_uniform"; "fixed_permutation"; "write_stalker";
+    "overwrite_attacker"; "adaptive_overwriter"; "noisy"; "priority" ]
+
+let workload_names = [ "all_same"; "split_half"; "alternating"; "uniform"; "zipf" ]
+
+(* Common options *)
+
+let n_arg =
+  Arg.(value & opt int 8 & info [ "n"; "processes" ] ~docv:"N" ~doc:"Number of processes.")
+
+let m_arg =
+  Arg.(value & opt int 2 & info [ "m"; "values" ] ~docv:"M" ~doc:"Number of possible input values.")
+
+let seed_arg =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+
+let protocol_arg =
+  Arg.(value & opt string "standard"
+       & info [ "p"; "protocol" ] ~docv:"PROTO"
+           ~doc:(Printf.sprintf "Protocol: %s." (String.concat ", " protocol_names)))
+
+let adversary_arg =
+  Arg.(value & opt string "overwrite_attacker"
+       & info [ "a"; "adversary" ] ~docv:"ADV"
+           ~doc:(Printf.sprintf "Adversary: %s." (String.concat ", " adversary_names)))
+
+let workload_arg =
+  Arg.(value & opt string "split_half"
+       & info [ "w"; "workload" ] ~docv:"WL"
+           ~doc:(Printf.sprintf "Workload: %s." (String.concat ", " workload_names)))
+
+let trials_arg =
+  Arg.(value & opt int 200 & info [ "t"; "trials" ] ~docv:"T" ~doc:"Monte-Carlo trials.")
+
+(* run *)
+
+let run_cmd =
+  let action n m seed protocol adversary workload trace =
+    let protocol = protocol_of_name ~m protocol in
+    let adversary = Adversary.by_name adversary in
+    let workload = Workload.by_name workload in
+    let inputs = workload.Workload.generate ~n ~m (Rng.create (seed lxor 0x5eed)) in
+    let rng = Rng.create seed in
+    let memory = Memory.create () in
+    let instance = protocol.instantiate ~n memory in
+    let result =
+      Scheduler.run ~n ~adversary ~rng ~memory ~record:trace
+        (fun ~pid ~rng -> instance.Conrat_core.Consensus.decide ~pid ~rng inputs.(pid))
+    in
+    Printf.printf "protocol:  %s\nadversary: %s\n" instance.Conrat_core.Consensus.name
+      adversary.Adversary.name;
+    Printf.printf "inputs:    %s\n"
+      (String.concat " " (Array.to_list (Array.map string_of_int inputs)));
+    Printf.printf "outputs:   %s\n"
+      (String.concat " "
+         (Array.to_list
+            (Array.map (function Some v -> string_of_int v | None -> "?") result.outputs)));
+    (match Spec.consensus_execution ~inputs ~outputs:result.outputs ~completed:result.completed with
+     | Ok () -> print_endline "spec:      ok (termination, agreement, validity)"
+     | Error reason -> Printf.printf "spec:      VIOLATION: %s\n" reason);
+    Printf.printf "work:      total=%d individual=%d registers=%d\n"
+      (Metrics.total result.metrics)
+      (Metrics.individual result.metrics)
+      result.registers;
+    match result.trace with
+    | Some t -> Format.printf "%a@." Trace.pp t
+    | None -> ()
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full execution trace.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one consensus execution")
+    Term.(const action $ n_arg $ m_arg $ seed_arg $ protocol_arg $ adversary_arg
+          $ workload_arg $ trace_arg)
+
+(* sweep *)
+
+let sweep_cmd =
+  let action n m seed protocol adversary workload trials =
+    let factory = protocol_of_name ~m protocol in
+    let adversary = Adversary.by_name adversary in
+    let workload = Workload.by_name workload in
+    let agg =
+      Montecarlo.trials_consensus ~n ~m ~adversary ~workload
+        ~seeds:(Montecarlo.seeds ~base:seed trials) factory
+    in
+    let indiv = Stats.of_ints agg.individual_works in
+    let total = Stats.of_ints agg.total_works in
+    Table.print
+      ~header:[ "metric"; "mean"; "sd"; "median"; "p95"; "max" ]
+      [ [ "individual work"; Table.fl indiv.mean; Table.fl indiv.stddev;
+          Table.fl indiv.median; Table.fl indiv.p95; Table.fl indiv.maximum ];
+        [ "total work"; Table.fl total.mean; Table.fl total.stddev;
+          Table.fl total.median; Table.fl total.p95; Table.fl total.maximum ] ];
+    Printf.printf "agreement: %d/%d trials; registers: %d; safety violations: %d\n"
+      agg.agreements agg.trials agg.space (List.length agg.failures);
+    List.iteri
+      (fun i (seed, reason) ->
+        if i < 3 then Printf.printf "  violation (seed %d): %s\n" seed reason)
+      agg.failures
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Monte-Carlo sweep at one configuration")
+    Term.(const action $ n_arg $ m_arg $ seed_arg $ protocol_arg $ adversary_arg
+          $ workload_arg $ trials_arg)
+
+(* experiment *)
+
+let experiment_cmd =
+  let action quick names =
+    let mode = if quick then Experiments.Quick else Experiments.Full in
+    let names = if names = [] || names = [ "all" ] then Experiments.all_names else names in
+    List.iter (Experiments.run ~mode) names
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small sweeps (seconds instead of minutes).")
+  in
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E10, or 'all'.")
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Run the paper-claim reproductions (E1..E10)")
+    Term.(const action $ quick_arg $ names_arg)
+
+(* list *)
+
+let list_cmd =
+  let action () =
+    Printf.printf "protocols:   %s\n" (String.concat ", " protocol_names);
+    Printf.printf "adversaries: %s\n" (String.concat ", " adversary_names);
+    Printf.printf "workloads:   %s\n" (String.concat ", " workload_names);
+    Printf.printf "experiments: %s\n" (String.concat ", " Experiments.all_names)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available components") Term.(const action $ const ())
+
+let () =
+  let doc = "modular shared-memory consensus (conciliators + ratifiers), Aspnes PODC 2010" in
+  let info = Cmd.info "conrat" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; experiment_cmd; list_cmd ]))

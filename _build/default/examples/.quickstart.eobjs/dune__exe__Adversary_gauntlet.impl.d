@@ -1,0 +1,1 @@
+examples/adversary_gauntlet.ml: Adversary Conciliator Conrat_core Conrat_harness Conrat_sim List Montecarlo Printf Stats Table Workload

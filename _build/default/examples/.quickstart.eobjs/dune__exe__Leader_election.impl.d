@@ -1,0 +1,1 @@
+examples/leader_election.ml: Adversary Array Conrat_core Conrat_harness Conrat_sim Consensus Fun List Montecarlo Printf Table

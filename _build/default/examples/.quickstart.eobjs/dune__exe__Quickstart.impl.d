@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Array Conrat_core Conrat_sim Consensus Format List Memory Metrics Printf Rng Scheduler Spec String Trace

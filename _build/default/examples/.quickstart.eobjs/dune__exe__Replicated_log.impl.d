@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Adversary Array Conrat_core Conrat_sim Consensus Fun List Memory Printf Rng Scheduler Spec

@@ -1,0 +1,59 @@
+(* Quickstart: binary consensus among 8 processes in the
+   probabilistic-write model.
+
+   Eight processes start with conflicting inputs (half propose 0, half
+   propose 1) and run the paper's standard protocol — impatient
+   first-mover conciliators alternating with 3-register binary
+   ratifiers — against a scheduler that actively tries to keep them
+   disagreeing.  Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+open Conrat_sim
+open Conrat_core
+
+let () =
+  let n = 8 in
+  let inputs = Array.init n (fun pid -> pid mod 2) in
+  let protocol = Consensus.standard ~m:2 in
+
+  (* Every execution needs its own one-shot instance and memory. *)
+  let memory = Memory.create () in
+  let instance = protocol.instantiate ~n memory in
+
+  let result =
+    Scheduler.run ~n
+      ~adversary:Adversary.overwrite_attacker
+      ~rng:(Rng.create 2026)
+      ~memory
+      ~record:true
+      (fun ~pid ~rng -> instance.Consensus.decide ~pid ~rng inputs.(pid))
+  in
+
+  Printf.printf "protocol: %s\n" instance.Consensus.name;
+  Printf.printf "inputs:   %s\n"
+    (String.concat " " (Array.to_list (Array.map string_of_int inputs)));
+  Printf.printf "outputs:  %s\n"
+    (String.concat " "
+       (Array.to_list
+          (Array.map (function Some v -> string_of_int v | None -> "?") result.outputs)));
+
+  (* The consensus contract, checked on this very execution. *)
+  (match
+     Spec.consensus_execution ~inputs ~outputs:result.outputs ~completed:result.completed
+   with
+   | Ok () -> print_endline "spec:     agreement + validity + termination hold"
+   | Error reason -> Printf.printf "spec:     VIOLATED (%s)\n" reason);
+
+  Printf.printf "work:     %d operations total, %d by the busiest process\n"
+    (Metrics.total result.metrics)
+    (Metrics.individual result.metrics);
+  Printf.printf "space:    %d registers allocated\n" result.registers;
+  (match result.trace with
+   | Some trace ->
+     Printf.printf "trace:    %d scheduled steps; first three:\n" (Trace.length trace);
+     List.iteri
+       (fun i ev -> if i < 3 then Format.printf "            %a@." Trace.pp_event ev)
+       (Trace.events trace)
+   | None -> ())

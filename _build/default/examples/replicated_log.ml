@@ -1,0 +1,67 @@
+(* A replicated command log from repeated consensus.
+
+   State-machine replication in miniature: n replicas each receive
+   client commands locally and use one consensus instance per log slot
+   to agree on the global order.  Each slot runs the paper's standard
+   m-valued protocol (commands are drawn from a small command
+   alphabet).  At the end, every replica holds an identical log even
+   though each proposed different commands under an adversarial
+   scheduler — and we verify that, plus validity (every chosen command
+   was actually proposed by some replica for that slot).
+
+     dune exec examples/replicated_log.exe
+*)
+
+open Conrat_sim
+open Conrat_core
+
+let command_names = [| "PUT x"; "PUT y"; "DEL x"; "GET x"; "CAS y"; "NOOP" |]
+let m = Array.length command_names
+
+let () =
+  let n = 8 in
+  let slots = 12 in
+  let master = Rng.create 97 in
+  let logs = Array.make_matrix n slots (-1) in
+  let proposals = Array.make_matrix n slots (-1) in
+  for slot = 0 to slots - 1 do
+    (* Each replica proposes the next command from its local clients. *)
+    let inputs = Array.init n (fun _ -> Rng.int master m) in
+    Array.iteri (fun pid c -> proposals.(pid).(slot) <- c) inputs;
+    let protocol = Consensus.standard ~m in
+    let memory = Memory.create () in
+    let instance = protocol.instantiate ~n memory in
+    let result =
+      Scheduler.run ~n
+        ~adversary:Adversary.write_stalker
+        ~rng:(Rng.split master)
+        ~memory
+        (fun ~pid ~rng -> instance.Consensus.decide ~pid ~rng inputs.(pid))
+    in
+    (match Spec.consensus_execution ~inputs ~outputs:result.outputs ~completed:result.completed with
+     | Ok () -> ()
+     | Error reason -> failwith (Printf.sprintf "slot %d: %s" slot reason));
+    Array.iteri
+      (fun pid out ->
+        match out with
+        | Some c -> logs.(pid).(slot) <- c
+        | None -> assert false)
+      result.outputs
+  done;
+
+  (* Every replica must hold the same log. *)
+  for pid = 1 to n - 1 do
+    if logs.(pid) <> logs.(0) then failwith "replicas diverged!"
+  done;
+
+  Printf.printf "agreed log (%d slots, %d replicas, write_stalker adversary):\n\n" slots n;
+  for slot = 0 to slots - 1 do
+    let chosen = logs.(0).(slot) in
+    let proposers =
+      List.filter (fun pid -> proposals.(pid).(slot) = chosen) (List.init n Fun.id)
+    in
+    Printf.printf "  slot %2d: %-6s  (proposed by %d/%d replicas)\n"
+      slot command_names.(chosen) (List.length proposers) n
+  done;
+  Printf.printf "\nall %d replicas hold identical logs; every chosen command was proposed\n" n;
+  Printf.printf "for its slot by at least one replica (validity).\n"

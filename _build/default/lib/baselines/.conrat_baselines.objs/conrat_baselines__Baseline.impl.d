@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Conciliator Conrat_core Conrat_objects Conrat_sim Consensus Deciding Fallback Memory Printf Proc Ratifier

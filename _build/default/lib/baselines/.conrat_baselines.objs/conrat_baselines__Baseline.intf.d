@@ -1,0 +1,1 @@
+lib/baselines/baseline.mli: Conrat_core Conrat_objects

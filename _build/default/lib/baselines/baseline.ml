@@ -1,0 +1,48 @@
+open Conrat_sim
+open Conrat_objects
+open Conrat_core
+
+let cil_racing ~m =
+  Consensus.of_deciding
+    (Printf.sprintf "cil_racing(m=%d)" m)
+    (Fallback.racing ~m ())
+
+let standard_ratifier ~m =
+  if m <= 2 then Ratifier.binary () else Ratifier.bollobas ~m
+
+let constant_rate_consensus ~m =
+  Consensus.unbounded
+    ~name:(Printf.sprintf "constant_rate(m=%d)" m)
+    ~conciliator:(fun _ -> Conciliator.constant_rate ())
+    ~ratifier:(fun _ -> standard_ratifier ~m)
+    ()
+
+let schedule_conciliator ~growth =
+  let name, probability =
+    match growth with
+    | `Double ->
+      ("fm_double", fun ~n k -> min 1.0 (float_of_int (1 lsl min k 62) /. float_of_int n))
+    | `Quadruple ->
+      ("fm_quadruple", fun ~n k -> min 1.0 (float_of_int (1 lsl min (2 * k) 62) /. float_of_int n))
+    | `Linear ->
+      ("fm_linear", fun ~n k -> min 1.0 (float_of_int (k + 1) /. float_of_int n))
+  in
+  Deciding.make_factory name (fun ~n memory ->
+    let r = Memory.alloc memory in
+    Deciding.instance name ~space:1 (fun ~pid:_ ~rng:_ v ->
+      let rec loop k =
+        match Proc.read r with
+        | Some u -> { Deciding.decide = false; value = u }
+        | None ->
+          Proc.prob_write r v ~p:(probability ~n k);
+          loop (k + 1)
+      in
+      loop 0))
+
+let growth_rate_consensus ~m ~growth =
+  let tag = match growth with `Double -> "x2" | `Quadruple -> "x4" | `Linear -> "+1" in
+  Consensus.unbounded
+    ~name:(Printf.sprintf "growth_%s(m=%d)" tag m)
+    ~conciliator:(fun _ -> schedule_conciliator ~growth)
+    ~ratifier:(fun _ -> standard_ratifier ~m)
+    ()

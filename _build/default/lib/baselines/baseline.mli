@@ -1,0 +1,38 @@
+(** Prior-work comparators for the probabilistic-write model.
+
+    The paper's headline claim is comparative: "No previous protocol in
+    this model uses sublinear individual work or linear total work for
+    constant m."  These are the protocols the claim compares against;
+    E5 measures them side by side with the standard construction. *)
+
+val cil_racing : m:int -> Conrat_core.Consensus.factory
+(** The classic racing consensus in the style of Chor-Israeli-Li [20]:
+    processes race through rounds via probabilistic advancement and a
+    process two rounds ahead of everybody decides.  Θ(n) individual
+    work per collect and polynomially many expected collects.  (This is
+    the same protocol that serves as the bounded construction's
+    fallback; see {!Conrat_core.Fallback}.) *)
+
+val constant_rate_consensus : m:int -> Conrat_core.Consensus.factory
+(** First-mover consensus with the fixed Θ(1/n) write probability used
+    by previous protocols ([20], Cheung [19]): the unbounded
+    conciliator/ratifier alternation, but every conciliator writes with
+    probability exactly 1/n instead of doubling impatience.  Expected
+    individual work Θ(n); the E5 sweep shows the gap to the paper's
+    O(log n). *)
+
+val schedule_conciliator :
+  growth:[ `Double | `Quadruple | `Linear ] -> Conrat_objects.Deciding.factory
+(** A first-mover conciliator with a configurable impatience schedule:
+    write probability on attempt [k] is [2^k/n] (`Double`, the paper's
+    Theorem 7 schedule), [4^k/n] (`Quadruple`) or [(k+1)/n] (`Linear`).
+    `Double` reproduces
+    {!Conrat_core.Conciliator.impatient_first_mover}. *)
+
+val growth_rate_consensus :
+  m:int -> growth:[ `Double | `Quadruple | `Linear ] -> Conrat_core.Consensus.factory
+(** Ablation of the impatience schedule (DESIGN.md §4): conciliators
+    whose write probability on attempt [k] is [2^k/n] (the paper's),
+    [4^k/n], or [(k+1)/n].  Used by E9's schedule ablation to show why
+    doubling is the sweet spot: faster growth hurts the agreement
+    probability, slower growth hurts individual work. *)

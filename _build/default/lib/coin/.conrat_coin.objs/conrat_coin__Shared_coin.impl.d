@@ -1,0 +1,1 @@
+lib/coin/shared_coin.ml: Array Conrat_sim Memory Proc Rng

@@ -1,0 +1,1 @@
+lib/coin/shared_coin.mli: Conrat_sim

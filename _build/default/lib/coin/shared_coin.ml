@@ -1,0 +1,64 @@
+open Conrat_sim
+
+type t = {
+  name : string;
+  flip : pid:int -> rng:Rng.t -> int;
+}
+
+type factory = {
+  cname : string;
+  delta : n:int -> float;
+  instantiate : n:int -> Memory.t -> t;
+}
+
+let voting ?(votes_factor = 1) () =
+  { cname = "voting_coin";
+    (* The standard drift argument: common votes perform a random walk
+       of length >= K = factor*n^2, whose final absolute value exceeds
+       the n-1 adversarially hidden votes with constant probability.
+       The constant below is a conservative bound, not tight. *)
+    delta = (fun ~n:_ -> 0.16);
+    instantiate =
+      (fun ~n memory ->
+        let quorum = max 1 (votes_factor * n * n) in
+        (* counts.(p) and sums.(p) are single-writer registers: only
+           process p writes them.  Sums can be negative; registers hold
+           arbitrary ints. *)
+        let counts = Memory.alloc_n memory n in
+        let sums = Memory.alloc_n memory n in
+        { name = "voting_coin";
+          flip =
+            (fun ~pid ~rng ->
+              let my_count = ref 0 in
+              let my_sum = ref 0 in
+              let rec go () =
+                (* Collect everyone's progress: 2n reads. *)
+                let total_votes = ref 0 in
+                let total_sum = ref 0 in
+                for q = 0 to n - 1 do
+                  (match Proc.read counts.(q) with
+                   | Some c -> total_votes := !total_votes + c
+                   | None -> ());
+                  (match Proc.read sums.(q) with
+                   | Some s -> total_sum := !total_sum + s
+                   | None -> ())
+                done;
+                if !total_votes >= quorum then (if !total_sum >= 0 then 1 else 0)
+                else begin
+                  (* Cast one local vote: local coin flip, then publish. *)
+                  my_count := !my_count + 1;
+                  my_sum := !my_sum + Rng.pm1 rng;
+                  Proc.write sums.(pid) !my_sum;
+                  Proc.write counts.(pid) !my_count;
+                  go ()
+                end
+              in
+              go ()) }) }
+
+let local_flip =
+  { cname = "local_flip";
+    delta = (fun ~n -> 2.0 ** (1.0 -. float_of_int n));
+    instantiate =
+      (fun ~n:_ _memory ->
+        { name = "local_flip";
+          flip = (fun ~pid:_ ~rng -> if Rng.bool rng then 1 else 0) }) }

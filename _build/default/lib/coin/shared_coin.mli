@@ -1,0 +1,45 @@
+(** Weak shared coins (§5.1).
+
+    A weak shared coin with agreement parameter δ is a protocol in
+    which every process outputs a bit, and for each [b ∈ {0,1}] the
+    probability that {e all} processes output [b] is at least δ,
+    whatever the adversary does.  Theorem 6 turns any such coin into a
+    binary conciliator.
+
+    Two implementations are provided:
+
+    - {!voting}: the Aspnes-Herlihy-style voting coin.  Each process
+      repeatedly casts a local ±1 vote into its own pair of
+      single-writer registers (vote count and running sum) and collects
+      everybody's registers; once the total number of votes reaches a
+      quorum [K] (default n²), the sign of the total sum is the coin.
+      With [K = n²] the random drift of the common votes (≈ √K = n)
+      dominates the at most [n - 1] votes the adversary can hide in
+      pending writes, giving constant δ against even an adaptive
+      adversary.  Expensive: Θ(n) work per vote, Θ(n²·n) total — the
+      point of E9 is to measure exactly this cost against the
+      probabilistic-write conciliator.
+    - {!local_flip}: each process just flips its own coin; δ = 2^(1-n).
+      The cheapest possible "coin", and a baseline showing why shared
+      coins need actual communication. *)
+
+type t = {
+  name : string;
+  flip : pid:int -> rng:Conrat_sim.Rng.t -> int;
+    (** Returns 0 or 1; must be called at most once per process, inside
+        a scheduler fiber. *)
+}
+
+type factory = {
+  cname : string;
+  delta : n:int -> float;
+    (** A lower bound on the agreement probability for [n]
+        processes. *)
+  instantiate : n:int -> Conrat_sim.Memory.t -> t;
+}
+
+val voting : ?votes_factor:int -> unit -> factory
+(** [voting ~votes_factor ()] uses a quorum of [votes_factor · n²]
+    votes (default factor 1). *)
+
+val local_flip : factory

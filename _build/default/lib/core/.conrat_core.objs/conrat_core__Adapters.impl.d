@@ -1,0 +1,1 @@
+lib/core/adapters.ml: Conrat_objects Consensus Deciding Printf Ratifier

@@ -1,0 +1,1 @@
+lib/core/adapters.mli: Conrat_objects Consensus

@@ -1,0 +1,1 @@
+lib/core/conciliator.ml: Array Conrat_coin Conrat_objects Conrat_sim Deciding Memory Printf Proc

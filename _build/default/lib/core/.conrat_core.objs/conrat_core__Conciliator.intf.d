@@ -1,0 +1,1 @@
+lib/core/conciliator.mli: Conrat_coin Conrat_objects

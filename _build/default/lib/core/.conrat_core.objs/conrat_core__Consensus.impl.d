@@ -1,0 +1,1 @@
+lib/core/consensus.ml: Compose Conciliator Conrat_coin Conrat_objects Conrat_sim Deciding Fallback List Option Printf Ratifier

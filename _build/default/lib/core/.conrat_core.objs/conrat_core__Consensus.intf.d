@@ -1,0 +1,1 @@
+lib/core/consensus.mli: Conrat_coin Conrat_objects Conrat_sim

@@ -1,0 +1,1 @@
+lib/core/fallback.ml: Array Conrat_objects Conrat_sim Deciding Memory Printf Proc

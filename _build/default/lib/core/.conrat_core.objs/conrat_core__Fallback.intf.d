@@ -1,0 +1,1 @@
+lib/core/fallback.mli: Conrat_objects

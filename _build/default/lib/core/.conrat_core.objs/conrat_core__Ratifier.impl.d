@@ -1,0 +1,1 @@
+lib/core/ratifier.ml: Array Conrat_objects Conrat_quorum Conrat_sim Deciding Memory Printf Proc Quorum

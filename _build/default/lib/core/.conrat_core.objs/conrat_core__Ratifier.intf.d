@@ -1,0 +1,1 @@
+lib/core/ratifier.mli: Conrat_objects Conrat_quorum

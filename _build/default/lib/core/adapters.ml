@@ -1,0 +1,24 @@
+open Conrat_objects
+
+let conciliator_of_consensus (protocol : Consensus.factory) =
+  let fname = Printf.sprintf "conciliator_of(%s)" protocol.name in
+  Deciding.make_factory fname (fun ~n memory ->
+    let instance = protocol.instantiate ~n memory in
+    Deciding.instance fname ~space:0 (fun ~pid ~rng v ->
+      { Deciding.decide = false; value = instance.Consensus.decide ~pid ~rng v }))
+
+let ratifier_of_consensus (protocol : Consensus.factory) =
+  let fname = Printf.sprintf "ratifier_of(%s)" protocol.name in
+  Deciding.make_factory fname (fun ~n memory ->
+    let instance = protocol.instantiate ~n memory in
+    Deciding.instance fname ~space:0 (fun ~pid ~rng v ->
+      { Deciding.decide = true; value = instance.Consensus.decide ~pid ~rng v }))
+
+let consensus_in_one_round ~m () =
+  Consensus.unbounded
+    ~name:(Printf.sprintf "one_round(m=%d)" m)
+    ~fast_path:false
+    ~conciliator:(fun _ -> conciliator_of_consensus (Consensus.standard ~m))
+    ~ratifier:(fun _ ->
+      if m <= 2 then Ratifier.binary () else Ratifier.bollobas ~m)
+    ()

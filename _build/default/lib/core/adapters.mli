@@ -1,0 +1,32 @@
+(** The §7 observation, made executable: a consensus object satisfies
+    the specification of {e both} a conciliator and a ratifier.  This
+    is what makes the decomposition useful for lower bounds — any lower
+    bound proved for either object class transfers to consensus.
+
+    These adapters wrap a consensus protocol as a deciding object of
+    either flavour; the test suite then runs the conciliator and
+    ratifier property checks against them, demonstrating that the
+    specifications really are both satisfied (with agreement
+    probability δ = 1 and unconditional acceptance). *)
+
+val conciliator_of_consensus :
+  Consensus.factory -> Conrat_objects.Deciding.factory
+(** View a consensus object as a conciliator: probabilistic agreement
+    holds with δ = 1; the decision bit is 0 (conciliators never claim
+    decisions, so coherence is vacuous and the object composes like any
+    other conciliator). *)
+
+val ratifier_of_consensus :
+  Consensus.factory -> Conrat_objects.Deciding.factory
+(** View a consensus object as a ratifier: acceptance holds because
+    with all-equal inputs validity forces the common value, and the
+    adapter reports decision bit 1; coherence is agreement. *)
+
+val consensus_in_one_round :
+  m:int -> unit -> Consensus.factory
+(** The degenerate instantiation of the unbounded construction where
+    the "conciliator" is itself a consensus object (via
+    {!conciliator_of_consensus} of {!Consensus.standard}): every
+    execution decides in the first C;R round.  Exists to exercise the
+    adapters end-to-end and as the δ = 1 corner case of the Theorem 5
+    cost analysis. *)

@@ -1,0 +1,64 @@
+open Conrat_sim
+open Conrat_objects
+
+let delta_impatient = (1.0 -. exp (-0.25)) *. 0.25
+
+let write_probability ~n ~attempt =
+  if attempt >= 62 then 1.0
+  else min 1.0 (float_of_int (1 lsl attempt) /. float_of_int n)
+
+let log2_ceil n =
+  let rec go acc pow = if pow >= n then acc else go (acc + 1) (2 * pow) in
+  go 0 1
+
+let max_individual_work ~n = (2 * log2_ceil n) + 4
+
+let impatient_first_mover ?(detect = false) () =
+  let fname = if detect then "impatient_first_mover_detect" else "impatient_first_mover" in
+  Deciding.make_factory fname (fun ~n memory ->
+    let r = Memory.alloc memory in
+    Deciding.instance fname ~space:1 (fun ~pid:_ ~rng:_ v ->
+      let rec loop attempt =
+        match Proc.read r with
+        | Some u -> { Deciding.decide = false; value = u }
+        | None ->
+          let p = write_probability ~n ~attempt in
+          if detect then begin
+            if Proc.prob_write_detect r v ~p
+            then { Deciding.decide = false; value = v }
+            else loop (attempt + 1)
+          end
+          else begin
+            Proc.prob_write r v ~p;
+            loop (attempt + 1)
+          end
+      in
+      loop 0))
+
+let constant_rate ?(rate = 1.0) () =
+  let fname = "constant_rate_first_mover" in
+  Deciding.make_factory fname (fun ~n memory ->
+    let r = Memory.alloc memory in
+    let p = min 1.0 (rate /. float_of_int n) in
+    Deciding.instance fname ~space:1 (fun ~pid:_ ~rng:_ v ->
+      let rec loop () =
+        match Proc.read r with
+        | Some u -> { Deciding.decide = false; value = u }
+        | None ->
+          Proc.prob_write r v ~p;
+          loop ()
+      in
+      loop ()))
+
+let from_coin (coin : Conrat_coin.Shared_coin.factory) =
+  let fname = Printf.sprintf "coin_conciliator(%s)" coin.cname in
+  Deciding.make_factory fname (fun ~n memory ->
+    let r = Memory.alloc_n memory 2 in
+    let coin = coin.instantiate ~n memory in
+    Deciding.instance fname ~space:2 (fun ~pid ~rng v ->
+      if v <> 0 && v <> 1 then
+        invalid_arg "coin conciliator: binary inputs only";
+      Proc.write r.(v) 1;
+      match Proc.read r.(1 - v) with
+      | None -> { Deciding.decide = false; value = v }
+      | Some _ -> { Deciding.decide = false; value = coin.flip ~pid ~rng }))

@@ -1,0 +1,50 @@
+(** Conciliators (§3.1.1, §5): weak consensus objects that produce
+    agreement with constant probability but never detect it.  All
+    conciliators here return decision bit 0, so coherence holds
+    vacuously. *)
+
+val delta_impatient : float
+(** The agreement probability guaranteed by Theorem 7:
+    [(1 - e^(-1/4)) / 4 ≈ 0.0553]. *)
+
+val impatient_first_mover : ?detect:bool -> unit -> Conrat_objects.Deciding.factory
+(** Procedure ImpatientFirstMoverConciliator (§5.2, Theorem 7), for the
+    probabilistic-write model and arbitrarily many values.
+
+    One shared multi-writer register [r], initially ⊥.  Each process
+    loops: read [r]; if non-⊥ return its contents (decision bit 0);
+    otherwise probabilistically write its own value with probability
+    [2^k / n] on the [k]-th attempt, doubling its impatience each time.
+
+    Guarantees, validated by E1: individual work ≤ 2·lg n + 4; expected
+    total work ≤ 6n; validity; termination; agreement with probability
+    at least {!delta_impatient} against any location-oblivious
+    adversary.
+
+    With [~detect:true] the process uses success-detecting
+    probabilistic writes (footnote 2 of the paper) and returns its own
+    value immediately after a successful write, saving 2 operations of
+    individual work. *)
+
+val constant_rate : ?rate:float -> unit -> Conrat_objects.Deciding.factory
+(** The prior-art first-mover conciliator of Chor-Israeli-Li [20] and
+    Cheung [19] (§5.2): identical loop, but every probabilistic write
+    uses the same fixed probability [rate / n] (default [rate = 1.]).
+    Θ(n) individual and total work — the comparison point for the
+    paper's "first sublinear individual work" claim (E5). *)
+
+val from_coin : Conrat_coin.Shared_coin.factory -> Conrat_objects.Deciding.factory
+(** Procedure CoinConciliator (§5.1, Theorem 6): a binary conciliator
+    from any weak shared coin.  Two binary registers [r₀, r₁]; a
+    process with input [v] sets [r_v], then reads [r_{1-v}]: if clear it
+    returns [v], otherwise it returns the shared coin's output.
+    Inherits the coin's agreement probability δ; adds 2 registers and 2
+    operations.  Inputs must be in [{0, 1}]. *)
+
+val write_probability : n:int -> attempt:int -> float
+(** The impatience schedule of Theorem 7: [min(2^attempt / n, 1)].
+    Exposed for tests and for the E1 work-bound analysis. *)
+
+val max_individual_work : n:int -> int
+(** The worst-case operation count of {!impatient_first_mover} for one
+    process: [2·⌈lg n⌉ + 4]. *)

@@ -1,0 +1,92 @@
+open Conrat_objects
+
+type t = {
+  name : string;
+  decide : pid:int -> rng:Conrat_sim.Rng.t -> int -> int;
+}
+
+type factory = {
+  name : string;
+  instantiate : n:int -> Conrat_sim.Memory.t -> t;
+}
+
+let of_deciding name (f : Deciding.factory) =
+  { name;
+    instantiate =
+      (fun ~n memory ->
+        let obj = f.instantiate ~n memory in
+        { name;
+          decide =
+            (fun ~pid ~rng v ->
+              let out = obj.Deciding.run ~pid ~rng v in
+              if not out.Deciding.decide then
+                failwith (name ^ ": composite object terminated without deciding");
+              out.Deciding.value) }) }
+
+(* Position i of the alternation, after an optional R₋₁; R₀ prefix:
+   even positions are conciliators C_(i/2+1), odd ones ratifiers. *)
+let alternation ~fast_path ~conciliator ~ratifier i =
+  if fast_path then begin
+    if i = 0 then ratifier (-1)
+    else if i = 1 then ratifier 0
+    else begin
+      let round = (i / 2) in
+      if i mod 2 = 0 then conciliator round else ratifier round
+    end
+  end
+  else begin
+    let round = (i / 2) + 1 in
+    if i mod 2 = 0 then conciliator round else ratifier round
+  end
+
+let unbounded ?(fast_path = true) ?name ~conciliator ~ratifier () =
+  let name = Option.value name ~default:"unbounded_consensus" in
+  of_deciding name
+    (Compose.lazy_seq name (alternation ~fast_path ~conciliator ~ratifier))
+
+let bounded ?(fast_path = true) ?name ~rounds ~conciliator ~ratifier ~fallback () =
+  let name = Option.value name ~default:"bounded_consensus" in
+  let prefix_len = (if fast_path then 2 else 0) + (2 * rounds) in
+  let stages =
+    List.init prefix_len (alternation ~fast_path ~conciliator ~ratifier)
+    @ [ fallback ]
+  in
+  of_deciding name (Compose.seq_factory stages)
+
+let ratifier_only ?name ~ratifier () =
+  let name = Option.value name ~default:"ratifier_only_consensus" in
+  of_deciding name (Compose.lazy_seq name (fun i -> ratifier (i + 1)))
+
+let standard_ratifier ~m =
+  if m <= 2 then Ratifier.binary () else Ratifier.bollobas ~m
+
+let standard ~m =
+  unbounded
+    ~name:(Printf.sprintf "standard(m=%d)" m)
+    ~conciliator:(fun _ -> Conciliator.impatient_first_mover ())
+    ~ratifier:(fun _ -> standard_ratifier ~m)
+    ()
+
+let standard_bounded ~m ~rounds =
+  bounded
+    ~name:(Printf.sprintf "standard_bounded(m=%d,k=%d)" m rounds)
+    ~rounds
+    ~conciliator:(fun _ -> Conciliator.impatient_first_mover ())
+    ~ratifier:(fun _ -> standard_ratifier ~m)
+    ~fallback:(Fallback.racing ~m ())
+    ()
+
+let standard_cheap_collect ~m =
+  unbounded
+    ~name:(Printf.sprintf "standard_cheap_collect(m=%d)" m)
+    ~conciliator:(fun _ -> Conciliator.impatient_first_mover ())
+    ~ratifier:(fun _ -> Ratifier.cheap_collect ~m)
+    ()
+
+let coin_based ~m ~coin =
+  if m <> 2 then invalid_arg "Consensus.coin_based: binary only";
+  unbounded
+    ~name:(Printf.sprintf "coin_based(%s)" coin.Conrat_coin.Shared_coin.cname)
+    ~conciliator:(fun _ -> Conciliator.from_coin coin)
+    ~ratifier:(fun _ -> Ratifier.binary ())
+    ()

@@ -1,0 +1,85 @@
+(** Consensus protocols assembled from conciliators and ratifiers (§4).
+
+    A consensus protocol always decides; its [decide] function returns
+    the agreed value directly. *)
+
+type t = {
+  name : string;
+  decide : pid:int -> rng:Conrat_sim.Rng.t -> int -> int;
+}
+
+type factory = {
+  name : string;
+  instantiate : n:int -> Conrat_sim.Memory.t -> t;
+}
+
+val of_deciding : string -> Conrat_objects.Deciding.factory -> factory
+(** Wrap an always-deciding object as a consensus protocol.  Raises
+    [Failure] at run time if the object ever terminates without
+    deciding — which would be a protocol bug, not an execution
+    property. *)
+
+val unbounded :
+  ?fast_path:bool ->
+  ?name:string ->
+  conciliator:(int -> Conrat_objects.Deciding.factory) ->
+  ratifier:(int -> Conrat_objects.Deciding.factory) ->
+  unit ->
+  factory
+(** §4.1.1, the object [U = R₋₁; R₀; C₁; R₁; C₂; R₂; …].  The
+    [conciliator] and [ratifier] arguments supply a fresh factory for
+    each round index [i ≥ 1]; instances are created lazily as the first
+    process reaches each round.  [fast_path] (default true) includes
+    the prefix [R₋₁; R₀] that lets early processes decide without
+    paying for a conciliator when all fast processes agree.
+    Terminates with probability 1 provided each conciliator has
+    agreement probability bounded away from 0. *)
+
+val bounded :
+  ?fast_path:bool ->
+  ?name:string ->
+  rounds:int ->
+  conciliator:(int -> Conrat_objects.Deciding.factory) ->
+  ratifier:(int -> Conrat_objects.Deciding.factory) ->
+  fallback:Conrat_objects.Deciding.factory ->
+  unit ->
+  factory
+(** §4.1.2 (Theorem 5), the object
+    [B = R₋₁; R₀; C₁; R₁; …; C_k; R_k; K] with [k = rounds].  The
+    [fallback] must always decide (e.g. {!Fallback.racing}).  Reaching
+    the fallback has probability at most [(1-δ)^k]. *)
+
+val ratifier_only :
+  ?name:string ->
+  ratifier:(int -> Conrat_objects.Deciding.factory) ->
+  unit ->
+  factory
+(** §4.2, the object [R = R₁; R₂; …] with no conciliators.  Only
+    terminates under scheduling restrictions (noisy or priority-based
+    adversaries); under other adversaries it may run forever, which the
+    scheduler's step cap will report as [completed = false]. *)
+
+(** {1 Ready-made instantiations} *)
+
+val standard : m:int -> factory
+(** The paper's headline protocol for the probabilistic-write model:
+    impatient first-mover conciliators alternating with m-valued
+    Bollobás-optimal quorum ratifiers (binary ratifier when [m = 2]),
+    with the fast path.  O(log n) expected individual work, O(n log m)
+    expected total work (O(n) when [m] is constant). *)
+
+val standard_bounded : m:int -> rounds:int -> factory
+(** {!standard} truncated after [rounds] conciliator/ratifier pairs
+    into a {!Fallback.racing} fallback. *)
+
+val standard_cheap_collect : m:int -> factory
+(** {!standard} with the §6.2(4) cheap-collect ratifier: individual
+    work drops to O(log n) with a constant (4-operation) ratifier
+    regardless of [m], at the cost of m+1 registers per ratifier and
+    the cheap-collect model assumption.  Runs only under a scheduler
+    started with [~cheap_collect:true]. *)
+
+val coin_based : m:int -> coin:Conrat_coin.Shared_coin.factory -> factory
+(** The pre-probabilistic-write shape: shared-coin conciliators
+    (Theorem 6) alternating with binary ratifiers.  Binary only
+    ([m] must be 2); present as the E9 comparison point. *)

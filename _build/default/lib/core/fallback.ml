@@ -1,0 +1,139 @@
+open Conrat_sim
+open Conrat_objects
+
+type mark = None_ | Candidate | Decided
+
+let mark_code = function None_ -> 0 | Candidate -> 1 | Decided -> 2
+let mark_of_code = function 0 -> None_ | 1 -> Candidate | _ -> Decided
+
+let encode ~m ~round ~value ~mark =
+  if value < 0 || value >= m then invalid_arg "Fallback.encode: value out of range";
+  (((round * m) + value) * 3) + mark_code mark
+
+let decode ~m x = (x / 3 / m, x / 3 mod m, mark_of_code (x mod 3))
+
+let racing ~m ?(advance_p = 0.5) () =
+  let fname = Printf.sprintf "racing_fallback(m=%d)" m in
+  Deciding.make_factory fname (fun ~n memory ->
+    let regs = Memory.alloc_n memory n in
+    Deciding.instance fname ~space:n (fun ~pid ~rng:_ v ->
+      let collect () =
+        Array.init n (fun q ->
+          match Proc.read regs.(q) with
+          | Some x -> Some (decode ~m x)
+          | None -> None)
+      in
+      let publish ~round ~value ~mark =
+        Proc.write regs.(pid) (encode ~m ~round ~value ~mark)
+      in
+      publish ~round:1 ~value:v ~mark:None_;
+      let rec loop () =
+        let entries = collect () in
+        step entries
+      and step entries =
+        (* A published decision is final for everyone. *)
+        let winner = ref None in
+        Array.iter
+          (function
+            | Some (_, value, Decided) when !winner = None -> winner := Some value
+            | Some _ | None -> ())
+          entries;
+        match !winner with
+        | Some value -> { Deciding.decide = true; value }
+        | None ->
+          let my_round, my_value, _ =
+            match entries.(pid) with
+            | Some e -> e
+            | None -> assert false (* we wrote our register first *)
+          in
+          (* Conflict = any live-window or marked entry with another
+             value.  Marked (candidate) entries never expire: their
+             owner may be sitting on a pending decision computed from a
+             stale collect, so they must keep blocking until their
+             owner resolves them. *)
+          let conflict = ref false in
+          let max_round = ref my_round in
+          Array.iter
+            (function
+              | Some (round, value, mark) ->
+                if round > !max_round then max_round := round;
+                if (round >= my_round - 1 || mark <> None_) && value <> my_value then
+                  conflict := true
+              | None -> ())
+            entries;
+          if !max_round > my_round then begin
+            (* Adopt the front: the lowest-pid entry at the top round
+               (value and round travel together). *)
+            let lead_value = ref my_value in
+            (try
+               Array.iter
+                 (function
+                   | Some (round, value, _) when round = !max_round ->
+                     lead_value := value;
+                     raise Exit
+                   | Some _ | None -> ())
+                 entries
+             with Exit -> ());
+            publish ~round:!max_round ~value:!lead_value ~mark:None_;
+            loop ()
+          end
+          else if not !conflict then begin
+            (* Two-phase decision.  Phase 1: stake a candidate mark.
+               Phase 2: re-collect; only if the window is still clean
+               may we upgrade to Decided.  Any rival staking its own
+               candidate concurrently is totally ordered against our
+               re-collect, so at least one side sees the other and
+               backs off — two conflicting Decided marks can never
+               coexist. *)
+            publish ~round:my_round ~value:my_value ~mark:Candidate;
+            let entries = collect () in
+            let clean = ref true in
+            Array.iteri
+              (fun q entry ->
+                match entry with
+                | Some (round, value, mark) ->
+                  if q <> pid
+                     && (round >= my_round - 1 || mark <> None_)
+                     && value <> my_value
+                  then clean := false
+                | None -> ())
+              entries;
+            let someone_decided =
+              Array.exists
+                (function Some (_, _, Decided) -> true | Some _ | None -> false)
+                entries
+            in
+            if someone_decided then step entries
+            else if !clean then begin
+              publish ~round:my_round ~value:my_value ~mark:Decided;
+              { Deciding.decide = true; value = my_value }
+            end
+            else begin
+              (* Back off: drop the candidate mark, adopting the value
+                 of the strongest marked rival (highest (round, pid))
+                 if there is one, so that contending candidates
+                 converge instead of ping-ponging forever. *)
+              let best = ref (my_round, pid, my_value) in
+              Array.iteri
+                (fun q entry ->
+                  match entry with
+                  | Some (round, value, (Candidate | Decided)) ->
+                    let r0, q0, _ = !best in
+                    if (round, q) > (r0, q0) then best := (round, q, value)
+                  | Some _ | None -> ())
+                entries;
+              let round, _, value = !best in
+              publish ~round ~value ~mark:None_;
+              loop ()
+            end
+          end
+          else begin
+            (* Contested front: advance probabilistically; the next
+               collect reads the outcome back from our own register. *)
+            Proc.prob_write regs.(pid)
+              (encode ~m ~round:(my_round + 1) ~value:my_value ~mark:None_)
+              ~p:advance_p;
+            loop ()
+          end
+      in
+      loop ()))

@@ -1,0 +1,58 @@
+(** A bounded-register-count consensus protocol, used as the fallback
+    object [K] in the bounded construction of §4.1.2 (Theorem 5), and
+    doubling as the classic Chor-Israeli-Li-style racing baseline.
+
+    The paper instantiates [K] with the bounded-space protocol of [4];
+    we substitute a racing protocol in the spirit of Chor-Israeli-Li
+    [20] adapted to the probabilistic-write model (see DESIGN.md §2):
+
+    Each process [p] owns one single-writer register holding an
+    atomically-encoded triple [(round, value, mark)] with
+    [mark ∈ {None, Candidate, Decided}].  In a loop, [p] reads all [n]
+    registers, then:
+    + if anyone is marked [Decided], [p] returns that value;
+    + if someone is at a higher round, [p] adopts the leader's round
+      {e and} value (leader = lowest pid at the maximum round);
+    + if [p] is at the maximum round and no {e live} entry conflicts —
+      where live means round ≥ [p]'s − 1 {e or carrying any mark} —
+      [p] runs a two-phase decision: stake a [Candidate] mark,
+      re-collect, and upgrade to [Decided] only if the window is still
+      clean.  Marked entries never expire, so two conflicting decision
+      re-collects are totally ordered and at least one side sees the
+      other's candidate and backs off (adopting the strongest marked
+      rival's value) — two conflicting [Decided] marks cannot coexist.
+      The unstaked variant of this rule is genuinely unsound: a process
+      can compute a decision from a collect taken before a rival's
+      first write, stall, and publish after the rival has legitimately
+      raced past its expired entry.  The exhaustive explorer found
+      exactly that interleaving (see test_explore.ml), which is why the
+      candidate phase exists;
+    + otherwise the front is contested and [p] advances one round via a
+      probabilistic write (probability [advance_p]), learning the
+      outcome from its own register at the next collect.
+
+    Safety (agreement + validity) holds in {e every} execution — the
+    test suite checks it under all adversaries, and the exhaustive
+    explorer verifies it for small instances over every schedule and
+    every coin outcome.  Termination with probability 1 relies on the
+    weak adversary: it cannot condition on the advancement coins, so
+    the contested front keeps thinning — once a single process
+    advances alone, every follower adopts its value and the next
+    collects decide.  Expected O(log n) rounds of O(n)-cost collects
+    per process.
+
+    Space: [n] registers.  Register {e count} is bounded; stored values
+    grow with the round number, the standard trade-off in this
+    literature. *)
+
+val racing : m:int -> ?advance_p:float -> unit -> Conrat_objects.Deciding.factory
+(** An always-deciding object (every output has decision bit 1) for
+    values in [0, m).  [advance_p] is the round-advancement write
+    probability (default 0.5). *)
+
+type mark = None_ | Candidate | Decided
+
+val encode : m:int -> round:int -> value:int -> mark:mark -> int
+val decode : m:int -> int -> int * int * mark
+(** The register encoding, exposed for white-box tests:
+    [decode ~m (encode ~m ~round ~value ~mark) = (round, value, mark)]. *)

@@ -1,0 +1,55 @@
+open Conrat_sim
+open Conrat_objects
+open Conrat_quorum
+
+let space (q : Quorum.t) = q.pool + 1
+
+let max_individual_work (q : Quorum.t) =
+  Quorum.max_write_size q + Quorum.max_read_size q + 2
+
+let of_quorum (q : Quorum.t) =
+  let fname = Printf.sprintf "ratifier(%s,m=%d)" q.name q.m in
+  Deciding.make_factory fname (fun ~n:_ memory ->
+    let pool = Memory.alloc_n memory q.pool in
+    let proposal = Memory.alloc memory in
+    Deciding.instance fname ~space:(q.pool + 1) (fun ~pid:_ ~rng:_ v ->
+      (* Announce v by marking its whole write quorum. *)
+      Array.iter (fun i -> Proc.write pool.(i) 1) (q.write_quorum v);
+      let preference =
+        match Proc.read proposal with
+        | Some u -> u
+        | None ->
+          Proc.write proposal v;
+          v
+      in
+      let conflict =
+        Array.exists (fun i -> Proc.read pool.(i) <> None) (q.read_quorum preference)
+      in
+      { Deciding.decide = not conflict; value = preference }))
+
+let binary () = of_quorum Quorum.binary
+let bollobas ~m = of_quorum (Quorum.bollobas_optimal ~m)
+let bitvector ~m = of_quorum (Quorum.bitvector ~m)
+
+let cheap_collect ~m =
+  let q = Quorum.singleton ~m in
+  let fname = Printf.sprintf "ratifier(cheap_collect,m=%d)" m in
+  Deciding.make_factory fname (fun ~n:_ memory ->
+    let pool = Memory.alloc_n memory q.pool in
+    let base = pool.(0) in
+    let proposal = Memory.alloc memory in
+    Deciding.instance fname ~space:(q.pool + 1) (fun ~pid:_ ~rng:_ v ->
+      Proc.write pool.(v) 1;
+      let preference =
+        match Proc.read proposal with
+        | Some u -> u
+        | None ->
+          Proc.write proposal v;
+          v
+      in
+      let contents = Proc.collect base q.pool in
+      let conflict = ref false in
+      Array.iteri
+        (fun i c -> if i <> preference && c <> None then conflict := true)
+        contents;
+      { Deciding.decide = not !conflict; value = preference }))

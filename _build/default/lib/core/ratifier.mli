@@ -1,0 +1,39 @@
+(** Ratifiers (§3.1.2, §6): deterministic weak consensus objects that
+    detect agreement.  They satisfy validity, termination, coherence
+    and acceptance (all-equal inputs force everyone to decide), and are
+    implemented from write/read quorums over a register pool
+    (Procedure Ratifier, Theorem 8). *)
+
+val of_quorum : Conrat_quorum.Quorum.t -> Conrat_objects.Deciding.factory
+(** The generic quorum ratifier.  A process with input [v]:
+    + writes 1 to every register of [W v] (announce),
+    + reads the [proposal] register; adopts its value as preference if
+      non-⊥, else writes its own value there,
+    + reads the registers of [R preference]: if any is set, some
+      conflicting value was announced — return [(0, preference)];
+      otherwise return [(1, preference)].
+
+    Space: [pool + 1] registers.  Individual work:
+    at most [|W| + |R| + 2] operations. *)
+
+val binary : unit -> Conrat_objects.Deciding.factory
+(** §6.2(1): 3 registers, ≤ 4 operations per process. *)
+
+val bollobas : m:int -> Conrat_objects.Deciding.factory
+(** §6.2(2): the space-optimal m-valued ratifier;
+    [⌈lg m⌉ + Θ(log log m) + 1] registers. *)
+
+val bitvector : m:int -> Conrat_objects.Deciding.factory
+(** §6.2(3): [2⌈lg m⌉ + 1] registers, ≤ [2⌈lg m⌉ + 2] operations. *)
+
+val cheap_collect : m:int -> Conrat_objects.Deciding.factory
+(** §6.2(4): the cheap-collect-model ratifier — write quorums of size
+    1, read quorums checked with a single collect operation; 4
+    operations per process regardless of [m].  Requires the scheduler
+    to run with [~cheap_collect:true]. *)
+
+val space : Conrat_quorum.Quorum.t -> int
+(** Registers used by [of_quorum q]: [q.pool + 1]. *)
+
+val max_individual_work : Conrat_quorum.Quorum.t -> int
+(** Worst-case operations per process of [of_quorum q]. *)

@@ -1,0 +1,1 @@
+lib/harness/montecarlo.ml: Array Conrat_core Conrat_objects Conrat_sim List Memory Metrics Option Rng Scheduler Spec Workload

@@ -1,0 +1,1 @@
+lib/harness/montecarlo.mli: Conrat_core Conrat_objects Conrat_sim Workload

@@ -1,0 +1,80 @@
+(** The Monte-Carlo trial runner: execute a protocol many times under a
+    given adversary and workload, check every execution against the
+    safety specification, and collect work samples. *)
+
+type outcome = {
+  inputs : int array;
+  outputs : int option array;
+  agreed : bool;           (** all finished processes returned one value *)
+  safety : (unit, string) result;
+    (** agreement + validity on this execution ([Ok] required always
+        for consensus; conciliators may legitimately disagree) *)
+  completed : bool;
+  total_work : int;
+  individual_work : int;
+  steps : int;
+  registers : int;
+}
+
+val run_consensus :
+  ?max_steps:int ->
+  ?cheap_collect:bool ->
+  n:int ->
+  adversary:Conrat_sim.Adversary.t ->
+  inputs:int array ->
+  seed:int ->
+  Conrat_core.Consensus.factory ->
+  outcome
+(** One execution.  [safety] is the full consensus contract
+    (termination within the cap, agreement, validity). *)
+
+val run_deciding :
+  ?max_steps:int ->
+  ?cheap_collect:bool ->
+  n:int ->
+  adversary:Conrat_sim.Adversary.t ->
+  inputs:int array ->
+  seed:int ->
+  Conrat_objects.Deciding.factory ->
+  outcome * Conrat_sim.Spec.decision option array
+(** One execution of a bare deciding object (e.g. a conciliator or
+    ratifier).  The [outcome.safety] field checks validity and
+    coherence — the properties every weak consensus object must
+    satisfy; [outcome.agreed] reports whether the value components all
+    matched.  The raw decision outputs are also returned for
+    object-specific checks (acceptance, probabilistic agreement). *)
+
+type aggregate = {
+  trials : int;
+  agreements : int;        (** trials where all values matched *)
+  failures : (int * string) list;  (** (seed, reason) safety violations *)
+  total_works : int list;
+  individual_works : int list;
+  space : int;             (** registers (max across trials) *)
+}
+
+val trials_consensus :
+  ?max_steps:int ->
+  ?cheap_collect:bool ->
+  n:int ->
+  m:int ->
+  adversary:Conrat_sim.Adversary.t ->
+  workload:Workload.t ->
+  seeds:int list ->
+  Conrat_core.Consensus.factory ->
+  aggregate
+
+val trials_deciding :
+  ?max_steps:int ->
+  ?cheap_collect:bool ->
+  n:int ->
+  m:int ->
+  adversary:Conrat_sim.Adversary.t ->
+  workload:Workload.t ->
+  seeds:int list ->
+  Conrat_objects.Deciding.factory ->
+  aggregate
+
+val seeds : ?base:int -> int -> int list
+(** [seeds k] = the [k] standard seeds [base, base+1, …] (default base
+    424242). *)

@@ -1,0 +1,43 @@
+let looks_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'x' || c = '%') s
+
+let print ?(out = stdout) ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let pad = widths.(i) - String.length cell in
+          if looks_numeric cell then String.make pad ' ' ^ cell
+          else cell ^ String.make pad ' ')
+        row
+    in
+    "  " ^ String.concat "  " cells
+  in
+  output_string out (render_row header);
+  output_string out "\n";
+  let rule = "  " ^ String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  output_string out rule;
+  output_string out "\n";
+  List.iter
+    (fun row ->
+      output_string out (render_row row);
+      output_string out "\n")
+    rows;
+  flush out
+
+let fl ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+
+let heading ?(out = stdout) title =
+  Printf.fprintf out "\n%s\n%s\n" title (String.make (String.length title) '=');
+  flush out
+
+let note ?(out = stdout) text =
+  Printf.fprintf out "  %s\n" text;
+  flush out

@@ -1,0 +1,15 @@
+(** Plain-text aligned tables for experiment output — the
+    paper-vs-measured rows EXPERIMENTS.md records. *)
+
+val print : ?out:out_channel -> header:string list -> string list list -> unit
+(** Column-aligned table with a rule under the header.  Right-aligns
+    cells that look numeric, left-aligns the rest. *)
+
+val fl : ?digits:int -> float -> string
+(** Compact float formatting (default 2 digits). *)
+
+val heading : ?out:out_channel -> string -> unit
+(** A section heading with an underline. *)
+
+val note : ?out:out_channel -> string -> unit
+(** An indented free-text remark under a table. *)

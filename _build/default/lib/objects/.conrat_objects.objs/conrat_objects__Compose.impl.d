@@ -1,0 +1,1 @@
+lib/objects/compose.ml: Deciding List Printf

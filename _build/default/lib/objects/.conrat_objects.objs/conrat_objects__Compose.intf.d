@@ -1,0 +1,1 @@
+lib/objects/compose.mli: Deciding

@@ -1,0 +1,1 @@
+lib/objects/deciding.ml: Conrat_sim Format

@@ -1,0 +1,1 @@
+lib/objects/deciding.mli: Conrat_sim Format

@@ -1,0 +1,51 @@
+let pair (x : Deciding.t) (y : Deciding.t) : Deciding.t =
+  { name = Printf.sprintf "(%s; %s)" x.name y.name;
+    space = x.space + y.space;
+    run =
+      (fun ~pid ~rng v ->
+        let out = x.run ~pid ~rng v in
+        if out.Deciding.decide then out else y.run ~pid ~rng out.Deciding.value) }
+
+let pass_through : Deciding.t =
+  { name = "pass"; space = 0; run = (fun ~pid:_ ~rng:_ v -> { Deciding.decide = false; value = v }) }
+
+let seq = function
+  | [] -> pass_through
+  | x :: rest -> List.fold_left pair x rest
+
+let pair_factory (fx : Deciding.factory) (fy : Deciding.factory) : Deciding.factory =
+  { fname = Printf.sprintf "(%s; %s)" fx.fname fy.fname;
+    instantiate =
+      (fun ~n memory -> pair (fx.instantiate ~n memory) (fy.instantiate ~n memory)) }
+
+let seq_factory = function
+  | [] -> Deciding.copy_object
+  | f :: rest -> List.fold_left pair_factory f rest
+
+let lazy_seq name nth : Deciding.factory =
+  { fname = name;
+    instantiate =
+      (fun ~n memory ->
+        (* Instances are created the first time any process reaches
+           position [i]; processes reach positions in increasing order,
+           so instances are allocated in position order. *)
+        let instances : Deciding.t list ref = ref [] in
+        let count = ref 0 in
+        let get i =
+          while !count <= i do
+            let f = nth !count in
+            instances := f.Deciding.instantiate ~n memory :: !instances;
+            incr count
+          done;
+          List.nth !instances (!count - 1 - i)
+        in
+        { name;
+          space = 0;
+          run =
+            (fun ~pid ~rng v ->
+              let rec go i v =
+                let x = get i in
+                let out = x.Deciding.run ~pid ~rng v in
+                if out.Deciding.decide then out else go (i + 1) out.Deciding.value
+              in
+              go 0 v) }) }

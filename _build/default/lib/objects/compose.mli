@@ -1,0 +1,28 @@
+(** The composition operator on deciding objects (§3.2).
+
+    [(X; Y)] runs [X] first; if [X] decides, its answer is final and
+    [Y] is skipped (an exception-like early exit); otherwise [X]'s
+    output value is fed to [Y] as input.  Composition is associative,
+    and preserves validity, termination and (given validity of the
+    second component) coherence — Lemmas 1-3, Corollary 4.  The test
+    suite checks all of these as executable properties. *)
+
+val pair : Deciding.t -> Deciding.t -> Deciding.t
+(** [(X; Y)] on already-instantiated objects sharing a memory. *)
+
+val seq : Deciding.t list -> Deciding.t
+(** [X₁; X₂; …; X_k].  The empty sequence is {!Deciding.copy_object}'s
+    behaviour (pass-through). *)
+
+val pair_factory : Deciding.factory -> Deciding.factory -> Deciding.factory
+val seq_factory : Deciding.factory list -> Deciding.factory
+
+val lazy_seq :
+  string -> (int -> Deciding.factory) -> Deciding.factory
+(** [lazy_seq name nth] is the infinite composition [(X₀; X₁; …)] of
+    §3.2, with [Xᵢ = nth i] instantiated on demand the first time any
+    process reaches position [i].  Instantiation happens during local
+    computation (the simulation is sequential), so all processes see
+    the same instances.  A process that never receives a decision bit
+    runs forever — termination must come from the components, exactly
+    as in the paper's object [U]. *)

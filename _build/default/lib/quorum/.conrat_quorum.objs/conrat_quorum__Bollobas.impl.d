@@ -1,0 +1,1 @@
+lib/quorum/bollobas.ml: Array Combinatorics List Quorum

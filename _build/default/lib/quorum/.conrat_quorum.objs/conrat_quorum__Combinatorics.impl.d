@@ -1,0 +1,1 @@
+lib/quorum/combinatorics.ml: Array List

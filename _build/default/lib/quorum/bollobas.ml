@@ -1,0 +1,32 @@
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let lcm a b =
+  let g = gcd a b in
+  let q = a / g in
+  if b <> 0 && q > max_int / b then raise Combinatorics.Overflow;
+  q * b
+
+let sum_bound sizes =
+  let denominators =
+    List.map (fun (a, b) -> Combinatorics.binomial (a + b) a) sizes
+  in
+  if List.exists (fun d -> d = 0) denominators then invalid_arg "sum_bound: empty sets";
+  let common = List.fold_left lcm 1 denominators in
+  let total =
+    List.fold_left
+      (fun acc d ->
+        let term = common / d in
+        if acc > max_int - term then raise Combinatorics.Overflow;
+        acc + term)
+      0 denominators
+  in
+  total <= common
+
+let certificate (q : Quorum.t) =
+  let sizes =
+    List.init q.m (fun v ->
+      (Array.length (q.write_quorum v), Array.length (q.read_quorum v)))
+  in
+  sum_bound sizes
+
+let pool_lower_bound ~m = Combinatorics.pool_size_for m

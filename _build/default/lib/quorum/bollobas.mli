@@ -1,0 +1,30 @@
+(** Bollobás's theorem as an executable certificate (§6.2, Theorem 9).
+
+    If [A₁…A_m], [B₁…B_m] are set sequences with [Aᵢ ∩ Bⱼ = ∅] iff
+    [i = j], then [Σᵢ 1 / C(aᵢ + bᵢ, aᵢ) ≤ 1] where [aᵢ = |Aᵢ|],
+    [bᵢ = |Bᵢ|].  Every valid quorum system must satisfy this
+    inequality (taking [Aᵢ = Wᵢ], [Bᵢ = Rᵢ]), which is why the
+    [C(k, ⌊k/2⌋)]-subset construction is space-optimal.
+
+    The checker works in exact rational arithmetic over machine
+    integers (no floating-point slack): Σ 1/C(aᵢ+bᵢ, aᵢ) ≤ 1 is
+    verified as Σ (L / C(aᵢ+bᵢ, aᵢ)) ≤ L for L = lcm of the
+    denominators. *)
+
+val sum_bound : (int * int) list -> bool
+(** [sum_bound sizes] checks Σ 1/C(aᵢ+bᵢ, aᵢ) ≤ 1 for the given
+    [(aᵢ, bᵢ)] size pairs.  Raises [Combinatorics.Overflow] if the
+    exact arithmetic would overflow. *)
+
+val certificate : Quorum.t -> bool
+(** [certificate q] checks {!sum_bound} on the actual quorum sizes of
+    [q].  A [false] result would contradict Theorem 9 and therefore
+    indicates a broken quorum system (non-disjoint [Wᵥ]/[Rᵥ] or a
+    missed intersection). *)
+
+val pool_lower_bound : m:int -> int
+(** The smallest conceivable pool size for [m] values when
+    [|Wᵥ| + |Rᵥ| ≤ k] for all [v]: the least [k] with
+    [C(k, ⌊k/2⌋) ≥ m].  By Theorem 9 no quorum system on fewer
+    registers can distinguish [m] values with quorums confined to the
+    pool. *)

@@ -1,0 +1,52 @@
+exception Overflow
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let c = ref 1 in
+    for i = 1 to k do
+      (* c * (n - k + i) can overflow before the division; detect it. *)
+      let next_num = n - k + i in
+      if !c > max_int / next_num then raise Overflow;
+      c := !c * next_num / i
+    done;
+    !c
+  end
+
+let log2_ceil m =
+  if m < 1 then invalid_arg "log2_ceil";
+  let rec go acc pow = if pow >= m then acc else go (acc + 1) (2 * pow) in
+  go 0 1
+
+let pool_size_for m =
+  if m < 1 then invalid_arg "pool_size_for";
+  let rec go k = if binomial k (k / 2) >= m then k else go (k + 1) in
+  go 1
+
+(* Colexicographic unranking: the largest element e of the r-th
+   size-subset is the largest e with C(e, size) <= r; recurse on
+   r - C(e, size) with size-1. *)
+let unrank_subset ~k ~size r =
+  if r < 0 || r >= binomial k size then invalid_arg "unrank_subset: rank out of range";
+  let elems = Array.make size 0 in
+  let r = ref r in
+  let e = ref (k - 1) in
+  for slot = size - 1 downto 0 do
+    while binomial !e (slot + 1) > !r do decr e done;
+    elems.(slot) <- !e;
+    r := !r - binomial !e (slot + 1)
+  done;
+  elems
+
+let rank_subset ~k elems =
+  let rank = ref 0 in
+  Array.iteri
+    (fun slot e ->
+      if e < 0 || e >= k then invalid_arg "rank_subset: element out of range";
+      rank := !rank + binomial e (slot + 1))
+    elems;
+  !rank
+
+let subsets ~k ~size =
+  List.init (binomial k size) (fun r -> unrank_subset ~k ~size r)

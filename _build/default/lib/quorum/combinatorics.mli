@@ -1,0 +1,35 @@
+(** Exact integer combinatorics for quorum construction.
+
+    The Bollobás-optimal ratifier (§6.2(2)) encodes each of the [m]
+    possible values as a distinct ⌊k/2⌋-element subset of a pool of [k]
+    registers, for the least [k] with [C(k, ⌊k/2⌋) ≥ m].  The
+    value→subset map is the combinatorial number system ("combinadic"):
+    value [v] maps to the [v]-th ⌊k/2⌋-subset in the colexicographic
+    order, computed digit by digit without enumerating subsets. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = C(n, k), exactly, 0 when [k < 0] or [k > n].
+    Raises [Overflow] if the result exceeds [max_int]. *)
+
+exception Overflow
+
+val log2_ceil : int -> int
+(** ⌈lg m⌉ for [m ≥ 1] ([log2_ceil 1 = 0]). *)
+
+val pool_size_for : int -> int
+(** [pool_size_for m] is the least [k] such that [C(k, k/2) ≥ m] —
+    the register-pool size of the Bollobás-optimal construction, which
+    is ⌈lg m⌉ + Θ(log log m). *)
+
+val unrank_subset : k:int -> size:int -> int -> int array
+(** [unrank_subset ~k ~size r] is the [r]-th [size]-element subset of
+    [{0, …, k-1}] in colexicographic order, as a sorted array.
+    Requires [0 ≤ r < C(k, size)]. *)
+
+val rank_subset : k:int -> int array -> int
+(** Inverse of {!unrank_subset} (the [~k] argument is used only for
+    bounds checking). *)
+
+val subsets : k:int -> size:int -> int array list
+(** All [size]-subsets of [{0, …, k-1}] in colexicographic order.  For
+    tests on small instances. *)

@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array Fun List Memory Op Option Rng View

@@ -1,0 +1,1 @@
+lib/sim/explore.ml: Array Fiber List Memory Op Scheduler

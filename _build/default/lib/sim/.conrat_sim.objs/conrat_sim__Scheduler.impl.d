@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Adversary Array Fiber Memory Metrics Op Option Rng Trace View

@@ -1,0 +1,1 @@
+lib/sim/view.ml: Array Memory Op Option

@@ -1,0 +1,1 @@
+lib/sim/view.mli: Memory Op

@@ -1,0 +1,209 @@
+type t = {
+  name : string;
+  fresh : n:int -> Rng.t -> (View.full -> int);
+}
+
+let adaptive name fresh = { name; fresh }
+
+let oblivious name fresh =
+  { name;
+    fresh = (fun ~n rng ->
+      let f = fresh ~n rng in
+      fun view -> f (View.to_oblivious view)) }
+
+let value_oblivious name fresh =
+  { name;
+    fresh = (fun ~n rng ->
+      let f = fresh ~n rng in
+      fun view -> f (View.to_value_oblivious view)) }
+
+let location_oblivious name fresh =
+  { name;
+    fresh = (fun ~n rng ->
+      let f = fresh ~n rng in
+      fun view -> f (View.to_location_oblivious view)) }
+
+(* Pick the first enabled pid at or cyclically after [start]. *)
+let next_enabled_from enabled n start =
+  let is_enabled = Array.make n false in
+  Array.iter (fun p -> is_enabled.(p) <- true) enabled;
+  let rec go i remaining =
+    if remaining = 0 then enabled.(0)
+    else if is_enabled.(i mod n) then i mod n
+    else go (i + 1) (remaining - 1)
+  in
+  go start n
+
+let round_robin =
+  oblivious "round_robin" (fun ~n:_ _rng ->
+    let cursor = ref 0 in
+    fun (v : View.oblivious) ->
+      let pid = next_enabled_from v.ob_enabled v.ob_n !cursor in
+      cursor := pid + 1;
+      pid)
+
+let random_uniform =
+  oblivious "random_uniform" (fun ~n:_ rng ->
+    fun (v : View.oblivious) ->
+      v.ob_enabled.(Rng.int rng (Array.length v.ob_enabled)))
+
+let fixed_permutation ?perm () =
+  oblivious "fixed_permutation" (fun ~n rng ->
+    let perm = match perm with Some p -> Array.copy p | None -> Rng.permutation rng n in
+    let cursor = ref 0 in
+    fun (v : View.oblivious) ->
+      let is_enabled = Array.make v.ob_n false in
+      Array.iter (fun p -> is_enabled.(p) <- true) v.ob_enabled;
+      let rec go remaining =
+        if remaining = 0 then v.ob_enabled.(0)
+        else begin
+          let pid = perm.(!cursor mod n) in
+          incr cursor;
+          if is_enabled.(pid) then pid else go (remaining - 1)
+        end
+      in
+      go (2 * n))
+
+let write_stalker =
+  value_oblivious "write_stalker" (fun ~n:_ _rng ->
+    let cursor = ref 0 in
+    fun (v : View.value_oblivious) ->
+      let readers =
+        Array.to_list v.vo_enabled
+        |> List.filter (fun pid ->
+            match v.vo_pending.(pid) with
+            | Some { View.m_kind = Op.Read_op | Op.Collect_op; _ } -> true
+            | Some _ | None -> false)
+      in
+      let pool = if readers <> [] then Array.of_list readers else v.vo_enabled in
+      let pid = pool.(!cursor mod Array.length pool) in
+      incr cursor;
+      pid)
+
+(* Values currently stored anywhere in memory. *)
+let stored_values contents =
+  Array.to_list contents |> List.filter_map Fun.id
+
+let overwrite_attacker =
+  location_oblivious "overwrite_attacker" (fun ~n:_ _rng ->
+    let cursor = ref 0 in
+    fun (v : View.location_oblivious) ->
+      let stored = stored_values v.lo_contents in
+      let conflicting pid =
+        match v.lo_pending.(pid) with
+        | Some { View.m_kind = Op.Prob_write_op | Op.Write_op; m_value = Some value; m_prob; _ } ->
+          if stored <> [] && not (List.mem value stored)
+          then Some (Option.value m_prob ~default:1.0)
+          else None
+        | Some _ | None -> None
+      in
+      let best = ref None in
+      Array.iter
+        (fun pid ->
+          match conflicting pid with
+          | Some p ->
+            (match !best with
+             | Some (_, p') when p' >= p -> ()
+             | _ -> best := Some (pid, p))
+          | None -> ())
+        v.lo_enabled;
+      match !best with
+      | Some (pid, _) -> pid
+      | None ->
+        let pid = v.lo_enabled.(!cursor mod Array.length v.lo_enabled) in
+        incr cursor;
+        pid)
+
+let adaptive_overwriter =
+  adaptive "adaptive_overwriter" (fun ~n:_ _rng ->
+    (* Tries to split the readers: once some register is non-empty,
+       alternate between letting one pending reader observe the current
+       value and scheduling the conflicting pending writer most likely
+       to overwrite it, so that successive readers see different
+       values.  An adaptive adversary may do this because it sees both
+       register contents and pending-write values/locations; Theorem 7
+       makes no promise against it. *)
+    let cursor = ref 0 in
+    let let_reader_go = ref true in
+    fun (v : View.full) ->
+      let contents = Memory.snapshot v.memory in
+      let stored = stored_values contents in
+      let best_writer =
+        let best = ref None in
+        Array.iter
+          (fun pid ->
+            match v.pending.(pid) with
+            | Some any when Op.is_write any ->
+              (match Op.value any with
+               | Some value when stored <> [] && not (List.mem value stored) ->
+                 let p = Option.value (Op.prob any) ~default:1.0 in
+                 (match !best with
+                  | Some (_, p') when p' >= p -> ()
+                  | _ -> best := Some (pid, p))
+               | Some _ | None -> ())
+            | Some _ | None -> ())
+          v.enabled;
+        Option.map fst !best
+      in
+      let any_reader =
+        Array.to_list v.enabled
+        |> List.find_opt (fun pid ->
+            match v.pending.(pid) with
+            | Some any -> Op.kind any = Op.Read_op
+            | None -> false)
+      in
+      let fallback () =
+        let pid = v.enabled.(!cursor mod Array.length v.enabled) in
+        incr cursor;
+        pid
+      in
+      if stored = [] then fallback ()
+      else begin
+        let choice =
+          if !let_reader_go then match any_reader with Some r -> Some r | None -> best_writer
+          else match best_writer with Some w -> Some w | None -> any_reader
+        in
+        let_reader_go := not !let_reader_go;
+        match choice with Some pid -> pid | None -> fallback ()
+      end)
+
+let noisy ?(jitter = 0.3) () =
+  oblivious "noisy" (fun ~n rng ->
+    (* vtime.(p) is process p's next planned step time; each executed
+       step adds 1 plus accumulated random error, as in the noisy
+       scheduling model of Aspnes [5]. *)
+    let vtime = Array.init n (fun _ -> Rng.float rng) in
+    fun (v : View.oblivious) ->
+      let best = ref v.ob_enabled.(0) in
+      Array.iter (fun pid -> if vtime.(pid) < vtime.(!best) then best := pid) v.ob_enabled;
+      let pid = !best in
+      vtime.(pid) <- vtime.(pid) +. 1.0 +. (Rng.exponential rng (1.0 /. jitter) -. jitter);
+      pid)
+
+let priority ?priorities () =
+  oblivious "priority" (fun ~n rng ->
+    let prio =
+      match priorities with
+      | Some p -> Array.copy p
+      | None ->
+        ignore (Rng.bits64 rng);
+        Array.init n Fun.id
+    in
+    fun (v : View.oblivious) ->
+      let best = ref v.ob_enabled.(0) in
+      Array.iter (fun pid -> if prio.(pid) > prio.(!best) then best := pid) v.ob_enabled;
+      !best)
+
+let all_weak () =
+  [ round_robin; random_uniform; fixed_permutation (); write_stalker; overwrite_attacker ]
+
+let by_name = function
+  | "round_robin" -> round_robin
+  | "random_uniform" -> random_uniform
+  | "fixed_permutation" -> fixed_permutation ()
+  | "write_stalker" -> write_stalker
+  | "overwrite_attacker" -> overwrite_attacker
+  | "adaptive_overwriter" -> adaptive_overwriter
+  | "noisy" -> noisy ()
+  | "priority" -> priority ()
+  | _ -> raise Not_found

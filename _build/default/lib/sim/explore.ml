@@ -1,0 +1,120 @@
+type stats = {
+  complete : int;
+  truncated : int;
+  exhausted : bool;
+}
+
+(* Apply an operation whose coin outcome (for probabilistic writes) has
+   already been decided by the explorer. *)
+let apply_det :
+  type a. cheap_collect:bool -> landed:bool -> Memory.t -> a Op.t -> a =
+  fun ~cheap_collect ~landed memory op ->
+  match op with
+  | Op.Read l -> Memory.read memory l
+  | Op.Write (l, v) ->
+    Memory.write memory l v
+  | Op.Prob_write (l, v, _) ->
+    if landed then Memory.write memory l v
+  | Op.Prob_write_detect (l, v, _) ->
+    if landed then Memory.write memory l v;
+    landed
+  | Op.Collect (l, len) ->
+    if not cheap_collect then raise Scheduler.Collect_disallowed;
+    Array.init len (fun i -> Memory.read memory (l + i))
+
+(* Run one execution following [path] (list of branch choices); choices
+   beyond the path default to 0.  Returns the outputs, whether the
+   execution completed, and the branch points actually encountered as
+   (chosen, arity) pairs in order.  Branch points of arity 1 are not
+   recorded. *)
+let run_path ~max_depth ~cheap_collect ~n ~setup path =
+  let memory, body = setup () in
+  let statuses = Array.init n (fun pid -> Fiber.spawn (fun () -> body ~pid)) in
+  let recorded = ref [] in
+  let remaining = ref path in
+  let take arity =
+    let chosen = match !remaining with c :: tl -> remaining := tl; c | [] -> 0 in
+    recorded := (chosen, arity) :: !recorded;
+    chosen
+  in
+  let enabled () =
+    let pids = ref [] in
+    for pid = n - 1 downto 0 do
+      match statuses.(pid) with
+      | Fiber.Running _ -> pids := pid :: !pids
+      | Fiber.Finished _ -> ()
+    done;
+    !pids
+  in
+  let depth = ref 0 in
+  let complete = ref false in
+  let running = ref true in
+  while !running do
+    match enabled () with
+    | [] ->
+      complete := true;
+      running := false
+    | en ->
+      if !depth >= max_depth then running := false
+      else begin
+        let arity = List.length en in
+        let idx = if arity = 1 then 0 else take arity in
+        let pid = List.nth en idx in
+        (match statuses.(pid) with
+         | Fiber.Finished _ -> assert false
+         | Fiber.Running (op, k) ->
+           let landed =
+             match Op.prob (Op.Any op) with
+             | Some p when p <= 0.0 -> false
+             | Some p when p >= 1.0 -> true
+             | Some _ -> take 2 = 0
+             | None -> Op.is_write (Op.Any op)
+           in
+           let result = apply_det ~cheap_collect ~landed memory op in
+           statuses.(pid) <- Fiber.resume k result);
+        incr depth
+      end
+  done;
+  let outputs =
+    Array.map (function Fiber.Finished r -> Some r | Fiber.Running _ -> None) statuses
+  in
+  (outputs, !complete, List.rev !recorded)
+
+(* The lexicographically next unexplored path after [recorded]: bump the
+   deepest branch point that still has an untried alternative and drop
+   everything after it. *)
+let next_path recorded =
+  let rec go = function
+    | [] -> None
+    | (c, arity) :: shallower_rev ->
+      if c + 1 < arity
+      then Some (List.rev_append (List.map fst shallower_rev) [ c + 1 ])
+      else go shallower_rev
+  in
+  go (List.rev recorded)
+
+let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
+    ~n ~setup ~check () =
+  let complete_count = ref 0 in
+  let truncated_count = ref 0 in
+  let runs = ref 0 in
+  let stats exhausted =
+    { complete = !complete_count; truncated = !truncated_count; exhausted }
+  in
+  let rec go path =
+    if !runs >= max_runs then Ok (stats false)
+    else begin
+      incr runs;
+      let outputs, complete, recorded =
+        run_path ~max_depth ~cheap_collect ~n ~setup path
+      in
+      if complete then incr complete_count else incr truncated_count;
+      match check ~complete outputs with
+      | Error reason -> Error (reason, stats false)
+      | Ok () ->
+        (match next_path recorded with
+         | None -> Ok (stats true)
+         | Some path' -> go path')
+    end
+  in
+  go []

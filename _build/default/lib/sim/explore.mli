@@ -1,0 +1,42 @@
+(** Exhaustive execution exploration — a miniature model checker.
+
+    While {!Scheduler.run} samples one execution per seed, [explore]
+    enumerates {e every} execution of a protocol on a small instance:
+    every interleaving the adversary could choose, and both outcomes of
+    every probabilistic write with probability strictly between 0
+    and 1.  Safety properties checked over this tree are therefore
+    {e proved} for that instance, not merely tested.
+
+    This only covers protocols whose randomness consists entirely of
+    probabilistic writes (true for the ratifier, which is deterministic,
+    for the impatient conciliator, and for the bounded-space fallback);
+    local-coin draws inside protocol code are not branched, so protocols
+    using {!Rng} directly get only the schedule explored.
+
+    Executions can be unbounded (an adversary can livelock a conciliator
+    with vanishing probability), so paths are cut off at [max_depth] and
+    the [check] callback is told whether the execution was complete;
+    safety properties are prefix-closed and should be checked on
+    truncated executions too. *)
+
+type stats = {
+  complete : int;       (** complete executions explored *)
+  truncated : int;      (** paths cut off at [max_depth] *)
+  exhausted : bool;     (** the whole tree fit within [max_runs] *)
+}
+
+val explore :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?cheap_collect:bool ->
+  n:int ->
+  setup:(unit -> Memory.t * (pid:int -> 'r)) ->
+  check:(complete:bool -> 'r option array -> (unit, string) result) ->
+  unit ->
+  (stats, string * stats) result
+(** [explore ~n ~setup ~check ()] enumerates executions depth-first.
+    [setup] must build a fresh memory and protocol instance per call
+    (each path re-executes from scratch — continuations are one-shot).
+    [check] is called at the end of every path; the first [Error] aborts
+    the search and is returned together with the statistics so far.
+    Defaults: [max_depth = 200], [max_runs = 2_000_000]. *)

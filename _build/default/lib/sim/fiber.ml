@@ -1,0 +1,16 @@
+type 'r t =
+  | Running : 'a Op.t * ('a, 'r t) Effect.Deep.continuation -> 'r t
+  | Finished of 'r
+
+let spawn (f : unit -> 'r) : 'r t =
+  Effect.Deep.match_with f ()
+    { retc = (fun r -> Finished r);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Proc.Step op ->
+            Some (fun (k : (a, _) Effect.Deep.continuation) -> Running (op, k))
+          | _ -> None) }
+
+let resume = Effect.Deep.continue

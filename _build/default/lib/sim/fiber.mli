@@ -1,0 +1,19 @@
+(** Process fibers: suspendable computations that stop at every
+    shared-memory operation.
+
+    Both the randomized {!Scheduler} and the exhaustive {!Explore}
+    driver run protocols through this module.  Continuations are
+    one-shot, so a fiber cannot be rewound — the explorer re-executes
+    from scratch for every path instead. *)
+
+type 'r t =
+  | Running : 'a Op.t * ('a, 'r t) Effect.Deep.continuation -> 'r t
+      (** Suspended at a pending operation. *)
+  | Finished of 'r  (** Returned. *)
+
+val spawn : (unit -> 'r) -> 'r t
+(** Run [f] until its first operation (or return). *)
+
+val resume : ('a, 'r t) Effect.Deep.continuation -> 'a -> 'r t
+(** Hand an operation's result back to a suspended fiber and run it to
+    its next operation (or return). *)

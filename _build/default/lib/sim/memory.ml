@@ -1,0 +1,54 @@
+type loc = int
+
+type t = { mutable cells : int option array; mutable len : int }
+
+let create () = { cells = Array.make 16 None; len = 0 }
+
+let ensure_capacity t needed =
+  if needed > Array.length t.cells then begin
+    let cap = max needed (2 * Array.length t.cells) in
+    let cells = Array.make cap None in
+    Array.blit t.cells 0 cells 0 t.len;
+    t.cells <- cells
+  end
+
+let alloc ?init t =
+  ensure_capacity t (t.len + 1);
+  let loc = t.len in
+  t.cells.(loc) <- init;
+  t.len <- t.len + 1;
+  loc
+
+let alloc_n ?init t k =
+  Array.init k (fun _ -> alloc ?init t)
+
+let check t loc =
+  if loc < 0 || loc >= t.len then
+    invalid_arg (Printf.sprintf "Memory: address %d out of bounds (size %d)" loc t.len)
+
+let read t loc =
+  check t loc;
+  t.cells.(loc)
+
+let write t loc v =
+  check t loc;
+  t.cells.(loc) <- Some v
+
+let size t = t.len
+
+let snapshot t = Array.sub t.cells 0 t.len
+
+let restore t snap =
+  if Array.length snap <> t.len then
+    invalid_arg "Memory.restore: snapshot length mismatch";
+  Array.blit snap 0 t.cells 0 t.len
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 1>[";
+  for i = 0 to t.len - 1 do
+    (match t.cells.(i) with
+     | None -> Format.fprintf ppf "_"
+     | Some v -> Format.fprintf ppf "%d" v);
+    if i < t.len - 1 then Format.fprintf ppf ";@ "
+  done;
+  Format.fprintf ppf "]@]"

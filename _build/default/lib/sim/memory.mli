@@ -1,0 +1,47 @@
+(** The shared store of atomic multi-writer multi-reader registers.
+
+    Registers hold either [None] (the paper's ⊥ / "empty") or [Some v]
+    for an arbitrary integer [v].  The store grows on demand so that
+    protocols such as the unbounded construction of §4.1.1 can allocate
+    fresh conciliator/ratifier instances lazily as processes reach them.
+
+    Reads and writes here are raw accessors used by the scheduler; they
+    do {e not} count as protocol operations by themselves — accounting
+    happens when the scheduler applies an {!Op.t}. *)
+
+type loc = int
+(** A register address. *)
+
+type t
+
+val create : unit -> t
+(** An empty store. *)
+
+val alloc : ?init:int -> t -> loc
+(** [alloc t] allocates a fresh register initialised to ⊥ (or to
+    [Some init] when [~init] is given) and returns its address. *)
+
+val alloc_n : ?init:int -> t -> int -> loc array
+(** [alloc_n t k] allocates [k] fresh consecutive registers. *)
+
+val read : t -> loc -> int option
+(** Current contents.  Raises [Invalid_argument] on an unallocated
+    address. *)
+
+val write : t -> loc -> int -> unit
+(** Overwrite a register with [Some v]. *)
+
+val size : t -> int
+(** Number of registers allocated so far — the protocol's space
+    complexity in registers. *)
+
+val snapshot : t -> int option array
+(** A copy of the current contents of all allocated registers (used by
+    adversary views and the exhaustive explorer; not a protocol
+    operation). *)
+
+val restore : t -> int option array -> unit
+(** Overwrite the store contents from a snapshot of the same length —
+    used only by the exhaustive explorer when backtracking. *)
+
+val pp : Format.formatter -> t -> unit

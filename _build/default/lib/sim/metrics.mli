@@ -1,0 +1,36 @@
+(** Work accounting, following the paper's definitions exactly:
+    total work is the number of operations in the execution, individual
+    work the maximum number of operations by any single process.  Local
+    computation and local coin flips are excluded (they never reach the
+    scheduler). *)
+
+type t
+
+val create : n:int -> t
+
+val record : t -> pid:int -> Op.kind -> unit
+(** Called by the scheduler once per executed operation. *)
+
+val total : t -> int
+(** Total work of the execution so far. *)
+
+val individual : t -> int
+(** Individual work: [max_p] (operations by process [p]). *)
+
+val per_process : t -> int array
+(** A copy of the per-process operation counts. *)
+
+val unsafe_counts : t -> int array
+(** The live per-process counter array, shared with the scheduler —
+    read-only by convention.  Used to build adversary views without an
+    O(n) copy per step. *)
+
+val ops_of : t -> pid:int -> int
+(** Operations executed by one process. *)
+
+val reads : t -> int
+val writes : t -> int
+val prob_writes : t -> int
+val collects : t -> int
+
+val pp : Format.formatter -> t -> unit

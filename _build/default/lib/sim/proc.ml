@@ -1,0 +1,7 @@
+type _ Effect.t += Step : 'a Op.t -> 'a Effect.t
+
+let read loc = Effect.perform (Step (Op.Read loc))
+let write loc v = Effect.perform (Step (Op.Write (loc, v)))
+let prob_write loc v ~p = Effect.perform (Step (Op.Prob_write (loc, v, p)))
+let prob_write_detect loc v ~p = Effect.perform (Step (Op.Prob_write_detect (loc, v, p)))
+let collect loc len = Effect.perform (Step (Op.Collect (loc, len)))

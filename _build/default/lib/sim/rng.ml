@@ -1,0 +1,72 @@
+type t = { mutable s : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The "mix64variant13" finaliser from the SplitMix64 reference
+   implementation: xor-shift multiply staircase that turns the weak
+   counter sequence into high-quality output. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { s = mix64 (Int64.of_int seed) }
+
+let copy t = { s = t.s }
+
+let bits64 t =
+  t.s <- Int64.add t.s golden_gamma;
+  mix64 t.s
+
+let split t = { s = bits64 t }
+
+let split_n t k = Array.init k (fun _ -> split t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on 62 bits (the width of a native OCaml int)
+     keeps the draw exactly uniform for any bound. *)
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let float t =
+  (* 53 uniform bits scaled into [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let bernoulli t p =
+  if p >= 1.0 then true
+  else if p <= 0.0 then false
+  else float t < p
+
+let pm1 t = if bool t then 1 else -1
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n Fun.id in
+  shuffle t a;
+  a
+
+let exponential t lambda =
+  if lambda <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1.0 -. float t) /. lambda
+
+let state t = t.s

@@ -1,0 +1,70 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The whole simulator is driven by streams split off a single seed:
+    per-process local coins, adversary randomness and workload generation
+    each get an independent stream.  Re-running with the same seed
+    reproduces the exact same execution, which the test suite relies on.
+
+    The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a
+    64-bit counter advanced by a fixed odd constant and finalised by a
+    variance-spreading mix.  It is not cryptographic; it is fast, has
+    full 2^64 period per stream, and splitting produces streams that are
+    independent for all practical simulation purposes. *)
+
+type t
+(** A mutable generator state.  Not thread-safe; the simulator is
+    single-domain and sequential by design. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed.  Equal
+    seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy and the original
+    produce the same subsequent stream. *)
+
+val split : t -> t
+(** [split t] advances [t] once and returns a new generator whose stream
+    is (practically) independent of the remainder of [t]'s stream. *)
+
+val split_n : t -> int -> t array
+(** [split_n t k] returns [k] independent generators split off [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be
+    positive.  Uses rejection sampling, so the result is exactly
+    uniform. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range
+    [lo, hi]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val float : t -> float
+(** A uniform draw from [0, 1), with 53 bits of precision. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] ([p] is clamped to
+    [0, 1]). *)
+
+val pm1 : t -> int
+(** A fair draw from [{-1, +1}] — the local vote used by voting-style
+    shared coins. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)
+
+val exponential : t -> float -> float
+(** [exponential t lambda] draws from the exponential distribution with
+    rate [lambda]; used by the noisy scheduler's jitter model. *)
+
+val state : t -> int64
+(** The raw internal state, for debugging and determinism tests. *)

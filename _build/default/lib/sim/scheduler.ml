@@ -1,0 +1,116 @@
+type 'r result = {
+  outputs : 'r option array;
+  metrics : Metrics.t;
+  steps : int;
+  completed : bool;
+  trace : Trace.t option;
+  registers : int;
+}
+
+exception Collect_disallowed
+exception Stuck of string
+
+(* Apply one operation against memory.  Returns the value handed back to
+   the process, whether memory changed, and what a read observed. *)
+let apply :
+  type a. cheap_collect:bool -> coin:Rng.t -> Memory.t -> a Op.t -> a * bool * int option =
+  fun ~cheap_collect ~coin memory op ->
+  match op with
+  | Op.Read l ->
+    let v = Memory.read memory l in
+    (v, false, v)
+  | Op.Write (l, v) ->
+    Memory.write memory l v;
+    ((), true, None)
+  | Op.Prob_write (l, v, p) ->
+    let landed = Rng.bernoulli coin p in
+    if landed then Memory.write memory l v;
+    ((), landed, None)
+  | Op.Prob_write_detect (l, v, p) ->
+    let landed = Rng.bernoulli coin p in
+    if landed then Memory.write memory l v;
+    (landed, landed, None)
+  | Op.Collect (l, len) ->
+    if not cheap_collect then raise Collect_disallowed;
+    (Array.init len (fun i -> Memory.read memory (l + i)), false, None)
+
+let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
+    ~n ~(adversary : Adversary.t) ~rng ~memory body =
+  if n <= 0 then invalid_arg "Scheduler.run: n must be positive";
+  (* Stream layout is fixed so that executions are reproducible: local
+     coins, then probabilistic-write coins, then adversary randomness. *)
+  let local_rngs = Rng.split_n rng n in
+  let write_coins = Rng.split_n rng n in
+  let choose = adversary.Adversary.fresh ~n (Rng.split rng) in
+  let metrics = Metrics.create ~n in
+  let trace = if record then Some (Trace.create ()) else None in
+  let statuses =
+    Array.init n (fun pid -> Fiber.spawn (fun () -> body ~pid ~rng:local_rngs.(pid)))
+  in
+  (* The per-step view is kept incrementally: only the scheduled
+     process's pending descriptor changes, and the enabled array only
+     shrinks when a process finishes.  This keeps a scheduler step O(1)
+     (plus whatever the adversary itself inspects) instead of O(n). *)
+  let pending_descr pid =
+    match statuses.(pid) with
+    | Fiber.Running (op, _) -> Some (Op.Any op)
+    | Fiber.Finished _ -> None
+  in
+  let pending = Array.init n pending_descr in
+  let rebuild_enabled () =
+    let pids = ref [] in
+    for pid = n - 1 downto 0 do
+      if Option.is_some pending.(pid) then pids := pid :: !pids
+    done;
+    Array.of_list !pids
+  in
+  let enabled = ref (rebuild_enabled ()) in
+  let steps = ref 0 in
+  let completed = ref false in
+  let rec loop () =
+    let en = !enabled in
+    if Array.length en = 0 then completed := true
+    else if !steps >= max_steps then ()
+    else begin
+      let view =
+        { View.step = !steps;
+          n;
+          enabled = en;
+          pending;
+          memory;
+          op_counts = Metrics.unsafe_counts metrics }
+      in
+      let choice = choose view in
+      let pid =
+        if choice >= 0 && choice < n
+           && (match statuses.(choice) with Fiber.Running _ -> true | _ -> false)
+        then choice
+        else Adversary.next_enabled_from en n (((choice mod n) + n) mod n)
+      in
+      (match statuses.(pid) with
+       | Fiber.Finished _ -> raise (Stuck "scheduled a finished process")
+       | Fiber.Running (op, k) ->
+         let result, landed, observed =
+           apply ~cheap_collect ~coin:write_coins.(pid) memory op
+         in
+         Metrics.record metrics ~pid (Op.kind (Op.Any op));
+         Option.iter
+           (fun t -> Trace.add t { Trace.step = !steps; pid; op = Op.Any op; landed; observed })
+           trace;
+         incr steps;
+         statuses.(pid) <- Fiber.resume k result;
+         pending.(pid) <- pending_descr pid;
+         if pending.(pid) = None then enabled := rebuild_enabled ());
+      loop ()
+    end
+  in
+  loop ();
+  let outputs =
+    Array.map (function Fiber.Finished r -> Some r | Fiber.Running _ -> None) statuses
+  in
+  { outputs;
+    metrics;
+    steps = !steps;
+    completed = !completed;
+    trace;
+    registers = Memory.size memory }

@@ -1,0 +1,53 @@
+(** The interleaving engine.
+
+    [run] spawns [n] processes as effect-handler fibers, then repeatedly
+    asks the adversary which pending operation to apply, applies it
+    against shared memory, accounts for the work, and resumes the chosen
+    process until it performs its next operation or returns.  This is a
+    direct implementation of the model in §2 of the paper: an execution
+    is constructed by repeatedly applying pending operations, with the
+    choice made by an adversary function of the partial execution.
+
+    Asynchrony, crashes and wait-freedom: an adversary that stops
+    scheduling a process forever is indistinguishable from crashing it,
+    so crash failures need no separate mechanism; wait-freedom of a
+    protocol shows up as every {e scheduled} process finishing
+    regardless of what the others do. *)
+
+type 'r result = {
+  outputs : 'r option array;
+    (** per-process return values; [None] = still running at the cap *)
+  metrics : Metrics.t;    (** work accounting for the execution *)
+  steps : int;            (** operations executed (= [Metrics.total]) *)
+  completed : bool;       (** all processes returned before [max_steps] *)
+  trace : Trace.t option; (** recorded when [~record:true] *)
+  registers : int;        (** registers allocated at the end *)
+}
+
+exception Collect_disallowed
+(** Raised when a protocol performs {!Proc.collect} but the run was not
+    started with [~cheap_collect:true]. *)
+
+exception Stuck of string
+(** Raised on internal scheduling errors (e.g. no process enabled while
+    some process is still running) — indicates a bug, not a protocol
+    property. *)
+
+val run :
+  ?max_steps:int ->
+  ?record:bool ->
+  ?cheap_collect:bool ->
+  n:int ->
+  adversary:Adversary.t ->
+  rng:Rng.t ->
+  memory:Memory.t ->
+  (pid:int -> rng:Rng.t -> 'r) ->
+  'r result
+(** [run ~n ~adversary ~rng ~memory body] executes [body ~pid ~rng] for
+    each [pid] in [0..n-1] under the given adversary.  [rng] seeds three
+    independent stream families: per-process local coins (passed to
+    [body]), per-process probabilistic-write coins (resolved by the
+    scheduler at execution time, invisible to the adversary), and the
+    adversary's own randomness.  [max_steps] (default [10_000_000])
+    bounds the execution so that tests can detect non-termination; a
+    capped run has [completed = false]. *)

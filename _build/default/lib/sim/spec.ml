@@ -1,0 +1,94 @@
+type decision = bool * int
+
+let errf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let mem_input inputs v = Array.exists (fun x -> x = v) inputs
+
+let validity ~inputs ~outputs =
+  let bad = ref None in
+  Array.iteri
+    (fun pid out ->
+      match out with
+      | Some v when not (mem_input inputs v) ->
+        if !bad = None then bad := Some (pid, v)
+      | Some _ | None -> ())
+    outputs;
+  match !bad with
+  | None -> Ok ()
+  | Some (pid, v) -> errf "validity: p%d output %d, which is nobody's input" pid v
+
+let validity_decided ~inputs ~outputs =
+  validity ~inputs ~outputs:(Array.map (Option.map snd) outputs)
+
+let agreement ~outputs =
+  let first = ref None in
+  let bad = ref None in
+  Array.iteri
+    (fun pid out ->
+      match out, !first with
+      | Some v, None -> first := Some (pid, v)
+      | Some v, Some (pid0, v0) when v <> v0 ->
+        if !bad = None then bad := Some (pid0, v0, pid, v)
+      | _ -> ())
+    outputs;
+  match !bad with
+  | None -> Ok ()
+  | Some (p0, v0, p1, v1) -> errf "agreement: p%d output %d but p%d output %d" p0 v0 p1 v1
+
+let coherence ~outputs =
+  let decided = ref None in
+  Array.iteri
+    (fun pid out ->
+      match out with
+      | Some (true, v) when !decided = None -> decided := Some (pid, v)
+      | _ -> ())
+    outputs;
+  match !decided with
+  | None -> Ok ()
+  | Some (dpid, dv) ->
+    let bad = ref None in
+    Array.iteri
+      (fun pid out ->
+        match out with
+        | Some (_, v) when v <> dv -> if !bad = None then bad := Some (pid, v)
+        | _ -> ())
+      outputs;
+    (match !bad with
+     | None -> Ok ()
+     | Some (pid, v) ->
+       errf "coherence: p%d decided %d but p%d output value %d" dpid dv pid v)
+
+let acceptance ~inputs ~outputs =
+  if Array.length inputs = 0 then Ok ()
+  else begin
+    let v0 = inputs.(0) in
+    if Array.exists (fun v -> v <> v0) inputs then Ok ()
+    else begin
+      let bad = ref None in
+      Array.iteri
+        (fun pid out ->
+          match out with
+          | Some (true, v) when v = v0 -> ()
+          | Some (d, v) -> if !bad = None then bad := Some (pid, Some (d, v))
+          | None -> if !bad = None then bad := Some (pid, None))
+        outputs;
+      match !bad with
+      | None -> Ok ()
+      | Some (pid, Some (d, v)) ->
+        errf "acceptance: all inputs %d but p%d output (%b, %d)" v0 pid d v
+      | Some (pid, None) ->
+        errf "acceptance: all inputs %d but p%d did not finish" v0 pid
+    end
+  end
+
+let consensus_execution ~inputs ~outputs ~completed =
+  if not completed then Error "termination: execution hit the step bound"
+  else
+    match agreement ~outputs with
+    | Error _ as e -> e
+    | Ok () -> validity ~inputs ~outputs
+
+let all results =
+  List.fold_left
+    (fun acc r -> match acc with Error _ -> acc | Ok () -> r)
+    (Ok ()) results

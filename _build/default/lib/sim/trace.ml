@@ -1,0 +1,52 @@
+type event = {
+  step : int;
+  pid : int;
+  op : Op.any;
+  landed : bool;
+  observed : int option;
+}
+
+type t = { mutable events : event array; mutable len : int }
+
+let create () = { events = Array.make 64 { step = 0; pid = 0; op = Op.Any (Op.Read 0); landed = false; observed = None }; len = 0 }
+
+let add t e =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) e in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get";
+  t.events.(i)
+
+let events t = Array.to_list (Array.sub t.events 0 t.len)
+
+let event_equal a b =
+  a.step = b.step && a.pid = b.pid && a.landed = b.landed && a.observed = b.observed
+  && Op.kind a.op = Op.kind b.op
+  && Op.loc a.op = Op.loc b.op
+  && Op.value a.op = Op.value b.op
+  && Op.prob a.op = Op.prob b.op
+
+let equal t1 t2 =
+  t1.len = t2.len
+  && (let rec go i = i >= t1.len || (event_equal t1.events.(i) t2.events.(i) && go (i + 1)) in
+      go 0)
+
+let pp_event ppf e =
+  Format.fprintf ppf "#%d p%d %a%s%s" e.step e.pid Op.pp e.op
+    (if e.landed then "!" else "")
+    (match e.observed with None -> "" | Some v -> Printf.sprintf " =>%d" v)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to t.len - 1 do
+    Format.fprintf ppf "%a@," pp_event t.events.(i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Execution traces.
+
+    A trace records, per scheduler step, which process moved, what
+    operation it executed, and what the operation observed or did.
+    Traces support the determinism tests (same seed ⇒ identical trace)
+    and let the {!Spec} checkers reason about whole executions. *)
+
+type event = {
+  step : int;            (** 0-based position in the execution *)
+  pid : int;             (** the process the adversary scheduled *)
+  op : Op.any;           (** the operation it executed *)
+  landed : bool;         (** for (probabilistic) writes: whether memory changed *)
+  observed : int option; (** for reads: the value returned *)
+}
+
+type t
+
+val create : unit -> t
+val add : t -> event -> unit
+val length : t -> int
+val events : t -> event list
+(** Events in execution order. *)
+
+val get : t -> int -> event
+
+val equal : t -> t -> bool
+(** Structural equality of whole traces (used by determinism tests). *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

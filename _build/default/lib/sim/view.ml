@@ -1,0 +1,66 @@
+type pending = {
+  p_pid : int;
+  p_op : Op.any;
+}
+
+type full = {
+  step : int;
+  n : int;
+  enabled : int array;
+  pending : Op.any option array;
+  memory : Memory.t;
+  op_counts : int array;
+}
+
+type oblivious = {
+  ob_step : int;
+  ob_n : int;
+  ob_enabled : int array;
+}
+
+type masked_op = {
+  m_kind : Op.kind;
+  m_loc : Memory.loc option;
+  m_value : int option;
+  m_prob : float option;
+}
+
+type value_oblivious = {
+  vo_step : int;
+  vo_n : int;
+  vo_enabled : int array;
+  vo_pending : masked_op option array;
+  vo_op_counts : int array;
+}
+
+type location_oblivious = {
+  lo_step : int;
+  lo_n : int;
+  lo_enabled : int array;
+  lo_pending : masked_op option array;
+  lo_contents : int option array;
+  lo_op_counts : int array;
+}
+
+let to_oblivious v = { ob_step = v.step; ob_n = v.n; ob_enabled = v.enabled }
+
+let mask ~hide_value ~hide_loc any =
+  { m_kind = Op.kind any;
+    m_loc = (if hide_loc then None else Some (Op.loc any));
+    m_value = (if hide_value then None else Op.value any);
+    m_prob = Op.prob any }
+
+let to_value_oblivious v =
+  { vo_step = v.step;
+    vo_n = v.n;
+    vo_enabled = v.enabled;
+    vo_pending = Array.map (Option.map (mask ~hide_value:true ~hide_loc:false)) v.pending;
+    vo_op_counts = Array.copy v.op_counts }
+
+let to_location_oblivious v =
+  { lo_step = v.step;
+    lo_n = v.n;
+    lo_enabled = v.enabled;
+    lo_pending = Array.map (Option.map (mask ~hide_value:false ~hide_loc:true)) v.pending;
+    lo_contents = Memory.snapshot v.memory;
+    lo_op_counts = Array.copy v.op_counts }

@@ -1,0 +1,70 @@
+(** Adversary views of the execution state.
+
+    The strength of an adversary is defined by what it can observe when
+    choosing the next process to move (§2.1).  We enforce each class's
+    restriction {e by construction}: an adversary of a given class is
+    built from a choice function whose argument type is the projection
+    of the full view that the class is allowed to see.  It is therefore
+    a type error, not merely a convention, for an oblivious adversary to
+    inspect register contents.
+
+    One deliberate deviation, documented here and tested: every view
+    includes the set of {e enabled} processes (those that have not yet
+    returned), because a scheduler must not stall on a halted process.
+    This is the standard convention — a fixed-order oblivious schedule
+    simply skips halted processes. *)
+
+type pending = {
+  p_pid : int;
+  p_op : Op.any;
+}
+
+type full = {
+  step : int;                     (** operations executed so far *)
+  n : int;                        (** number of processes *)
+  enabled : int array;            (** pids still running, ascending *)
+  pending : Op.any option array;  (** pending op per pid; [None] = halted *)
+  memory : Memory.t;              (** the shared store (adaptive only) *)
+  op_counts : int array;          (** per-pid work so far *)
+}
+
+type oblivious = {
+  ob_step : int;
+  ob_n : int;
+  ob_enabled : int array;
+}
+(** What an oblivious adversary sees: nothing but time and liveness. *)
+
+type masked_op = {
+  m_kind : Op.kind;
+  m_loc : Memory.loc option;   (** [None] when locations are masked *)
+  m_value : int option;        (** [None] when values are masked *)
+  m_prob : float option;       (** write probability, never masked *)
+}
+
+type value_oblivious = {
+  vo_step : int;
+  vo_n : int;
+  vo_enabled : int array;
+  vo_pending : masked_op option array;  (** kinds and locations, no values *)
+  vo_op_counts : int array;
+}
+(** Value-oblivious (§2.1, used by Aumann etc.): sees operation types
+    and target locations, but neither register contents nor the values
+    of pending writes. *)
+
+type location_oblivious = {
+  lo_step : int;
+  lo_n : int;
+  lo_enabled : int array;
+  lo_pending : masked_op option array;  (** kinds and values, no locations *)
+  lo_contents : int option array;       (** current register contents *)
+  lo_op_counts : int array;
+}
+(** Location-oblivious (§2.1, the class that justifies probabilistic
+    writes): sees memory contents and pending write values, but cannot
+    tell which register a pending write targets. *)
+
+val to_oblivious : full -> oblivious
+val to_value_oblivious : full -> value_oblivious
+val to_location_oblivious : full -> location_oblivious

@@ -1,0 +1,1 @@
+test/test_adapters.ml: Adapters Adversary Alcotest Array Compose Conrat_core Conrat_harness Conrat_objects Conrat_sim Consensus Deciding Memory Option QCheck QCheck_alcotest Rng Scheduler Spec

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Compose Conrat_core Conrat_objects Conrat_sim Deciding Explore Memory Option Proc Rng Spec String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Conrat_core Conrat_harness Conrat_sim Experiments Filename List Montecarlo Result Stats String Sys Table Workload

@@ -1,0 +1,1 @@
+test/test_objects.ml: Adversary Alcotest Array Compose Conrat_core Conrat_objects Conrat_sim Deciding List Memory Printf QCheck QCheck_alcotest Result Rng Scheduler Spec

@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Array Bollobas Combinatorics Conrat_quorum List Printf QCheck QCheck_alcotest Quorum

@@ -1,0 +1,1 @@
+test/test_sim.ml: Adversary Alcotest Array Conrat_sim Fun Int64 List Memory Metrics Op Option Proc QCheck QCheck_alcotest Result Rng Scheduler Spec String Trace View

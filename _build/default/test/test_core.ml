@@ -1,0 +1,450 @@
+(* Tests for the core objects: conciliators (Theorems 6 & 7), ratifiers
+   (Theorem 8 / 10) and the racing fallback.  Safety properties are
+   checked on every execution; probabilistic properties use many seeds
+   with conservative slack. *)
+
+open Conrat_sim
+open Conrat_objects
+open Conrat_core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let run_object ?(adversary = Adversary.random_uniform) ?max_steps ~n ~inputs ~seed factory =
+  let rng = Rng.create seed in
+  let memory = Memory.create () in
+  let instance = factory.Deciding.instantiate ~n memory in
+  Scheduler.run ?max_steps ~n ~adversary ~rng ~memory
+    (fun ~pid ~rng ->
+      let out = instance.Deciding.run ~pid ~rng inputs.(pid) in
+      (out.Deciding.decide, out.Deciding.value))
+
+let expect_ok label = function
+  | Ok () -> ()
+  | Error reason -> Alcotest.failf "%s: %s" label reason
+
+(* ------------------------------------------------------------------ *)
+(* Impatient first-mover conciliator (Theorem 7)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_probability_schedule () =
+  Alcotest.check (Alcotest.float 1e-9) "first attempt" (1.0 /. 8.0)
+    (Conciliator.write_probability ~n:8 ~attempt:0);
+  Alcotest.check (Alcotest.float 1e-9) "doubles" 0.5
+    (Conciliator.write_probability ~n:8 ~attempt:2);
+  Alcotest.check (Alcotest.float 1e-9) "caps at 1" 1.0
+    (Conciliator.write_probability ~n:8 ~attempt:3);
+  Alcotest.check (Alcotest.float 1e-9) "huge attempt safe" 1.0
+    (Conciliator.write_probability ~n:8 ~attempt:1000)
+
+let test_max_individual_work_formula () =
+  checki "n=2" 6 (Conciliator.max_individual_work ~n:2);
+  checki "n=8" 10 (Conciliator.max_individual_work ~n:8);
+  checki "n=1024" 24 (Conciliator.max_individual_work ~n:1024)
+
+let test_conciliator_terminates_and_valid () =
+  for seed = 0 to 49 do
+    let n = 6 in
+    let inputs = Array.init n (fun pid -> pid mod 3) in
+    let result = run_object ~n ~inputs ~seed (Conciliator.impatient_first_mover ()) in
+    checkb "completed" true result.completed;
+    expect_ok "validity" (Spec.validity_decided ~inputs ~outputs:result.outputs);
+    (* Conciliators never decide: coherence holds vacuously. *)
+    Array.iter
+      (function
+        | Some (d, _) -> checkb "decision bit 0" false d
+        | None -> Alcotest.fail "missing output")
+      result.outputs
+  done
+
+let test_conciliator_all_same_input () =
+  (* Validity pins the answer when inputs agree. *)
+  for seed = 0 to 19 do
+    let inputs = Array.make 5 3 in
+    let result = run_object ~n:5 ~inputs ~seed (Conciliator.impatient_first_mover ()) in
+    Array.iter
+      (function
+        | Some (_, v) -> checki "must output the common input" 3 v
+        | None -> Alcotest.fail "missing output")
+      result.outputs
+  done
+
+let test_conciliator_individual_work_cap () =
+  (* The 2 lg n + 4 bound is worst-case, per process, every execution. *)
+  List.iter
+    (fun n ->
+      let bound = Conciliator.max_individual_work ~n in
+      List.iter
+        (fun (adversary : Adversary.t) ->
+          for seed = 0 to 19 do
+            let inputs = Array.init n (fun pid -> pid) in
+            let result =
+              run_object ~adversary ~n ~inputs ~seed (Conciliator.impatient_first_mover ())
+            in
+            if Metrics.individual result.metrics > bound then
+              Alcotest.failf "n=%d adversary=%s seed=%d: %d ops > bound %d" n
+                adversary.name seed
+                (Metrics.individual result.metrics)
+                bound
+          done)
+        [ Adversary.round_robin; Adversary.random_uniform; Adversary.write_stalker;
+          Adversary.overwrite_attacker; Adversary.adaptive_overwriter ])
+    [ 2; 3; 8; 17; 64 ]
+
+let test_conciliator_detect_saves_two_ops () =
+  List.iter
+    (fun n ->
+      let bound = Conciliator.max_individual_work ~n - 2 in
+      for seed = 0 to 19 do
+        let inputs = Array.init n (fun pid -> pid) in
+        let result =
+          run_object ~n ~inputs ~seed (Conciliator.impatient_first_mover ~detect:true ())
+        in
+        checkb "within reduced bound" true (Metrics.individual result.metrics <= bound)
+      done)
+    [ 2; 8; 32 ]
+
+let test_conciliator_agreement_probability () =
+  (* Empirical agreement rate must clear the Theorem 7 bound; at a true
+     rate of ~0.17 under this adversary, 300 trials landing below 0.0553
+     would be a > 5-sigma event. *)
+  let n = 16 in
+  let trials = 300 in
+  let agreements = ref 0 in
+  for seed = 0 to trials - 1 do
+    let inputs = Array.init n (fun pid -> pid) in
+    let result =
+      run_object ~adversary:Adversary.write_stalker ~n ~inputs ~seed
+        (Conciliator.impatient_first_mover ())
+    in
+    let values = Array.map (Option.map snd) result.outputs in
+    if Result.is_ok (Spec.agreement ~outputs:values) then incr agreements
+  done;
+  let p = float_of_int !agreements /. float_of_int trials in
+  checkb (Printf.sprintf "agreement rate %.3f >= 0.0553" p) true
+    (p >= Conciliator.delta_impatient)
+
+let test_conciliator_single_process () =
+  let result = run_object ~n:1 ~inputs:[| 9 |] ~seed:0 (Conciliator.impatient_first_mover ()) in
+  Alcotest.check
+    Alcotest.(array (option (pair bool int)))
+    "solo returns own value" [| Some (false, 9) |] result.outputs
+
+let test_conciliator_space () =
+  let memory = Memory.create () in
+  let _ = (Conciliator.impatient_first_mover ()).Deciding.instantiate ~n:8 memory in
+  checki "single register" 1 (Memory.size memory)
+
+let qcheck_conciliator_safety =
+  QCheck.Test.make ~name:"conciliator validity under all adversaries (random cfg)" ~count:150
+    QCheck.(triple (int_range 1 10) (int_range 0 10_000) (int_range 0 4))
+    (fun (n, seed, advi) ->
+      let adversary = List.nth (Adversary.all_weak ()) advi in
+      let inputs = Array.init n (fun pid -> (pid * 7) mod 5) in
+      let result = run_object ~adversary ~n ~inputs ~seed (Conciliator.impatient_first_mover ()) in
+      result.completed
+      && Result.is_ok (Spec.validity_decided ~inputs ~outputs:result.outputs))
+
+(* ------------------------------------------------------------------ *)
+(* Constant-rate conciliator (prior art)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_constant_rate_valid_and_terminates () =
+  for seed = 0 to 29 do
+    let n = 5 in
+    let inputs = Array.init n (fun pid -> pid mod 2) in
+    let result = run_object ~n ~inputs ~seed (Conciliator.constant_rate ()) in
+    checkb "completed" true result.completed;
+    expect_ok "validity" (Spec.validity_decided ~inputs ~outputs:result.outputs)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Coin-based conciliator (Theorem 6)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let coin_factories =
+  [ ("local_flip", Conrat_coin.Shared_coin.local_flip);
+    ("voting", Conrat_coin.Shared_coin.voting ()) ]
+
+let test_coin_conciliator_validity () =
+  (* If all inputs are v, nobody runs the coin, so the output is v even
+     though the coin might have produced the other value. *)
+  List.iter
+    (fun (name, coin) ->
+      for seed = 0 to 19 do
+        let inputs = Array.make 4 1 in
+        let result = run_object ~n:4 ~inputs ~seed (Conciliator.from_coin coin) in
+        Array.iter
+          (function
+            | Some (_, v) -> checki (name ^ ": validity") 1 v
+            | None -> Alcotest.fail "missing output")
+          result.outputs
+      done)
+    coin_factories
+
+let test_coin_conciliator_mixed_inputs_safe () =
+  List.iter
+    (fun (name, coin) ->
+      for seed = 0 to 19 do
+        let inputs = [| 0; 1; 0; 1 |] in
+        let result = run_object ~n:4 ~inputs ~seed (Conciliator.from_coin coin) in
+        checkb (name ^ ": completed") true result.completed;
+        expect_ok (name ^ ": validity")
+          (Spec.validity_decided ~inputs ~outputs:result.outputs)
+      done)
+    coin_factories
+
+let test_coin_conciliator_rejects_nonbinary () =
+  let rejected =
+    try
+      ignore
+        (run_object ~n:1 ~inputs:[| 5 |] ~seed:0
+           (Conciliator.from_coin Conrat_coin.Shared_coin.local_flip));
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "non-binary input rejected" true rejected
+
+let test_voting_coin_agreement () =
+  (* The voting coin must produce agreement often even under the write
+     stalker; with quorum n^2 votes the drift argument gives a
+     constant. *)
+  let n = 4 in
+  let trials = 150 in
+  let agreements = ref 0 in
+  for seed = 0 to trials - 1 do
+    let inputs = [| 0; 1; 0; 1 |] in
+    let result =
+      run_object ~adversary:Adversary.write_stalker ~n ~inputs ~seed
+        (Conciliator.from_coin (Conrat_coin.Shared_coin.voting ()))
+    in
+    let values = Array.map (Option.map snd) result.outputs in
+    if Result.is_ok (Spec.agreement ~outputs:values) then incr agreements
+  done;
+  let p = float_of_int !agreements /. float_of_int trials in
+  checkb (Printf.sprintf "voting coin agreement %.3f >= 0.16" p) true (p >= 0.16)
+
+(* ------------------------------------------------------------------ *)
+(* Ratifiers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ratifier_factories m =
+  (if m = 2 then [ ("binary", Ratifier.binary (), false) ] else [])
+  @ [ ("bollobas", Ratifier.bollobas ~m, false);
+      ("bitvector", Ratifier.bitvector ~m, false);
+      ("cheap_collect", Ratifier.cheap_collect ~m, true) ]
+
+let run_ratifier ?(adversary = Adversary.random_uniform) ~cheap ~n ~inputs ~seed factory =
+  let rng = Rng.create seed in
+  let memory = Memory.create () in
+  let instance = factory.Deciding.instantiate ~n memory in
+  Scheduler.run ~cheap_collect:cheap ~n ~adversary ~rng ~memory
+    (fun ~pid ~rng ->
+      let out = instance.Deciding.run ~pid ~rng inputs.(pid) in
+      (out.Deciding.decide, out.Deciding.value))
+
+let test_ratifier_acceptance () =
+  (* All inputs equal v ⇒ every output is (1, v), for every scheme. *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (name, factory, cheap) ->
+          for seed = 0 to 9 do
+            let v = m - 1 in
+            let inputs = Array.make 5 v in
+            let result = run_ratifier ~cheap ~n:5 ~inputs ~seed factory in
+            expect_ok
+              (Printf.sprintf "%s m=%d acceptance" name m)
+              (Spec.acceptance ~inputs ~outputs:result.outputs)
+          done)
+        (ratifier_factories m))
+    [ 2; 3; 6; 17 ]
+
+let test_ratifier_coherence_and_validity () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (name, factory, cheap) ->
+          List.iter
+            (fun (adversary : Adversary.t) ->
+              for seed = 0 to 14 do
+                let inputs = Array.init 5 (fun pid -> pid mod m) in
+                let result = run_ratifier ~adversary ~cheap ~n:5 ~inputs ~seed factory in
+                checkb "completed" true result.completed;
+                expect_ok
+                  (Printf.sprintf "%s m=%d validity (%s)" name m adversary.name)
+                  (Spec.validity_decided ~inputs ~outputs:result.outputs);
+                expect_ok
+                  (Printf.sprintf "%s m=%d coherence (%s)" name m adversary.name)
+                  (Spec.coherence ~outputs:result.outputs)
+              done)
+            [ Adversary.round_robin; Adversary.random_uniform; Adversary.write_stalker ])
+        (ratifier_factories m))
+    [ 2; 3; 6 ]
+
+let test_ratifier_work_bounds () =
+  (* Binary and cheap-collect: at most 4 ops; quorum schemes:
+     |W| + |R| + 2. *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (name, factory, cheap) ->
+          let bound =
+            match name with
+            | "binary" | "cheap_collect" -> 4
+            | "bollobas" ->
+              Ratifier.max_individual_work (Conrat_quorum.Quorum.bollobas_optimal ~m)
+            | _ -> Ratifier.max_individual_work (Conrat_quorum.Quorum.bitvector ~m)
+          in
+          for seed = 0 to 9 do
+            let inputs = Array.init 6 (fun pid -> pid mod m) in
+            let result = run_ratifier ~cheap ~n:6 ~inputs ~seed factory in
+            if Metrics.individual result.metrics > bound then
+              Alcotest.failf "%s m=%d: %d ops > %d" name m
+                (Metrics.individual result.metrics)
+                bound
+          done)
+        (ratifier_factories m))
+    [ 2; 5; 16 ]
+
+let test_ratifier_space () =
+  let space factory =
+    let memory = Memory.create () in
+    let _ = factory.Deciding.instantiate ~n:4 memory in
+    Memory.size memory
+  in
+  checki "binary: 3 registers" 3 (space (Ratifier.binary ()));
+  checki "bitvector m=16: 2*4+1" 9 (space (Ratifier.bitvector ~m:16));
+  checki "bollobas m=16: 6+1" 7 (space (Ratifier.bollobas ~m:16));
+  checki "cheap m=16: 16+1" 17 (space (Ratifier.cheap_collect ~m:16))
+
+let test_ratifier_solo_decides () =
+  (* Acceptance with n=1 is immediate; the §4.2 ratifier-only protocol
+     relies on an uncontested process always deciding. *)
+  List.iter
+    (fun (name, factory, cheap) ->
+      let result = run_ratifier ~cheap ~n:1 ~inputs:[| 1 |] ~seed:3 factory in
+      match result.outputs.(0) with
+      | Some (true, 1) -> ()
+      | Some (d, v) -> Alcotest.failf "%s: expected (1,1), got (%b,%d)" name d v
+      | None -> Alcotest.failf "%s: did not finish" name)
+    (ratifier_factories 4)
+
+let qcheck_ratifier_weak_consensus =
+  (* The full §3 contract for ratifiers, random configurations. *)
+  QCheck.Test.make ~name:"ratifier safety (random n, m, inputs, adversary)" ~count:200
+    QCheck.(quad (int_range 1 7) (int_range 2 20) (int_range 0 100_000) (int_range 0 2))
+    (fun (n, m, seed, advi) ->
+      let adversary =
+        List.nth
+          [ Adversary.round_robin; Adversary.random_uniform; Adversary.write_stalker ]
+          advi
+      in
+      let input_rng = Rng.create (seed * 31) in
+      let inputs = Array.init n (fun _ -> Rng.int input_rng m) in
+      let result = run_ratifier ~adversary ~cheap:false ~n ~inputs ~seed (Ratifier.bollobas ~m) in
+      result.completed
+      && Result.is_ok (Spec.validity_decided ~inputs ~outputs:result.outputs)
+      && Result.is_ok (Spec.coherence ~outputs:result.outputs)
+      && Result.is_ok (Spec.acceptance ~inputs ~outputs:result.outputs))
+
+(* ------------------------------------------------------------------ *)
+(* Racing fallback                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fallback_encoding_roundtrip () =
+  List.iter
+    (fun (round, value, mark) ->
+      let m = 7 in
+      let round', value', mark' =
+        Fallback.decode ~m (Fallback.encode ~m ~round ~value ~mark)
+      in
+      checki "round" round round';
+      checki "value" value value';
+      checkb "mark" true (mark = mark'))
+    [ (1, 0, Fallback.None_); (1, 6, Fallback.Decided); (250, 3, Fallback.Candidate);
+      (0, 0, Fallback.Decided) ]
+
+let test_fallback_encode_rejects_bad_value () =
+  Alcotest.check_raises "value out of range"
+    (Invalid_argument "Fallback.encode: value out of range")
+    (fun () -> ignore (Fallback.encode ~m:4 ~round:1 ~value:4 ~mark:Fallback.None_))
+
+let test_fallback_decides_and_agrees () =
+  List.iter
+    (fun (adversary : Adversary.t) ->
+      for seed = 0 to 29 do
+        let n = 6 in
+        let m = 3 in
+        let inputs = Array.init n (fun pid -> pid mod m) in
+        let result =
+          run_object ~adversary ~n ~inputs ~seed ~max_steps:1_000_000 (Fallback.racing ~m ())
+        in
+        checkb "completed" true result.completed;
+        Array.iter
+          (function
+            | Some (d, _) -> checkb "always decides" true d
+            | None -> Alcotest.fail "missing output")
+          result.outputs;
+        expect_ok "validity" (Spec.validity_decided ~inputs ~outputs:result.outputs);
+        expect_ok "agreement" (Spec.coherence ~outputs:result.outputs)
+      done)
+    [ Adversary.round_robin; Adversary.random_uniform; Adversary.write_stalker;
+      Adversary.overwrite_attacker ]
+
+let test_fallback_solo () =
+  let result = run_object ~n:1 ~inputs:[| 2 |] ~seed:1 (Fallback.racing ~m:3 ()) in
+  Alcotest.check
+    Alcotest.(array (option (pair bool int)))
+    "solo decides own input" [| Some (true, 2) |] result.outputs
+
+let qcheck_fallback_agreement =
+  QCheck.Test.make ~name:"fallback agreement+validity (random cfg)" ~count:120
+    QCheck.(triple (int_range 1 8) (int_range 0 100_000) (int_range 0 4))
+    (fun (n, seed, advi) ->
+      let adversary = List.nth (Adversary.all_weak ()) advi in
+      let m = 4 in
+      let input_rng = Rng.create (seed * 17) in
+      let inputs = Array.init n (fun _ -> Rng.int input_rng m) in
+      let result =
+        run_object ~adversary ~n ~inputs ~seed ~max_steps:1_000_000 (Fallback.racing ~m ())
+      in
+      result.completed
+      && Result.is_ok (Spec.validity_decided ~inputs ~outputs:result.outputs)
+      && Result.is_ok
+           (Spec.agreement ~outputs:(Array.map (Option.map snd) result.outputs)))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "core"
+    [ ( "impatient_conciliator",
+        [ tc "write probability schedule" `Quick test_write_probability_schedule;
+          tc "work formula" `Quick test_max_individual_work_formula;
+          tc "terminates + valid" `Quick test_conciliator_terminates_and_valid;
+          tc "all same input" `Quick test_conciliator_all_same_input;
+          tc "individual work cap" `Quick test_conciliator_individual_work_cap;
+          tc "detect saves two ops" `Quick test_conciliator_detect_saves_two_ops;
+          tc "agreement probability" `Slow test_conciliator_agreement_probability;
+          tc "single process" `Quick test_conciliator_single_process;
+          tc "space = 1 register" `Quick test_conciliator_space;
+          QCheck_alcotest.to_alcotest qcheck_conciliator_safety ] );
+      ( "constant_rate",
+        [ tc "valid + terminates" `Quick test_constant_rate_valid_and_terminates ] );
+      ( "coin_conciliator",
+        [ tc "validity skips coin" `Quick test_coin_conciliator_validity;
+          tc "mixed inputs safe" `Quick test_coin_conciliator_mixed_inputs_safe;
+          tc "rejects non-binary" `Quick test_coin_conciliator_rejects_nonbinary;
+          tc "voting coin agreement" `Slow test_voting_coin_agreement ] );
+      ( "ratifier",
+        [ tc "acceptance" `Quick test_ratifier_acceptance;
+          tc "coherence + validity" `Quick test_ratifier_coherence_and_validity;
+          tc "work bounds" `Quick test_ratifier_work_bounds;
+          tc "space" `Quick test_ratifier_space;
+          tc "solo decides" `Quick test_ratifier_solo_decides;
+          QCheck_alcotest.to_alcotest qcheck_ratifier_weak_consensus ] );
+      ( "fallback",
+        [ tc "encoding roundtrip" `Quick test_fallback_encoding_roundtrip;
+          tc "encode rejects bad value" `Quick test_fallback_encode_rejects_bad_value;
+          tc "decides + agrees" `Quick test_fallback_decides_and_agrees;
+          tc "solo" `Quick test_fallback_solo;
+          QCheck_alcotest.to_alcotest qcheck_fallback_agreement ] ) ]

@@ -1,0 +1,209 @@
+(* Tests for the deciding-object algebra: outputs, factories,
+   composition and the §3.2 preservation lemmas as executable
+   properties. *)
+
+open Conrat_sim
+open Conrat_objects
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let dummy_rng = Rng.create 0
+
+(* Local-computation-only test objects (no shared memory needed). *)
+
+let pure_object name f =
+  Deciding.instance name ~space:0 (fun ~pid:_ ~rng:_ v -> f v)
+
+let decider value = pure_object "decider" (fun _ -> { Deciding.decide = true; value })
+let pass = pure_object "pass" (fun v -> { Deciding.decide = false; value = v })
+let scramble = pure_object "scramble" (fun v -> { Deciding.decide = false; value = v + 100 })
+let unscramble = pure_object "unscramble" (fun v -> { Deciding.decide = false; value = v - 100 })
+
+let run1 (obj : Deciding.t) v = obj.run ~pid:0 ~rng:dummy_rng v
+
+(* ------------------------------------------------------------------ *)
+(* Basic composition semantics                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pair_first_decides () =
+  let out = run1 (Compose.pair (decider 7) scramble) 3 in
+  checkb "decided" true out.Deciding.decide;
+  checki "first answer is final" 7 out.Deciding.value
+
+let test_pair_continues () =
+  let out = run1 (Compose.pair pass (decider 9)) 3 in
+  checkb "decided by second" true out.Deciding.decide;
+  checki "value" 9 out.Deciding.value
+
+let test_pair_threads_value () =
+  let out = run1 (Compose.pair scramble unscramble) 5 in
+  checkb "no decision" false out.Deciding.decide;
+  checki "scramble then unscramble" 5 out.Deciding.value
+
+let test_seq_empty_is_pass () =
+  let out = run1 (Compose.seq []) 11 in
+  checkb "no decision" false out.Deciding.decide;
+  checki "passthrough" 11 out.Deciding.value
+
+let test_seq_order () =
+  (* (scramble; decider 1) decides 1; putting the decider first short-
+     circuits: composition is left-to-right, unlike function
+     composition (the paper points this out explicitly). *)
+  let a = run1 (Compose.seq [ scramble; decider 1 ]) 0 in
+  checki "left first" 1 a.Deciding.value;
+  let b = run1 (Compose.seq [ decider 1; scramble ]) 0 in
+  checki "short circuit" 1 b.Deciding.value
+
+let test_associativity () =
+  (* ((X; Y); Z) behaves exactly like (X; (Y; Z)) — §3.2. *)
+  let variants =
+    [ Compose.pair (Compose.pair scramble unscramble) (decider 5);
+      Compose.pair scramble (Compose.pair unscramble (decider 5)) ]
+  in
+  List.iter
+    (fun obj ->
+      let out = run1 obj 2 in
+      checkb "decide" true out.Deciding.decide;
+      checki "value" 5 out.Deciding.value)
+    variants
+
+let qcheck_associativity =
+  (* Random triples of pure objects, random inputs: both parse trees
+     agree on (decide, value). *)
+  let arbitrary_pure =
+    QCheck.map
+      (fun (kind, k) ->
+        match kind mod 4 with
+        | 0 -> pure_object "add" (fun v -> { Deciding.decide = false; value = v + k })
+        | 1 -> pure_object "dec" (fun _ -> { Deciding.decide = true; value = k })
+        | 2 -> pass
+        | _ -> pure_object "neg" (fun v -> { Deciding.decide = false; value = -v }))
+      QCheck.(pair small_int small_int)
+  in
+  QCheck.Test.make ~name:"composition associativity (random pure objects)" ~count:200
+    QCheck.(pair (triple arbitrary_pure arbitrary_pure arbitrary_pure) small_int)
+    (fun ((x, y, z), v) ->
+      let left = run1 (Compose.pair (Compose.pair x y) z) v in
+      let right = run1 (Compose.pair x (Compose.pair y z)) v in
+      left = right)
+
+(* ------------------------------------------------------------------ *)
+(* Preservation lemmas (Lemmas 1-3) as executable properties           *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a deciding object standalone under the scheduler and check a
+   property of inputs/outputs over many seeds. *)
+let run_object ~n ~inputs ~seed factory =
+  let rng = Rng.create seed in
+  let memory = Memory.create () in
+  let instance = factory.Deciding.instantiate ~n memory in
+  let result =
+    Scheduler.run ~n ~adversary:Adversary.random_uniform ~rng ~memory
+      (fun ~pid ~rng ->
+        let out = instance.Deciding.run ~pid ~rng inputs.(pid) in
+        (out.Deciding.decide, out.Deciding.value))
+  in
+  result.outputs
+
+(* The conciliator and ratifier are weak consensus objects; their
+   composition must preserve validity and coherence (Corollary 4). *)
+let composed_factory () =
+  Compose.seq_factory
+    [ Conrat_core.Conciliator.impatient_first_mover ();
+      Conrat_core.Ratifier.binary ();
+      Conrat_core.Conciliator.impatient_first_mover ();
+      Conrat_core.Ratifier.binary () ]
+
+let qcheck_composition_preserves_weak_consensus =
+  QCheck.Test.make
+    ~name:"composition preserves validity+coherence (Corollary 4)" ~count:150
+    QCheck.(pair (int_range 1 6) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let inputs = Array.init n (fun pid -> pid mod 2) in
+      let outputs = run_object ~n ~inputs ~seed (composed_factory ()) in
+      Result.is_ok (Spec.validity_decided ~inputs ~outputs)
+      && Result.is_ok (Spec.coherence ~outputs))
+
+let test_copy_object_is_weak_consensus () =
+  (* §3: the copying object satisfies validity, termination, coherence
+     — and nothing more. *)
+  let outputs = run_object ~n:4 ~inputs:[| 3; 1; 4; 1 |] ~seed:0 Deciding.copy_object in
+  Alcotest.check
+    Alcotest.(array (option (pair bool int)))
+    "copies inputs"
+    [| Some (false, 3); Some (false, 1); Some (false, 4); Some (false, 1) |]
+    outputs
+
+(* ------------------------------------------------------------------ *)
+(* lazy_seq                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_lazy_seq_instantiates_on_demand () =
+  let created = ref 0 in
+  let nth i =
+    Deciding.make_factory (Printf.sprintf "stage%d" i) (fun ~n:_ _memory ->
+      incr created;
+      pure_object "stage" (fun v ->
+        if i >= 3 then { Deciding.decide = true; value = v } else { Deciding.decide = false; value = v + 1 }))
+  in
+  let factory = Compose.lazy_seq "lazy" nth in
+  let outputs = run_object ~n:2 ~inputs:[| 0; 0 |] ~seed:1 factory in
+  (* Stages 0,1,2 increment; stage 3 decides: output = 3. *)
+  Alcotest.check
+    Alcotest.(array (option (pair bool int)))
+    "ran four stages" [| Some (true, 3); Some (true, 3) |] outputs;
+  checki "exactly four stages created" 4 !created
+
+let test_lazy_seq_shares_instances () =
+  (* Both processes must see the same per-stage instance: a stage that
+     counts distinct runs proves sharing. *)
+  let runs = ref 0 in
+  let nth _i =
+    Deciding.make_factory "probe" (fun ~n:_ _memory ->
+      pure_object "probe" (fun v ->
+        incr runs;
+        { Deciding.decide = true; value = v }))
+  in
+  let factory = Compose.lazy_seq "lazy" nth in
+  let _ = run_object ~n:3 ~inputs:[| 1; 1; 1 |] ~seed:2 factory in
+  checki "one instance, three runs" 3 !runs
+
+(* ------------------------------------------------------------------ *)
+(* counting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counting_counts_runs () =
+  let count, factory = Deciding.counting Deciding.copy_object in
+  let _ = run_object ~n:5 ~inputs:(Array.make 5 0) ~seed:3 factory in
+  checki "five entries" 5 (count ());
+  let _ = run_object ~n:2 ~inputs:(Array.make 2 0) ~seed:4 factory in
+  checki "accumulates across instances" 7 (count ())
+
+let test_counting_preserves_behaviour () =
+  let _, factory = Deciding.counting (Conrat_core.Ratifier.binary ()) in
+  let outputs = run_object ~n:3 ~inputs:[| 1; 1; 1 |] ~seed:5 factory in
+  Alcotest.check
+    Alcotest.(array (option (pair bool int)))
+    "acceptance unchanged" [| Some (true, 1); Some (true, 1); Some (true, 1) |] outputs
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "objects"
+    [ ( "compose",
+        [ tc "first decides" `Quick test_pair_first_decides;
+          tc "continues" `Quick test_pair_continues;
+          tc "threads value" `Quick test_pair_threads_value;
+          tc "empty seq" `Quick test_seq_empty_is_pass;
+          tc "order" `Quick test_seq_order;
+          tc "associativity" `Quick test_associativity;
+          QCheck_alcotest.to_alcotest qcheck_associativity ] );
+      ( "lemmas",
+        [ QCheck_alcotest.to_alcotest qcheck_composition_preserves_weak_consensus;
+          tc "copy object" `Quick test_copy_object_is_weak_consensus ] );
+      ( "lazy_seq",
+        [ tc "instantiates on demand" `Quick test_lazy_seq_instantiates_on_demand;
+          tc "shares instances" `Quick test_lazy_seq_shares_instances ] );
+      ( "counting",
+        [ tc "counts runs" `Quick test_counting_counts_runs;
+          tc "preserves behaviour" `Quick test_counting_preserves_behaviour ] ) ]

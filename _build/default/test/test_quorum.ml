@@ -1,0 +1,279 @@
+(* Tests for the quorum substrate: combinatorics, quorum systems, and
+   the Bollobás certificate. *)
+
+open Conrat_quorum
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Combinatorics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_binomial_small () =
+  checki "C(0,0)" 1 (Combinatorics.binomial 0 0);
+  checki "C(5,0)" 1 (Combinatorics.binomial 5 0);
+  checki "C(5,5)" 1 (Combinatorics.binomial 5 5);
+  checki "C(5,2)" 10 (Combinatorics.binomial 5 2);
+  checki "C(10,3)" 120 (Combinatorics.binomial 10 3);
+  checki "C(52,5)" 2_598_960 (Combinatorics.binomial 52 5)
+
+let test_binomial_out_of_range () =
+  checki "k<0" 0 (Combinatorics.binomial 5 (-1));
+  checki "k>n" 0 (Combinatorics.binomial 5 6)
+
+let test_binomial_symmetry () =
+  for n = 0 to 20 do
+    for k = 0 to n do
+      checki "C(n,k)=C(n,n-k)" (Combinatorics.binomial n k) (Combinatorics.binomial n (n - k))
+    done
+  done
+
+let test_binomial_pascal () =
+  for n = 1 to 25 do
+    for k = 1 to n - 1 do
+      checki "Pascal"
+        (Combinatorics.binomial (n - 1) (k - 1) + Combinatorics.binomial (n - 1) k)
+        (Combinatorics.binomial n k)
+    done
+  done
+
+let test_binomial_overflow () =
+  Alcotest.check_raises "overflow detected" Combinatorics.Overflow (fun () ->
+    ignore (Combinatorics.binomial 200 100))
+
+let test_log2_ceil () =
+  checki "1" 0 (Combinatorics.log2_ceil 1);
+  checki "2" 1 (Combinatorics.log2_ceil 2);
+  checki "3" 2 (Combinatorics.log2_ceil 3);
+  checki "4" 2 (Combinatorics.log2_ceil 4);
+  checki "5" 3 (Combinatorics.log2_ceil 5);
+  checki "1024" 10 (Combinatorics.log2_ceil 1024);
+  checki "1025" 11 (Combinatorics.log2_ceil 1025)
+
+let test_pool_size_for () =
+  (* k minimal with C(k, floor k/2) >= m *)
+  checki "m=2" 2 (Combinatorics.pool_size_for 2);
+  checki "m=3" 3 (Combinatorics.pool_size_for 3);
+  checki "m=4" 4 (Combinatorics.pool_size_for 4);
+  checki "m=6" 4 (Combinatorics.pool_size_for 6);
+  checki "m=7" 5 (Combinatorics.pool_size_for 7);
+  checki "m=20" 6 (Combinatorics.pool_size_for 20);
+  checki "m=70" 8 (Combinatorics.pool_size_for 70);
+  checki "m=71" 9 (Combinatorics.pool_size_for 71)
+
+let test_pool_size_minimal () =
+  (* The returned k really is minimal. *)
+  for m = 2 to 300 do
+    let k = Combinatorics.pool_size_for m in
+    checkb "k suffices" true (Combinatorics.binomial k (k / 2) >= m);
+    if k > 1 then
+      checkb "k-1 does not" true (Combinatorics.binomial (k - 1) ((k - 1) / 2) < m)
+  done
+
+let test_unrank_first_last () =
+  let first = Combinatorics.unrank_subset ~k:6 ~size:3 0 in
+  Alcotest.check Alcotest.(array int) "rank 0 is smallest" [| 0; 1; 2 |] first;
+  let last = Combinatorics.unrank_subset ~k:6 ~size:3 (Combinatorics.binomial 6 3 - 1) in
+  Alcotest.check Alcotest.(array int) "last rank is largest" [| 3; 4; 5 |] last
+
+let test_unrank_out_of_range () =
+  Alcotest.check_raises "rank too large"
+    (Invalid_argument "unrank_subset: rank out of range")
+    (fun () -> ignore (Combinatorics.unrank_subset ~k:4 ~size:2 6))
+
+let test_unrank_distinct_sorted () =
+  for r = 0 to Combinatorics.binomial 8 4 - 1 do
+    let s = Combinatorics.unrank_subset ~k:8 ~size:4 r in
+    checki "size" 4 (Array.length s);
+    for i = 0 to 2 do
+      checkb "strictly increasing" true (s.(i) < s.(i + 1))
+    done;
+    checkb "in range" true (Array.for_all (fun e -> e >= 0 && e < 8) s)
+  done
+
+let test_rank_unrank_roundtrip () =
+  for r = 0 to Combinatorics.binomial 9 4 - 1 do
+    let s = Combinatorics.unrank_subset ~k:9 ~size:4 r in
+    checki "roundtrip" r (Combinatorics.rank_subset ~k:9 s)
+  done
+
+let test_subsets_all_distinct () =
+  let all = Combinatorics.subsets ~k:7 ~size:3 in
+  checki "count" (Combinatorics.binomial 7 3) (List.length all);
+  checki "distinct" (List.length all) (List.sort_uniq compare all |> List.length)
+
+let qcheck_rank_unrank =
+  QCheck.Test.make ~name:"rank/unrank roundtrip (random k, size, rank)" ~count:200
+    QCheck.(pair (int_range 1 16) (pair (int_range 0 16) (int_range 0 10_000)))
+    (fun (k, (size, r)) ->
+      let size = min size k in
+      let total = Combinatorics.binomial k size in
+      let r = r mod total in
+      Combinatorics.rank_subset ~k (Combinatorics.unrank_subset ~k ~size r) = r)
+
+(* ------------------------------------------------------------------ *)
+(* Quorum systems                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let all_systems m =
+  (if m = 2 then [ Quorum.binary ] else [])
+  @ [ Quorum.bollobas_optimal ~m; Quorum.bitvector ~m; Quorum.singleton ~m ]
+
+let test_theorem8_condition () =
+  (* W v' ∩ R v = ∅  iff  v' = v — the exact hypothesis of Theorem 8,
+     brute-forced for every scheme and many m. *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun q ->
+          checkb (Printf.sprintf "%s m=%d valid" q.Quorum.name m) true (Quorum.valid q))
+        (all_systems m))
+    [ 2; 3; 4; 5; 7; 8; 16; 33; 64; 100 ]
+
+let test_binary_quorums () =
+  let q = Quorum.binary in
+  Alcotest.check Alcotest.(array int) "W0" [| 0 |] (q.Quorum.write_quorum 0);
+  Alcotest.check Alcotest.(array int) "R0" [| 1 |] (q.Quorum.read_quorum 0);
+  checki "pool" 2 q.Quorum.pool
+
+let test_value_range_checked () =
+  List.iter
+    (fun q ->
+      Alcotest.check_raises
+        (Printf.sprintf "%s rejects v=m" q.Quorum.name)
+        (Invalid_argument
+           (Printf.sprintf "%s quorum system: value 8 out of range [0,8)" q.Quorum.name))
+        (fun () -> ignore (q.Quorum.write_quorum 8)))
+    [ Quorum.bollobas_optimal ~m:8; Quorum.bitvector ~m:8; Quorum.singleton ~m:8 ]
+
+let test_bollobas_space () =
+  (* pool = least k with C(k, floor k/2) >= m *)
+  List.iter
+    (fun (m, expected) ->
+      checki (Printf.sprintf "m=%d" m) expected (Quorum.bollobas_optimal ~m).Quorum.pool)
+    [ (2, 2); (4, 4); (16, 6); (64, 8); (256, 11); (1024, 13) ]
+
+let test_bitvector_space () =
+  List.iter
+    (fun (m, expected) ->
+      checki (Printf.sprintf "m=%d" m) expected (Quorum.bitvector ~m).Quorum.pool)
+    [ (2, 2); (4, 4); (16, 8); (64, 12); (256, 16); (1024, 20) ]
+
+let test_quorums_within_pool () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun q ->
+          for v = 0 to m - 1 do
+            let inside arr = Array.for_all (fun e -> e >= 0 && e < q.Quorum.pool) arr in
+            checkb "W inside pool" true (inside (q.Quorum.write_quorum v));
+            checkb "R inside pool" true (inside (q.Quorum.read_quorum v))
+          done)
+        (all_systems m))
+    [ 2; 5; 16; 40 ]
+
+let test_bollobas_read_is_complement () =
+  let q = Quorum.bollobas_optimal ~m:20 in
+  for v = 0 to 19 do
+    let w = Array.to_list (q.Quorum.write_quorum v) in
+    let r = Array.to_list (q.Quorum.read_quorum v) in
+    checki "partition size" q.Quorum.pool (List.length w + List.length r);
+    checkb "disjoint" true (List.for_all (fun e -> not (List.mem e r)) w)
+  done
+
+let test_singleton_sizes () =
+  let q = Quorum.singleton ~m:10 in
+  checki "W size 1" 1 (Quorum.max_write_size q);
+  checki "R size m-1" 9 (Quorum.max_read_size q)
+
+let test_valid_detects_broken_system () =
+  (* A deliberately broken system: R v = W v, so W v ∩ R v ≠ ∅. *)
+  let broken =
+    { Quorum.name = "broken";
+      m = 2;
+      pool = 2;
+      write_quorum = (fun v -> [| v |]);
+      read_quorum = (fun v -> [| v |]) }
+  in
+  checkb "broken rejected" false (Quorum.valid broken)
+
+let qcheck_theorem8_bollobas =
+  QCheck.Test.make ~name:"Theorem 8 condition for random m (bollobas)" ~count:30
+    QCheck.(int_range 2 400)
+    (fun m -> Quorum.valid (Quorum.bollobas_optimal ~m))
+
+let qcheck_theorem8_bitvector =
+  QCheck.Test.make ~name:"Theorem 8 condition for random m (bitvector)" ~count:30
+    QCheck.(int_range 2 400)
+    (fun m -> Quorum.valid (Quorum.bitvector ~m))
+
+(* ------------------------------------------------------------------ *)
+(* Bollobás certificate                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_certificate_accepts_valid () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun q ->
+          checkb (Printf.sprintf "%s m=%d certified" q.Quorum.name m) true
+            (Bollobas.certificate q))
+        (all_systems m))
+    [ 2; 3; 8; 30; 64 ]
+
+let test_sum_bound_tight () =
+  (* The singleton system meets the bound with equality:
+     m terms of 1/C(m,1) = 1/m sum to exactly 1. *)
+  checkb "tight case accepted" true (Bollobas.sum_bound (List.init 10 (fun _ -> (1, 9))));
+  (* One more set than the bound allows must be rejected. *)
+  checkb "overfull rejected" false
+    (Bollobas.sum_bound ((1, 9) :: List.init 10 (fun _ -> (1, 9))))
+
+let test_sum_bound_rejects_impossible () =
+  (* 5 pairs of singleton sets: 5 * 1/C(2,1) = 2.5 > 1 — no such
+     cross-intersecting family exists. *)
+  checkb "impossible family rejected" false
+    (Bollobas.sum_bound (List.init 5 (fun _ -> (1, 1))))
+
+let test_pool_lower_bound_matches_construction () =
+  for m = 2 to 200 do
+    checki "construction is optimal" (Bollobas.pool_lower_bound ~m)
+      (Quorum.bollobas_optimal ~m).Quorum.pool
+  done
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "quorum"
+    [ ( "combinatorics",
+        [ tc "binomial small" `Quick test_binomial_small;
+          tc "binomial out of range" `Quick test_binomial_out_of_range;
+          tc "binomial symmetry" `Quick test_binomial_symmetry;
+          tc "binomial pascal" `Quick test_binomial_pascal;
+          tc "binomial overflow" `Quick test_binomial_overflow;
+          tc "log2_ceil" `Quick test_log2_ceil;
+          tc "pool_size_for" `Quick test_pool_size_for;
+          tc "pool size minimal" `Quick test_pool_size_minimal;
+          tc "unrank first/last" `Quick test_unrank_first_last;
+          tc "unrank out of range" `Quick test_unrank_out_of_range;
+          tc "unrank distinct sorted" `Quick test_unrank_distinct_sorted;
+          tc "rank/unrank roundtrip" `Quick test_rank_unrank_roundtrip;
+          tc "subsets all distinct" `Quick test_subsets_all_distinct;
+          QCheck_alcotest.to_alcotest qcheck_rank_unrank ] );
+      ( "quorum",
+        [ tc "Theorem 8 condition" `Quick test_theorem8_condition;
+          tc "binary quorums" `Quick test_binary_quorums;
+          tc "value range checked" `Quick test_value_range_checked;
+          tc "bollobas space" `Quick test_bollobas_space;
+          tc "bitvector space" `Quick test_bitvector_space;
+          tc "quorums within pool" `Quick test_quorums_within_pool;
+          tc "bollobas complement" `Quick test_bollobas_read_is_complement;
+          tc "singleton sizes" `Quick test_singleton_sizes;
+          tc "valid detects broken" `Quick test_valid_detects_broken_system;
+          QCheck_alcotest.to_alcotest qcheck_theorem8_bollobas;
+          QCheck_alcotest.to_alcotest qcheck_theorem8_bitvector ] );
+      ( "bollobas",
+        [ tc "certificate accepts valid" `Quick test_certificate_accepts_valid;
+          tc "sum bound tight" `Quick test_sum_bound_tight;
+          tc "sum bound rejects impossible" `Quick test_sum_bound_rejects_impossible;
+          tc "lower bound matches construction" `Quick test_pool_lower_bound_matches_construction ] ) ]
