@@ -1,0 +1,27 @@
+# Developer / CI entry points.  `make check` is what CI runs.
+
+DUNE ?= dune
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test:
+	$(DUNE) runtest
+
+# End-to-end smoke of the plan/engine/report pipeline: a quick
+# experiment on a 2-domain pool with JSON output.
+smoke:
+	$(DUNE) exec bin/conrat_cli.exe -- experiment --quick E1 --jobs 2 --json
+	@test -s BENCH_E1.json && echo "smoke: BENCH_E1.json written"
+
+check: build test smoke
+
+bench:
+	$(DUNE) exec bench/main.exe -- quick
+
+clean:
+	$(DUNE) clean

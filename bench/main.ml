@@ -15,6 +15,8 @@
      dune exec bench/main.exe -- quick     # CI-sized sweeps
      dune exec bench/main.exe -- micro     # micro-benchmarks only
      dune exec bench/main.exe -- paper     # experiments only
+     dune exec bench/main.exe -- --jobs 8  # experiment trials on 8 domains
+     dune exec bench/main.exe -- --json    # also write BENCH_E<k>.json
 *)
 
 open Bechamel
@@ -25,15 +27,27 @@ let mode_of_args () =
   let quick = List.mem "quick" args in
   let micro_only = List.mem "micro" args in
   let paper_only = List.mem "paper" args in
-  (quick, micro_only, paper_only)
+  let json = List.mem "--json" args in
+  let jobs =
+    let rec find = function
+      | ("--jobs" | "-j") :: v :: _ ->
+        (match int_of_string_opt v with
+         | Some k when k >= 0 -> k
+         | _ -> failwith "bench: --jobs expects a non-negative integer")
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    find args
+  in
+  (quick, micro_only, paper_only, jobs, json)
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper-claim experiments                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments ~quick =
+let run_experiments ~quick ~jobs ~json =
   let mode = if quick then Conrat_harness.Experiments.Quick else Conrat_harness.Experiments.Full in
-  Conrat_harness.Experiments.run_all ~mode ()
+  Conrat_harness.Experiments.run_all ~mode ~jobs ~json ()
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                   *)
@@ -136,6 +150,6 @@ let run_micro () =
   flush stdout
 
 let () =
-  let quick, micro_only, paper_only = mode_of_args () in
-  if not micro_only then run_experiments ~quick;
+  let quick, micro_only, paper_only, jobs, json = mode_of_args () in
+  if not micro_only then run_experiments ~quick ~jobs ~json;
   if not paper_only then run_micro ()

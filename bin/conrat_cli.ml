@@ -59,6 +59,12 @@ let workload_arg =
 let trials_arg =
   Arg.(value & opt int 200 & info [ "t"; "trials" ] ~docv:"T" ~doc:"Monte-Carlo trials.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"JOBS"
+           ~doc:"Domains to run trials on (0 = all cores). Results are \
+                 byte-identical for every value; timing is reported on stderr.")
+
 (* run *)
 
 let run_cmd =
@@ -66,7 +72,7 @@ let run_cmd =
     let protocol = protocol_of_name ~m protocol in
     let adversary = Adversary.by_name adversary in
     let workload = Workload.by_name workload in
-    let inputs = workload.Workload.generate ~n ~m (Rng.create (seed lxor 0x5eed)) in
+    let inputs = workload.Workload.generate ~n ~m (Montecarlo.workload_rng seed) in
     let rng = Rng.create seed in
     let memory = Memory.create () in
     let instance = protocol.instantiate ~n memory in
@@ -103,14 +109,16 @@ let run_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let action n m seed protocol adversary workload trials =
+  let action n m seed protocol adversary workload trials jobs =
     let factory = protocol_of_name ~m protocol in
     let adversary = Adversary.by_name adversary in
     let workload = Workload.by_name workload in
+    let t0 = Unix.gettimeofday () in
     let agg =
-      Montecarlo.trials_consensus ~n ~m ~adversary ~workload
+      Montecarlo.trials_consensus ~jobs ~n ~m ~adversary ~workload
         ~seeds:(Montecarlo.seeds ~base:seed trials) factory
     in
+    let elapsed = Unix.gettimeofday () -. t0 in
     let indiv = Stats.of_ints agg.individual_works in
     let total = Stats.of_ints agg.total_works in
     Table.print
@@ -124,28 +132,42 @@ let sweep_cmd =
     List.iteri
       (fun i (seed, reason) ->
         if i < 3 then Printf.printf "  violation (seed %d): %s\n" seed reason)
-      agg.failures
+      agg.failures;
+    Printf.eprintf "[sweep] %d trials in %.2fs (jobs=%d)\n%!" trials elapsed
+      (if jobs = 0 then Conrat_harness.Engine.default_jobs () else max 1 jobs)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Monte-Carlo sweep at one configuration")
     Term.(const action $ n_arg $ m_arg $ seed_arg $ protocol_arg $ adversary_arg
-          $ workload_arg $ trials_arg)
+          $ workload_arg $ trials_arg $ jobs_arg)
 
 (* experiment *)
 
 let experiment_cmd =
-  let action quick names =
+  let action quick jobs json names =
     let mode = if quick then Experiments.Quick else Experiments.Full in
     let names = if names = [] || names = [ "all" ] then Experiments.all_names else names in
-    List.iter (Experiments.run ~mode) names
+    (match List.find_opt (fun n -> not (List.mem n Experiments.all_names)) names with
+     | Some bad ->
+       Printf.eprintf "conrat: unknown experiment %s (expected %s or 'all')\n"
+         bad (String.concat ", " Experiments.all_names);
+       exit 2
+     | None -> ());
+    List.iter (Experiments.run ~mode ~jobs ~json) names
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small sweeps (seconds instead of minutes).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Also write each experiment's structured results as \
+                   BENCH_E<k>.json (schema: README, \"Machine-readable results\").")
   in
   let names_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E10, or 'all'.")
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Run the paper-claim reproductions (E1..E10)")
-    Term.(const action $ quick_arg $ names_arg)
+    Term.(const action $ quick_arg $ jobs_arg $ json_arg $ names_arg)
 
 (* list *)
 

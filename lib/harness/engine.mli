@@ -1,0 +1,105 @@
+(** The engine layer: executes a {!Plan} sequentially or across an
+    OCaml 5 domain pool, producing one {!aggregate} per spec.
+
+    Determinism contract: a trial is a pure function of its spec and
+    seed — every trial gets a fresh [Rng], [Memory], scheduler and
+    protocol instance — so the aggregates are a pure function of the
+    plan.  Per-seed results are combined with an {e order-canonical}
+    merge ({!merge} keeps samples and failures sorted by seed), which
+    makes the merge commutative and associative with identity
+    {!empty_aggregate}; parallel output is therefore bit-identical to
+    sequential output regardless of how the domain pool interleaves
+    trials.  Determinism is per {e seed}, not per schedule-order: the
+    wall-clock order in which trials execute is irrelevant by
+    construction. *)
+
+type outcome = {
+  inputs : int array;
+  outputs : int option array;
+  agreed : bool;           (** all finished processes returned one value *)
+  safety : (unit, string) result;
+    (** agreement + validity on this execution ([Ok] required always
+        for consensus; conciliators may legitimately disagree) *)
+  completed : bool;
+  total_work : int;
+  individual_work : int;
+  steps : int;
+  registers : int;
+}
+
+val run_consensus :
+  ?max_steps:int ->
+  ?cheap_collect:bool ->
+  n:int ->
+  adversary:Conrat_sim.Adversary.t ->
+  inputs:int array ->
+  seed:int ->
+  Conrat_core.Consensus.factory ->
+  outcome
+(** One execution.  [safety] is the full consensus contract
+    (termination within the cap, agreement, validity). *)
+
+val run_deciding :
+  ?max_steps:int ->
+  ?cheap_collect:bool ->
+  n:int ->
+  adversary:Conrat_sim.Adversary.t ->
+  inputs:int array ->
+  seed:int ->
+  Conrat_objects.Deciding.factory ->
+  outcome * Conrat_sim.Spec.decision option array
+(** One execution of a bare deciding object.  [outcome.safety] checks
+    validity and coherence; the raw decision outputs are also returned
+    for object-specific checks. *)
+
+type sample = {
+  s_seed : int;
+  s_total : int;   (** total work of the trial *)
+  s_indiv : int;   (** individual work of the trial *)
+  s_probe : int;   (** probe counter of the trial (0 unless [Probed]) *)
+}
+
+type aggregate = {
+  trials : int;
+  agreements : int;                (** trials where all values matched *)
+  failures : (int * string) list;  (** (seed, reason), seed-ascending *)
+  samples : sample list;           (** per-seed work, seed-ascending *)
+  space : int;                     (** registers (max across trials) *)
+  probe_total : int;               (** sum of probe counters *)
+}
+
+val empty_aggregate : aggregate
+(** Identity of {!merge}. *)
+
+val merge : aggregate -> aggregate -> aggregate
+(** Order-canonical merge: commutative, associative, with identity
+    {!empty_aggregate}.  Sorted lists are merged keyed on seed (ties
+    broken by full comparison), counters are summed, [space] is the
+    max. *)
+
+val of_outcome : seed:int -> probe:int -> outcome -> aggregate
+(** The singleton aggregate of one trial. *)
+
+val total_works : aggregate -> int list
+val individual_works : aggregate -> int list
+(** Per-seed work samples in canonical (seed-ascending) order. *)
+
+val run_trial : Plan.spec -> int -> aggregate
+(** Run the spec's single trial for one seed. *)
+
+val run_spec : ?jobs:int -> Plan.spec -> aggregate
+
+val run_plan : ?jobs:int -> Plan.t -> (string * aggregate) list
+(** Execute every trial of the plan and return the per-spec aggregates
+    keyed by spec id, in plan order.  [jobs] (default 1) > 1 runs the
+    trials on that many domains over a shared work queue of seed
+    chunks; [jobs = 0] means {!default_jobs}.  Output is identical for
+    every [jobs] value.  An exception in any trial (e.g.
+    [Scheduler.Collect_disallowed]) is re-raised after the pool
+    drains. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val get : (string * aggregate) list -> string -> aggregate
+(** Result lookup by spec id; [Invalid_argument] when missing. *)

@@ -6,6 +6,14 @@
     paper-vs-measured table; DESIGN.md §5 is the index and
     EXPERIMENTS.md records representative output.
 
+    Every experiment is expressed declaratively: {!build} turns a name
+    into a {!Plan.t} (the trial grid as data — no experiment owns a
+    seed loop) plus a render function over the merged
+    {!Engine.aggregate}s.  {!run} executes the plan via
+    {!Engine.run_plan} (optionally on a domain pool), prints the
+    tables, and can additionally write the structured results as
+    [BENCH_E<k>.json] through {!Report}.
+
     - E1  Theorem 7: the impatient conciliator's agreement probability,
           individual-work cap and total-work bound.
     - E2  §6.2/Theorem 10: ratifier space and work for every quorum
@@ -28,14 +36,25 @@ type mode =
   | Quick  (** small sweeps, ~seconds; used by tests *)
   | Full   (** the sweeps EXPERIMENTS.md records, ~minutes *)
 
+val mode_name : mode -> string
+
 val all_names : string list
 (** ["E1"; …; "E10"]. *)
 
-val run : ?mode:mode -> string -> unit
-(** Run one experiment by name and print its tables to stdout.
+val build :
+  ?mode:mode -> string -> Plan.t * ((string * Engine.aggregate) list -> unit)
+(** The experiment's plan and table renderer.  Raises [Not_found] for
+    unknown names. *)
+
+val run : ?mode:mode -> ?jobs:int -> ?json:bool -> string -> unit
+(** Run one experiment by name and print its tables to stdout.  [jobs]
+    (default 1) sizes the engine's domain pool ([0] = all cores);
+    stdout is byte-identical for every [jobs] value — elapsed
+    wall-clock time and the jobs used are reported on stderr.  [json]
+    additionally writes [BENCH_<name>.json] in the working directory.
     Raises [Not_found] for unknown names. *)
 
-val run_all : ?mode:mode -> unit -> unit
+val run_all : ?mode:mode -> ?jobs:int -> ?json:bool -> unit -> unit
 
 val delta_bound : float
 (** Theorem 7's agreement probability, re-exported for the bench. *)

@@ -1,6 +1,7 @@
-open Conrat_sim
+(* Thin compatibility shim over Plan/Engine: the historical Monte-Carlo
+   entry points, now implemented as one-spec plans. *)
 
-type outcome = {
+type outcome = Engine.outcome = {
   inputs : int array;
   outputs : int option array;
   agreed : bool;
@@ -12,58 +13,8 @@ type outcome = {
   registers : int;
 }
 
-let all_agree outputs =
-  match Spec.agreement ~outputs with Ok () -> true | Error _ -> false
-
-let run_consensus ?max_steps ?cheap_collect ~n ~adversary ~inputs ~seed
-    (protocol : Conrat_core.Consensus.factory) =
-  let rng = Rng.create seed in
-  let memory = Memory.create () in
-  let instance = protocol.instantiate ~n memory in
-  let result =
-    Scheduler.run ?max_steps ?cheap_collect ~n ~adversary ~rng ~memory
-      (fun ~pid ~rng -> instance.Conrat_core.Consensus.decide ~pid ~rng inputs.(pid))
-  in
-  { inputs;
-    outputs = result.outputs;
-    agreed = all_agree result.outputs;
-    safety =
-      Spec.consensus_execution ~inputs ~outputs:result.outputs
-        ~completed:result.completed;
-    completed = result.completed;
-    total_work = Metrics.total result.metrics;
-    individual_work = Metrics.individual result.metrics;
-    steps = result.steps;
-    registers = result.registers }
-
-let run_deciding ?max_steps ?cheap_collect ~n ~adversary ~inputs ~seed
-    (factory : Conrat_objects.Deciding.factory) =
-  let rng = Rng.create seed in
-  let memory = Memory.create () in
-  let instance = factory.instantiate ~n memory in
-  let result =
-    Scheduler.run ?max_steps ?cheap_collect ~n ~adversary ~rng ~memory
-      (fun ~pid ~rng ->
-        let out = instance.Conrat_objects.Deciding.run ~pid ~rng inputs.(pid) in
-        (out.Conrat_objects.Deciding.decide, out.Conrat_objects.Deciding.value))
-  in
-  let decisions = result.outputs in
-  let values = Array.map (Option.map snd) decisions in
-  let outcome =
-    { inputs;
-      outputs = values;
-      agreed = all_agree values;
-      safety =
-        Spec.all
-          [ Spec.validity ~inputs ~outputs:values;
-            Spec.coherence ~outputs:decisions ];
-      completed = result.completed;
-      total_work = Metrics.total result.metrics;
-      individual_work = Metrics.individual result.metrics;
-      steps = result.steps;
-      registers = result.registers }
-  in
-  (outcome, decisions)
+let run_consensus = Engine.run_consensus
+let run_deciding = Engine.run_deciding
 
 type aggregate = {
   trials : int;
@@ -74,34 +25,31 @@ type aggregate = {
   space : int;
 }
 
-let empty_aggregate =
-  { trials = 0; agreements = 0; failures = []; total_works = []; individual_works = []; space = 0 }
+(* The legacy lists were built by pushing seeds in ascending order onto
+   list heads, i.e. seed-descending; reverse the engine's canonical
+   (ascending) order to preserve that. *)
+let of_engine (a : Engine.aggregate) =
+  { trials = a.Engine.trials;
+    agreements = a.Engine.agreements;
+    failures = List.rev a.Engine.failures;
+    total_works = List.rev_map (fun s -> s.Engine.s_total) a.Engine.samples;
+    individual_works = List.rev_map (fun s -> s.Engine.s_indiv) a.Engine.samples;
+    space = a.Engine.space }
 
-let accumulate acc seed (o : outcome) =
-  { trials = acc.trials + 1;
-    agreements = (acc.agreements + if o.agreed then 1 else 0);
-    failures =
-      (match o.safety with
-       | Ok () -> acc.failures
-       | Error reason -> (seed, reason) :: acc.failures);
-    total_works = o.total_work :: acc.total_works;
-    individual_works = o.individual_work :: acc.individual_works;
-    space = max acc.space o.registers }
+let trials_consensus ?max_steps ?cheap_collect ?jobs ~n ~m ~adversary ~workload
+    ~seeds protocol =
+  of_engine
+    (Engine.run_spec ?jobs
+       (Plan.spec ?max_steps ?cheap_collect ~sid:"trials"
+          ~runner:(Plan.Consensus protocol) ~adversary ~workload ~n ~m ~seeds ()))
 
-let trials_consensus ?max_steps ?cheap_collect ~n ~m ~adversary ~workload ~seeds protocol =
-  List.fold_left
-    (fun acc seed ->
-      let inputs = workload.Workload.generate ~n ~m (Rng.create (seed lxor 0x5eed)) in
-      let o = run_consensus ?max_steps ?cheap_collect ~n ~adversary ~inputs ~seed protocol in
-      accumulate acc seed o)
-    empty_aggregate seeds
+let trials_deciding ?max_steps ?cheap_collect ?jobs ~n ~m ~adversary ~workload
+    ~seeds factory =
+  of_engine
+    (Engine.run_spec ?jobs
+       (Plan.spec ?max_steps ?cheap_collect ~sid:"trials"
+          ~runner:(Plan.Deciding factory) ~adversary ~workload ~n ~m ~seeds ()))
 
-let trials_deciding ?max_steps ?cheap_collect ~n ~m ~adversary ~workload ~seeds factory =
-  List.fold_left
-    (fun acc seed ->
-      let inputs = workload.Workload.generate ~n ~m (Rng.create (seed lxor 0x5eed)) in
-      let o, _ = run_deciding ?max_steps ?cheap_collect ~n ~adversary ~inputs ~seed factory in
-      accumulate acc seed o)
-    empty_aggregate seeds
+let seeds = Plan.seeds
 
-let seeds ?(base = 424242) k = List.init k (fun i -> base + i)
+let workload_rng = Plan.workload_rng

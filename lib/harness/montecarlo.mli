@@ -1,8 +1,14 @@
 (** The Monte-Carlo trial runner: execute a protocol many times under a
     given adversary and workload, check every execution against the
-    safety specification, and collect work samples. *)
+    safety specification, and collect work samples.
 
-type outcome = {
+    Since the plan/engine refactor this module is a thin shim: a
+    [trials_*] call builds a one-spec {!Plan} and hands it to
+    {!Engine.run_spec}.  It remains the convenient entry point for
+    tests and one-off sweeps; experiments build multi-spec plans
+    directly. *)
+
+type outcome = Engine.outcome = {
   inputs : int array;
   outputs : int option array;
   agreed : bool;           (** all finished processes returned one value *)
@@ -56,6 +62,7 @@ type aggregate = {
 val trials_consensus :
   ?max_steps:int ->
   ?cheap_collect:bool ->
+  ?jobs:int ->
   n:int ->
   m:int ->
   adversary:Conrat_sim.Adversary.t ->
@@ -67,6 +74,7 @@ val trials_consensus :
 val trials_deciding :
   ?max_steps:int ->
   ?cheap_collect:bool ->
+  ?jobs:int ->
   n:int ->
   m:int ->
   adversary:Conrat_sim.Adversary.t ->
@@ -74,7 +82,15 @@ val trials_deciding :
   seeds:int list ->
   Conrat_objects.Deciding.factory ->
   aggregate
+(** [jobs] (default 1) runs the trials on a domain pool via
+    {!Engine.run_plan}; the aggregate is identical for every [jobs]
+    value. *)
 
 val seeds : ?base:int -> int -> int list
 (** [seeds k] = the [k] standard seeds [base, base+1, …] (default base
     424242). *)
+
+val workload_rng : int -> Conrat_sim.Rng.t
+(** The workload-input stream for a trial seed (re-export of
+    {!Plan.workload_rng}); the CLI's [run] subcommand uses the same
+    derivation, so a sweep trial can be reproduced by seed. *)

@@ -1,0 +1,56 @@
+open Conrat_sim
+
+type runner =
+  | Consensus of Conrat_core.Consensus.factory
+  | Deciding of Conrat_objects.Deciding.factory
+  | Probed of (unit -> Conrat_core.Consensus.factory * (unit -> int))
+
+type spec = {
+  sid : string;
+  runner : runner;
+  adversary : Adversary.t;
+  workload : Workload.t;
+  n : int;
+  m : int;
+  seeds : int list;
+  max_steps : int option;
+  cheap_collect : bool;
+}
+
+type t = {
+  pname : string;
+  specs : spec list;
+}
+
+let spec ?max_steps ?(cheap_collect = false) ~sid ~runner ~adversary ~workload
+    ~n ~m ~seeds () =
+  if n <= 0 then invalid_arg "Plan.spec: n must be positive";
+  if seeds = [] then invalid_arg "Plan.spec: empty seed list";
+  { sid; runner; adversary; workload; n; m; seeds; max_steps; cheap_collect }
+
+let make ~name specs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem tbl s.sid then
+        invalid_arg (Printf.sprintf "Plan.make: duplicate spec id %S" s.sid);
+      Hashtbl.add tbl s.sid ())
+    specs;
+  { pname = name; specs }
+
+let runner_name = function
+  | Consensus f -> f.Conrat_core.Consensus.name
+  | Deciding f -> f.Conrat_objects.Deciding.fname
+  | Probed mk ->
+    let f, _ = mk () in
+    f.Conrat_core.Consensus.name
+
+let trial_count p =
+  List.fold_left (fun acc s -> acc + List.length s.seeds) 0 p.specs
+
+let seeds ?(base = 424242) k = List.init k (fun i -> base + i)
+
+(* The one place the workload-input stream is derived from the trial
+   seed; the harness and the CLI must agree on this or `run` would not
+   reproduce a sweep's trial. *)
+let workload_rng seed = Rng.create (seed lxor 0x5eed)

@@ -272,6 +272,29 @@ let test_scheduler_counts_ops () =
   checki "reads counted" 6 (Metrics.reads result.metrics);
   checki "writes counted" 3 (Metrics.writes result.metrics)
 
+let test_metrics_merge () =
+  let record_ops n ops =
+    let m = Metrics.create ~n in
+    List.iter (fun (pid, kind) -> Metrics.record m ~pid kind) ops;
+    m
+  in
+  let a = record_ops 2 [ (0, Op.Read_op); (1, Op.Write_op); (1, Op.Prob_write_op) ] in
+  let b = record_ops 3 [ (2, Op.Read_op); (0, Op.Collect_op) ] in
+  let m = Metrics.merge a b in
+  checki "total" 5 (Metrics.total m);
+  checki "individual" 2 (Metrics.individual m);
+  checki "reads" 2 (Metrics.reads m);
+  checki "writes" 1 (Metrics.writes m);
+  checki "prob writes" 1 (Metrics.prob_writes m);
+  checki "collects" 1 (Metrics.collects m);
+  check Alcotest.(array int) "per-pid aligned, zero-extended" [| 2; 2; 1 |]
+    (Metrics.per_process m);
+  (* commutative, identity = empty accounting *)
+  check Alcotest.(array int) "commutative" (Metrics.per_process m)
+    (Metrics.per_process (Metrics.merge b a));
+  checki "identity" (Metrics.total a)
+    (Metrics.total (Metrics.merge a (Metrics.create ~n:0)))
+
 let test_scheduler_read_after_write () =
   let result =
     run_simple ~n:1 (fun shared ~pid:_ ~rng:_ ->
@@ -682,6 +705,7 @@ let () =
       ( "scheduler",
         [ tc "runs all" `Quick test_scheduler_runs_all;
           tc "counts ops" `Quick test_scheduler_counts_ops;
+          tc "metrics merge" `Quick test_metrics_merge;
           tc "read after write" `Quick test_scheduler_read_after_write;
           tc "prob write p=1" `Quick test_scheduler_prob_write_p1;
           tc "prob write p=0" `Quick test_scheduler_prob_write_p0;
