@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke verify check bench clean
 
 all: build
 
@@ -18,7 +18,20 @@ smoke:
 	$(DUNE) exec bin/conrat_cli.exe -- experiment --quick E1 --jobs 2 --json
 	@test -s BENCH_E1.json && echo "smoke: BENCH_E1.json written"
 
-check: build test smoke
+# Exhaustive safety verification of every registered checker config
+# under the POR engine, within a wall-clock budget (seconds).  The
+# cheap configs and the raised bounds (binary ratifier n=4, fallback
+# depth 28) exhaust comfortably inside it; the depth-34 fallback bound
+# runs until the budget and stops cleanly.  On violation the CLI exits
+# 1 and leaves <name>.counterexample.sexp in VERIFY_DIR for CI to
+# upload.
+VERIFY_BUDGET ?= 120
+VERIFY_DIR ?= .
+verify:
+	$(DUNE) exec bin/conrat_cli.exe -- check all \
+	  --budget $(VERIFY_BUDGET) --artifact-dir $(VERIFY_DIR)
+
+check: build test smoke verify
 
 bench:
 	$(DUNE) exec bench/main.exe -- quick

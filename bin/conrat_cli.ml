@@ -4,6 +4,7 @@
      run         — run one consensus execution and print the outcome
      experiment  — run the E1..E10 paper-claim reproductions
      sweep       — Monte-Carlo sweep of a protocol at one configuration
+     check       — exhaustively verify a named checker configuration
      list        — list protocols, adversaries, workloads, experiments
 *)
 
@@ -169,6 +170,162 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc:"Run the paper-claim reproductions (E1..E10)")
     Term.(const action $ quick_arg $ jobs_arg $ json_arg $ names_arg)
 
+(* check *)
+
+let check_cmd =
+  let open Conrat_verify in
+  let action naive cross budget max_runs artifact_dir replay names =
+    match replay with
+    | Some file ->
+      (match Artifact.load file with
+       | Error msg ->
+         Printf.eprintf "conrat: cannot load artifact %s: %s\n" file msg;
+         exit 2
+       | Ok artifact ->
+         (match Checks.find artifact.Artifact.checker with
+          | None ->
+            Printf.eprintf "conrat: artifact names unknown checker %s\n"
+              artifact.Artifact.checker;
+            exit 2
+          | Some config ->
+            (match Checks.replay config artifact with
+             | Error reason ->
+               Printf.printf "%s: reproduced: %s\n" artifact.Artifact.checker reason
+             | Ok () ->
+               Printf.printf "%s: did NOT reproduce (checker passed)\n"
+                 artifact.Artifact.checker;
+               exit 1)))
+    | None ->
+      let names = if names = [] || names = [ "all" ] then Checks.names else names in
+      (match List.find_opt (fun n -> Checks.find n = None) names with
+       | Some bad ->
+         Printf.eprintf "conrat: unknown checker %s (expected %s or 'all')\n" bad
+           (String.concat ", " (Checks.names @ Checks.demo_names));
+         exit 2
+       | None -> ());
+      let t0 = Unix.gettimeofday () in
+      let stop () =
+        match budget with
+        | None -> false
+        | Some s -> Unix.gettimeofday () -. t0 > s
+      in
+      let max_runs_of config =
+        match max_runs with Some r -> r | None -> config.Checks.max_runs
+      in
+      let failed = ref false in
+      let report_por name (s : Por.stats) elapsed =
+        Printf.printf
+          "%-26s explored=%d (complete=%d truncated=%d) pruned=%d %s (%.1fs)\n%!"
+          name (Por.explored s) s.complete s.truncated s.pruned
+          (if s.exhausted then "exhausted"
+           else if stop () then "BUDGET EXCEEDED"
+           else "run budget exceeded")
+          elapsed
+      in
+      List.iter
+        (fun name ->
+          let config = Option.get (Checks.find name) in
+          let t1 = Unix.gettimeofday () in
+          let elapsed () = Unix.gettimeofday () -. t1 in
+          if cross then begin
+            match Checks.cross_check ~stop ~max_runs:(max_runs_of config) config with
+            | Ok x ->
+              Printf.printf
+                "%-26s naive=%d/%d por=%d/%d pruned=%d outcomes=%d %s (%.1fs)\n%!"
+                name x.Checks.naive.Naive.complete x.naive.truncated
+                x.por.Por.complete x.por.truncated x.por.pruned x.outcome_count
+                (if x.outcomes_agree then "AGREE" else "MISMATCH")
+                (elapsed ());
+              if not x.outcomes_agree then failed := true
+            | Error reason ->
+              Printf.printf "%-26s VIOLATION: %s\n%!" name reason;
+              failed := true
+          end
+          else if naive then begin
+            match
+              Naive.explore ~max_depth:config.Checks.max_depth
+                ~max_runs:(max_runs_of config)
+                ~cheap_collect:config.Checks.cheap_collect ~stop
+                ~n:config.Checks.n
+                ~setup:(Checks.setup_of config ~n:config.Checks.n)
+                ~check:(Checks.check_of config ~n:config.Checks.n)
+                ()
+            with
+            | Ok s ->
+              Printf.printf "%-26s explored=%d (complete=%d truncated=%d) %s (%.1fs)\n%!"
+                name (s.Naive.complete + s.truncated) s.complete s.truncated
+                (if s.exhausted then "exhausted" else "budget exceeded")
+                (elapsed ())
+            | Error (reason, _) ->
+              (* The naive engine reports but cannot shrink (it does not
+                 return the failing path); re-run without --naive for an
+                 artifact. *)
+              Printf.printf "%-26s VIOLATION: %s\n%!" name reason;
+              failed := true
+          end
+          else begin
+            match Checks.run ~stop ~max_runs:(max_runs_of config) config with
+            | Ok s -> report_por name s (elapsed ())
+            | Error f ->
+              let file =
+                Filename.concat artifact_dir (name ^ ".counterexample.sexp")
+              in
+              Artifact.save file f.Checks.artifact;
+              Printf.printf "%-26s VIOLATION: %s\n" name f.Checks.reason;
+              Printf.printf
+                "  after %d executions; shrunk to n=%d, %d choices \
+                 (%d shrink replays)\n"
+                (Por.explored f.Checks.stats) f.Checks.artifact.Artifact.n
+                (List.length f.Checks.artifact.Artifact.path)
+                f.Checks.shrink_replays;
+              Printf.printf "  counterexample written to %s\n%!" file;
+              failed := true
+          end)
+        names;
+      if !failed then exit 1
+  in
+  let naive_arg =
+    Arg.(value & flag
+         & info [ "naive" ]
+             ~doc:"Use the unreduced enumerator instead of the POR engine.")
+  in
+  let cross_arg =
+    Arg.(value & flag
+         & info [ "cross" ]
+             ~doc:"Run both engines and compare complete-execution outcome sets.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "budget" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget across all requested checkers; exploration \
+                   stops cleanly (reported as not exhausted) when exceeded.")
+  in
+  let max_runs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-runs" ] ~docv:"RUNS"
+             ~doc:"Override each config's execution budget.")
+  in
+  let artifact_dir_arg =
+    Arg.(value & opt string "."
+         & info [ "artifact-dir" ] ~docv:"DIR"
+             ~doc:"Where to write <name>.counterexample.sexp on failure.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a counterexample artifact instead of exploring; exits 0 \
+                   iff the violation reproduces.")
+  in
+  let names_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"CHECKER" ~doc:"Checker config names, or 'all'.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exhaustively verify named checker configs (POR engine by default)")
+    Term.(const action $ naive_arg $ cross_arg $ budget_arg $ max_runs_arg
+          $ artifact_dir_arg $ replay_arg $ names_arg)
+
 (* list *)
 
 let list_cmd =
@@ -176,11 +333,16 @@ let list_cmd =
     Printf.printf "protocols:   %s\n" (String.concat ", " protocol_names);
     Printf.printf "adversaries: %s\n" (String.concat ", " adversary_names);
     Printf.printf "workloads:   %s\n" (String.concat ", " workload_names);
-    Printf.printf "experiments: %s\n" (String.concat ", " Experiments.all_names)
+    Printf.printf "experiments: %s\n" (String.concat ", " Experiments.all_names);
+    Printf.printf "checkers:    %s\n" (String.concat ", " Conrat_verify.Checks.names);
+    Printf.printf "checker demos (expected-fail): %s\n"
+      (String.concat ", " Conrat_verify.Checks.demo_names)
   in
   Cmd.v (Cmd.info "list" ~doc:"List available components") Term.(const action $ const ())
 
 let () =
   let doc = "modular shared-memory consensus (conciliators + ratifiers), Aspnes PODC 2010" in
   let info = Cmd.info "conrat" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; experiment_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; sweep_cmd; experiment_cmd; check_cmd; list_cmd ]))

@@ -12,6 +12,84 @@ let encode ~m ~round ~value ~mark =
 
 let decode ~m x = (x / 3 / m, x / 3 mod m, mark_of_code (x mod 3))
 
+(* The first, UNSOUND version of the decision rule (DESIGN.md §7), kept
+   as a test double: decide directly from one collect, with no candidate
+   phase and no mark-blocking, so a process can compute its decision
+   from a stale collect, stall, and publish after a rival has
+   legitimately expired its entry and decided the other value.  The
+   explorer suite and the committed fixture in test/fixtures/ prove the
+   checker still catches exactly this. *)
+let racing_unstaked ~m ?(advance_p = 0.5) () =
+  let fname = Printf.sprintf "racing_fallback_unstaked(m=%d)" m in
+  Deciding.make_factory fname (fun ~n memory ->
+    let regs = Memory.alloc_n memory n in
+    Deciding.instance fname ~space:n (fun ~pid ~rng:_ v ->
+      let collect () =
+        Array.init n (fun q ->
+          match Proc.read regs.(q) with
+          | Some x -> Some (decode ~m x)
+          | None -> None)
+      in
+      let publish ~round ~value ~mark =
+        Proc.write regs.(pid) (encode ~m ~round ~value ~mark)
+      in
+      publish ~round:1 ~value:v ~mark:None_;
+      let rec loop () =
+        let entries = collect () in
+        let winner = ref None in
+        Array.iter
+          (function
+            | Some (_, value, Decided) when !winner = None -> winner := Some value
+            | Some _ | None -> ())
+          entries;
+        match !winner with
+        | Some value -> { Deciding.decide = true; value }
+        | None ->
+          let my_round, my_value, _ =
+            match entries.(pid) with
+            | Some e -> e
+            | None -> assert false
+          in
+          let conflict = ref false in
+          let max_round = ref my_round in
+          Array.iter
+            (function
+              | Some (round, value, _) ->
+                if round > !max_round then max_round := round;
+                (* BUG (intentional): only the live window blocks; a
+                   rival sitting on a pending decision is invisible. *)
+                if round >= my_round - 1 && value <> my_value then conflict := true
+              | None -> ())
+            entries;
+          if !max_round > my_round then begin
+            let lead_value = ref my_value in
+            (try
+               Array.iter
+                 (function
+                   | Some (round, value, _) when round = !max_round ->
+                     lead_value := value;
+                     raise Exit
+                   | Some _ | None -> ())
+                 entries
+             with Exit -> ());
+            publish ~round:!max_round ~value:!lead_value ~mark:None_;
+            loop ()
+          end
+          else if not !conflict then begin
+            (* BUG (intentional): publish Decided straight from the
+               stale collect — no candidate stake, no re-collect. *)
+            publish ~round:my_round ~value:my_value ~mark:Decided;
+            { Deciding.decide = true; value = my_value }
+          end
+          else begin
+            Proc.prob_write regs.(pid)
+              (encode ~m ~round:(my_round + 1) ~value:my_value ~mark:None_)
+              ~p:advance_p;
+            loop ()
+          end
+      in
+      loop ()))
+
 let racing ~m ?(advance_p = 0.5) () =
   let fname = Printf.sprintf "racing_fallback(m=%d)" m in
   Deciding.make_factory fname (fun ~n memory ->

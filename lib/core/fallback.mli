@@ -50,6 +50,16 @@ val racing : m:int -> ?advance_p:float -> unit -> Conrat_objects.Deciding.factor
     values in [0, m).  [advance_p] is the round-advancement write
     probability (default 0.5). *)
 
+val racing_unstaked : m:int -> ?advance_p:float -> unit -> Conrat_objects.Deciding.factory
+(** {b KNOWN-UNSOUND test double} — the first version of {!racing}'s
+    decision rule (DESIGN.md §7), which decides straight from one
+    collect with no candidate phase: a process can compute its decision
+    from a stale collect, stall, and publish [Decided] after a rival
+    has legitimately expired its unmarked entry and decided the other
+    value.  Kept only so the verification suite can prove the checkers
+    and the committed counterexample fixture still catch the historical
+    bug; never compose it into a real protocol. *)
+
 type mark = None_ | Candidate | Decided
 
 val encode : m:int -> round:int -> value:int -> mark:mark -> int

@@ -4,36 +4,52 @@ type stats = {
   exhausted : bool;
 }
 
+type 'r run = {
+  outputs : 'r option array;
+  completed : bool;
+  branches : (int * int) list;
+  trace : Trace.t option;
+}
+
 (* Apply an operation whose coin outcome (for probabilistic writes) has
-   already been decided by the explorer. *)
+   already been decided by the explorer.  Also returns what a read
+   observed, for trace recording. *)
 let apply_det :
-  type a. cheap_collect:bool -> landed:bool -> Memory.t -> a Op.t -> a =
+  type a. cheap_collect:bool -> landed:bool -> Memory.t -> a Op.t -> a * int option =
   fun ~cheap_collect ~landed memory op ->
   match op with
-  | Op.Read l -> Memory.read memory l
+  | Op.Read l ->
+    let v = Memory.read memory l in
+    (v, v)
   | Op.Write (l, v) ->
-    Memory.write memory l v
+    (Memory.write memory l v, None)
   | Op.Prob_write (l, v, _) ->
-    if landed then Memory.write memory l v
+    if landed then Memory.write memory l v;
+    ((), None)
   | Op.Prob_write_detect (l, v, _) ->
     if landed then Memory.write memory l v;
-    landed
+    (landed, None)
   | Op.Collect (l, len) ->
     if not cheap_collect then raise Scheduler.Collect_disallowed;
-    Array.init len (fun i -> Memory.read memory (l + i))
+    (Array.init len (fun i -> Memory.read memory (l + i)), None)
 
 (* Run one execution following [path] (list of branch choices); choices
-   beyond the path default to 0.  Returns the outputs, whether the
-   execution completed, and the branch points actually encountered as
-   (chosen, arity) pairs in order.  Branch points of arity 1 are not
-   recorded. *)
-let run_path ~max_depth ~cheap_collect ~n ~setup path =
+   beyond the path default to 0, and out-of-range choices are clamped to
+   0 so that a schedule recorded against one protocol can be replayed
+   against another (e.g. a fixed protocol vs the buggy test double it
+   was found on).  Returns the outputs, whether the execution completed,
+   and the branch points actually encountered as (chosen, arity) pairs
+   in order.  Branch points of arity 1 are not recorded. *)
+let run_path ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
+    ~n ~setup path =
   let memory, body = setup () in
   let statuses = Array.init n (fun pid -> Fiber.spawn (fun () -> body ~pid)) in
+  let trace = if record then Some (Trace.create ()) else None in
   let recorded = ref [] in
   let remaining = ref path in
   let take arity =
     let chosen = match !remaining with c :: tl -> remaining := tl; c | [] -> 0 in
+    let chosen = if chosen < 0 || chosen >= arity then 0 else chosen in
     recorded := (chosen, arity) :: !recorded;
     chosen
   in
@@ -47,12 +63,12 @@ let run_path ~max_depth ~cheap_collect ~n ~setup path =
     !pids
   in
   let depth = ref 0 in
-  let complete = ref false in
+  let completed = ref false in
   let running = ref true in
   while !running do
     match enabled () with
     | [] ->
-      complete := true;
+      completed := true;
       running := false
     | en ->
       if !depth >= max_depth then running := false
@@ -70,7 +86,12 @@ let run_path ~max_depth ~cheap_collect ~n ~setup path =
              | Some _ -> take 2 = 0
              | None -> Op.is_write (Op.Any op)
            in
-           let result = apply_det ~cheap_collect ~landed memory op in
+           let result, observed = apply_det ~cheap_collect ~landed memory op in
+           Option.iter
+             (fun t ->
+               Trace.add t
+                 { Trace.step = !depth; pid; op = Op.Any op; landed; observed })
+             trace;
            statuses.(pid) <- Fiber.resume k result);
         incr depth
       end
@@ -78,7 +99,7 @@ let run_path ~max_depth ~cheap_collect ~n ~setup path =
   let outputs =
     Array.map (function Fiber.Finished r -> Some r | Fiber.Running _ -> None) statuses
   in
-  (outputs, !complete, List.rev !recorded)
+  { outputs; completed = !completed; branches = List.rev !recorded; trace }
 
 (* The lexicographically next unexplored path after [recorded]: bump the
    deepest branch point that still has an untried alternative and drop
@@ -94,7 +115,7 @@ let next_path recorded =
   go (List.rev recorded)
 
 let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
-    ~n ~setup ~check () =
+    ?(stop = fun () -> false) ~n ~setup ~check () =
   let complete_count = ref 0 in
   let truncated_count = ref 0 in
   let runs = ref 0 in
@@ -102,17 +123,15 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     { complete = !complete_count; truncated = !truncated_count; exhausted }
   in
   let rec go path =
-    if !runs >= max_runs then Ok (stats false)
+    if !runs >= max_runs || stop () then Ok (stats false)
     else begin
       incr runs;
-      let outputs, complete, recorded =
-        run_path ~max_depth ~cheap_collect ~n ~setup path
-      in
-      if complete then incr complete_count else incr truncated_count;
-      match check ~complete outputs with
+      let r = run_path ~max_depth ~cheap_collect ~n ~setup path in
+      if r.completed then incr complete_count else incr truncated_count;
+      match check ~complete:r.completed r.outputs with
       | Error reason -> Error (reason, stats false)
       | Ok () ->
-        (match next_path recorded with
+        (match next_path r.branches with
          | None -> Ok (stats true)
          | Some path' -> go path')
     end

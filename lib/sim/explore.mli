@@ -7,6 +7,14 @@
     and 1.  Safety properties checked over this tree are therefore
     {e proved} for that instance, not merely tested.
 
+    This module is the naive (unreduced) enumerator and the shared
+    path-execution core.  The full verification subsystem — the
+    sleep-set partial-order-reduced explorer, the counterexample
+    shrinker, and serializable schedule artifacts — lives in the
+    [Conrat_verify] library, which re-exports this module as
+    [Conrat_verify.Naive] and uses {!run_path} for deterministic
+    replay.
+
     This only covers protocols whose randomness consists entirely of
     probabilistic writes (true for the ratifier, which is deterministic,
     for the impatient conciliator, and for the bounded-space fallback);
@@ -25,10 +33,37 @@ type stats = {
   exhausted : bool;     (** the whole tree fit within [max_runs] *)
 }
 
+type 'r run = {
+  outputs : 'r option array;      (** per-process results; [None] = unfinished *)
+  completed : bool;               (** all processes returned within [max_depth] *)
+  branches : (int * int) list;    (** (chosen, arity) at each branch point met *)
+  trace : Trace.t option;         (** present iff [record] was set *)
+}
+
+val run_path :
+  ?record:bool ->
+  ?max_depth:int ->
+  ?cheap_collect:bool ->
+  n:int ->
+  setup:(unit -> Memory.t * (pid:int -> 'r)) ->
+  int list ->
+  'r run
+(** [run_path ~n ~setup path] deterministically executes the single
+    path described by [path]: each element resolves one branch point in
+    order — an index into the ascending-pid enabled list at scheduling
+    points with ≥ 2 enabled processes, and [0] (landed) / [1] (missed)
+    at probabilistic writes with [0 < p < 1].  Choices beyond the end
+    of [path] default to 0, and out-of-range choices clamp to 0, so any
+    integer list is a valid schedule for any protocol — the basis for
+    replayable counterexample artifacts and delta-debugging shrinks.
+    Scheduling points with a single enabled process consume no path
+    element and are not recorded in [branches]. *)
+
 val explore :
   ?max_depth:int ->
   ?max_runs:int ->
   ?cheap_collect:bool ->
+  ?stop:(unit -> bool) ->
   n:int ->
   setup:(unit -> Memory.t * (pid:int -> 'r)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
@@ -39,4 +74,6 @@ val explore :
     (each path re-executes from scratch — continuations are one-shot).
     [check] is called at the end of every path; the first [Error] aborts
     the search and is returned together with the statistics so far.
+    [stop] is polled before each execution; returning [true] ends the
+    search early with [exhausted = false] (used for wall-clock budgets).
     Defaults: [max_depth = 200], [max_runs = 2_000_000]. *)

@@ -46,6 +46,40 @@ let is_write any =
   | Write_op | Prob_write_op -> true
   | Read_op | Collect_op -> false
 
+let to_sexp (Any op) =
+  let open Sexp in
+  match op with
+  | Read l -> List [ Atom "read"; of_int l ]
+  | Write (l, v) -> List [ Atom "write"; of_int l; of_int v ]
+  | Prob_write (l, v, p) -> List [ Atom "prob-write"; of_int l; of_int v; of_float p ]
+  | Prob_write_detect (l, v, p) ->
+    List [ Atom "prob-write-detect"; of_int l; of_int v; of_float p ]
+  | Collect (l, len) -> List [ Atom "collect"; of_int l; of_int len ]
+
+let of_sexp sexp =
+  let open Sexp in
+  let err () = Error (Printf.sprintf "Op.of_sexp: bad operation %s" (to_string sexp)) in
+  match sexp with
+  | List [ Atom "read"; l ] ->
+    (match to_int l with Some l -> Ok (Any (Read l)) | None -> err ())
+  | List [ Atom "write"; l; v ] ->
+    (match (to_int l, to_int v) with
+     | Some l, Some v -> Ok (Any (Write (l, v)))
+     | _ -> err ())
+  | List [ Atom "prob-write"; l; v; p ] ->
+    (match (to_int l, to_int v, to_float p) with
+     | Some l, Some v, Some p -> Ok (Any (Prob_write (l, v, p)))
+     | _ -> err ())
+  | List [ Atom "prob-write-detect"; l; v; p ] ->
+    (match (to_int l, to_int v, to_float p) with
+     | Some l, Some v, Some p -> Ok (Any (Prob_write_detect (l, v, p)))
+     | _ -> err ())
+  | List [ Atom "collect"; l; len ] ->
+    (match (to_int l, to_int len) with
+     | Some l, Some len -> Ok (Any (Collect (l, len)))
+     | _ -> err ())
+  | _ -> err ()
+
 let pp ppf (Any op) =
   match op with
   | Read l -> Format.fprintf ppf "read[%d]" l

@@ -53,4 +53,9 @@ val prob : any -> prob option
 val is_write : any -> bool
 (** Whether the operation can modify memory. *)
 
+val to_sexp : any -> Sexp.t
+val of_sexp : Sexp.t -> (any, string) result
+(** Serialization for schedule artifacts: [of_sexp (to_sexp op)]
+    reconstructs the operation exactly (floats round-trip). *)
+
 val pp : Format.formatter -> any -> unit

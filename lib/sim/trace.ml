@@ -39,6 +39,48 @@ let equal t1 t2 =
   && (let rec go i = i >= t1.len || (event_equal t1.events.(i) t2.events.(i) && go (i + 1)) in
       go 0)
 
+let event_to_sexp e =
+  let open Sexp in
+  List
+    [ of_int e.step;
+      of_int e.pid;
+      Op.to_sexp e.op;
+      of_bool e.landed;
+      (match e.observed with None -> List [] | Some v -> List [ of_int v ]) ]
+
+let event_of_sexp sexp =
+  let open Sexp in
+  let err () =
+    Error (Printf.sprintf "Trace.event_of_sexp: bad event %s" (to_string sexp))
+  in
+  match sexp with
+  | List [ step; pid; op; landed; observed ] ->
+    (match (to_int step, to_int pid, Op.of_sexp op, to_bool landed, observed) with
+     | Some step, Some pid, Ok op, Some landed, List [] ->
+       Ok { step; pid; op; landed; observed = None }
+     | Some step, Some pid, Ok op, Some landed, List [ v ] ->
+       (match to_int v with
+        | Some v -> Ok { step; pid; op; landed; observed = Some v }
+        | None -> err ())
+     | _ -> err ())
+  | _ -> err ()
+
+let to_sexp t = Sexp.List (List.map event_to_sexp (events t))
+
+let of_sexp sexp =
+  match sexp with
+  | Sexp.List items ->
+    let t = create () in
+    let rec go = function
+      | [] -> Ok t
+      | item :: rest ->
+        (match event_of_sexp item with
+         | Ok e -> add t e; go rest
+         | Error _ as e -> e)
+    in
+    go items
+  | Sexp.Atom _ -> Error "Trace.of_sexp: expected a list of events"
+
 let pp_event ppf e =
   Format.fprintf ppf "#%d p%d %a%s%s" e.step e.pid Op.pp e.op
     (if e.landed then "!" else "")

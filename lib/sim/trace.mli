@@ -26,5 +26,14 @@ val get : t -> int -> event
 val equal : t -> t -> bool
 (** Structural equality of whole traces (used by determinism tests). *)
 
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> (t, string) result
+(** Serialization as a list of [(step pid op landed observed)] events —
+    the schedule half of a counterexample artifact.  Round-trips
+    exactly: [of_sexp (to_sexp t)] is {!equal} to [t]. *)
+
+val event_to_sexp : event -> Sexp.t
+val event_of_sexp : Sexp.t -> (event, string) result
+
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit

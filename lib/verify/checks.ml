@@ -1,0 +1,214 @@
+open Conrat_sim
+open Conrat_objects
+
+type property =
+  | Weak_consensus
+  | Valid_coherent
+  | Deciders_agree
+
+type t = {
+  name : string;
+  doc : string;
+  factory : Deciding.factory;
+  n : int;
+  inputs : int array;
+  property : property;
+  max_depth : int;
+  max_runs : int;
+  cheap_collect : bool;
+}
+
+let check_of_property property ~inputs ~complete outputs =
+  match property with
+  | Weak_consensus ->
+    Spec.all
+      [ Spec.validity_decided ~inputs ~outputs;
+        Spec.coherence ~outputs;
+        (if complete then Spec.acceptance ~inputs ~outputs else Ok ()) ]
+  | Valid_coherent ->
+    Spec.all [ Spec.validity_decided ~inputs ~outputs; Spec.coherence ~outputs ]
+  | Deciders_agree ->
+    Spec.all
+      [ Spec.validity_decided ~inputs ~outputs;
+        Spec.coherence ~outputs;
+        Spec.agreement ~outputs:(Array.map (Option.map snd) outputs) ]
+
+(* A fresh rng per instance: the explorer only branches probabilistic
+   writes, so checked protocols must not consume local coins — the rng
+   is a placeholder, recreated per run for deterministic replay. *)
+let setup_of config ~n () =
+  let rng = Rng.create 0 in
+  let memory = Memory.create () in
+  let instance = config.factory.Deciding.instantiate ~n memory in
+  let inputs = Array.sub config.inputs 0 n in
+  let body ~pid =
+    let out = instance.Deciding.run ~pid ~rng inputs.(pid) in
+    (out.Deciding.decide, out.Deciding.value)
+  in
+  (memory, body)
+
+let check_of config ~n ~complete outputs =
+  check_of_property config.property ~inputs:(Array.sub config.inputs 0 n)
+    ~complete outputs
+
+let target_of config =
+  { Shrink.n = config.n;
+    max_depth = config.max_depth;
+    cheap_collect = config.cheap_collect;
+    setup = setup_of config;
+    check = check_of config }
+
+(* ------------------------------------------------------------------ *)
+(* The registry                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let config ?(max_depth = 200) ?(max_runs = 20_000_000) ?(cheap_collect = false)
+    ~doc ~factory ~inputs ~property name =
+  { name; doc; factory; n = Array.length inputs; inputs; property;
+    max_depth; max_runs; cheap_collect }
+
+let all =
+  [ config "binary_ratifier_n2"
+      ~doc:"3-register binary ratifier, n=2, conflicting inputs"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1 |] ~property:Weak_consensus;
+    config "binary_ratifier_n3"
+      ~doc:"binary ratifier, n=3, split inputs"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1; 0 |] ~property:Weak_consensus;
+    config "binary_ratifier_accept_n3"
+      ~doc:"binary ratifier, n=3, agreeing inputs (acceptance)"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 1; 1; 1 |] ~property:Weak_consensus;
+    config "binary_ratifier_n4"
+      ~doc:"binary ratifier, n=4, alternating inputs (POR-only bound)"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1; 0; 1 |] ~property:Weak_consensus
+      ~max_runs:200_000_000;
+    config "bollobas_ratifier_n3_m3"
+      ~doc:"Bollobás ratifier, n=3, three-way conflicting inputs"
+      ~factory:(Conrat_core.Ratifier.bollobas ~m:3)
+      ~inputs:[| 0; 1; 2 |] ~property:Weak_consensus;
+    config "cheap_collect_ratifier_n2"
+      ~doc:"cheap-collect ratifier (m=3), n=2"
+      ~factory:(Conrat_core.Ratifier.cheap_collect ~m:3)
+      ~inputs:[| 0; 1 |] ~property:Weak_consensus ~cheap_collect:true;
+    config "conciliator_n2"
+      ~doc:"impatient first-mover conciliator, n=2, depth 60"
+      ~factory:(Conrat_core.Conciliator.impatient_first_mover ())
+      ~inputs:[| 0; 1 |] ~property:Valid_coherent ~max_depth:60;
+    config "composite_n2"
+      ~doc:"one conciliator;ratifier round, n=2, depth 60"
+      ~factory:(Compose.seq_factory
+                  [ Conrat_core.Conciliator.impatient_first_mover ();
+                    Conrat_core.Ratifier.binary () ])
+      ~inputs:[| 0; 1 |] ~property:Valid_coherent ~max_depth:60;
+    config "fallback_n2_d28"
+      ~doc:"racing fallback, n=2, full tree to depth 28"
+      ~factory:(Conrat_core.Fallback.racing ~m:2 ())
+      ~inputs:[| 0; 1 |] ~property:Deciders_agree ~max_depth:28;
+    config "fallback_n2_d34"
+      ~doc:"racing fallback, n=2, full tree to depth 34 (POR-only bound)"
+      ~factory:(Conrat_core.Fallback.racing ~m:2 ())
+      ~inputs:[| 0; 1 |] ~property:Deciders_agree ~max_depth:34
+      ~max_runs:200_000_000 ]
+
+(* Expected-failure demos: excluded from [all]; runnable by name to
+   exercise the find → shrink → artifact pipeline end to end. *)
+let demos =
+  [ config "fallback_unstaked_n2"
+      ~doc:"KNOWN-UNSOUND unstaked fallback (§7 test double) — must fail"
+      ~factory:(Conrat_core.Fallback.racing_unstaked ~m:2 ())
+      ~inputs:[| 0; 1 |] ~property:Deciders_agree ~max_depth:28 ]
+
+let find name =
+  List.find_opt (fun c -> c.name = name) (all @ demos)
+
+let names = List.map (fun c -> c.name) all
+let demo_names = List.map (fun c -> c.name) demos
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  reason : string;
+  stats : Por.stats;
+  artifact : Artifact.t;
+  shrink_replays : int;
+}
+
+type outcome = (Por.stats, failure) result
+
+let run ?stop ?max_runs config =
+  let max_runs = Option.value max_runs ~default:config.max_runs in
+  let result =
+    Por.explore ~max_depth:config.max_depth ~max_runs
+      ~cheap_collect:config.cheap_collect ?stop ~n:config.n
+      ~setup:(setup_of config ~n:config.n)
+      ~check:(check_of config ~n:config.n)
+      ()
+  in
+  match result with
+  | Ok stats -> Ok stats
+  | Error (reason, path, stats) ->
+    let count = ref 0 in
+    let n, path = Shrink.minimize ~count (target_of config) ~path () in
+    let artifact =
+      Artifact.of_failure ~checker:config.name ~n
+        ~inputs:(Array.sub config.inputs 0 n) ~max_depth:config.max_depth
+        ~cheap_collect:config.cheap_collect ~setup:(setup_of config ~n)
+        ~check:(check_of config ~n) path
+    in
+    Error { reason; stats; artifact; shrink_replays = !count }
+
+let replay config artifact =
+  Artifact.replay ~setup:(setup_of config ~n:artifact.Artifact.n)
+    ~check:(check_of config ~n:artifact.Artifact.n)
+    artifact
+
+(* ------------------------------------------------------------------ *)
+(* Cross-checking POR against naive enumeration                        *)
+(* ------------------------------------------------------------------ *)
+
+type cross = {
+  naive : Naive.stats;
+  por : Por.stats;
+  outcomes_agree : bool;
+  outcome_count : int;
+}
+
+let cross_check ?stop ?max_runs config =
+  let max_runs = Option.value max_runs ~default:config.max_runs in
+  let collect () = Hashtbl.create 64 in
+  let noting outcomes ~complete outputs =
+    if complete && not (Hashtbl.mem outcomes outputs) then
+      Hashtbl.replace outcomes outputs ();
+    check_of config ~n:config.n ~complete outputs
+  in
+  let naive_outcomes = collect () in
+  let naive =
+    Naive.explore ~max_depth:config.max_depth ~max_runs
+      ~cheap_collect:config.cheap_collect ?stop ~n:config.n
+      ~setup:(setup_of config ~n:config.n)
+      ~check:(noting naive_outcomes) ()
+  in
+  let por_outcomes = collect () in
+  let por =
+    Por.explore ~max_depth:config.max_depth ~max_runs
+      ~cheap_collect:config.cheap_collect ?stop ~n:config.n
+      ~setup:(setup_of config ~n:config.n)
+      ~check:(noting por_outcomes) ()
+  in
+  match (naive, por) with
+  | Ok naive, Ok por ->
+    let agree =
+      Hashtbl.length naive_outcomes = Hashtbl.length por_outcomes
+      && Hashtbl.fold
+           (fun k () acc -> acc && Hashtbl.mem por_outcomes k)
+           naive_outcomes true
+    in
+    Ok { naive; por; outcomes_agree = agree;
+         outcome_count = Hashtbl.length naive_outcomes }
+  | Error (reason, _), _ -> Error ("naive: " ^ reason)
+  | _, Error (reason, _, _) -> Error ("por: " ^ reason)

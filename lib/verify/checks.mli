@@ -1,0 +1,81 @@
+(** Named checker configurations: the registry behind [conrat check].
+
+    A config pins everything an exhaustive run needs — protocol factory,
+    process count, inputs, depth bound, model flags, and which of the §3
+    safety properties to check on every leaf.  [run] explores it with
+    the {!Por} engine and, on violation, shrinks the witness with
+    {!Shrink} and freezes it into an {!Artifact}.  [cross_check] runs
+    the same config under both the naive enumerator and POR and compares
+    their complete-execution outcome sets — the empirical soundness
+    check required of every reduced exploration. *)
+
+type property =
+  | Weak_consensus
+      (** validity + coherence, plus acceptance on complete executions *)
+  | Valid_coherent
+      (** validity + coherence only (conciliators: agreement is
+          probabilistic, not universal) *)
+  | Deciders_agree
+      (** validity + coherence + agreement of output values (consensus
+          protocols where every output decides) *)
+
+type t = {
+  name : string;
+  doc : string;
+  factory : Conrat_objects.Deciding.factory;
+  n : int;
+  inputs : int array;            (** length [n] *)
+  property : property;
+  max_depth : int;
+  max_runs : int;                (** per-engine execution budget *)
+  cheap_collect : bool;
+}
+
+val all : t list
+(** Every config expected to pass, in increasing cost order; includes
+    the POR-only bounds (binary ratifier n=4, fallback depth 34). *)
+
+val demos : t list
+(** Expected-failure demos (the §7 unstaked fallback test double) —
+    runnable by name, excluded from {!all}. *)
+
+val names : string list
+val demo_names : string list
+val find : string -> t option
+
+val check_of :
+  t -> n:int -> complete:bool ->
+  (bool * int) option array -> (unit, string) result
+
+val setup_of :
+  t -> n:int -> unit ->
+  Conrat_sim.Memory.t * (pid:int -> bool * int)
+
+val target_of : t -> (bool * int) Shrink.target
+
+type failure = {
+  reason : string;          (** checker message on the original witness *)
+  stats : Por.stats;        (** exploration counts up to the violation *)
+  artifact : Artifact.t;    (** shrunk, replayable *)
+  shrink_replays : int;     (** executions spent shrinking *)
+}
+
+type outcome = (Por.stats, failure) result
+
+val run : ?stop:(unit -> bool) -> ?max_runs:int -> t -> outcome
+
+val replay : t -> Artifact.t -> (unit, string) result
+(** Replay an artifact under this config's factory and property (the
+    artifact's own [n]/[inputs]/bounds are used).  [Error _] means the
+    violation reproduced. *)
+
+type cross = {
+  naive : Naive.stats;
+  por : Por.stats;
+  outcomes_agree : bool;    (** complete-execution outcome sets equal *)
+  outcome_count : int;      (** distinct complete outcomes (naive) *)
+}
+
+val cross_check :
+  ?stop:(unit -> bool) -> ?max_runs:int -> t -> (cross, string) result
+(** [Error _] if either engine found a property violation. *)

@@ -1,0 +1,26 @@
+open Conrat_sim
+
+type footprint = {
+  lo : int;
+  hi : int;
+  writes : bool;
+}
+
+let footprint op =
+  let l = Op.loc op in
+  match Op.kind op with
+  | Op.Read_op -> { lo = l; hi = l + 1; writes = false }
+  | Op.Write_op | Op.Prob_write_op -> { lo = l; hi = l + 1; writes = true }
+  | Op.Collect_op ->
+    let len =
+      match op with
+      | Op.Any (Op.Collect (_, len)) -> len
+      | _ -> 1
+    in
+    { lo = l; hi = l + len; writes = false }
+
+let overlap a b = a.lo < b.hi && b.lo < a.hi
+
+let independent o1 o2 =
+  let f1 = footprint o1 and f2 = footprint o2 in
+  (not (overlap f1 f2)) || ((not f1.writes) && not f2.writes)

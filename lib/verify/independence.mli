@@ -1,0 +1,34 @@
+(** The static independence relation driving partial-order reduction.
+
+    Two pending operations of {e distinct} processes are independent
+    when executing them in either order yields the same memory, the
+    same values handed back to each process, and the same branching
+    structure (probabilistic writes branch on their own private coin,
+    so a swap pairs the coin outcomes unchanged).  Statically that
+    holds exactly when their register footprints don't conflict:
+
+    - operations on disjoint registers always commute;
+    - reads (and collects) commute with reads and collects even on the
+      same registers;
+    - anything that can write a register conflicts with every operation
+      touching that register.  Probabilistic writes are conservatively
+      treated as writes regardless of whether the explored coin
+      outcome lands — a sound over-approximation.
+
+    Enabledness never interferes in this model: executing one process
+    can neither enable nor disable another (a process leaves the
+    enabled set only by finishing, and its pending operation is fixed
+    until it is scheduled), so footprint commutation is the whole
+    relation. *)
+
+type footprint = {
+  lo : int;        (** first register touched *)
+  hi : int;        (** one past the last register touched *)
+  writes : bool;   (** can the operation modify memory? *)
+}
+
+val footprint : Conrat_sim.Op.any -> footprint
+
+val independent : Conrat_sim.Op.any -> Conrat_sim.Op.any -> bool
+(** Symmetric and irreflexive-agnostic (only ever consulted for ops of
+    two different processes). *)

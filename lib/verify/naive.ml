@@ -1,0 +1,1 @@
+include Conrat_sim.Explore

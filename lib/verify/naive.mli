@@ -1,0 +1,9 @@
+(** The naive (unreduced) enumerator — {!Conrat_sim.Explore} re-exported
+    into the verification subsystem, so [Conrat_verify] presents both
+    engines side by side ([Naive.explore] vs {!Por.explore}) with the
+    path-execution core ({!Conrat_sim.Explore.run_path}) shared between
+    them.  It remains the cross-check oracle: {!Checks.cross_check}
+    compares the two engines' complete-execution outcome sets on every
+    small configuration. *)
+
+include module type of Conrat_sim.Explore

@@ -1,0 +1,228 @@
+open Conrat_sim
+
+type stats = {
+  complete : int;
+  truncated : int;
+  pruned : int;
+  exhausted : bool;
+}
+
+let explored stats = stats.complete + stats.truncated
+
+(* A sleep-set element: an enabled process together with its pending
+   operation (which is fixed until the process is scheduled). *)
+type entry = {
+  pid : int;
+  op : Op.any;
+}
+
+type sched = {
+  enabled : entry array;        (* ascending pid *)
+  mutable chosen : int;         (* index into [enabled] *)
+  mutable sleep : entry list;   (* the sleep set Z at this state *)
+}
+
+type coin = { mutable outcome : int (* 0 = landed, 1 = missed *) }
+
+type frame =
+  | Sched of sched
+  | Coin of coin
+
+let in_sleep sleep pid = List.exists (fun e -> e.pid = pid) sleep
+
+(* Identical to Explore.apply_det, minus trace observation. *)
+let apply_det :
+  type a. cheap_collect:bool -> landed:bool -> Memory.t -> a Op.t -> a =
+  fun ~cheap_collect ~landed memory op ->
+  match op with
+  | Op.Read l -> Memory.read memory l
+  | Op.Write (l, v) -> Memory.write memory l v
+  | Op.Prob_write (l, v, _) -> if landed then Memory.write memory l v
+  | Op.Prob_write_detect (l, v, _) ->
+    if landed then Memory.write memory l v;
+    landed
+  | Op.Collect (l, len) ->
+    if not cheap_collect then raise Scheduler.Collect_disallowed;
+    Array.init len (fun i -> Memory.read memory (l + i))
+
+let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
+    ?(stop = fun () -> false) ~n ~setup ~check () =
+  (* The DFS stack of branch points along the current path.  Executions
+     are re-run from scratch (continuations are one-shot), so the stack
+     is the only state carried between runs; prefix frames replay
+     deterministically. *)
+  let frames = ref (Array.make 64 (Coin { outcome = 0 })) in
+  let nframes = ref 0 in
+  let push f =
+    if !nframes = Array.length !frames then begin
+      let bigger = Array.make (2 * !nframes) f in
+      Array.blit !frames 0 bigger 0 !nframes;
+      frames := bigger
+    end;
+    !frames.(!nframes) <- f;
+    incr nframes
+  in
+  let complete_count = ref 0 in
+  let truncated_count = ref 0 in
+  let pruned_count = ref 0 in
+  let runs = ref 0 in
+  let stats exhausted =
+    { complete = !complete_count;
+      truncated = !truncated_count;
+      pruned = !pruned_count;
+      exhausted }
+  in
+  (* One execution following the stack's choices, creating new frames
+     past its end.  Returns the leaf kind and (for checked leaves) the
+     outputs. *)
+  let run_once () =
+    let memory, body = setup () in
+    let statuses = Array.init n (fun pid -> Fiber.spawn (fun () -> body ~pid)) in
+    let outputs () =
+      Array.map
+        (function Fiber.Finished r -> Some r | Fiber.Running _ -> None)
+        statuses
+    in
+    let enabled_entries () =
+      let acc = ref [] in
+      for pid = n - 1 downto 0 do
+        match statuses.(pid) with
+        | Fiber.Running (op, _) -> acc := { pid; op = Op.Any op } :: !acc
+        | Fiber.Finished _ -> ()
+      done;
+      Array.of_list !acc
+    in
+    let fi = ref 0 in
+    let z = ref [] in
+    let depth = ref 0 in
+    let rec go () =
+      let entries = enabled_entries () in
+      if Array.length entries = 0 then `Complete (outputs ())
+      else if !depth >= max_depth then `Truncated (outputs ())
+      else begin
+        let frame =
+          if !fi < !nframes then begin
+            match !frames.(!fi) with
+            | Sched s ->
+              assert (Array.length s.enabled = Array.length entries);
+              Some s
+            | Coin _ -> assert false
+          end
+          else begin
+            (* New state: its sleep set is the inherited [!z].  Pick the
+               first enabled process not asleep; if they all are, this
+               path only revisits already-explored traces — prune. *)
+            let sleep = !z in
+            let rec first i =
+              if i >= Array.length entries then None
+              else if in_sleep sleep entries.(i).pid then first (i + 1)
+              else Some i
+            in
+            match first 0 with
+            | None -> None
+            | Some i ->
+              let s = { enabled = entries; chosen = i; sleep } in
+              push (Sched s);
+              Some s
+          end
+        in
+        match frame with
+        | None -> `Pruned
+        | Some s ->
+          let e = s.enabled.(s.chosen) in
+          (* Descending through the chosen transition: processes whose
+             pending op commutes with it stay asleep below. *)
+          z := List.filter (fun x -> Independence.independent x.op e.op) s.sleep;
+          incr fi;
+          let landed =
+            match Op.prob e.op with
+            | Some p when p <= 0.0 -> false
+            | Some p when p >= 1.0 -> true
+            | Some _ ->
+              let c =
+                if !fi < !nframes then begin
+                  match !frames.(!fi) with
+                  | Coin c -> c
+                  | Sched _ -> assert false
+                end
+                else begin
+                  let c = { outcome = 0 } in
+                  push (Coin c);
+                  c
+                end
+              in
+              incr fi;
+              c.outcome = 0
+            | None -> Op.is_write e.op
+          in
+          (match statuses.(e.pid) with
+           | Fiber.Finished _ -> assert false
+           | Fiber.Running (op, k) ->
+             let result = apply_det ~cheap_collect ~landed memory op in
+             statuses.(e.pid) <- Fiber.resume k result);
+          incr depth;
+          go ()
+      end
+    in
+    go ()
+  in
+  (* Bump the deepest frame with an untried alternative; drop the rest.
+     A finished scheduling choice enters its state's sleep set, so its
+     subtree is never re-entered from a sibling. *)
+  let rec backtrack () =
+    if !nframes = 0 then false
+    else begin
+      match !frames.(!nframes - 1) with
+      | Coin c ->
+        if c.outcome = 0 then begin
+          c.outcome <- 1;
+          true
+        end
+        else begin
+          decr nframes;
+          backtrack ()
+        end
+      | Sched s ->
+        s.sleep <- s.enabled.(s.chosen) :: s.sleep;
+        let rec next i =
+          if i >= Array.length s.enabled then None
+          else if in_sleep s.sleep s.enabled.(i).pid then next (i + 1)
+          else Some i
+        in
+        (match next 0 with
+         | Some i ->
+           s.chosen <- i;
+           true
+         | None ->
+           decr nframes;
+           backtrack ())
+    end
+  in
+  (* The current path in Explore.run_path's encoding: arity-1 scheduling
+     points consume no element there, so skip them here too. *)
+  let current_path () =
+    let acc = ref [] in
+    for i = !nframes - 1 downto 0 do
+      match !frames.(i) with
+      | Sched s -> if Array.length s.enabled > 1 then acc := s.chosen :: !acc
+      | Coin c -> acc := c.outcome :: !acc
+    done;
+    !acc
+  in
+  let rec drive () =
+    if !runs >= max_runs || stop () then Ok (stats false)
+    else begin
+      incr runs;
+      match run_once () with
+      | `Pruned ->
+        incr pruned_count;
+        if backtrack () then drive () else Ok (stats true)
+      | (`Complete outputs | `Truncated outputs) as leaf ->
+        let complete = match leaf with `Complete _ -> true | _ -> false in
+        if complete then incr complete_count else incr truncated_count;
+        (match check ~complete outputs with
+         | Error reason -> Error (reason, current_path (), stats false)
+         | Ok () -> if backtrack () then drive () else Ok (stats true))
+    end
+  in
+  drive ()

@@ -1,0 +1,61 @@
+(** The partial-order-reduced exhaustive explorer (sleep sets).
+
+    Explores the same branch tree as {!Naive.explore} — every adversary
+    schedule and both outcomes of every probabilistic write — but
+    prunes interleavings that only permute {!Independence.independent}
+    operations of an already-explored execution, using Godefroid-style
+    {e sleep sets}: after a scheduling choice [t] at state [s] is fully
+    explored, [t] enters [s]'s sleep set; descending via a transition
+    filters the sleep set down to the entries that commute with it, and
+    a sleeping process is never scheduled.  A path whose every enabled
+    process is asleep is abandoned ([pruned]) — it can only revisit
+    Mazurkiewicz traces the search has already covered.
+
+    Sleep sets need no lookahead into future operations, which matters
+    here: operations are revealed dynamically by resuming one-shot
+    fibers, so nontrivial {e persistent} sets (which must account for
+    operations a process has not yet performed) cannot be computed
+    soundly.  Sleep sets only ever skip redundant interleavings.
+
+    Guarantees: every {e complete} execution of the unreduced tree is
+    Mazurkiewicz-equivalent to a complete execution this search visits,
+    and equivalent executions give every process the identical local
+    history — so the set of complete-execution outcomes (and any
+    outcome-based safety violation on them) is preserved exactly, while
+    the number of executions is strictly smaller whenever any two
+    independent operations were ever co-enabled.  For depth-{e truncated}
+    paths the cut prefix is representative-dependent: a violation
+    visible only in a truncated prefix of one particular interleaving
+    may be checked under a different (equivalent) interleaving whose
+    prefix at the cut differs.  Complete-execution coverage is
+    unaffected; when exact truncated-prefix coverage matters, use
+    {!Naive.explore} (the [conrat check --naive] engine) or raise
+    [max_depth]. *)
+
+type stats = {
+  complete : int;    (** complete executions checked *)
+  truncated : int;   (** paths cut off at [max_depth] and checked *)
+  pruned : int;      (** paths abandoned sleep-blocked, without a check *)
+  exhausted : bool;  (** the whole reduced tree fit within [max_runs] *)
+}
+
+val explored : stats -> int
+(** [complete + truncated] — the executions actually run to a checked
+    leaf.  Compare against {!Naive.explore}'s same sum to measure the
+    reduction. *)
+
+val explore :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?cheap_collect:bool ->
+  ?stop:(unit -> bool) ->
+  n:int ->
+  setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r)) ->
+  check:(complete:bool -> 'r option array -> (unit, string) result) ->
+  unit ->
+  (stats, string * int list * stats) result
+(** Same contract as {!Naive.explore} with two differences: [max_runs]
+    counts pruned paths too (each costs a re-execution), and a [check]
+    failure additionally returns the failing branch path, in
+    {!Conrat_sim.Explore.run_path}'s encoding, ready for
+    {!Shrink.minimize} and {!Artifact} replay. *)

@@ -1,0 +1,105 @@
+open Conrat_sim
+
+type 'r target = {
+  n : int;
+  max_depth : int;
+  cheap_collect : bool;
+  setup : n:int -> unit -> Memory.t * (pid:int -> 'r);
+  check : n:int -> complete:bool -> 'r option array -> (unit, string) result;
+}
+
+let failing ?(count = ref 0) target ~n path =
+  incr count;
+  let r =
+    Explore.run_path ~max_depth:target.max_depth
+      ~cheap_collect:target.cheap_collect ~n ~setup:(target.setup ~n) path
+  in
+  Result.is_error (target.check ~n ~complete:r.completed r.outputs)
+
+(* Trailing zeros are no-ops: choices beyond the path default to 0. *)
+let strip_trailing_zeros path =
+  List.rev (List.to_seq (List.rev path) |> Seq.drop_while (( = ) 0) |> List.of_seq)
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let path ?count target ~n path0 =
+  let fails p = failing ?count target ~n p in
+  if not (fails path0) then invalid_arg "Shrink.path: initial path does not fail";
+  let p = ref (strip_trailing_zeros path0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* 1. Shortest failing prefix, greedily from the end (remaining
+       choices default to 0). *)
+    let len = ref (List.length !p) in
+    let continue_ = ref true in
+    while !continue_ && !len > 0 do
+      let candidate = strip_trailing_zeros (take (!len - 1) !p) in
+      if fails candidate then begin
+        p := candidate;
+        len := List.length candidate;
+        changed := true
+      end
+      else continue_ := false
+    done;
+    (* 2. ddmin on the surviving choices: zero out chunks of shrinking
+       granularity (a zeroed choice is the default branch). *)
+    let chunk = ref (max 1 (List.length !p / 2)) in
+    while !chunk >= 1 do
+      let len = List.length !p in
+      let start = ref 0 in
+      while !start < len do
+        let lo = !start and hi = min len (!start + !chunk) in
+        let zeroed =
+          List.mapi (fun i c -> if i >= lo && i < hi then 0 else c) !p
+        in
+        if zeroed <> !p && fails (strip_trailing_zeros zeroed) then begin
+          p := strip_trailing_zeros zeroed;
+          changed := true
+        end;
+        start := !start + !chunk
+      done;
+      chunk := if !chunk = 1 then 0 else !chunk / 2
+    done;
+    (* 3. Lower individual choices toward 0 (smaller branch indices =
+       earlier-pid schedules, landed coins). *)
+    List.iteri
+      (fun i c ->
+        if c > 0 then begin
+          let try_value v =
+            let candidate = List.mapi (fun j x -> if j = i then v else x) !p in
+            if fails (strip_trailing_zeros candidate) then begin
+              p := strip_trailing_zeros candidate;
+              changed := true;
+              true
+            end
+            else false
+          in
+          if not (try_value 0) then ignore (try_value (c - 1))
+        end)
+      !p
+  done;
+  !p
+
+let minimize ?(min_n = 1) ?(explore_budget = 20_000) ?count target ~path:path0 () =
+  (* Fewer processes first: a violation reachable at a smaller n gives a
+     qualitatively simpler counterexample than any schedule surgery. *)
+  let smaller =
+    let rec try_n n' =
+      if n' >= target.n then None
+      else begin
+        let result =
+          Por.explore ~max_depth:target.max_depth ~max_runs:explore_budget
+            ~cheap_collect:target.cheap_collect ~n:n' ~setup:(target.setup ~n:n')
+            ~check:(target.check ~n:n')
+            ()
+        in
+        match result with
+        | Error (_, p, _) -> Some (n', p)
+        | Ok _ -> try_n (n' + 1)
+      end
+    in
+    try_n (max 1 min_n)
+  in
+  let n, p0 = match smaller with Some np -> np | None -> (target.n, path0) in
+  (n, path ?count target ~n p0)

@@ -1,0 +1,51 @@
+(** Delta-debugging counterexample shrinker.
+
+    A failing execution found by either explorer (or reconstructed from
+    a qcheck seed) is a branch path — the {!Conrat_sim.Explore.run_path}
+    choice list.  [minimize] reduces it over three axes, re-running the
+    deterministic replay after every candidate edit and keeping only
+    edits that still fail the checker:
+
+    + {b number of processes} — re-explore (with a small budget) at
+      each smaller [n] and restart from any violation found there;
+    + {b path length} — choices beyond the path default to 0, so the
+      shortest failing prefix is tried first;
+    + {b branch choices} — ddmin-style zeroing of chunks at shrinking
+      granularity, then lowering individual choices, until a fixpoint.
+
+    The result is 1-minimal in the usual ddmin sense: no single
+    remaining choice can be dropped or lowered without losing the
+    failure.  Any checker failure counts (the shrunk schedule may
+    surface a different violation message than the original — standard
+    delta-debugging semantics). *)
+
+type 'r target = {
+  n : int;                (** processes in the original counterexample *)
+  max_depth : int;
+  cheap_collect : bool;
+  setup : n:int -> unit -> Conrat_sim.Memory.t * (pid:int -> 'r);
+    (** must accept any [1 ≤ n' ≤ n] (e.g. by truncating the inputs) *)
+  check : n:int -> complete:bool -> 'r option array -> (unit, string) result;
+}
+
+val failing : ?count:int ref -> 'r target -> n:int -> int list -> bool
+(** One deterministic replay; [true] iff the checker rejects it.
+    [count], when given, is incremented per replay (shrink-cost
+    accounting). *)
+
+val path : ?count:int ref -> 'r target -> n:int -> int list -> int list
+(** Shrink the path only (axes 2 and 3), at a fixed [n].  Raises
+    [Invalid_argument] if the given path does not fail. *)
+
+val minimize :
+  ?min_n:int ->
+  ?explore_budget:int ->
+  ?count:int ref ->
+  'r target ->
+  path:int list ->
+  unit ->
+  int * int list
+(** [minimize target ~path ()] = the shrunk [(n, path)].  [min_n]
+    bounds the process-count search from below (default 1);
+    [explore_budget] caps the per-[n] re-exploration (default
+    20_000 runs). *)

@@ -1,0 +1,100 @@
+(* Black-box tests for the conrat CLI, driven through a real fork/exec
+   so exit codes and stderr behave exactly as a shell sees them.
+   Invoked by dune as [test_cli_check <path-to-conrat_cli.exe>].
+
+   Covers the `check` subcommand end to end (explore, artifact write,
+   replay) and locks in the PR 1 fix: an unknown experiment name must
+   exit 2 with a proper message, not escape as an uncaught Not_found. *)
+
+let cli = Sys.argv.(1)
+
+let failures = ref 0
+
+let failf fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "FAIL: %s\n%!" msg)
+    fmt
+
+let read_file file =
+  try In_channel.with_open_text file In_channel.input_all with Sys_error _ -> ""
+
+let tmpdir =
+  let dir = Filename.temp_file "conrat_cli_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  dir
+
+(* Run the CLI with [args]; return (exit code, stdout, stderr). *)
+let run args =
+  let out = Filename.concat tmpdir "stdout" in
+  let err = Filename.concat tmpdir "stderr" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote cli) args
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  (code, read_file out, read_file err)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let expect name ~code ?stdout_has ?stderr_has ?stderr_lacks (c, out, err) =
+  if c <> code then failf "%s: exit %d, expected %d (stderr: %s)" name c code err;
+  Option.iter
+    (fun needle ->
+      if not (contains ~needle out) then
+        failf "%s: stdout missing %S (got: %s)" name needle out)
+    stdout_has;
+  Option.iter
+    (fun needle ->
+      if not (contains ~needle err) then
+        failf "%s: stderr missing %S (got: %s)" name needle err)
+    stderr_has;
+  Option.iter
+    (fun needle ->
+      if contains ~needle err then
+        failf "%s: stderr unexpectedly contains %S (got: %s)" name needle err)
+    stderr_lacks
+
+let () =
+  (* PR 1 regression: unknown experiment names are a clean usage error,
+     not an uncaught exception (which would also exit 2 — hence the
+     message checks on both sides). *)
+  expect "experiment unknown name" ~code:2
+    ~stderr_has:"unknown experiment" ~stderr_lacks:"Not_found"
+    (run "experiment definitely_not_an_experiment");
+
+  expect "check unknown name" ~code:2 ~stderr_has:"unknown checker"
+    (run "check definitely_not_a_checker");
+
+  expect "check quick config" ~code:0 ~stdout_has:"exhausted"
+    (run "check binary_ratifier_n2");
+
+  expect "check cross engine agreement" ~code:0 ~stdout_has:"AGREE"
+    (run "check --cross binary_ratifier_n2");
+
+  expect "check naive engine" ~code:0 ~stdout_has:"exhausted"
+    (run "check --naive binary_ratifier_n2");
+
+  let artifact = Filename.concat tmpdir "fallback_unstaked_n2.counterexample.sexp" in
+  expect "check expected-fail demo" ~code:1 ~stdout_has:"VIOLATION"
+    (run (Printf.sprintf "check fallback_unstaked_n2 --artifact-dir %s"
+            (Filename.quote tmpdir)));
+  if not (Sys.file_exists artifact) then
+    failf "demo violation did not write %s" artifact;
+
+  expect "replay written artifact" ~code:0 ~stdout_has:"reproduced"
+    (run (Printf.sprintf "check --replay %s" (Filename.quote artifact)));
+
+  expect "replay missing artifact" ~code:2 ~stderr_has:"cannot load"
+    (run "check --replay /nonexistent/artifact.sexp");
+
+  if !failures > 0 then begin
+    Printf.eprintf "%d CLI test(s) failed\n%!" !failures;
+    exit 1
+  end;
+  print_endline "cli check tests: ok"

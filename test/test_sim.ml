@@ -520,6 +520,67 @@ let test_oblivious_invariance () =
   check Alcotest.(list int) "schedule invariant under op kinds"
     (run_with ~swap:false) (run_with ~swap:true)
 
+(* The noisy and priority schedulers are oblivious: their whole pid
+   sequence may depend only on the step count and which processes are
+   still enabled.  Property: two programs with the same per-process
+   operation counts — but arbitrary, independently drawn op kinds,
+   locations, values and write probabilities — yield byte-identical
+   schedules.  (The rng streams are split per §"Stream layout" in
+   Scheduler.run, so protocol coins cannot leak into the adversary.) *)
+let qcheck_oblivious_schedule_invariance name make_adversary =
+  QCheck.Test.make
+    ~name:(name ^ " schedule ignores ops/values/locations")
+    ~count:120
+    QCheck.(quad (int_range 2 4) (int_range 0 1_000_000) (int_range 0 1_000_000)
+              (int_range 0 1_000_000))
+    (fun (n, shared_seed, prog_seed_a, prog_seed_b) ->
+      (* Op counts come from the shared seed: both programs have the
+         same shape, so the enabled sets evolve identically. *)
+      let counts =
+        let r = Rng.create shared_seed in
+        Array.init n (fun _ -> 1 + Rng.int r 5)
+      in
+      let pid_trace prog_seed =
+        let prng = Rng.create prog_seed in
+        (* Pre-draw the programs so generation order cannot depend on
+           the schedule under test. *)
+        let progs =
+          Array.init n (fun pid ->
+            Array.init counts.(pid) (fun _ ->
+              let kind = Rng.int prng 4 in
+              let reg = Rng.int prng 3 in
+              let value = Rng.int prng 100 in
+              let p = 0.1 +. (0.8 *. Rng.float prng) in
+              (kind, reg, value, p)))
+        in
+        let memory = Memory.create () in
+        let regs = Memory.alloc_n memory 3 in
+        let result =
+          Scheduler.run ~record:true ~n ~adversary:(make_adversary ())
+            ~rng:(Rng.create shared_seed) ~memory
+            (fun ~pid ~rng:_ ->
+              Array.iter
+                (fun (kind, reg, value, p) ->
+                  match kind with
+                  | 0 -> ignore (Proc.read regs.(reg))
+                  | 1 -> Proc.write regs.(reg) value
+                  | 2 -> Proc.prob_write regs.(reg) value ~p
+                  | _ -> ignore (Proc.prob_write_detect regs.(reg) value ~p))
+                progs.(pid);
+              0)
+        in
+        match result.trace with
+        | Some t -> List.map (fun e -> e.Trace.pid) (Trace.events t)
+        | None -> []
+      in
+      pid_trace prog_seed_a = pid_trace prog_seed_b)
+
+let qcheck_noisy_invariance =
+  qcheck_oblivious_schedule_invariance "noisy" (fun () -> Adversary.noisy ())
+
+let qcheck_priority_invariance =
+  qcheck_oblivious_schedule_invariance "priority" (fun () -> Adversary.priority ())
+
 (* ------------------------------------------------------------------ *)
 (* Views                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -725,7 +786,9 @@ let () =
           tc "write stalker prefers readers" `Quick test_write_stalker_prefers_readers;
           tc "names resolve" `Quick test_all_weak_names_resolve;
           tc "value-oblivious invariance" `Quick test_value_oblivious_invariance;
-          tc "oblivious invariance" `Quick test_oblivious_invariance ] );
+          tc "oblivious invariance" `Quick test_oblivious_invariance;
+          QCheck_alcotest.to_alcotest qcheck_noisy_invariance;
+          QCheck_alcotest.to_alcotest qcheck_priority_invariance ] );
       ( "view",
         [ tc "oblivious projection" `Quick test_view_oblivious_projection;
           tc "value-oblivious masks values" `Quick test_view_value_oblivious_masks_values;
