@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke verify check bench clean
+.PHONY: all build test smoke verify perf-verify check bench clean
 
 all: build
 
@@ -30,6 +30,24 @@ VERIFY_DIR ?= .
 verify:
 	$(DUNE) exec bin/conrat_cli.exe -- check all \
 	  --budget $(VERIFY_BUDGET) --artifact-dir $(VERIFY_DIR)
+
+# Exploration-speed benchmark: the same configs under the same budget,
+# but also emitting BENCH_VERIFY.json (schema v1: executions explored,
+# machine steps, wall-clock per config) so exploration-speed
+# regressions show up in the bench trajectory.  CI uploads the JSON.
+# The committed BENCH_VERIFY.json was produced with no budget
+# (PERF_VERIFY_BUDGET=0 = unlimited), which exhausts every config
+# including the depth-40 fallback bound (~4.5 min total).
+PERF_VERIFY_BUDGET ?= 120
+PERF_VERIFY_JSON ?= BENCH_VERIFY.json
+perf-verify:
+ifeq ($(PERF_VERIFY_BUDGET),0)
+	$(DUNE) exec bin/conrat_cli.exe -- check all --json $(PERF_VERIFY_JSON)
+else
+	$(DUNE) exec bin/conrat_cli.exe -- check all \
+	  --budget $(PERF_VERIFY_BUDGET) --json $(PERF_VERIFY_JSON)
+endif
+	@test -s $(PERF_VERIFY_JSON) && echo "perf-verify: $(PERF_VERIFY_JSON) written"
 
 check: build test smoke verify
 

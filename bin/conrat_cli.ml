@@ -92,10 +92,13 @@ let run_cmd =
     (match Spec.consensus_execution ~inputs ~outputs:result.outputs ~completed:result.completed with
      | Ok () -> print_endline "spec:      ok (termination, agreement, validity)"
      | Error reason -> Printf.printf "spec:      VIOLATION: %s\n" reason);
-    Printf.printf "work:      total=%d individual=%d registers=%d\n"
+    Printf.printf "work:      total=%d individual=%d\n"
       (Metrics.total result.metrics)
-      (Metrics.individual result.metrics)
-      result.registers;
+      (Metrics.individual result.metrics);
+    (* Read the object's footprint after the run: lazily composed
+       protocols grow it as stages are instantiated. *)
+    Printf.printf "space:     registers=%d object=%d\n" result.registers
+      (instance.Conrat_core.Consensus.space ());
     match result.trace with
     | Some t -> Format.printf "%a@." Trace.pp t
     | None -> ()
@@ -174,7 +177,7 @@ let experiment_cmd =
 
 let check_cmd =
   let open Conrat_verify in
-  let action naive cross budget max_runs artifact_dir replay names =
+  let action naive cross budget max_runs artifact_dir replay json names =
     match replay with
     | Some file ->
       (match Artifact.load file with
@@ -213,10 +216,40 @@ let check_cmd =
         match max_runs with Some r -> r | None -> config.Checks.max_runs
       in
       let failed = ref false in
+      (* BENCH_VERIFY records: one JSON object per (config, engine) run,
+         schema v1 — executions explored, machine steps executed, wall
+         clock.  Written at the end when --json is given. *)
+      let json_results = ref [] in
+      let note ~name ~engine ~complete ~truncated ?pruned ~steps ~exhausted ~ok
+          elapsed =
+        let pruned_field =
+          match pruned with
+          | Some p -> Printf.sprintf ",\"pruned\":%d" p
+          | None -> ""
+        in
+        json_results :=
+          Printf.sprintf
+            "{\"name\":%S,\"engine\":%S,\"executions\":%d,\"complete\":%d,\
+             \"truncated\":%d%s,\"steps\":%d,\"wall_clock_seconds\":%.3f,\
+             \"exhausted\":%b,\"ok\":%b}"
+            name engine (complete + truncated) complete truncated pruned_field
+            steps elapsed exhausted ok
+          :: !json_results
+      in
+      let note_por ~name ~ok (s : Por.stats) elapsed =
+        note ~name ~engine:"por" ~complete:s.Por.complete ~truncated:s.Por.truncated
+          ~pruned:s.Por.pruned ~steps:s.Por.steps ~exhausted:s.Por.exhausted ~ok
+          elapsed
+      in
+      let note_naive ~name ~ok (s : Naive.stats) elapsed =
+        note ~name ~engine:"naive" ~complete:s.Naive.complete
+          ~truncated:s.Naive.truncated ~steps:s.Naive.steps
+          ~exhausted:s.Naive.exhausted ~ok elapsed
+      in
       let report_por name (s : Por.stats) elapsed =
         Printf.printf
-          "%-26s explored=%d (complete=%d truncated=%d) pruned=%d %s (%.1fs)\n%!"
-          name (Por.explored s) s.complete s.truncated s.pruned
+          "%-26s explored=%d (complete=%d truncated=%d) pruned=%d steps=%d %s (%.1fs)\n%!"
+          name (Por.explored s) s.complete s.truncated s.pruned s.steps
           (if s.exhausted then "exhausted"
            else if stop () then "BUDGET EXCEEDED"
            else "run budget exceeded")
@@ -236,6 +269,8 @@ let check_cmd =
                 x.por.Por.complete x.por.truncated x.por.pruned x.outcome_count
                 (if x.outcomes_agree then "AGREE" else "MISMATCH")
                 (elapsed ());
+              note_naive ~name ~ok:x.outcomes_agree x.Checks.naive (elapsed ());
+              note_por ~name ~ok:x.outcomes_agree x.Checks.por (elapsed ());
               if not x.outcomes_agree then failed := true
             | Error reason ->
               Printf.printf "%-26s VIOLATION: %s\n%!" name reason;
@@ -252,20 +287,26 @@ let check_cmd =
                 ()
             with
             | Ok s ->
-              Printf.printf "%-26s explored=%d (complete=%d truncated=%d) %s (%.1fs)\n%!"
+              Printf.printf
+                "%-26s explored=%d (complete=%d truncated=%d) steps=%d %s (%.1fs)\n%!"
                 name (s.Naive.complete + s.truncated) s.complete s.truncated
+                s.steps
                 (if s.exhausted then "exhausted" else "budget exceeded")
-                (elapsed ())
-            | Error (reason, _) ->
+                (elapsed ());
+              note_naive ~name ~ok:true s (elapsed ())
+            | Error (reason, s) ->
               (* The naive engine reports but cannot shrink (it does not
                  return the failing path); re-run without --naive for an
                  artifact. *)
               Printf.printf "%-26s VIOLATION: %s\n%!" name reason;
+              note_naive ~name ~ok:false s (elapsed ());
               failed := true
           end
           else begin
             match Checks.run ~stop ~max_runs:(max_runs_of config) config with
-            | Ok s -> report_por name s (elapsed ())
+            | Ok s ->
+              report_por name s (elapsed ());
+              note_por ~name ~ok:true s (elapsed ())
             | Error f ->
               let file =
                 Filename.concat artifact_dir (name ^ ".counterexample.sexp")
@@ -279,9 +320,20 @@ let check_cmd =
                 (List.length f.Checks.artifact.Artifact.path)
                 f.Checks.shrink_replays;
               Printf.printf "  counterexample written to %s\n%!" file;
+              note_por ~name ~ok:false f.Checks.stats (elapsed ());
               failed := true
           end)
         names;
+      (match json with
+       | None -> ()
+       | Some file ->
+         let oc = open_out file in
+         Printf.fprintf oc
+           "{\n  \"schema_version\": 1,\n  \"kind\": \"verify-bench\",\n  \
+            \"results\": [\n    %s\n  ]\n}\n"
+           (String.concat ",\n    " (List.rev !json_results));
+         close_out oc;
+         Printf.eprintf "[check] wrote %s\n%!" file);
       if !failed then exit 1
   in
   let naive_arg =
@@ -316,6 +368,13 @@ let check_cmd =
              ~doc:"Replay a counterexample artifact instead of exploring; exits 0 \
                    iff the violation reproduces.")
   in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write per-config exploration statistics (executions, machine \
+                   steps, wall clock) as JSON, schema v1; see `make perf-verify` \
+                   and BENCH_VERIFY.json.")
+  in
   let names_arg =
     Arg.(value & pos_all string []
          & info [] ~docv:"CHECKER" ~doc:"Checker config names, or 'all'.")
@@ -324,7 +383,7 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Exhaustively verify named checker configs (POR engine by default)")
     Term.(const action $ naive_arg $ cross_arg $ budget_arg $ max_runs_arg
-          $ artifact_dir_arg $ replay_arg $ names_arg)
+          $ artifact_dir_arg $ replay_arg $ json_arg $ names_arg)
 
 (* list *)
 

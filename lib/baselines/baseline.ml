@@ -30,11 +30,13 @@ let schedule_conciliator ~growth =
   Deciding.make_factory name (fun ~n memory ->
     let r = Memory.alloc memory in
     Deciding.instance name ~space:1 (fun ~pid:_ ~rng:_ v ->
+      let open Program in
       let rec loop k =
-        match Proc.read r with
-        | Some u -> { Deciding.decide = false; value = u }
+        let* u = read r in
+        match u with
+        | Some u -> return { Deciding.decide = false; value = u }
         | None ->
-          Proc.prob_write r v ~p:(probability ~n k);
+          let* () = prob_write r v ~p:(probability ~n k) in
           loop (k + 1)
       in
       loop 0))

@@ -1,8 +1,9 @@
 open Conrat_sim
+open Program
 
 type t = {
   name : string;
-  flip : pid:int -> rng:Rng.t -> int;
+  flip : pid:int -> rng:Rng.t -> int Program.t;
 }
 
 type factory = {
@@ -29,31 +30,34 @@ let voting ?(votes_factor = 1) () =
         { name = "voting_coin";
           flip =
             (fun ~pid ~rng ->
-              let my_count = ref 0 in
-              let my_sum = ref 0 in
-              let rec go () =
+              (* Local voting state rides in the loop parameters, not
+                 refs: the program must stay a plain value.  The local
+                 ±1 draws still make it non-replay-pure (each re-entry
+                 would advance [rng]); the explorers never run it. *)
+              let rec go my_count my_sum =
                 (* Collect everyone's progress: 2n reads. *)
-                let total_votes = ref 0 in
-                let total_sum = ref 0 in
-                for q = 0 to n - 1 do
-                  (match Proc.read counts.(q) with
-                   | Some c -> total_votes := !total_votes + c
-                   | None -> ());
-                  (match Proc.read sums.(q) with
-                   | Some s -> total_sum := !total_sum + s
-                   | None -> ())
-                done;
-                if !total_votes >= quorum then (if !total_sum >= 0 then 1 else 0)
+                let rec tally q total_votes total_sum =
+                  if q >= n then return (total_votes, total_sum)
+                  else
+                    let* c = read counts.(q) in
+                    let* s = read sums.(q) in
+                    tally (q + 1)
+                      (total_votes + Option.value c ~default:0)
+                      (total_sum + Option.value s ~default:0)
+                in
+                let* total_votes, total_sum = tally 0 0 0 in
+                if total_votes >= quorum then
+                  return (if total_sum >= 0 then 1 else 0)
                 else begin
                   (* Cast one local vote: local coin flip, then publish. *)
-                  my_count := !my_count + 1;
-                  my_sum := !my_sum + Rng.pm1 rng;
-                  Proc.write sums.(pid) !my_sum;
-                  Proc.write counts.(pid) !my_count;
-                  go ()
+                  let my_count = my_count + 1 in
+                  let my_sum = my_sum + Rng.pm1 rng in
+                  let* () = write sums.(pid) my_sum in
+                  let* () = write counts.(pid) my_count in
+                  go my_count my_sum
                 end
               in
-              go ()) }) }
+              go 0 0) }) }
 
 let local_flip =
   { cname = "local_flip";
@@ -61,4 +65,4 @@ let local_flip =
     instantiate =
       (fun ~n:_ _memory ->
         { name = "local_flip";
-          flip = (fun ~pid:_ ~rng -> if Rng.bool rng then 1 else 0) }) }
+          flip = (fun ~pid:_ ~rng -> return (if Rng.bool rng then 1 else 0)) }) }

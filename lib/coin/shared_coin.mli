@@ -25,9 +25,12 @@
 
 type t = {
   name : string;
-  flip : pid:int -> rng:Conrat_sim.Rng.t -> int;
-    (** Returns 0 or 1; must be called at most once per process, inside
-        a scheduler fiber. *)
+  flip : pid:int -> rng:Conrat_sim.Rng.t -> int Conrat_sim.Program.t;
+    (** Builds process [pid]'s flip program, whose result is 0 or 1;
+        build at most once per process.  The voting coin draws local
+        ±1 votes from [rng] as the program unfolds, so its programs are
+        not replay-pure — run them under the scheduler, not the
+        exhaustive explorers. *)
 }
 
 type factory = {

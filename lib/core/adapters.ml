@@ -5,14 +5,18 @@ let conciliator_of_consensus (protocol : Consensus.factory) =
   Deciding.make_factory fname (fun ~n memory ->
     let instance = protocol.instantiate ~n memory in
     Deciding.instance fname ~space:0 (fun ~pid ~rng v ->
-      { Deciding.decide = false; value = instance.Consensus.decide ~pid ~rng v }))
+      Conrat_sim.Program.map
+        (fun value -> { Deciding.decide = false; value })
+        (instance.Consensus.decide ~pid ~rng v)))
 
 let ratifier_of_consensus (protocol : Consensus.factory) =
   let fname = Printf.sprintf "ratifier_of(%s)" protocol.name in
   Deciding.make_factory fname (fun ~n memory ->
     let instance = protocol.instantiate ~n memory in
     Deciding.instance fname ~space:0 (fun ~pid ~rng v ->
-      { Deciding.decide = true; value = instance.Consensus.decide ~pid ~rng v }))
+      Conrat_sim.Program.map
+        (fun value -> { Deciding.decide = true; value })
+        (instance.Consensus.decide ~pid ~rng v)))
 
 let consensus_in_one_round ~m () =
   Consensus.unbounded

@@ -1,5 +1,6 @@
 open Conrat_sim
 open Conrat_objects
+open Program
 
 let delta_impatient = (1.0 -. exp (-0.25)) *. 0.25
 
@@ -19,19 +20,18 @@ let impatient_first_mover ?(detect = false) () =
     let r = Memory.alloc memory in
     Deciding.instance fname ~space:1 (fun ~pid:_ ~rng:_ v ->
       let rec loop attempt =
-        match Proc.read r with
-        | Some u -> { Deciding.decide = false; value = u }
+        let* u = read r in
+        match u with
+        | Some u -> return { Deciding.decide = false; value = u }
         | None ->
           let p = write_probability ~n ~attempt in
-          if detect then begin
-            if Proc.prob_write_detect r v ~p
-            then { Deciding.decide = false; value = v }
+          if detect then
+            let* landed = prob_write_detect r v ~p in
+            if landed then return { Deciding.decide = false; value = v }
             else loop (attempt + 1)
-          end
-          else begin
-            Proc.prob_write r v ~p;
+          else
+            let* () = prob_write r v ~p in
             loop (attempt + 1)
-          end
       in
       loop 0))
 
@@ -42,10 +42,11 @@ let constant_rate ?(rate = 1.0) () =
     let p = min 1.0 (rate /. float_of_int n) in
     Deciding.instance fname ~space:1 (fun ~pid:_ ~rng:_ v ->
       let rec loop () =
-        match Proc.read r with
-        | Some u -> { Deciding.decide = false; value = u }
+        let* u = read r in
+        match u with
+        | Some u -> return { Deciding.decide = false; value = u }
         | None ->
-          Proc.prob_write r v ~p;
+          let* () = prob_write r v ~p in
           loop ()
       in
       loop ()))
@@ -58,7 +59,10 @@ let from_coin (coin : Conrat_coin.Shared_coin.factory) =
     Deciding.instance fname ~space:2 (fun ~pid ~rng v ->
       if v <> 0 && v <> 1 then
         invalid_arg "coin conciliator: binary inputs only";
-      Proc.write r.(v) 1;
-      match Proc.read r.(1 - v) with
-      | None -> { Deciding.decide = false; value = v }
-      | Some _ -> { Deciding.decide = false; value = coin.flip ~pid ~rng }))
+      let* () = write r.(v) 1 in
+      let* other = read r.(1 - v) in
+      match other with
+      | None -> return { Deciding.decide = false; value = v }
+      | Some _ ->
+        let* c = coin.flip ~pid ~rng in
+        return { Deciding.decide = false; value = c }))

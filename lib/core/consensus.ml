@@ -2,7 +2,8 @@ open Conrat_objects
 
 type t = {
   name : string;
-  decide : pid:int -> rng:Conrat_sim.Rng.t -> int -> int;
+  space : unit -> int;
+  decide : pid:int -> rng:Conrat_sim.Rng.t -> int -> int Conrat_sim.Program.t;
 }
 
 type factory = {
@@ -16,12 +17,16 @@ let of_deciding name (f : Deciding.factory) =
       (fun ~n memory ->
         let obj = f.instantiate ~n memory in
         { name;
+          space = (fun () -> obj.Deciding.space);
           decide =
             (fun ~pid ~rng v ->
-              let out = obj.Deciding.run ~pid ~rng v in
-              if not out.Deciding.decide then
-                failwith (name ^ ": composite object terminated without deciding");
-              out.Deciding.value) }) }
+              Conrat_sim.Program.map
+                (fun out ->
+                  if not out.Deciding.decide then
+                    failwith
+                      (name ^ ": composite object terminated without deciding");
+                  out.Deciding.value)
+                (obj.Deciding.run ~pid ~rng v)) }) }
 
 (* Position i of the alternation, after an optional R₋₁; R₀ prefix:
    even positions are conciliators C_(i/2+1), odd ones ratifiers. *)

@@ -5,7 +5,14 @@
 
 type t = {
   name : string;
-  decide : pid:int -> rng:Conrat_sim.Rng.t -> int -> int;
+  space : unit -> int;
+    (** Registers allocated by this instance {e so far}: lazily
+        composed protocols grow their footprint as stages are
+        instantiated, so read this after the executions of interest
+        (e.g. [conrat run] reports it post-run). *)
+  decide : pid:int -> rng:Conrat_sim.Rng.t -> int -> int Conrat_sim.Program.t;
+    (** Builds process [pid]'s program; its result is the agreed
+        value.  Build at most once per process. *)
 }
 
 type factory = {
@@ -14,9 +21,9 @@ type factory = {
 }
 
 val of_deciding : string -> Conrat_objects.Deciding.factory -> factory
-(** Wrap an always-deciding object as a consensus protocol.  Raises
-    [Failure] at run time if the object ever terminates without
-    deciding — which would be a protocol bug, not an execution
+(** Wrap an always-deciding object as a consensus protocol.  The built
+    program raises [Failure] at run time if the object ever terminates
+    without deciding — which would be a protocol bug, not an execution
     property. *)
 
 val unbounded :

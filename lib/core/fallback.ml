@@ -1,5 +1,6 @@
 open Conrat_sim
 open Conrat_objects
+open Program
 
 type mark = None_ | Candidate | Decided
 
@@ -25,17 +26,18 @@ let racing_unstaked ~m ?(advance_p = 0.5) () =
     let regs = Memory.alloc_n memory n in
     Deciding.instance fname ~space:n (fun ~pid ~rng:_ v ->
       let collect () =
-        Array.init n (fun q ->
-          match Proc.read regs.(q) with
-          | Some x -> Some (decode ~m x)
-          | None -> None)
+        map_array
+          (fun q ->
+            let+ x = read regs.(q) in
+            Option.map (decode ~m) x)
+          (Array.init n Fun.id)
       in
       let publish ~round ~value ~mark =
-        Proc.write regs.(pid) (encode ~m ~round ~value ~mark)
+        write regs.(pid) (encode ~m ~round ~value ~mark)
       in
-      publish ~round:1 ~value:v ~mark:None_;
+      let* () = publish ~round:1 ~value:v ~mark:None_ in
       let rec loop () =
-        let entries = collect () in
+        let* entries = collect () in
         let winner = ref None in
         Array.iter
           (function
@@ -43,7 +45,7 @@ let racing_unstaked ~m ?(advance_p = 0.5) () =
             | Some _ | None -> ())
           entries;
         match !winner with
-        | Some value -> { Deciding.decide = true; value }
+        | Some value -> return { Deciding.decide = true; value }
         | None ->
           let my_round, my_value, _ =
             match entries.(pid) with
@@ -72,21 +74,21 @@ let racing_unstaked ~m ?(advance_p = 0.5) () =
                    | Some _ | None -> ())
                  entries
              with Exit -> ());
-            publish ~round:!max_round ~value:!lead_value ~mark:None_;
+            let* () = publish ~round:!max_round ~value:!lead_value ~mark:None_ in
             loop ()
           end
-          else if not !conflict then begin
+          else if not !conflict then
             (* BUG (intentional): publish Decided straight from the
                stale collect — no candidate stake, no re-collect. *)
-            publish ~round:my_round ~value:my_value ~mark:Decided;
-            { Deciding.decide = true; value = my_value }
-          end
-          else begin
-            Proc.prob_write regs.(pid)
-              (encode ~m ~round:(my_round + 1) ~value:my_value ~mark:None_)
-              ~p:advance_p;
+            let* () = publish ~round:my_round ~value:my_value ~mark:Decided in
+            return { Deciding.decide = true; value = my_value }
+          else
+            let* () =
+              prob_write regs.(pid)
+                (encode ~m ~round:(my_round + 1) ~value:my_value ~mark:None_)
+                ~p:advance_p
+            in
             loop ()
-          end
       in
       loop ()))
 
@@ -96,17 +98,18 @@ let racing ~m ?(advance_p = 0.5) () =
     let regs = Memory.alloc_n memory n in
     Deciding.instance fname ~space:n (fun ~pid ~rng:_ v ->
       let collect () =
-        Array.init n (fun q ->
-          match Proc.read regs.(q) with
-          | Some x -> Some (decode ~m x)
-          | None -> None)
+        map_array
+          (fun q ->
+            let+ x = read regs.(q) in
+            Option.map (decode ~m) x)
+          (Array.init n Fun.id)
       in
       let publish ~round ~value ~mark =
-        Proc.write regs.(pid) (encode ~m ~round ~value ~mark)
+        write regs.(pid) (encode ~m ~round ~value ~mark)
       in
-      publish ~round:1 ~value:v ~mark:None_;
+      let* () = publish ~round:1 ~value:v ~mark:None_ in
       let rec loop () =
-        let entries = collect () in
+        let* entries = collect () in
         step entries
       and step entries =
         (* A published decision is final for everyone. *)
@@ -117,7 +120,7 @@ let racing ~m ?(advance_p = 0.5) () =
             | Some _ | None -> ())
           entries;
         match !winner with
-        | Some value -> { Deciding.decide = true; value }
+        | Some value -> return { Deciding.decide = true; value }
         | None ->
           let my_round, my_value, _ =
             match entries.(pid) with
@@ -152,7 +155,7 @@ let racing ~m ?(advance_p = 0.5) () =
                    | Some _ | None -> ())
                  entries
              with Exit -> ());
-            publish ~round:!max_round ~value:!lead_value ~mark:None_;
+            let* () = publish ~round:!max_round ~value:!lead_value ~mark:None_ in
             loop ()
           end
           else if not !conflict then begin
@@ -163,8 +166,8 @@ let racing ~m ?(advance_p = 0.5) () =
                re-collect, so at least one side sees the other and
                backs off — two conflicting Decided marks can never
                coexist. *)
-            publish ~round:my_round ~value:my_value ~mark:Candidate;
-            let entries = collect () in
+            let* () = publish ~round:my_round ~value:my_value ~mark:Candidate in
+            let* entries = collect () in
             let clean = ref true in
             Array.iteri
               (fun q entry ->
@@ -182,10 +185,9 @@ let racing ~m ?(advance_p = 0.5) () =
                 entries
             in
             if someone_decided then step entries
-            else if !clean then begin
-              publish ~round:my_round ~value:my_value ~mark:Decided;
-              { Deciding.decide = true; value = my_value }
-            end
+            else if !clean then
+              let* () = publish ~round:my_round ~value:my_value ~mark:Decided in
+              return { Deciding.decide = true; value = my_value }
             else begin
               (* Back off: drop the candidate mark, adopting the value
                  of the strongest marked rival (highest (round, pid))
@@ -201,17 +203,18 @@ let racing ~m ?(advance_p = 0.5) () =
                   | Some _ | None -> ())
                 entries;
               let round, _, value = !best in
-              publish ~round ~value ~mark:None_;
+              let* () = publish ~round ~value ~mark:None_ in
               loop ()
             end
           end
-          else begin
+          else
             (* Contested front: advance probabilistically; the next
                collect reads the outcome back from our own register. *)
-            Proc.prob_write regs.(pid)
-              (encode ~m ~round:(my_round + 1) ~value:my_value ~mark:None_)
-              ~p:advance_p;
+            let* () =
+              prob_write regs.(pid)
+                (encode ~m ~round:(my_round + 1) ~value:my_value ~mark:None_)
+                ~p:advance_p
+            in
             loop ()
-          end
       in
       loop ()))

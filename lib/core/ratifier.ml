@@ -1,6 +1,7 @@
 open Conrat_sim
 open Conrat_objects
 open Conrat_quorum
+open Program
 
 let space (q : Quorum.t) = q.pool + 1
 
@@ -14,18 +15,23 @@ let of_quorum (q : Quorum.t) =
     let proposal = Memory.alloc memory in
     Deciding.instance fname ~space:(q.pool + 1) (fun ~pid:_ ~rng:_ v ->
       (* Announce v by marking its whole write quorum. *)
-      Array.iter (fun i -> Proc.write pool.(i) 1) (q.write_quorum v);
-      let preference =
-        match Proc.read proposal with
-        | Some u -> u
+      let* () = iter_array (fun i -> write pool.(i) 1) (q.write_quorum v) in
+      let* proposed = read proposal in
+      let* preference =
+        match proposed with
+        | Some u -> return u
         | None ->
-          Proc.write proposal v;
-          v
+          let* () = write proposal v in
+          return v
       in
-      let conflict =
-        Array.exists (fun i -> Proc.read pool.(i) <> None) (q.read_quorum preference)
+      let* conflict =
+        exists_array
+          (fun i ->
+            let* c = read pool.(i) in
+            return (c <> None))
+          (q.read_quorum preference)
       in
-      { Deciding.decide = not conflict; value = preference }))
+      return { Deciding.decide = not conflict; value = preference }))
 
 let binary () = of_quorum Quorum.binary
 let bollobas ~m = of_quorum (Quorum.bollobas_optimal ~m)
@@ -39,17 +45,18 @@ let cheap_collect ~m =
     let base = pool.(0) in
     let proposal = Memory.alloc memory in
     Deciding.instance fname ~space:(q.pool + 1) (fun ~pid:_ ~rng:_ v ->
-      Proc.write pool.(v) 1;
-      let preference =
-        match Proc.read proposal with
-        | Some u -> u
+      let* () = write pool.(v) 1 in
+      let* proposed = read proposal in
+      let* preference =
+        match proposed with
+        | Some u -> return u
         | None ->
-          Proc.write proposal v;
-          v
+          let* () = write proposal v in
+          return v
       in
-      let contents = Proc.collect base q.pool in
+      let* contents = collect base q.pool in
       let conflict = ref false in
       Array.iteri
         (fun i c -> if i <> preference && c <> None then conflict := true)
         contents;
-      { Deciding.decide = not !conflict; value = preference }))
+      return { Deciding.decide = not !conflict; value = preference }))

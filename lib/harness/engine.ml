@@ -48,8 +48,10 @@ let run_deciding ?max_steps ?cheap_collect ~n ~adversary ~inputs ~seed
   let result =
     Scheduler.run ?max_steps ?cheap_collect ~n ~adversary ~rng ~memory
       (fun ~pid ~rng ->
-        let out = instance.Conrat_objects.Deciding.run ~pid ~rng inputs.(pid) in
-        (out.Conrat_objects.Deciding.decide, out.Conrat_objects.Deciding.value))
+        Program.map
+          (fun out ->
+            (out.Conrat_objects.Deciding.decide, out.Conrat_objects.Deciding.value))
+          (instance.Conrat_objects.Deciding.run ~pid ~rng inputs.(pid)))
   in
   let decisions = result.outputs in
   let values = Array.map (Option.map snd) decisions in

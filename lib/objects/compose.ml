@@ -1,13 +1,18 @@
+open Conrat_sim
+
 let pair (x : Deciding.t) (y : Deciding.t) : Deciding.t =
   { name = Printf.sprintf "(%s; %s)" x.name y.name;
     space = x.space + y.space;
     run =
       (fun ~pid ~rng v ->
-        let out = x.run ~pid ~rng v in
-        if out.Deciding.decide then out else y.run ~pid ~rng out.Deciding.value) }
+        Program.bind (x.run ~pid ~rng v) (fun out ->
+          if out.Deciding.decide then Program.return out
+          else y.run ~pid ~rng out.Deciding.value)) }
 
 let pass_through : Deciding.t =
-  { name = "pass"; space = 0; run = (fun ~pid:_ ~rng:_ v -> { Deciding.decide = false; value = v }) }
+  { name = "pass";
+    space = 0;
+    run = (fun ~pid:_ ~rng:_ v -> Program.return { Deciding.decide = false; value = v }) }
 
 let seq = function
   | [] -> pass_through
@@ -28,24 +33,38 @@ let lazy_seq name nth : Deciding.factory =
       (fun ~n memory ->
         (* Instances are created the first time any process reaches
            position [i]; processes reach positions in increasing order,
-           so instances are allocated in position order. *)
-        let instances : Deciding.t list ref = ref [] in
+           so instances are allocated in position order.  They are kept
+           in a growable array for O(1) stage lookup, and each
+           instantiation adds its register footprint to the composite's
+           [space] — previously lost, leaving lazy compositions
+           reporting [space = 0]. *)
+        let instances = ref (Array.make 8 pass_through) in
         let count = ref 0 in
-        let get i =
+        let rec self =
+          { Deciding.name;
+            space = 0;
+            run =
+              (fun ~pid ~rng v ->
+                let rec go i v =
+                  let x = get i in
+                  Program.bind (x.Deciding.run ~pid ~rng v) (fun out ->
+                    if out.Deciding.decide then Program.return out
+                    else go (i + 1) out.Deciding.value)
+                in
+                go 0 v) }
+        and get i =
           while !count <= i do
             let f = nth !count in
-            instances := f.Deciding.instantiate ~n memory :: !instances;
+            let inst = f.Deciding.instantiate ~n memory in
+            if !count = Array.length !instances then begin
+              let bigger = Array.make (2 * !count) pass_through in
+              Array.blit !instances 0 bigger 0 !count;
+              instances := bigger
+            end;
+            !instances.(!count) <- inst;
+            self.Deciding.space <- self.Deciding.space + inst.Deciding.space;
             incr count
           done;
-          List.nth !instances (!count - 1 - i)
+          !instances.(i)
         in
-        { name;
-          space = 0;
-          run =
-            (fun ~pid ~rng v ->
-              let rec go i v =
-                let x = get i in
-                let out = x.Deciding.run ~pid ~rng v in
-                if out.Deciding.decide then out else go (i + 1) out.Deciding.value
-              in
-              go 0 v) }) }
+        self) }

@@ -25,4 +25,13 @@ val lazy_seq :
     computation (the simulation is sequential), so all processes see
     the same instances.  A process that never receives a decision bit
     runs forever — termination must come from the components, exactly
-    as in the paper's object [U]. *)
+    as in the paper's object [U].
+
+    The composite's [space] grows as stages are instantiated: at any
+    point it equals the summed footprint of the stages created so far
+    (surfaced by [conrat run] as the deciding-object space).
+
+    Note for the exhaustive explorers: instantiation mutates factory
+    closure state {e outside} shared memory, so a lazily composed
+    object is not replay-pure across instantiation points — explore
+    eagerly composed objects ({!seq_factory}) instead. *)

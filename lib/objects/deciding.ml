@@ -5,8 +5,8 @@ type output = {
 
 type t = {
   name : string;
-  space : int;
-  run : pid:int -> rng:Conrat_sim.Rng.t -> int -> output;
+  mutable space : int;
+  run : pid:int -> rng:Conrat_sim.Rng.t -> int -> output Conrat_sim.Program.t;
 }
 
 type factory = {
@@ -35,7 +35,8 @@ let counting f =
 
 let copy_object =
   make_factory "copy" (fun ~n:_ _memory ->
-    instance "copy" ~space:0 (fun ~pid:_ ~rng:_ v -> { decide = false; value = v }))
+    instance "copy" ~space:0 (fun ~pid:_ ~rng:_ v ->
+      Conrat_sim.Program.return { decide = false; value = v }))
 
 let pp_output ppf { decide; value } =
   Format.fprintf ppf "(%d, %d)" (if decide then 1 else 0) value

@@ -11,8 +11,11 @@
     Because the objects are one-shot, a fresh instance must be created
     per execution.  A {!t} is one such instance, whose registers have
     already been allocated in some {!Conrat_sim.Memory.t}; a {!factory}
-    knows how to create instances.  The [run] function must be called
-    at most once per process, from within a scheduler fiber. *)
+    knows how to create instances.  [run ~pid ~rng v] builds process
+    [pid]'s {!Conrat_sim.Program.t} for this object — a copyable value;
+    it must be built at most once per process, and the resulting
+    program must be replay-pure (see {!Conrat_sim.Program}) so the
+    exhaustive explorers can backtrack through it. *)
 
 type output = {
   decide : bool;  (** the decision bit *)
@@ -21,8 +24,11 @@ type output = {
 
 type t = {
   name : string;
-  space : int;  (** registers this instance allocated *)
-  run : pid:int -> rng:Conrat_sim.Rng.t -> int -> output;
+  mutable space : int;
+    (** registers this instance allocated; mutable because lazily
+        composed objects ({!Compose.lazy_seq}) grow it as stages are
+        instantiated mid-execution *)
+  run : pid:int -> rng:Conrat_sim.Rng.t -> int -> output Conrat_sim.Program.t;
 }
 
 type factory = {
@@ -38,7 +44,7 @@ val make_factory :
 val instance :
   string ->
   space:int ->
-  (pid:int -> rng:Conrat_sim.Rng.t -> int -> output) ->
+  (pid:int -> rng:Conrat_sim.Rng.t -> int -> output Conrat_sim.Program.t) ->
   t
 
 val counting : factory -> (unit -> int) * factory

@@ -2,6 +2,7 @@ type stats = {
   complete : int;
   truncated : int;
   exhausted : bool;
+  steps : int;
 }
 
 type 'r run = {
@@ -9,29 +10,18 @@ type 'r run = {
   completed : bool;
   branches : (int * int) list;
   trace : Trace.t option;
+  steps : int;
 }
 
-(* Apply an operation whose coin outcome (for probabilistic writes) has
-   already been decided by the explorer.  Also returns what a read
-   observed, for trace recording. *)
-let apply_det :
-  type a. cheap_collect:bool -> landed:bool -> Memory.t -> a Op.t -> a * int option =
-  fun ~cheap_collect ~landed memory op ->
-  match op with
-  | Op.Read l ->
-    let v = Memory.read memory l in
-    (v, v)
-  | Op.Write (l, v) ->
-    (Memory.write memory l v, None)
-  | Op.Prob_write (l, v, _) ->
-    if landed then Memory.write memory l v;
-    ((), None)
-  | Op.Prob_write_detect (l, v, _) ->
-    if landed then Memory.write memory l v;
-    (landed, None)
-  | Op.Collect (l, len) ->
-    if not cheap_collect then raise Scheduler.Collect_disallowed;
-    (Array.init len (fun i -> Memory.read memory (l + i)), None)
+(* The coin decision for a pending operation, in the explorer's
+   convention: probabilistic writes with 0 < p < 1 branch (choice 0 =
+   landed), degenerate probabilities and deterministic ops do not. *)
+let coin_of_op op =
+  match Op.prob op with
+  | Some p when p <= 0.0 -> `Det false
+  | Some p when p >= 1.0 -> `Det true
+  | Some _ -> `Branch
+  | None -> `Det (Op.is_write op)
 
 (* Run one execution following [path] (list of branch choices); choices
    beyond the path default to 0, and out-of-range choices are clamped to
@@ -43,8 +33,8 @@ let apply_det :
 let run_path ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
     ~n ~setup path =
   let memory, body = setup () in
-  let statuses = Array.init n (fun pid -> Fiber.spawn (fun () -> body ~pid)) in
   let trace = if record then Some (Trace.create ()) else None in
+  let machine = Machine.create ~cheap_collect ?trace ~n ~memory body in
   let recorded = ref [] in
   let remaining = ref path in
   let take arity =
@@ -53,53 +43,33 @@ let run_path ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
     recorded := (chosen, arity) :: !recorded;
     chosen
   in
-  let enabled () =
-    let pids = ref [] in
-    for pid = n - 1 downto 0 do
-      match statuses.(pid) with
-      | Fiber.Running _ -> pids := pid :: !pids
-      | Fiber.Finished _ -> ()
-    done;
-    !pids
-  in
-  let depth = ref 0 in
   let completed = ref false in
   let running = ref true in
   while !running do
-    match enabled () with
-    | [] ->
+    let en = Machine.enabled machine in
+    let arity = Array.length en in
+    if arity = 0 then begin
       completed := true;
       running := false
-    | en ->
-      if !depth >= max_depth then running := false
-      else begin
-        let arity = List.length en in
-        let idx = if arity = 1 then 0 else take arity in
-        let pid = List.nth en idx in
-        (match statuses.(pid) with
-         | Fiber.Finished _ -> assert false
-         | Fiber.Running (op, k) ->
-           let landed =
-             match Op.prob (Op.Any op) with
-             | Some p when p <= 0.0 -> false
-             | Some p when p >= 1.0 -> true
-             | Some _ -> take 2 = 0
-             | None -> Op.is_write (Op.Any op)
-           in
-           let result, observed = apply_det ~cheap_collect ~landed memory op in
-           Option.iter
-             (fun t ->
-               Trace.add t
-                 { Trace.step = !depth; pid; op = Op.Any op; landed; observed })
-             trace;
-           statuses.(pid) <- Fiber.resume k result);
-        incr depth
-      end
+    end
+    else if Machine.steps machine >= max_depth then running := false
+    else begin
+      let idx = if arity = 1 then 0 else take arity in
+      let pid = en.(idx) in
+      let op = Option.get (Machine.pending_op machine pid) in
+      let landed =
+        match coin_of_op op with
+        | `Det landed -> landed
+        | `Branch -> take 2 = 0
+      in
+      Machine.step_forced machine ~pid ~landed
+    end
   done;
-  let outputs =
-    Array.map (function Fiber.Finished r -> Some r | Fiber.Running _ -> None) statuses
-  in
-  { outputs; completed = !completed; branches = List.rev !recorded; trace }
+  { outputs = Machine.outputs machine;
+    completed = !completed;
+    branches = List.rev !recorded;
+    trace;
+    steps = Machine.steps machine }
 
 (* The lexicographically next unexplored path after [recorded]: bump the
    deepest branch point that still has an untried alternative and drop
@@ -114,26 +84,72 @@ let next_path recorded =
   in
   go (List.rev recorded)
 
+exception Abort of string
+exception Out_of_budget
+
+(* Stateful DFS: the machine advances through the tree in place; each
+   internal node with more than one child snapshots once, and visiting
+   a later child restores that snapshot in O(|memory| + n) instead of
+   re-executing the path prefix.  Single-successor corridors (one
+   enabled process, deterministic coin) — the common case — cost no
+   snapshot at all.  Leaves are visited in exactly the lexicographic
+   order of the re-execution enumerator ([run_path] + [next_path], kept
+   as [Conrat_verify.Naive]), so the two engines' statistics and
+   outcome sequences coincide leaf for leaf. *)
 let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     ?(stop = fun () -> false) ~n ~setup ~check () =
+  let memory, body = setup () in
+  let machine = Machine.create ~cheap_collect ~n ~memory body in
   let complete_count = ref 0 in
   let truncated_count = ref 0 in
   let runs = ref 0 in
   let stats exhausted =
-    { complete = !complete_count; truncated = !truncated_count; exhausted }
+    { complete = !complete_count;
+      truncated = !truncated_count;
+      exhausted;
+      steps = Machine.total_steps machine }
   in
-  let rec go path =
-    if !runs >= max_runs || stop () then Ok (stats false)
+  let leaf complete =
+    if !runs >= max_runs || stop () then raise Out_of_budget;
+    incr runs;
+    if complete then incr complete_count else incr truncated_count;
+    match check ~complete (Machine.outputs machine) with
+    | Ok () -> ()
+    | Error reason -> raise (Abort reason)
+  in
+  let rec go depth =
+    let en = Machine.enabled machine in
+    let arity = Array.length en in
+    if arity = 0 then leaf true
+    else if depth >= max_depth then leaf false
+    else if arity = 1 then visit ~snap:None ~pid:en.(0) (depth + 1)
     else begin
-      incr runs;
-      let r = run_path ~max_depth ~cheap_collect ~n ~setup path in
-      if r.completed then incr complete_count else incr truncated_count;
-      match check ~complete:r.completed r.outputs with
-      | Error reason -> Error (reason, stats false)
-      | Ok () ->
-        (match next_path r.branches with
-         | None -> Ok (stats true)
-         | Some path' -> go path')
+      (* The machine's enabled array mutates as we step; iterate a copy. *)
+      let en = Array.copy en in
+      let snap = Machine.snapshot machine in
+      for idx = 0 to arity - 1 do
+        if idx > 0 then Machine.restore machine snap;
+        visit ~snap:(Some snap) ~pid:en.(idx) (depth + 1)
+      done
     end
+  and visit ~snap ~pid depth =
+    (* Machine is at the branch state; apply pid's transition(s). *)
+    let op = Option.get (Machine.pending_op machine pid) in
+    match coin_of_op op with
+    | `Det landed ->
+      Machine.step_forced machine ~pid ~landed;
+      go depth
+    | `Branch ->
+      (* The coin's pre-state is the node state itself: reuse (or take)
+         the node snapshot rather than a second one. *)
+      let snap = match snap with Some s -> s | None -> Machine.snapshot machine in
+      Machine.step_forced machine ~pid ~landed:true;
+      go depth;
+      Machine.restore machine snap;
+      Machine.step_forced machine ~pid ~landed:false;
+      go depth
   in
-  go []
+  match go 0 with
+  | () -> Ok (stats true)
+  | exception Out_of_budget -> Ok (stats false)
+  | exception Abort reason -> Error (reason, stats false)

@@ -7,19 +7,24 @@
     and 1.  Safety properties checked over this tree are therefore
     {e proved} for that instance, not merely tested.
 
-    This module is the naive (unreduced) enumerator and the shared
-    path-execution core.  The full verification subsystem — the
-    sleep-set partial-order-reduced explorer, the counterexample
-    shrinker, and serializable schedule artifacts — lives in the
-    [Conrat_verify] library, which re-exports this module as
-    [Conrat_verify.Naive] and uses {!run_path} for deterministic
-    replay.
+    Both entry points are drivers over {!Machine}.  [run_path] executes
+    one deterministically-chosen path (the replay core used by
+    counterexample artifacts and the shrinker).  [explore] walks the
+    whole tree {e statefully}: programs are copyable values, so each
+    branch point snapshots the machine once and backtracking restores
+    it in O(|memory| + n) — no re-execution of path prefixes.  The
+    historical re-execution enumerator survives as
+    [Conrat_verify.Naive], which visits the same leaves in the same
+    order (the cross-check suite relies on that).  The sleep-set
+    partial-order-reduced explorer is [Conrat_verify.Por].
 
     This only covers protocols whose randomness consists entirely of
     probabilistic writes (true for the ratifier, which is deterministic,
     for the impatient conciliator, and for the bounded-space fallback);
     local-coin draws inside protocol code are not branched, so protocols
-    using {!Rng} directly get only the schedule explored.
+    using {!Rng} directly get only the schedule explored.  Protocol
+    programs must also be replay-pure (see {!Program}): [setup] is
+    called once and continuations are re-entered when backtracking.
 
     Executions can be unbounded (an adversary can livelock a conciliator
     with vanishing probability), so paths are cut off at [max_depth] and
@@ -31,6 +36,7 @@ type stats = {
   complete : int;       (** complete executions explored *)
   truncated : int;      (** paths cut off at [max_depth] *)
   exhausted : bool;     (** the whole tree fit within [max_runs] *)
+  steps : int;          (** machine transitions applied in total *)
 }
 
 type 'r run = {
@@ -38,19 +44,26 @@ type 'r run = {
   completed : bool;               (** all processes returned within [max_depth] *)
   branches : (int * int) list;    (** (chosen, arity) at each branch point met *)
   trace : Trace.t option;         (** present iff [record] was set *)
+  steps : int;                    (** operations executed on this path *)
 }
+
+val coin_of_op : Op.any -> [ `Det of bool | `Branch ]
+(** The explorer's branching convention for a pending operation:
+    probabilistic writes with [0 < p < 1] branch (choice 0 = landed);
+    degenerate probabilities and deterministic operations have a forced
+    coin.  Shared with the POR engine so both classify identically. *)
 
 val run_path :
   ?record:bool ->
   ?max_depth:int ->
   ?cheap_collect:bool ->
   n:int ->
-  setup:(unit -> Memory.t * (pid:int -> 'r)) ->
+  setup:(unit -> Memory.t * (pid:int -> 'r Program.t)) ->
   int list ->
   'r run
 (** [run_path ~n ~setup path] deterministically executes the single
     path described by [path]: each element resolves one branch point in
-    order — an index into the ascending-pid enabled list at scheduling
+    order — an index into the ascending-pid enabled array at scheduling
     points with ≥ 2 enabled processes, and [0] (landed) / [1] (missed)
     at probabilistic writes with [0 < p < 1].  Choices beyond the end
     of [path] default to 0, and out-of-range choices clamp to 0, so any
@@ -59,21 +72,27 @@ val run_path :
     Scheduling points with a single enabled process consume no path
     element and are not recorded in [branches]. *)
 
+val next_path : (int * int) list -> int list option
+(** The lexicographically next unexplored path after the given
+    [branches] record, or [None] when every branch point has tried its
+    last alternative.  With {!run_path} this reconstitutes the
+    historical re-execution enumerator (see [Conrat_verify.Naive]). *)
+
 val explore :
   ?max_depth:int ->
   ?max_runs:int ->
   ?cheap_collect:bool ->
   ?stop:(unit -> bool) ->
   n:int ->
-  setup:(unit -> Memory.t * (pid:int -> 'r)) ->
+  setup:(unit -> Memory.t * (pid:int -> 'r Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
   unit ->
   (stats, string * stats) result
-(** [explore ~n ~setup ~check ()] enumerates executions depth-first.
-    [setup] must build a fresh memory and protocol instance per call
-    (each path re-executes from scratch — continuations are one-shot).
-    [check] is called at the end of every path; the first [Error] aborts
-    the search and is returned together with the statistics so far.
-    [stop] is polled before each execution; returning [true] ends the
-    search early with [exhausted = false] (used for wall-clock budgets).
-    Defaults: [max_depth = 200], [max_runs = 2_000_000]. *)
+(** [explore ~n ~setup ~check ()] enumerates executions depth-first,
+    statefully: [setup] is called {e once}; the machine is snapshotted
+    at branch points and restored when backtracking.  [check] is called
+    at the end of every path; the first [Error] aborts the search and
+    is returned together with the statistics so far.  [stop] is polled
+    at every leaf; returning [true] ends the search early with
+    [exhausted = false] (used for wall-clock budgets).  Defaults:
+    [max_depth = 200], [max_runs = 2_000_000]. *)

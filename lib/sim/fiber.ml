@@ -14,3 +14,7 @@ let spawn (f : unit -> 'r) : 'r t =
           | _ -> None) }
 
 let resume = Effect.Deep.continue
+
+let rec to_program = function
+  | Finished r -> Program.Done r
+  | Running (op, k) -> Program.Step (op, fun x -> to_program (resume k x))

@@ -1,10 +1,13 @@
 (** Process fibers: suspendable computations that stop at every
     shared-memory operation.
 
-    Both the randomized {!Scheduler} and the exhaustive {!Explore}
-    driver run protocols through this module.  Continuations are
-    one-shot, so a fiber cannot be rewound — the explorer re-executes
-    from scratch for every path instead. *)
+    This is the thin adapter that keeps direct-style protocol code
+    (written against {!Proc}) runnable: {!Scheduler.run_direct} spawns
+    a fiber per process and converts it to a {!Program.t} with
+    {!to_program}.  Continuations are one-shot, so the resulting
+    program is forward-only — fine for Monte Carlo execution, unusable
+    for the snapshot-backtracking explorers, which need the replayable
+    programs protocols are now written as. *)
 
 type 'r t =
   | Running : 'a Op.t * ('a, 'r t) Effect.Deep.continuation -> 'r t
@@ -17,3 +20,9 @@ val spawn : (unit -> 'r) -> 'r t
 val resume : ('a, 'r t) Effect.Deep.continuation -> 'a -> 'r t
 (** Hand an operation's result back to a suspended fiber and run it to
     its next operation (or return). *)
+
+val to_program : 'r t -> 'r Program.t
+(** View a fiber as a program.  The program is {e one-shot}: resuming
+    any of its continuations a second time raises (effect continuations
+    cannot be rewound), so it must only be driven forward — never
+    through {!Machine.snapshot}/[restore] backtracking. *)

@@ -1,0 +1,122 @@
+exception Collect_disallowed
+exception Stuck of string
+
+type 'r t = {
+  n : int;
+  memory : Memory.t;
+  cheap_collect : bool;
+  programs : 'r Program.t array;
+  pending : Op.any option array;
+  mutable enabled : int array;
+  mutable steps : int;
+  mutable total_steps : int;
+  metrics : Metrics.t option;
+  trace : Trace.t option;
+}
+
+let rebuild_enabled pending n =
+  let pids = ref [] in
+  for pid = n - 1 downto 0 do
+    if Option.is_some pending.(pid) then pids := pid :: !pids
+  done;
+  Array.of_list !pids
+
+let create ?(cheap_collect = false) ?metrics ?trace ~n ~memory body =
+  if n <= 0 then invalid_arg "Machine.create: n must be positive";
+  let programs = Array.init n (fun pid -> body ~pid) in
+  let pending = Array.map Program.pending programs in
+  { n;
+    memory;
+    cheap_collect;
+    programs;
+    pending;
+    enabled = rebuild_enabled pending n;
+    steps = 0;
+    total_steps = 0;
+    metrics;
+    trace }
+
+let n t = t.n
+let memory t = t.memory
+let enabled t = t.enabled
+let unsafe_pending t = t.pending
+let pending_op t pid = t.pending.(pid)
+let steps t = t.steps
+let total_steps t = t.total_steps
+let running t = Array.length t.enabled > 0
+let outputs t = Array.map Program.result t.programs
+let output t pid = Program.result t.programs.(pid)
+
+(* The one op interpreter.  The coin outcome for probabilistic writes
+   has already been decided by the caller; [apply] just carries it out
+   and reports what a read observed (for trace recording). *)
+let apply : type a. _ -> a Op.t -> landed:bool -> a * int option =
+  fun t op ~landed ->
+  match op with
+  | Op.Read l ->
+    let v = Memory.read t.memory l in
+    (v, v)
+  | Op.Write (l, v) ->
+    Memory.write t.memory l v;
+    ((), None)
+  | Op.Prob_write (l, v, _) ->
+    if landed then Memory.write t.memory l v;
+    ((), None)
+  | Op.Prob_write_detect (l, v, _) ->
+    if landed then Memory.write t.memory l v;
+    (landed, None)
+  | Op.Collect (l, len) ->
+    if not t.cheap_collect then raise Collect_disallowed;
+    (Array.init len (fun i -> Memory.read t.memory (l + i)), None)
+
+let step_forced t ~pid ~landed =
+  match t.programs.(pid) with
+  | Program.Done _ -> raise (Stuck "scheduled a finished process")
+  | Program.Step (op, k) ->
+    let result, observed = apply t op ~landed in
+    Option.iter (fun m -> Metrics.record m ~pid (Op.kind (Op.Any op))) t.metrics;
+    Option.iter
+      (fun tr ->
+        Trace.add tr { Trace.step = t.steps; pid; op = Op.Any op; landed; observed })
+      t.trace;
+    t.steps <- t.steps + 1;
+    t.total_steps <- t.total_steps + 1;
+    let p = k result in
+    t.programs.(pid) <- p;
+    t.pending.(pid) <- Program.pending p;
+    if t.pending.(pid) = None then t.enabled <- rebuild_enabled t.pending t.n
+
+let step_random t ~pid ~coin =
+  match t.pending.(pid) with
+  | None -> raise (Stuck "scheduled a finished process")
+  | Some any ->
+    let landed =
+      match Op.prob any with
+      | Some p -> Rng.bernoulli coin p
+      | None -> Op.is_write any
+    in
+    step_forced t ~pid ~landed
+
+type 'r snapshot = {
+  s_programs : 'r Program.t array;
+  s_pending : Op.any option array;
+  s_enabled : int array;
+  s_memory : int option array;
+  s_steps : int;
+}
+
+let snapshot t =
+  { s_programs = Array.copy t.programs;
+    s_pending = Array.copy t.pending;
+    s_enabled = Array.copy t.enabled;
+    s_memory = Memory.snapshot t.memory;
+    s_steps = t.steps }
+
+(* [total_steps] is deliberately not restored: it counts transitions
+   ever applied, the explorer's work measure. *)
+let restore t s =
+  Array.blit s.s_programs 0 t.programs 0 t.n;
+  Array.blit s.s_pending 0 t.pending 0 t.n;
+  t.enabled <- Array.copy s.s_enabled;
+  Memory.restore t.memory s.s_memory;
+  t.steps <- s.s_steps

@@ -1,0 +1,87 @@
+(** The single small-step transition core.
+
+    A machine holds the complete state of one execution: the per-process
+    pending {!Program.t}s, the shared {!Memory.t}, and the step count.
+    One transition = a scheduling choice (which enabled process moves)
+    × a coin choice (did a probabilistic write land).  Every execution
+    engine in the repo — the Monte Carlo {!Scheduler}, the exhaustive
+    {!Explore} enumerator, and the POR engine in [Conrat_verify] — is a
+    driver over this module, so the operation-application semantics
+    lives in exactly one place.
+
+    Because program states are plain values, a machine state can be
+    {!snapshot}ed and later {!restore}d in O(|memory| + n); the
+    explorers use this to backtrack instead of re-executing path
+    prefixes.  [restore] also rolls back registers allocated since the
+    snapshot (see {!Memory.restore}). *)
+
+exception Collect_disallowed
+(** Raised when a program performs a collect but the machine was not
+    created with [~cheap_collect:true]. *)
+
+exception Stuck of string
+(** Raised when a finished process is scheduled — an engine bug, not a
+    protocol property. *)
+
+type 'r t
+
+val create :
+  ?cheap_collect:bool ->
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  n:int ->
+  memory:Memory.t ->
+  (pid:int -> 'r Program.t) ->
+  'r t
+(** [create ~n ~memory body] builds the initial state with [body ~pid]
+    as each process's program.  Bodies are evaluated in pid order (any
+    pure prefix, including register allocation, runs here).  When
+    [metrics] / [trace] are given, every transition is recorded into
+    them. *)
+
+val n : 'r t -> int
+val memory : 'r t -> Memory.t
+
+val enabled : 'r t -> int array
+(** Enabled pids, ascending.  The returned array is the machine's own
+    (rebuilt only when a process finishes); callers that mutate the
+    machine while iterating must copy it first. *)
+
+val unsafe_pending : 'r t -> Op.any option array
+(** The live per-pid pending-operation descriptors (shared, not a
+    copy) — the adversary view's [pending] field. *)
+
+val pending_op : 'r t -> int -> Op.any option
+
+val steps : 'r t -> int
+(** Transitions applied on the current path (restored by {!restore}). *)
+
+val total_steps : 'r t -> int
+(** Transitions ever applied, including along backtracked branches —
+    the explorer's work measure.  Not affected by {!restore}. *)
+
+val running : 'r t -> bool
+val outputs : 'r t -> 'r option array
+val output : 'r t -> int -> 'r option
+
+val step_forced : 'r t -> pid:int -> landed:bool -> unit
+(** Apply [pid]'s pending operation with the coin outcome already
+    decided ([landed] is ignored for deterministic operations' memory
+    effect but recorded in the trace; pass [Op.is_write] for them). *)
+
+val step_random : 'r t -> pid:int -> coin:Rng.t -> unit
+(** Apply [pid]'s pending operation, drawing the coin for a
+    probabilistic write from [coin] (one [Rng.bernoulli] draw per
+    probabilistic write, matching the scheduler's historical stream
+    layout). *)
+
+type 'r snapshot
+
+val snapshot : 'r t -> 'r snapshot
+(** O(|memory| + n) copy of the machine state (programs, pending ops,
+    enabled set, memory contents, step count). *)
+
+val restore : 'r t -> 'r snapshot -> unit
+(** Return the machine to a snapshotted state.  The snapshot must have
+    been taken on this machine, at a state whose memory had no more
+    registers than the current one (always true along a DFS). *)

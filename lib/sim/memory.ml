@@ -39,9 +39,15 @@ let size t = t.len
 let snapshot t = Array.sub t.cells 0 t.len
 
 let restore t snap =
-  if Array.length snap <> t.len then
-    invalid_arg "Memory.restore: snapshot length mismatch";
-  Array.blit snap 0 t.cells 0 t.len
+  let slen = Array.length snap in
+  if slen > t.len then
+    invalid_arg "Memory.restore: snapshot longer than store";
+  Array.blit snap 0 t.cells 0 slen;
+  (* Registers allocated after the snapshot are dropped: backtracking
+     over an execution that lazily allocated must un-allocate, or the
+     restored state would see registers it never created.  [alloc]
+     re-initialises cells, so stale contents past [len] are harmless. *)
+  t.len <- slen
 
 let pp ppf t =
   Format.fprintf ppf "@[<hov 1>[";

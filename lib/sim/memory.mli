@@ -41,7 +41,10 @@ val snapshot : t -> int option array
     operation). *)
 
 val restore : t -> int option array -> unit
-(** Overwrite the store contents from a snapshot of the same length —
-    used only by the exhaustive explorer when backtracking. *)
+(** Overwrite the store from a snapshot taken earlier on this store —
+    used only by the exhaustive explorers when backtracking.  Registers
+    allocated since the snapshot are deallocated ([size] shrinks back);
+    a snapshot longer than the current store raises
+    [Invalid_argument]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -5,3 +5,7 @@ let write loc v = Effect.perform (Step (Op.Write (loc, v)))
 let prob_write loc v ~p = Effect.perform (Step (Op.Prob_write (loc, v, p)))
 let prob_write_detect loc v ~p = Effect.perform (Step (Op.Prob_write_detect (loc, v, p)))
 let collect loc len = Effect.perform (Step (Op.Collect (loc, len)))
+
+let rec exec : 'r. 'r Program.t -> 'r = function
+  | Program.Done r -> r
+  | Program.Step (op, k) -> exec (k (Effect.perform (Step op)))

@@ -30,3 +30,13 @@ val prob_write_detect : Memory.loc -> int -> p:float -> bool
 val collect : Memory.loc -> int -> int option array
 (** Read [len] consecutive registers in one unit of work.  Only legal
     when the scheduler runs with [~cheap_collect:true]. *)
+
+val exec : 'r Program.t -> 'r
+(** Run a defunctionalized {!Program.t} in direct style: each of its
+    operations is performed as an effect, exactly as the [read]/[write]
+    calls above.  This is the bridge that lets direct-style code (the
+    [examples/], {!Scheduler.run_direct} bodies) call protocols that
+    are now written as programs — and the hinge of the equivalence
+    test: a program run natively by {!Machine} and the same program run
+    through [exec] under the effects adapter must produce identical
+    traces. *)

@@ -1,0 +1,68 @@
+(** Defunctionalized protocol programs: the copyable execution core.
+
+    A ['r t] is a protocol's remaining computation, reified as a value:
+    either it has returned ([Done r]), or it is about to perform a
+    shared-memory operation and continue with the result
+    ([Step (op, k)]).  The continuation [k] is an ordinary OCaml
+    closure, so — unlike the one-shot effect continuations of
+    {!Fiber} — a program state can be stored, duplicated, and resumed
+    any number of times.  This is what lets the exhaustive explorers
+    ({!Explore}, [Conrat_verify.Por]) snapshot a state and backtrack to
+    it instead of re-executing the whole path prefix from scratch.
+
+    Protocols written against this interface must be {e replay-pure}:
+    all mutable protocol state must live in shared {!Memory} (reached
+    through operations) or in loop parameters threaded through the
+    continuations.  A continuation may be invoked more than once (once
+    per branch the explorer takes below it), so closures must not
+    capture mutable references that persist across [Step] boundaries.
+    Refs created and consumed {e between} two operations are fine.
+
+    The direct effects style ({!Proc}) remains available as a thin
+    adapter: {!Proc.exec} runs a program by performing its operations
+    as effects, and {!Fiber.to_program} converts a spawned fiber into a
+    (one-shot) program. *)
+
+type 'r t =
+  | Done of 'r
+  | Step : 'a Op.t * ('a -> 'r t) -> 'r t
+
+val return : 'r -> 'r t
+(** A program that immediately returns. *)
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+(** Sequencing: run the first program, feed its result to the second. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+(** Binding operator for [bind]. *)
+
+val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+(** Binding operator for [map]. *)
+
+val perform : 'a Op.t -> 'a t
+(** A single operation. *)
+
+val read : Memory.loc -> int option t
+val write : Memory.loc -> int -> unit t
+val prob_write : Memory.loc -> int -> p:Op.prob -> unit t
+val prob_write_detect : Memory.loc -> int -> p:Op.prob -> bool t
+val collect : Memory.loc -> int -> int option array t
+
+val pending : 'r t -> Op.any option
+(** The operation the program is blocked on, if any. *)
+
+val is_done : 'r t -> bool
+
+val result : 'r t -> 'r option
+
+val iter_list : ('a -> unit t) -> 'a list -> unit t
+val iter_array : ('a -> unit t) -> 'a array -> unit t
+
+val exists_array : ('a -> bool t) -> 'a array -> bool t
+(** Short-circuiting, like [Array.exists]: stops performing operations
+    at the first element for which [f] yields [true]. *)
+
+val map_array : ('a -> 'b t) -> 'a array -> 'b array t
+(** Runs [f] on each element left to right, collecting results. *)

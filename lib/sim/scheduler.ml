@@ -7,32 +7,8 @@ type 'r result = {
   registers : int;
 }
 
-exception Collect_disallowed
-exception Stuck of string
-
-(* Apply one operation against memory.  Returns the value handed back to
-   the process, whether memory changed, and what a read observed. *)
-let apply :
-  type a. cheap_collect:bool -> coin:Rng.t -> Memory.t -> a Op.t -> a * bool * int option =
-  fun ~cheap_collect ~coin memory op ->
-  match op with
-  | Op.Read l ->
-    let v = Memory.read memory l in
-    (v, false, v)
-  | Op.Write (l, v) ->
-    Memory.write memory l v;
-    ((), true, None)
-  | Op.Prob_write (l, v, p) ->
-    let landed = Rng.bernoulli coin p in
-    if landed then Memory.write memory l v;
-    ((), landed, None)
-  | Op.Prob_write_detect (l, v, p) ->
-    let landed = Rng.bernoulli coin p in
-    if landed then Memory.write memory l v;
-    (landed, landed, None)
-  | Op.Collect (l, len) ->
-    if not cheap_collect then raise Collect_disallowed;
-    (Array.init len (fun i -> Memory.read memory (l + i)), false, None)
+exception Collect_disallowed = Machine.Collect_disallowed
+exception Stuck = Machine.Stuck
 
 let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
     ~n ~(adversary : Adversary.t) ~rng ~memory body =
@@ -44,73 +20,46 @@ let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
   let choose = adversary.Adversary.fresh ~n (Rng.split rng) in
   let metrics = Metrics.create ~n in
   let trace = if record then Some (Trace.create ()) else None in
-  let statuses =
-    Array.init n (fun pid -> Fiber.spawn (fun () -> body ~pid ~rng:local_rngs.(pid)))
+  let machine =
+    Machine.create ~cheap_collect ~metrics ?trace ~n ~memory
+      (fun ~pid -> body ~pid ~rng:local_rngs.(pid))
   in
-  (* The per-step view is kept incrementally: only the scheduled
-     process's pending descriptor changes, and the enabled array only
-     shrinks when a process finishes.  This keeps a scheduler step O(1)
-     (plus whatever the adversary itself inspects) instead of O(n). *)
-  let pending_descr pid =
-    match statuses.(pid) with
-    | Fiber.Running (op, _) -> Some (Op.Any op)
-    | Fiber.Finished _ -> None
-  in
-  let pending = Array.init n pending_descr in
-  let rebuild_enabled () =
-    let pids = ref [] in
-    for pid = n - 1 downto 0 do
-      if Option.is_some pending.(pid) then pids := pid :: !pids
-    done;
-    Array.of_list !pids
-  in
-  let enabled = ref (rebuild_enabled ()) in
-  let steps = ref 0 in
   let completed = ref false in
+  (* The per-step view is kept incrementally by the machine: only the
+     scheduled process's pending descriptor changes, and the enabled
+     array only shrinks when a process finishes.  This keeps a
+     scheduler step O(1) (plus whatever the adversary inspects). *)
   let rec loop () =
-    let en = !enabled in
+    let en = Machine.enabled machine in
     if Array.length en = 0 then completed := true
-    else if !steps >= max_steps then ()
+    else if Machine.steps machine >= max_steps then ()
     else begin
       let view =
-        { View.step = !steps;
+        { View.step = Machine.steps machine;
           n;
           enabled = en;
-          pending;
+          pending = Machine.unsafe_pending machine;
           memory;
           op_counts = Metrics.unsafe_counts metrics }
       in
       let choice = choose view in
       let pid =
-        if choice >= 0 && choice < n
-           && (match statuses.(choice) with Fiber.Running _ -> true | _ -> false)
+        if choice >= 0 && choice < n && Machine.pending_op machine choice <> None
         then choice
         else Adversary.next_enabled_from en n (((choice mod n) + n) mod n)
       in
-      (match statuses.(pid) with
-       | Fiber.Finished _ -> raise (Stuck "scheduled a finished process")
-       | Fiber.Running (op, k) ->
-         let result, landed, observed =
-           apply ~cheap_collect ~coin:write_coins.(pid) memory op
-         in
-         Metrics.record metrics ~pid (Op.kind (Op.Any op));
-         Option.iter
-           (fun t -> Trace.add t { Trace.step = !steps; pid; op = Op.Any op; landed; observed })
-           trace;
-         incr steps;
-         statuses.(pid) <- Fiber.resume k result;
-         pending.(pid) <- pending_descr pid;
-         if pending.(pid) = None then enabled := rebuild_enabled ());
+      Machine.step_random machine ~pid ~coin:write_coins.(pid);
       loop ()
     end
   in
   loop ();
-  let outputs =
-    Array.map (function Fiber.Finished r -> Some r | Fiber.Running _ -> None) statuses
-  in
-  { outputs;
+  { outputs = Machine.outputs machine;
     metrics;
-    steps = !steps;
+    steps = Machine.steps machine;
     completed = !completed;
     trace;
     registers = Memory.size memory }
+
+let run_direct ?max_steps ?record ?cheap_collect ~n ~adversary ~rng ~memory body =
+  run ?max_steps ?record ?cheap_collect ~n ~adversary ~rng ~memory
+    (fun ~pid ~rng -> Fiber.to_program (Fiber.spawn (fun () -> body ~pid ~rng)))

@@ -1,11 +1,10 @@
-(** The interleaving engine.
+(** The Monte Carlo interleaving engine — a driver over {!Machine}.
 
-    [run] spawns [n] processes as effect-handler fibers, then repeatedly
-    asks the adversary which pending operation to apply, applies it
-    against shared memory, accounts for the work, and resumes the chosen
-    process until it performs its next operation or returns.  This is a
-    direct implementation of the model in §2 of the paper: an execution
-    is constructed by repeatedly applying pending operations, with the
+    [run] builds a machine with one {!Program.t} per process, then
+    repeatedly asks the adversary which pending operation to apply and
+    steps the machine until every process returns.  This is a direct
+    implementation of the model in §2 of the paper: an execution is
+    constructed by repeatedly applying pending operations, with the
     choice made by an adversary function of the partial execution.
 
     Asynchrony, crashes and wait-freedom: an adversary that stops
@@ -25,13 +24,13 @@ type 'r result = {
 }
 
 exception Collect_disallowed
-(** Raised when a protocol performs {!Proc.collect} but the run was not
-    started with [~cheap_collect:true]. *)
+(** Raised when a protocol performs a collect but the run was not
+    started with [~cheap_collect:true] (= {!Machine.Collect_disallowed}). *)
 
 exception Stuck of string
-(** Raised on internal scheduling errors (e.g. no process enabled while
-    some process is still running) — indicates a bug, not a protocol
-    property. *)
+(** Raised on internal scheduling errors (e.g. a finished process
+    scheduled) — indicates a bug, not a protocol property
+    (= {!Machine.Stuck}). *)
 
 val run :
   ?max_steps:int ->
@@ -41,13 +40,30 @@ val run :
   adversary:Adversary.t ->
   rng:Rng.t ->
   memory:Memory.t ->
+  (pid:int -> rng:Rng.t -> 'r Program.t) ->
+  'r result
+(** [run ~n ~adversary ~rng ~memory body] executes the program
+    [body ~pid ~rng] for each [pid] in [0..n-1] under the given
+    adversary.  [rng] seeds three independent stream families:
+    per-process local coins (passed to [body]), per-process
+    probabilistic-write coins (resolved by the machine at execution
+    time, invisible to the adversary), and the adversary's own
+    randomness.  [max_steps] (default [10_000_000]) bounds the
+    execution so that tests can detect non-termination; a capped run
+    has [completed = false]. *)
+
+val run_direct :
+  ?max_steps:int ->
+  ?record:bool ->
+  ?cheap_collect:bool ->
+  n:int ->
+  adversary:Adversary.t ->
+  rng:Rng.t ->
+  memory:Memory.t ->
   (pid:int -> rng:Rng.t -> 'r) ->
   'r result
-(** [run ~n ~adversary ~rng ~memory body] executes [body ~pid ~rng] for
-    each [pid] in [0..n-1] under the given adversary.  [rng] seeds three
-    independent stream families: per-process local coins (passed to
-    [body]), per-process probabilistic-write coins (resolved by the
-    scheduler at execution time, invisible to the adversary), and the
-    adversary's own randomness.  [max_steps] (default [10_000_000])
-    bounds the execution so that tests can detect non-termination; a
-    capped run has [completed = false]. *)
+(** Same as {!run} for a direct-style body that performs its operations
+    through {!Proc}: the body is spawned as an effects {!Fiber} and
+    adapted with {!Fiber.to_program}.  Identical semantics and random
+    streams — a body [fun ~pid ~rng -> Proc.exec (p ~pid ~rng)] behaves
+    exactly like running the programs [p] natively. *)

@@ -38,7 +38,7 @@ val save : string -> t -> unit
 val load : string -> (t, string) result
 
 val replay :
-  setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r)) ->
+  setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
   t ->
   (unit, string) result
@@ -51,7 +51,7 @@ val of_failure :
   inputs:int array ->
   max_depth:int ->
   cheap_collect:bool ->
-  setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r)) ->
+  setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
   int list ->
   t

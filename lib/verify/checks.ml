@@ -42,8 +42,9 @@ let setup_of config ~n () =
   let instance = config.factory.Deciding.instantiate ~n memory in
   let inputs = Array.sub config.inputs 0 n in
   let body ~pid =
-    let out = instance.Deciding.run ~pid ~rng inputs.(pid) in
-    (out.Deciding.decide, out.Deciding.value)
+    Program.map
+      (fun out -> (out.Deciding.decide, out.Deciding.value))
+      (instance.Deciding.run ~pid ~rng inputs.(pid))
   in
   (memory, body)
 
@@ -111,7 +112,12 @@ let all =
       ~doc:"racing fallback, n=2, full tree to depth 34 (POR-only bound)"
       ~factory:(Conrat_core.Fallback.racing ~m:2 ())
       ~inputs:[| 0; 1 |] ~property:Deciders_agree ~max_depth:34
-      ~max_runs:200_000_000 ]
+      ~max_runs:200_000_000;
+    config "fallback_n2_d40"
+      ~doc:"racing fallback, n=2, full tree to depth 40 (stateful-POR bound)"
+      ~factory:(Conrat_core.Fallback.racing ~m:2 ())
+      ~inputs:[| 0; 1 |] ~property:Deciders_agree ~max_depth:40
+      ~max_runs:2_000_000_000 ]
 
 (* Expected-failure demos: excluded from [all]; runnable by name to
    exercise the find → shrink → artifact pipeline end to end. *)

@@ -33,7 +33,8 @@ type t = {
 
 val all : t list
 (** Every config expected to pass, in increasing cost order; includes
-    the POR-only bounds (binary ratifier n=4, fallback depth 34). *)
+    the POR-only bounds (binary ratifier n=4, fallback depths 34
+    and 40). *)
 
 val demos : t list
 (** Expected-failure demos (the §7 unstaked fallback test double) —
@@ -49,7 +50,7 @@ val check_of :
 
 val setup_of :
   t -> n:int -> unit ->
-  Conrat_sim.Memory.t * (pid:int -> bool * int)
+  Conrat_sim.Memory.t * (pid:int -> (bool * int) Conrat_sim.Program.t)
 
 val target_of : t -> (bool * int) Shrink.target
 

@@ -1,1 +1,37 @@
-include Conrat_sim.Explore
+open Conrat_sim
+
+type stats = {
+  complete : int;
+  truncated : int;
+  exhausted : bool;
+  steps : int;
+}
+
+let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
+    ?(stop = fun () -> false) ~n ~setup ~check () =
+  let complete_count = ref 0 in
+  let truncated_count = ref 0 in
+  let runs = ref 0 in
+  let steps = ref 0 in
+  let stats exhausted =
+    { complete = !complete_count;
+      truncated = !truncated_count;
+      exhausted;
+      steps = !steps }
+  in
+  let rec drive path =
+    if !runs >= max_runs || stop () then Ok (stats false)
+    else begin
+      incr runs;
+      let run = Explore.run_path ~max_depth ~cheap_collect ~n ~setup path in
+      steps := !steps + run.Explore.steps;
+      if run.Explore.completed then incr complete_count else incr truncated_count;
+      match check ~complete:run.Explore.completed run.Explore.outputs with
+      | Error reason -> Error (reason, stats false)
+      | Ok () ->
+        (match Explore.next_path run.Explore.branches with
+         | Some next -> drive next
+         | None -> Ok (stats true))
+    end
+  in
+  drive []

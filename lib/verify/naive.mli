@@ -1,9 +1,37 @@
-(** The naive (unreduced) enumerator — {!Conrat_sim.Explore} re-exported
-    into the verification subsystem, so [Conrat_verify] presents both
-    engines side by side ([Naive.explore] vs {!Por.explore}) with the
-    path-execution core ({!Conrat_sim.Explore.run_path}) shared between
-    them.  It remains the cross-check oracle: {!Checks.cross_check}
-    compares the two engines' complete-execution outcome sets on every
-    small configuration. *)
+(** The naive (unreduced) enumerator, by re-execution.
 
-include module type of Conrat_sim.Explore
+    Enumerates every path of the branch tree in lexicographic order by
+    running {!Conrat_sim.Explore.run_path} from a fresh [setup ()] for
+    each path and computing the successor with
+    {!Conrat_sim.Explore.next_path} — the original exploration strategy,
+    kept verbatim now that {!Conrat_sim.Explore.explore} backtracks
+    statefully over one {!Conrat_sim.Machine}.  It costs a full prefix
+    re-execution per path, but demands nothing of the protocol beyond
+    what [run_path] does (in particular, [setup] being callable many
+    times rather than programs being replay-pure), and it remains the
+    cross-check oracle: {!Checks.cross_check} and the test suite compare
+    the engines' complete-execution outcome sets — both visit the same
+    leaves in the same order — on every small configuration. *)
+
+type stats = {
+  complete : int;    (** complete executions explored *)
+  truncated : int;   (** paths cut off at [max_depth] *)
+  exhausted : bool;  (** the whole tree fit within [max_runs] *)
+  steps : int;       (** machine transitions executed across all runs *)
+}
+
+val explore :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?cheap_collect:bool ->
+  ?stop:(unit -> bool) ->
+  n:int ->
+  setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
+  check:(complete:bool -> 'r option array -> (unit, string) result) ->
+  unit ->
+  (stats, string * stats) result
+(** [explore ~n ~setup ~check ()] runs every path; [check] is called at
+    the end of each one and the first [Error] aborts the search.
+    [stop] is polled before each run; returning [true] ends the search
+    early with [exhausted = false].  Defaults: [max_depth = 200],
+    [max_runs = 2_000_000]. *)

@@ -5,6 +5,7 @@ type stats = {
   truncated : int;
   pruned : int;
   exhausted : bool;
+  steps : int;
 }
 
 let explored stats = stats.complete + stats.truncated
@@ -16,41 +17,24 @@ type entry = {
   op : Op.any;
 }
 
-type sched = {
-  enabled : entry array;        (* ascending pid *)
-  mutable chosen : int;         (* index into [enabled] *)
-  mutable sleep : entry list;   (* the sleep set Z at this state *)
-}
-
-type coin = { mutable outcome : int (* 0 = landed, 1 = missed *) }
+(* Branch-point marks, kept on an explicit stack solely so the failing
+   path can be reported in Explore.run_path's encoding when a check
+   aborts the search.  All other per-node state (sleep sets, snapshots,
+   depth) lives in the DFS recursion.  Scheduling points with a single
+   enabled process are not marked, matching the path encoding. *)
+type sched_mark = { mutable chosen : int }
+type coin_mark = { mutable outcome : int (* 0 = landed, 1 = missed *) }
 
 type frame =
-  | Sched of sched
-  | Coin of coin
+  | Sched of sched_mark
+  | Coin of coin_mark
 
 let in_sleep sleep pid = List.exists (fun e -> e.pid = pid) sleep
 
-(* Identical to Explore.apply_det, minus trace observation. *)
-let apply_det :
-  type a. cheap_collect:bool -> landed:bool -> Memory.t -> a Op.t -> a =
-  fun ~cheap_collect ~landed memory op ->
-  match op with
-  | Op.Read l -> Memory.read memory l
-  | Op.Write (l, v) -> Memory.write memory l v
-  | Op.Prob_write (l, v, _) -> if landed then Memory.write memory l v
-  | Op.Prob_write_detect (l, v, _) ->
-    if landed then Memory.write memory l v;
-    landed
-  | Op.Collect (l, len) ->
-    if not cheap_collect then raise Scheduler.Collect_disallowed;
-    Array.init len (fun i -> Memory.read memory (l + i))
-
 let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     ?(stop = fun () -> false) ~n ~setup ~check () =
-  (* The DFS stack of branch points along the current path.  Executions
-     are re-run from scratch (continuations are one-shot), so the stack
-     is the only state carried between runs; prefix frames replay
-     deterministically. *)
+  let memory, body = setup () in
+  let machine = Machine.create ~cheap_collect ~n ~memory body in
   let frames = ref (Array.make 64 (Coin { outcome = 0 })) in
   let nframes = ref 0 in
   let push f =
@@ -62,6 +46,7 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     !frames.(!nframes) <- f;
     incr nframes
   in
+  let pop () = decr nframes in
   let complete_count = ref 0 in
   let truncated_count = ref 0 in
   let pruned_count = ref 0 in
@@ -70,159 +55,102 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     { complete = !complete_count;
       truncated = !truncated_count;
       pruned = !pruned_count;
-      exhausted }
+      exhausted;
+      steps = Machine.total_steps machine }
   in
-  (* One execution following the stack's choices, creating new frames
-     past its end.  Returns the leaf kind and (for checked leaves) the
-     outputs. *)
-  let run_once () =
-    let memory, body = setup () in
-    let statuses = Array.init n (fun pid -> Fiber.spawn (fun () -> body ~pid)) in
-    let outputs () =
-      Array.map
-        (function Fiber.Finished r -> Some r | Fiber.Running _ -> None)
-        statuses
-    in
-    let enabled_entries () =
-      let acc = ref [] in
-      for pid = n - 1 downto 0 do
-        match statuses.(pid) with
-        | Fiber.Running (op, _) -> acc := { pid; op = Op.Any op } :: !acc
-        | Fiber.Finished _ -> ()
-      done;
-      Array.of_list !acc
-    in
-    let fi = ref 0 in
-    let z = ref [] in
-    let depth = ref 0 in
-    let rec go () =
-      let entries = enabled_entries () in
-      if Array.length entries = 0 then `Complete (outputs ())
-      else if !depth >= max_depth then `Truncated (outputs ())
-      else begin
-        let frame =
-          if !fi < !nframes then begin
-            match !frames.(!fi) with
-            | Sched s ->
-              assert (Array.length s.enabled = Array.length entries);
-              Some s
-            | Coin _ -> assert false
-          end
-          else begin
-            (* New state: its sleep set is the inherited [!z].  Pick the
-               first enabled process not asleep; if they all are, this
-               path only revisits already-explored traces — prune. *)
-            let sleep = !z in
-            let rec first i =
-              if i >= Array.length entries then None
-              else if in_sleep sleep entries.(i).pid then first (i + 1)
-              else Some i
-            in
-            match first 0 with
-            | None -> None
-            | Some i ->
-              let s = { enabled = entries; chosen = i; sleep } in
-              push (Sched s);
-              Some s
-          end
-        in
-        match frame with
-        | None -> `Pruned
-        | Some s ->
-          let e = s.enabled.(s.chosen) in
-          (* Descending through the chosen transition: processes whose
-             pending op commutes with it stay asleep below. *)
-          z := List.filter (fun x -> Independence.independent x.op e.op) s.sleep;
-          incr fi;
-          let landed =
-            match Op.prob e.op with
-            | Some p when p <= 0.0 -> false
-            | Some p when p >= 1.0 -> true
-            | Some _ ->
-              let c =
-                if !fi < !nframes then begin
-                  match !frames.(!fi) with
-                  | Coin c -> c
-                  | Sched _ -> assert false
-                end
-                else begin
-                  let c = { outcome = 0 } in
-                  push (Coin c);
-                  c
-                end
-              in
-              incr fi;
-              c.outcome = 0
-            | None -> Op.is_write e.op
-          in
-          (match statuses.(e.pid) with
-           | Fiber.Finished _ -> assert false
-           | Fiber.Running (op, k) ->
-             let result = apply_det ~cheap_collect ~landed memory op in
-             statuses.(e.pid) <- Fiber.resume k result);
-          incr depth;
-          go ()
-      end
-    in
-    go ()
+  let exception Abort of string in
+  let exception Out_of_budget in
+  let leaf kind =
+    if !runs >= max_runs || stop () then raise Out_of_budget;
+    incr runs;
+    match kind with
+    | `Pruned -> incr pruned_count
+    | (`Complete | `Truncated) as kind ->
+      let complete = kind = `Complete in
+      if complete then incr complete_count else incr truncated_count;
+      (match check ~complete (Machine.outputs machine) with
+       | Ok () -> ()
+       | Error reason -> raise (Abort reason))
   in
-  (* Bump the deepest frame with an untried alternative; drop the rest.
-     A finished scheduling choice enters its state's sleep set, so its
-     subtree is never re-entered from a sibling. *)
-  let rec backtrack () =
-    if !nframes = 0 then false
+  let enabled_entries () =
+    Array.map
+      (fun pid -> { pid; op = Option.get (Machine.pending_op machine pid) })
+      (Machine.enabled machine)
+  in
+  let rec first_awake entries sleep i =
+    if i >= Array.length entries then None
+    else if in_sleep sleep entries.(i).pid then first_awake entries sleep (i + 1)
+    else Some i
+  in
+  (* [descend z depth]: the machine sits at a fresh state whose
+     inherited sleep set is [z].  Pick the first enabled process not
+     asleep; if they all are, this path only revisits already-explored
+     traces — prune.  After a scheduling choice is fully explored it
+     enters the state's sleep set, so its subtree is never re-entered
+     from a sibling; trying the sibling restores the state snapshot
+     instead of re-executing from the root. *)
+  let rec descend z depth =
+    let entries = enabled_entries () in
+    if Array.length entries = 0 then leaf `Complete
+    else if depth >= max_depth then leaf `Truncated
     else begin
-      match !frames.(!nframes - 1) with
-      | Coin c ->
-        if c.outcome = 0 then begin
-          c.outcome <- 1;
-          true
-        end
+      match first_awake entries z 0 with
+      | None -> leaf `Pruned
+      | Some i ->
+        if Array.length entries = 1 then
+          (* Sole enabled process: no alternative can ever be tried
+             here, so no snapshot and no mark. *)
+          transition ~entry:entries.(0) ~sleep:z ~snap:None ~depth
         else begin
-          decr nframes;
-          backtrack ()
+          let snap = Machine.snapshot machine in
+          let mark = { chosen = i } in
+          push (Sched mark);
+          let sleep = ref z in
+          let continue = ref true in
+          while !continue do
+            let e = entries.(mark.chosen) in
+            transition ~entry:e ~sleep:!sleep ~snap:(Some snap) ~depth;
+            sleep := e :: !sleep;
+            match first_awake entries !sleep 0 with
+            | Some j ->
+              mark.chosen <- j;
+              Machine.restore machine snap
+            | None -> continue := false
+          done;
+          pop ()
         end
-      | Sched s ->
-        s.sleep <- s.enabled.(s.chosen) :: s.sleep;
-        let rec next i =
-          if i >= Array.length s.enabled then None
-          else if in_sleep s.sleep s.enabled.(i).pid then next (i + 1)
-          else Some i
-        in
-        (match next 0 with
-         | Some i ->
-           s.chosen <- i;
-           true
-         | None ->
-           decr nframes;
-           backtrack ())
     end
+  (* Descend through one chosen transition: processes whose pending op
+     commutes with it stay asleep below.  A probabilistic write with
+     0 < p < 1 forks on the coin; its pre-state is the scheduling
+     state itself, so the node snapshot is reused when there is one. *)
+  and transition ~entry ~sleep ~snap ~depth =
+    let z' = List.filter (fun x -> Independence.independent x.op entry.op) sleep in
+    match Explore.coin_of_op entry.op with
+    | `Det landed ->
+      Machine.step_forced machine ~pid:entry.pid ~landed;
+      descend z' (depth + 1)
+    | `Branch ->
+      let snap = match snap with Some s -> s | None -> Machine.snapshot machine in
+      let mark = { outcome = 0 } in
+      push (Coin mark);
+      Machine.step_forced machine ~pid:entry.pid ~landed:true;
+      descend z' (depth + 1);
+      mark.outcome <- 1;
+      Machine.restore machine snap;
+      Machine.step_forced machine ~pid:entry.pid ~landed:false;
+      descend z' (depth + 1);
+      pop ()
   in
-  (* The current path in Explore.run_path's encoding: arity-1 scheduling
-     points consume no element there, so skip them here too. *)
+  (* The aborting path in Explore.run_path's encoding; frames are kept
+     on the stack when [Abort] unwinds, root first. *)
   let current_path () =
-    let acc = ref [] in
-    for i = !nframes - 1 downto 0 do
+    List.init !nframes (fun i ->
       match !frames.(i) with
-      | Sched s -> if Array.length s.enabled > 1 then acc := s.chosen :: !acc
-      | Coin c -> acc := c.outcome :: !acc
-    done;
-    !acc
+      | Sched s -> s.chosen
+      | Coin c -> c.outcome)
   in
-  let rec drive () =
-    if !runs >= max_runs || stop () then Ok (stats false)
-    else begin
-      incr runs;
-      match run_once () with
-      | `Pruned ->
-        incr pruned_count;
-        if backtrack () then drive () else Ok (stats true)
-      | (`Complete outputs | `Truncated outputs) as leaf ->
-        let complete = match leaf with `Complete _ -> true | _ -> false in
-        if complete then incr complete_count else incr truncated_count;
-        (match check ~complete outputs with
-         | Error reason -> Error (reason, current_path (), stats false)
-         | Ok () -> if backtrack () then drive () else Ok (stats true))
-    end
-  in
-  drive ()
+  match descend [] 0 with
+  | () -> Ok (stats true)
+  | exception Out_of_budget -> Ok (stats false)
+  | exception Abort reason -> Error (reason, current_path (), stats false)

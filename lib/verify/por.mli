@@ -12,10 +12,18 @@
     Mazurkiewicz traces the search has already covered.
 
     Sleep sets need no lookahead into future operations, which matters
-    here: operations are revealed dynamically by resuming one-shot
-    fibers, so nontrivial {e persistent} sets (which must account for
+    here: operations are revealed dynamically as each {!Conrat_sim.Program}
+    unfolds, so nontrivial {e persistent} sets (which must account for
     operations a process has not yet performed) cannot be computed
     soundly.  Sleep sets only ever skip redundant interleavings.
+
+    Like {!Conrat_sim.Explore.explore}, the search is {e stateful}: one
+    {!Conrat_sim.Machine} advances through the tree in place, branch
+    points snapshot it once, and trying a sibling or the other coin
+    outcome restores the snapshot in O(|memory| + n) instead of
+    re-executing the path prefix.  The traversal order, the pruning
+    decisions and all statistics are identical to the historical
+    re-execution implementation.
 
     Guarantees: every {e complete} execution of the unreduced tree is
     Mazurkiewicz-equivalent to a complete execution this search visits,
@@ -37,6 +45,7 @@ type stats = {
   truncated : int;   (** paths cut off at [max_depth] and checked *)
   pruned : int;      (** paths abandoned sleep-blocked, without a check *)
   exhausted : bool;  (** the whole reduced tree fit within [max_runs] *)
+  steps : int;       (** machine transitions applied in total *)
 }
 
 val explored : stats -> int
@@ -50,12 +59,12 @@ val explore :
   ?cheap_collect:bool ->
   ?stop:(unit -> bool) ->
   n:int ->
-  setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r)) ->
+  setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
   unit ->
   (stats, string * int list * stats) result
 (** Same contract as {!Naive.explore} with two differences: [max_runs]
-    counts pruned paths too (each costs a re-execution), and a [check]
+    counts pruned paths too (each reaches a leaf), and a [check]
     failure additionally returns the failing branch path, in
     {!Conrat_sim.Explore.run_path}'s encoding, ready for
     {!Shrink.minimize} and {!Artifact} replay. *)

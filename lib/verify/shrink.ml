@@ -4,7 +4,7 @@ type 'r target = {
   n : int;
   max_depth : int;
   cheap_collect : bool;
-  setup : n:int -> unit -> Memory.t * (pid:int -> 'r);
+  setup : n:int -> unit -> Memory.t * (pid:int -> 'r Program.t);
   check : n:int -> complete:bool -> 'r option array -> (unit, string) result;
 }
 

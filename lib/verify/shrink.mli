@@ -23,7 +23,7 @@ type 'r target = {
   n : int;                (** processes in the original counterexample *)
   max_depth : int;
   cheap_collect : bool;
-  setup : n:int -> unit -> Conrat_sim.Memory.t * (pid:int -> 'r);
+  setup : n:int -> unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t);
     (** must accept any [1 ≤ n' ≤ n] (e.g. by truncating the inputs) *)
   check : n:int -> complete:bool -> 'r option array -> (unit, string) result;
 }

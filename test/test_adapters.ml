@@ -17,8 +17,9 @@ let run_object ?(adversary = Adversary.random_uniform) ~n ~inputs ~seed factory 
   let instance = factory.Deciding.instantiate ~n memory in
   Scheduler.run ~n ~adversary ~rng ~memory
     (fun ~pid ~rng ->
-      let out = instance.Deciding.run ~pid ~rng inputs.(pid) in
-      (out.Deciding.decide, out.Deciding.value))
+      Program.map
+        (fun out -> (out.Deciding.decide, out.Deciding.value))
+        (instance.Deciding.run ~pid ~rng inputs.(pid)))
 
 (* A consensus object viewed as a conciliator must satisfy the full
    conciliator spec with delta = 1: validity, termination, coherence
@@ -86,7 +87,7 @@ let qcheck_adapters_compose =
         Deciding.make_factory "probe" (fun ~n:_ _memory ->
           Deciding.instance "probe" ~space:0 (fun ~pid:_ ~rng:_ v ->
             incr entered;
-            { Deciding.decide = false; value = v }))
+            Program.return { Deciding.decide = false; value = v }))
       in
       let factory =
         Compose.pair_factory

@@ -68,7 +68,8 @@ let test_schedule_conciliator_probabilities () =
         let result =
           Scheduler.run ~n:1 ~adversary:Adversary.round_robin ~rng:(Rng.create seed) ~memory
             (fun ~pid ~rng ->
-              ignore (instance.Conrat_objects.Deciding.run ~pid ~rng 0))
+              Program.map ignore
+                (instance.Conrat_objects.Deciding.run ~pid ~rng 0))
         in
         worst := max !worst (Metrics.individual result.metrics)
       done;

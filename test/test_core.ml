@@ -16,8 +16,9 @@ let run_object ?(adversary = Adversary.random_uniform) ?max_steps ~n ~inputs ~se
   let instance = factory.Deciding.instantiate ~n memory in
   Scheduler.run ?max_steps ~n ~adversary ~rng ~memory
     (fun ~pid ~rng ->
-      let out = instance.Deciding.run ~pid ~rng inputs.(pid) in
-      (out.Deciding.decide, out.Deciding.value))
+      Program.map
+        (fun out -> (out.Deciding.decide, out.Deciding.value))
+        (instance.Deciding.run ~pid ~rng inputs.(pid)))
 
 let expect_ok label = function
   | Ok () -> ()
@@ -240,8 +241,9 @@ let run_ratifier ?(adversary = Adversary.random_uniform) ~cheap ~n ~inputs ~seed
   let instance = factory.Deciding.instantiate ~n memory in
   Scheduler.run ~cheap_collect:cheap ~n ~adversary ~rng ~memory
     (fun ~pid ~rng ->
-      let out = instance.Deciding.run ~pid ~rng inputs.(pid) in
-      (out.Deciding.decide, out.Deciding.value))
+      Program.map
+        (fun out -> (out.Deciding.decide, out.Deciding.value))
+        (instance.Deciding.run ~pid ~rng inputs.(pid)))
 
 let test_ratifier_acceptance () =
   (* All inputs equal v ⇒ every output is (1, v), for every scheme. *)

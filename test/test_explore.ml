@@ -20,8 +20,9 @@ let explore_object ?max_depth ?max_runs ?cheap_collect ~n ~inputs ~check factory
       let memory = Memory.create () in
       let instance = factory.Deciding.instantiate ~n memory in
       let body ~pid =
-        let out = instance.Deciding.run ~pid ~rng:dummy_rng inputs.(pid) in
-        (out.Deciding.decide, out.Deciding.value)
+        Program.map
+          (fun out -> (out.Deciding.decide, out.Deciding.value))
+          (instance.Deciding.run ~pid ~rng:dummy_rng inputs.(pid))
       in
       (memory, body))
     ~check ()
@@ -54,9 +55,10 @@ let test_counts_interleavings () =
         let memory = Memory.create () in
         let r = Memory.alloc_n memory 2 in
         let body ~pid =
-          Proc.write r.(pid) 1;
-          Proc.write r.(pid) 2;
-          0
+          let open Program in
+          let* () = write r.(pid) 1 in
+          let* () = write r.(pid) 2 in
+          return 0
         in
         (memory, body))
       ~check:(fun ~complete:_ _ -> Ok ())
@@ -77,9 +79,10 @@ let test_counts_coin_branches () =
         let memory = Memory.create () in
         let r = Memory.alloc memory in
         let body ~pid:_ =
-          Proc.prob_write r 1 ~p:0.5;
-          Proc.prob_write r 2 ~p:0.5;
-          0
+          let open Program in
+          let* () = prob_write r 1 ~p:0.5 in
+          let* () = prob_write r 2 ~p:0.5 in
+          return 0
         in
         (memory, body))
       ~check:(fun ~complete:_ _ -> Ok ())
@@ -97,9 +100,11 @@ let test_deterministic_probs_do_not_branch () =
         let memory = Memory.create () in
         let r = Memory.alloc memory in
         let body ~pid:_ =
-          Proc.prob_write r 1 ~p:1.0;
-          Proc.prob_write r 2 ~p:0.0;
-          match Proc.read r with Some v -> v | None -> -1
+          let open Program in
+          let* () = prob_write r 1 ~p:1.0 in
+          let* () = prob_write r 2 ~p:0.0 in
+          let+ v = read r in
+          match v with Some v -> v | None -> -1
         in
         (memory, body))
       ~check:(fun ~complete:_ outputs ->
@@ -118,11 +123,13 @@ let test_finds_planted_violation () =
     Deciding.make_factory "broken" (fun ~n:_ memory ->
       let proposal = Memory.alloc memory in
       Deciding.instance "broken" ~space:1 (fun ~pid:_ ~rng:_ v ->
-        let preference =
-          match Proc.read proposal with
-          | Some u -> u
+        let open Program in
+        let* u = read proposal in
+        let+ preference =
+          match u with
+          | Some u -> return u
           | None ->
-            Proc.write proposal v;
+            let+ () = write proposal v in
             v
         in
         { Deciding.decide = true; value = preference }))
@@ -147,7 +154,11 @@ let test_truncation_reported () =
         let memory = Memory.create () in
         let r = Memory.alloc memory in
         let body ~pid:_ =
-          let rec spin () = match Proc.read r with None -> spin () | Some v -> v in
+          let open Program in
+          let rec spin () =
+            let* v = read r in
+            match v with None -> spin () | Some v -> return v
+          in
           spin ()
         in
         (memory, body))

@@ -13,14 +13,17 @@ let dummy_rng = Rng.create 0
 (* Local-computation-only test objects (no shared memory needed). *)
 
 let pure_object name f =
-  Deciding.instance name ~space:0 (fun ~pid:_ ~rng:_ v -> f v)
+  Deciding.instance name ~space:0 (fun ~pid:_ ~rng:_ v -> Program.return (f v))
 
 let decider value = pure_object "decider" (fun _ -> { Deciding.decide = true; value })
 let pass = pure_object "pass" (fun v -> { Deciding.decide = false; value = v })
 let scramble = pure_object "scramble" (fun v -> { Deciding.decide = false; value = v + 100 })
 let unscramble = pure_object "unscramble" (fun v -> { Deciding.decide = false; value = v - 100 })
 
-let run1 (obj : Deciding.t) v = obj.run ~pid:0 ~rng:dummy_rng v
+let run1 (obj : Deciding.t) v =
+  match Program.result (obj.run ~pid:0 ~rng:dummy_rng v) with
+  | Some out -> out
+  | None -> Alcotest.fail "pure object performed a shared-memory operation"
 
 (* ------------------------------------------------------------------ *)
 (* Basic composition semantics                                         *)
@@ -101,8 +104,9 @@ let run_object ~n ~inputs ~seed factory =
   let result =
     Scheduler.run ~n ~adversary:Adversary.random_uniform ~rng ~memory
       (fun ~pid ~rng ->
-        let out = instance.Deciding.run ~pid ~rng inputs.(pid) in
-        (out.Deciding.decide, out.Deciding.value))
+        Program.map
+          (fun out -> (out.Deciding.decide, out.Deciding.value))
+          (instance.Deciding.run ~pid ~rng inputs.(pid)))
   in
   result.outputs
 

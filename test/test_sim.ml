@@ -242,7 +242,7 @@ let run_simple ?(n = 3) ?(adversary = Adversary.round_robin) ?record body =
   let memory = Memory.create () in
   let shared = Memory.alloc_n memory 4 in
   let result =
-    Scheduler.run ?record ~n ~adversary ~rng:(Rng.create 11) ~memory
+    Scheduler.run_direct ?record ~n ~adversary ~rng:(Rng.create 11) ~memory
       (fun ~pid ~rng -> body shared ~pid ~rng)
   in
   result
@@ -334,7 +334,7 @@ let test_scheduler_max_steps () =
   let memory = Memory.create () in
   let r = Memory.alloc memory in
   let result =
-    Scheduler.run ~max_steps:50 ~n:2 ~adversary:Adversary.round_robin
+    Scheduler.run_direct ~max_steps:50 ~n:2 ~adversary:Adversary.round_robin
       ~rng:(Rng.create 1) ~memory
       (fun ~pid:_ ~rng:_ ->
         (* Spin forever: r is never written. *)
@@ -350,7 +350,7 @@ let test_scheduler_collect_disallowed () =
   let base = Memory.alloc_n memory 3 in
   Alcotest.check_raises "collect needs opt-in" Scheduler.Collect_disallowed (fun () ->
     ignore
-      (Scheduler.run ~n:1 ~adversary:Adversary.round_robin ~rng:(Rng.create 1) ~memory
+      (Scheduler.run_direct ~n:1 ~adversary:Adversary.round_robin ~rng:(Rng.create 1) ~memory
          (fun ~pid:_ ~rng:_ -> Array.length (Proc.collect base.(0) 3))))
 
 let test_scheduler_collect_allowed () =
@@ -358,7 +358,7 @@ let test_scheduler_collect_allowed () =
   let base = Memory.alloc_n memory 3 in
   Memory.write memory base.(1) 4;
   let result =
-    Scheduler.run ~cheap_collect:true ~n:1 ~adversary:Adversary.round_robin
+    Scheduler.run_direct ~cheap_collect:true ~n:1 ~adversary:Adversary.round_robin
       ~rng:(Rng.create 1) ~memory
       (fun ~pid:_ ~rng:_ ->
         let snap = Proc.collect base.(0) 3 in
@@ -373,7 +373,7 @@ let test_scheduler_determinism () =
   let run () =
     let memory = Memory.create () in
     let shared = Memory.alloc_n memory 2 in
-    Scheduler.run ~record:true ~n:4 ~adversary:Adversary.random_uniform
+    Scheduler.run_direct ~record:true ~n:4 ~adversary:Adversary.random_uniform
       ~rng:(Rng.create 77) ~memory
       (fun ~pid ~rng ->
         Proc.prob_write shared.(0) pid ~p:0.5;
@@ -449,7 +449,7 @@ let test_write_stalker_prefers_readers () =
   let memory = Memory.create () in
   let r = Memory.alloc memory in
   let result =
-    Scheduler.run ~record:true ~n:2 ~adversary:Adversary.write_stalker
+    Scheduler.run_direct ~record:true ~n:2 ~adversary:Adversary.write_stalker
       ~rng:(Rng.create 3) ~memory
       (fun ~pid ~rng:_ ->
         if pid = 0 then begin Proc.write r 1; 0 end
@@ -483,7 +483,7 @@ let test_value_oblivious_invariance () =
     let memory = Memory.create () in
     let shared = Memory.alloc_n memory 2 in
     let result =
-      Scheduler.run ~record:true ~n:2 ~adversary:Adversary.write_stalker
+      Scheduler.run_direct ~record:true ~n:2 ~adversary:Adversary.write_stalker
         ~rng:(Rng.create 5) ~memory
         (fun ~pid ~rng:_ ->
           Proc.write shared.(pid) values.(pid);
@@ -505,7 +505,7 @@ let test_oblivious_invariance () =
     let memory = Memory.create () in
     let shared = Memory.alloc_n memory 2 in
     let result =
-      Scheduler.run ~record:true ~n:2 ~adversary:Adversary.round_robin
+      Scheduler.run_direct ~record:true ~n:2 ~adversary:Adversary.round_robin
         ~rng:(Rng.create 5) ~memory
         (fun ~pid ~rng:_ ->
           if swap then ignore (Proc.read shared.(pid))
@@ -556,7 +556,7 @@ let qcheck_oblivious_schedule_invariance name make_adversary =
         let memory = Memory.create () in
         let regs = Memory.alloc_n memory 3 in
         let result =
-          Scheduler.run ~record:true ~n ~adversary:(make_adversary ())
+          Scheduler.run_direct ~record:true ~n ~adversary:(make_adversary ())
             ~rng:(Rng.create shared_seed) ~memory
             (fun ~pid ~rng:_ ->
               Array.iter
@@ -704,7 +704,7 @@ let qcheck_scheduler_all_finish =
       let memory = Memory.create () in
       let shared = Memory.alloc_n memory 4 in
       let result =
-        Scheduler.run ~n ~adversary:Adversary.random_uniform ~rng:(Rng.create seed) ~memory
+        Scheduler.run_direct ~n ~adversary:Adversary.random_uniform ~rng:(Rng.create seed) ~memory
           (fun ~pid ~rng:_ ->
             Proc.write shared.(pid mod 4) pid;
             ignore (Proc.read shared.((pid + 1) mod 4));
@@ -721,7 +721,7 @@ let qcheck_prob_write_never_other_value =
       let memory = Memory.create () in
       let r = Memory.alloc memory in
       let result =
-        Scheduler.run ~n:4 ~adversary:Adversary.random_uniform ~rng:(Rng.create seed) ~memory
+        Scheduler.run_direct ~n:4 ~adversary:Adversary.random_uniform ~rng:(Rng.create seed) ~memory
           (fun ~pid ~rng:_ ->
             Proc.prob_write r (100 + pid) ~p:0.5;
             match Proc.read r with Some v -> v | None -> -1)

@@ -127,9 +127,10 @@ let test_por_disjoint_writers () =
     let memory = Memory.create () in
     let regs = Memory.alloc_n memory 2 in
     let body ~pid =
-      Proc.write regs.(pid) 1;
-      Proc.write regs.(pid) 2;
-      pid
+      let open Program in
+      let* () = write regs.(pid) 1 in
+      let* () = write regs.(pid) 2 in
+      return pid
     in
     (memory, body)
   in
@@ -152,8 +153,10 @@ let test_por_conflicting_writers () =
     let memory = Memory.create () in
     let reg = Memory.alloc memory in
     let body ~pid =
-      Proc.write reg (pid + 1);
-      match Proc.read reg with Some v -> v | None -> -1
+      let open Program in
+      let* () = write reg (pid + 1) in
+      let+ v = read reg in
+      match v with Some v -> v | None -> -1
     in
     (memory, body)
   in
