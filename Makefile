@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke verify perf-verify check bench clean
+.PHONY: all build test smoke verify perf-verify obs-bench check bench clean
 
 all: build
 
@@ -48,6 +48,15 @@ else
 	  --budget $(PERF_VERIFY_BUDGET) --json $(PERF_VERIFY_JSON)
 endif
 	@test -s $(PERF_VERIFY_JSON) && echo "perf-verify: $(PERF_VERIFY_JSON) written"
+
+# Observability-overhead gate: POR-explore fallback_n2_d28 with no
+# sink vs a null sink, best-of-5, and fail if the disabled-sink hot
+# path costs more than OBS_MAX_PCT percent.  Writes BENCH_OBS.json
+# (committed; CI uploads the fresh one).
+OBS_MAX_PCT ?= 3.0
+obs-bench:
+	$(DUNE) exec bench/obs_overhead.exe -- --max-overhead-pct $(OBS_MAX_PCT)
+	@test -s BENCH_OBS.json && echo "obs-bench: BENCH_OBS.json written"
 
 check: build test smoke verify
 

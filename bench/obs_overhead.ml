@@ -1,0 +1,82 @@
+(* The observability tax: what does threading a Sink.t option through
+   Machine.step cost when no sink is installed, and what does a
+   disabled (null) sink cost when one is?
+
+   Methodology: explore one committed checker config (default
+   fallback_n2_d28, ~1.2M executions) under the POR engine, [reps]
+   times with no sink and [reps] times with [Sink.null], interleaved so
+   both arms see the same thermal/allocator conditions; compare the
+   best (minimum) wall clock of each arm.  The null sink is the
+   worst-case hot path for a disabled sink — every event still pays the
+   option branch plus the [Op.Any] packing and the call — so its
+   overhead bounds what any user pays for building with observability
+   support compiled in but switched off.
+
+   Exits non-zero when the overhead exceeds --max-overhead-pct
+   (default 3%), and writes BENCH_OBS.json so the number is tracked in
+   the bench trajectory.  `make obs-bench` is the entry point; CI runs
+   it on every push. *)
+
+let config_name = ref "fallback_n2_d28"
+let reps = ref 5
+let max_pct = ref 3.0
+let out_file = ref "BENCH_OBS.json"
+
+let args =
+  [ ("--config", Arg.Set_string config_name,
+     "NAME  checker config to explore (default fallback_n2_d28)");
+    ("--reps", Arg.Set_int reps, "N  timed repetitions per arm (default 5)");
+    ("--max-overhead-pct", Arg.Set_float max_pct,
+     "PCT  fail when the null-sink overhead exceeds this (default 3.0)");
+    ("--out", Arg.Set_string out_file,
+     "FILE  JSON result file (default BENCH_OBS.json)") ]
+
+let usage = "obs_overhead [--config NAME] [--reps N] [--max-overhead-pct PCT]"
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let config =
+    match Conrat_verify.Checks.find !config_name with
+    | Some c -> c
+    | None ->
+      Printf.eprintf "obs_overhead: unknown checker config %s\n" !config_name;
+      exit 2
+  in
+  let explore ?sink () =
+    let t0 = Unix.gettimeofday () in
+    (match Conrat_verify.Checks.run ?sink config with
+     | Ok _ -> ()
+     | Error f ->
+       Printf.eprintf "obs_overhead: %s violated its property: %s\n"
+         config.Conrat_verify.Checks.name f.Conrat_verify.Checks.reason;
+       exit 2);
+    Unix.gettimeofday () -. t0
+  in
+  (* One untimed warmup per arm, then interleave the timed reps. *)
+  ignore (explore ());
+  ignore (explore ~sink:Conrat_sim.Sink.null ());
+  let bare = ref infinity and nulled = ref infinity in
+  for i = 1 to !reps do
+    let b = explore () in
+    let s = explore ~sink:Conrat_sim.Sink.null () in
+    bare := Float.min !bare b;
+    nulled := Float.min !nulled s;
+    Printf.eprintf "[obs-bench] rep %d/%d: no sink %.3fs, null sink %.3fs\n%!"
+      i !reps b s
+  done;
+  let overhead_pct = (!nulled -. !bare) /. !bare *. 100.0 in
+  let ok = overhead_pct <= !max_pct in
+  let oc = open_out !out_file in
+  Printf.fprintf oc
+    "{\n  \"schema_version\": 1,\n  \"kind\": \"obs-overhead\",\n  \
+     \"config\": %S,\n  \"reps\": %d,\n  \"no_sink_seconds\": %.3f,\n  \
+     \"null_sink_seconds\": %.3f,\n  \"overhead_pct\": %.2f,\n  \
+     \"max_overhead_pct\": %.2f,\n  \"ok\": %b\n}\n"
+    !config_name !reps !bare !nulled overhead_pct !max_pct ok;
+  close_out oc;
+  Printf.printf
+    "obs-bench: %s best-of-%d — no sink %.3fs, null sink %.3fs, overhead %.2f%% \
+     (limit %.1f%%): %s\n"
+    !config_name !reps !bare !nulled overhead_pct !max_pct
+    (if ok then "OK" else "OVER BUDGET");
+  if not ok then exit 1

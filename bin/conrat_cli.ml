@@ -5,8 +5,13 @@
      experiment  — run the E1..E10 paper-claim reproductions
      sweep       — Monte-Carlo sweep of a protocol at one configuration
      check       — exhaustively verify a named checker configuration
+     trace       — record one execution as a Chrome/Perfetto trace
      list        — list protocols, adversaries, workloads, experiments
-*)
+
+   Output discipline: stdout carries results (tables, JSON documents);
+   all human-facing progress and timing chatter goes to stderr via
+   Report.info, so `--json -` output can be piped straight into a JSON
+   consumer. *)
 
 open Cmdliner
 open Conrat_sim
@@ -68,8 +73,16 @@ let jobs_arg =
 
 (* run *)
 
+let write_chrome_trace ct file =
+  if file = "-" then Conrat_obs.Chrome_trace.write ct stdout
+  else begin
+    let oc = open_out file in
+    Conrat_obs.Chrome_trace.write ct oc;
+    close_out oc
+  end
+
 let run_cmd =
-  let action n m seed protocol adversary workload trace =
+  let action n m seed protocol adversary workload trace obs =
     let protocol = protocol_of_name ~m protocol in
     let adversary = Adversary.by_name adversary in
     let workload = Workload.by_name workload in
@@ -77,10 +90,18 @@ let run_cmd =
     let rng = Rng.create seed in
     let memory = Memory.create () in
     let instance = protocol.instantiate ~n memory in
+    let chrome = Option.map (fun _ -> Conrat_obs.Chrome_trace.create ~n) obs in
+    let sink = Option.map Conrat_obs.Chrome_trace.sink chrome in
     let result =
-      Scheduler.run ~n ~adversary ~rng ~memory ~record:trace
+      Scheduler.run ~n ~adversary ~rng ~memory ~record:trace ?sink
         (fun ~pid ~rng -> instance.Conrat_core.Consensus.decide ~pid ~rng inputs.(pid))
     in
+    (match (obs, chrome) with
+     | Some file, Some ct ->
+       write_chrome_trace ct file;
+       if file <> "-" then
+         Report.info "[run] wrote Chrome trace to %s (open in ui.perfetto.dev)" file
+     | _ -> ());
     Printf.printf "protocol:  %s\nadversary: %s\n" instance.Conrat_core.Consensus.name
       adversary.Adversary.name;
     Printf.printf "inputs:    %s\n"
@@ -106,48 +127,91 @@ let run_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the full execution trace.")
   in
+  let obs_arg =
+    Arg.(value & opt (some string) None
+         & info [ "obs" ] ~docv:"FILE"
+             ~doc:"Also record the execution as a Chrome trace-event JSON file \
+                   ('-' = stdout), loadable in ui.perfetto.dev.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run one consensus execution")
     Term.(const action $ n_arg $ m_arg $ seed_arg $ protocol_arg $ adversary_arg
-          $ workload_arg $ trace_arg)
+          $ workload_arg $ trace_arg $ obs_arg)
 
 (* sweep *)
 
 let sweep_cmd =
-  let action n m seed protocol adversary workload trials jobs =
+  let action n m seed protocol adversary workload trials jobs stages progress =
     let factory = protocol_of_name ~m protocol in
     let adversary = Adversary.by_name adversary in
     let workload = Workload.by_name workload in
-    let t0 = Unix.gettimeofday () in
-    let agg =
-      Montecarlo.trials_consensus ~jobs ~n ~m ~adversary ~workload
-        ~seeds:(Montecarlo.seeds ~base:seed trials) factory
+    let spec =
+      Plan.spec ~stages ~sid:"sweep" ~runner:(Plan.Consensus factory) ~adversary
+        ~workload ~n ~m ~seeds:(Plan.seeds ~base:seed trials) ()
     in
+    let plan = Plan.make ~name:"sweep" [ spec ] in
+    let reporter =
+      if progress then
+        Some (Conrat_obs.Progress.create ~expected:trials ~label:"sweep" ())
+      else None
+    in
+    let on_progress =
+      Option.map
+        (fun r ~done_ ~total ->
+          Conrat_obs.Progress.tick r ~done_
+            ~detail:(fun () -> Printf.sprintf "of %d trials" total))
+        reporter
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = Engine.run_plan ~jobs ?on_progress plan in
     let elapsed = Unix.gettimeofday () -. t0 in
-    let indiv = Stats.of_ints agg.individual_works in
-    let total = Stats.of_ints agg.total_works in
+    Option.iter Conrat_obs.Progress.finish reporter;
+    let agg = Engine.get results "sweep" in
+    let indiv = Stats.of_ints (Engine.individual_works agg) in
+    let total = Stats.of_ints (Engine.total_works agg) in
     Table.print
       ~header:[ "metric"; "mean"; "sd"; "median"; "p95"; "max" ]
       [ [ "individual work"; Table.fl indiv.mean; Table.fl indiv.stddev;
           Table.fl indiv.median; Table.fl indiv.p95; Table.fl indiv.maximum ];
         [ "total work"; Table.fl total.mean; Table.fl total.stddev;
           Table.fl total.median; Table.fl total.p95; Table.fl total.maximum ] ];
+    (match agg.Engine.stage_work with
+     | [] -> ()
+     | stage_rows ->
+       print_newline ();
+       Table.print
+         ~header:[ "stage"; "total work"; "max individual" ]
+         (List.map
+            (fun (stage, (tot, ind)) ->
+              [ stage; string_of_int tot; string_of_int ind ])
+            stage_rows));
     Printf.printf "agreement: %d/%d trials; registers: %d; safety violations: %d\n"
-      agg.agreements agg.trials agg.space (List.length agg.failures);
+      agg.Engine.agreements agg.Engine.trials agg.Engine.space
+      (List.length agg.Engine.failures);
     List.iteri
       (fun i (seed, reason) ->
         if i < 3 then Printf.printf "  violation (seed %d): %s\n" seed reason)
-      agg.failures;
-    Printf.eprintf "[sweep] %d trials in %.2fs (jobs=%d)\n%!" trials elapsed
-      (if jobs = 0 then Conrat_harness.Engine.default_jobs () else max 1 jobs)
+      agg.Engine.failures;
+    Report.info "[sweep] %d trials in %.2fs (jobs=%d)" trials elapsed
+      (if jobs = 0 then Engine.default_jobs () else max 1 jobs)
+  in
+  let stages_arg =
+    Arg.(value & flag
+         & info [ "stages" ]
+             ~doc:"Also collect and print the per-stage work breakdown \
+                   (where in the composed protocol the operations happen).")
+  in
+  let progress_arg =
+    Arg.(value & flag
+         & info [ "progress" ] ~doc:"Show a progress line on stderr while sweeping.")
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Monte-Carlo sweep at one configuration")
     Term.(const action $ n_arg $ m_arg $ seed_arg $ protocol_arg $ adversary_arg
-          $ workload_arg $ trials_arg $ jobs_arg)
+          $ workload_arg $ trials_arg $ jobs_arg $ stages_arg $ progress_arg)
 
 (* experiment *)
 
 let experiment_cmd =
-  let action quick jobs json names =
+  let action quick jobs json progress names =
     let mode = if quick then Experiments.Quick else Experiments.Full in
     let names = if names = [] || names = [ "all" ] then Experiments.all_names else names in
     (match List.find_opt (fun n -> not (List.mem n Experiments.all_names)) names with
@@ -156,10 +220,15 @@ let experiment_cmd =
          bad (String.concat ", " Experiments.all_names);
        exit 2
      | None -> ());
-    List.iter (Experiments.run ~mode ~jobs ~json) names
+    List.iter (Experiments.run ~mode ~jobs ~json ~progress) names
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Small sweeps (seconds instead of minutes).")
+  in
+  let progress_arg =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Show a per-trial progress line on stderr while an experiment runs.")
   in
   let json_arg =
     Arg.(value & flag
@@ -171,13 +240,14 @@ let experiment_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"E1..E10, or 'all'.")
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Run the paper-claim reproductions (E1..E10)")
-    Term.(const action $ quick_arg $ jobs_arg $ json_arg $ names_arg)
+    Term.(const action $ quick_arg $ jobs_arg $ json_arg $ progress_arg $ names_arg)
 
 (* check *)
 
 let check_cmd =
   let open Conrat_verify in
-  let action naive cross budget max_runs artifact_dir replay json names =
+  let action naive cross budget max_runs artifact_dir replay json progress
+      progress_interval quiet names =
     match replay with
     | Some file ->
       (match Artifact.load file with
@@ -206,6 +276,61 @@ let check_cmd =
            (String.concat ", " (Checks.names @ Checks.demo_names));
          exit 2
        | None -> ());
+      (* With `--json -` the JSON document owns stdout, so every human
+         line is rerouted to stderr via Report.info. *)
+      let json_stdout = json = Some "-" in
+      let say fmt =
+        Printf.ksprintf
+          (fun s ->
+            if json_stdout then Report.info "%s" s
+            else begin
+              print_string s;
+              print_newline ();
+              flush stdout
+            end)
+          fmt
+      in
+      (* Progress heartbeats: on by default only on an interactive
+         non-CI stderr; --progress forces them on, --quiet off. *)
+      let progress_on =
+        (progress || Conrat_obs.Progress.default_enabled ()) && not quiet
+      in
+      let baselines =
+        if progress_on then Conrat_obs.Baseline.load Conrat_obs.Baseline.default_path
+        else []
+      in
+      let reporter ~engine name =
+        if not progress_on then None
+        else begin
+          let b = Conrat_obs.Baseline.find baselines ~name ~engine in
+          let expected =
+            Option.map (fun e -> e.Conrat_obs.Baseline.executions) b
+          in
+          let baseline_seconds =
+            Option.map (fun e -> e.Conrat_obs.Baseline.wall_clock_seconds) b
+          in
+          Some
+            (Conrat_obs.Progress.create ?interval:progress_interval ?expected
+               ?baseline_seconds
+               ~label:(Printf.sprintf "%s/%s" name engine)
+               ())
+        end
+      in
+      let por_heartbeat rep =
+        Option.map
+          (fun r ~runs ~pruned ~steps ~depth:_ ->
+            Conrat_obs.Progress.tick r ~done_:runs
+              ~detail:(fun () -> Printf.sprintf "pruned %d, %d steps" pruned steps))
+          rep
+      in
+      let naive_heartbeat rep =
+        Option.map
+          (fun r ~runs ~steps ~depth:_ ->
+            Conrat_obs.Progress.tick r ~done_:runs
+              ~detail:(fun () -> Printf.sprintf "%d steps" steps))
+          rep
+      in
+      let finish rep = Option.iter Conrat_obs.Progress.finish rep in
       let t0 = Unix.gettimeofday () in
       let stop () =
         match budget with
@@ -247,13 +372,14 @@ let check_cmd =
           ~exhausted:s.Naive.exhausted ~ok elapsed
       in
       let report_por name (s : Por.stats) elapsed =
-        Printf.printf
-          "%-26s explored=%d (complete=%d truncated=%d) pruned=%d steps=%d %s (%.1fs)\n%!"
-          name (Por.explored s) s.complete s.truncated s.pruned s.steps
-          (if s.exhausted then "exhausted"
-           else if stop () then "BUDGET EXCEEDED"
-           else "run budget exceeded")
-          elapsed
+        if not quiet then
+          say
+            "%-26s explored=%d (complete=%d truncated=%d) pruned=%d steps=%d %s (%.1fs)"
+            name (Por.explored s) s.complete s.truncated s.pruned s.steps
+            (if s.exhausted then "exhausted"
+             else if stop () then "BUDGET EXCEEDED"
+             else "run budget exceeded")
+            elapsed
       in
       List.iter
         (fun name ->
@@ -261,49 +387,68 @@ let check_cmd =
           let t1 = Unix.gettimeofday () in
           let elapsed () = Unix.gettimeofday () -. t1 in
           if cross then begin
-            match Checks.cross_check ~stop ~max_runs:(max_runs_of config) config with
+            let naive_rep = reporter ~engine:"naive" name in
+            let por_rep = reporter ~engine:"por" name in
+            let result =
+              Checks.cross_check ~stop ~max_runs:(max_runs_of config)
+                ?naive_heartbeat:(naive_heartbeat naive_rep)
+                ?por_heartbeat:(por_heartbeat por_rep) config
+            in
+            finish naive_rep;
+            finish por_rep;
+            match result with
             | Ok x ->
-              Printf.printf
-                "%-26s naive=%d/%d por=%d/%d pruned=%d outcomes=%d %s (%.1fs)\n%!"
-                name x.Checks.naive.Naive.complete x.naive.truncated
-                x.por.Por.complete x.por.truncated x.por.pruned x.outcome_count
-                (if x.outcomes_agree then "AGREE" else "MISMATCH")
-                (elapsed ());
+              if not quiet then
+                say "%-26s naive=%d/%d por=%d/%d pruned=%d outcomes=%d %s (%.1fs)"
+                  name x.Checks.naive.Naive.complete x.naive.truncated
+                  x.por.Por.complete x.por.truncated x.por.pruned x.outcome_count
+                  (if x.outcomes_agree then "AGREE" else "MISMATCH")
+                  (elapsed ());
               note_naive ~name ~ok:x.outcomes_agree x.Checks.naive (elapsed ());
               note_por ~name ~ok:x.outcomes_agree x.Checks.por (elapsed ());
               if not x.outcomes_agree then failed := true
             | Error reason ->
-              Printf.printf "%-26s VIOLATION: %s\n%!" name reason;
+              say "%-26s VIOLATION: %s" name reason;
               failed := true
           end
           else if naive then begin
-            match
+            let rep = reporter ~engine:"naive" name in
+            let result =
               Naive.explore ~max_depth:config.Checks.max_depth
                 ~max_runs:(max_runs_of config)
                 ~cheap_collect:config.Checks.cheap_collect ~stop
+                ?heartbeat:(naive_heartbeat rep)
                 ~n:config.Checks.n
                 ~setup:(Checks.setup_of config ~n:config.Checks.n)
                 ~check:(Checks.check_of config ~n:config.Checks.n)
                 ()
-            with
+            in
+            finish rep;
+            match result with
             | Ok s ->
-              Printf.printf
-                "%-26s explored=%d (complete=%d truncated=%d) steps=%d %s (%.1fs)\n%!"
-                name (s.Naive.complete + s.truncated) s.complete s.truncated
-                s.steps
-                (if s.exhausted then "exhausted" else "budget exceeded")
-                (elapsed ());
+              if not quiet then
+                say "%-26s explored=%d (complete=%d truncated=%d) steps=%d %s (%.1fs)"
+                  name (s.Naive.complete + s.truncated) s.complete s.truncated
+                  s.steps
+                  (if s.exhausted then "exhausted" else "budget exceeded")
+                  (elapsed ());
               note_naive ~name ~ok:true s (elapsed ())
             | Error (reason, s) ->
               (* The naive engine reports but cannot shrink (it does not
                  return the failing path); re-run without --naive for an
                  artifact. *)
-              Printf.printf "%-26s VIOLATION: %s\n%!" name reason;
+              say "%-26s VIOLATION: %s" name reason;
               note_naive ~name ~ok:false s (elapsed ());
               failed := true
           end
           else begin
-            match Checks.run ~stop ~max_runs:(max_runs_of config) config with
+            let rep = reporter ~engine:"por" name in
+            let result =
+              Checks.run ~stop ~max_runs:(max_runs_of config)
+                ?heartbeat:(por_heartbeat rep) config
+            in
+            finish rep;
+            match result with
             | Ok s ->
               report_por name s (elapsed ());
               note_por ~name ~ok:true s (elapsed ())
@@ -312,14 +457,14 @@ let check_cmd =
                 Filename.concat artifact_dir (name ^ ".counterexample.sexp")
               in
               Artifact.save file f.Checks.artifact;
-              Printf.printf "%-26s VIOLATION: %s\n" name f.Checks.reason;
-              Printf.printf
+              say "%-26s VIOLATION: %s" name f.Checks.reason;
+              say
                 "  after %d executions; shrunk to n=%d, %d choices \
-                 (%d shrink replays)\n"
+                 (%d shrink replays)"
                 (Por.explored f.Checks.stats) f.Checks.artifact.Artifact.n
                 (List.length f.Checks.artifact.Artifact.path)
                 f.Checks.shrink_replays;
-              Printf.printf "  counterexample written to %s\n%!" file;
+              say "  counterexample written to %s" file;
               note_por ~name ~ok:false f.Checks.stats (elapsed ());
               failed := true
           end)
@@ -327,13 +472,19 @@ let check_cmd =
       (match json with
        | None -> ()
        | Some file ->
-         let oc = open_out file in
-         Printf.fprintf oc
-           "{\n  \"schema_version\": 1,\n  \"kind\": \"verify-bench\",\n  \
-            \"results\": [\n    %s\n  ]\n}\n"
-           (String.concat ",\n    " (List.rev !json_results));
-         close_out oc;
-         Printf.eprintf "[check] wrote %s\n%!" file);
+         let doc =
+           Printf.sprintf
+             "{\n  \"schema_version\": 1,\n  \"kind\": \"verify-bench\",\n  \
+              \"results\": [\n    %s\n  ]\n}\n"
+             (String.concat ",\n    " (List.rev !json_results))
+         in
+         if json_stdout then (print_string doc; flush stdout)
+         else begin
+           let oc = open_out file in
+           output_string oc doc;
+           close_out oc;
+           Report.info "[check] wrote %s" file
+         end);
       if !failed then exit 1
   in
   let naive_arg =
@@ -373,7 +524,26 @@ let check_cmd =
          & info [ "json" ] ~docv:"FILE"
              ~doc:"Write per-config exploration statistics (executions, machine \
                    steps, wall clock) as JSON, schema v1; see `make perf-verify` \
-                   and BENCH_VERIFY.json.")
+                   and BENCH_VERIFY.json.  FILE '-' writes the document to \
+                   stdout and moves all human-facing lines to stderr.")
+  in
+  let progress_arg =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Force progress heartbeats on stderr (executions/sec, ETA \
+                   against the committed BENCH_VERIFY baseline).  Default: on \
+                   only when stderr is a TTY and \\$(b,CI) is unset.")
+  in
+  let progress_interval_arg =
+    Arg.(value & opt (some float) None
+         & info [ "progress-interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between progress lines (default 1.0).")
+  in
+  let quiet_arg =
+    Arg.(value & flag
+         & info [ "q"; "quiet" ]
+             ~doc:"Suppress per-config success lines and progress; violations \
+                   and the exit status still report failures.")
   in
   let names_arg =
     Arg.(value & pos_all string []
@@ -383,7 +553,56 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Exhaustively verify named checker configs (POR engine by default)")
     Term.(const action $ naive_arg $ cross_arg $ budget_arg $ max_runs_arg
-          $ artifact_dir_arg $ replay_arg $ json_arg $ names_arg)
+          $ artifact_dir_arg $ replay_arg $ json_arg $ progress_arg
+          $ progress_interval_arg $ quiet_arg $ names_arg)
+
+(* trace *)
+
+let trace_cmd =
+  let open Conrat_verify in
+  let action name out seed adversary =
+    match Checks.find name with
+    | None ->
+      Printf.eprintf "conrat: unknown checker %s (expected %s)\n" name
+        (String.concat ", " (Checks.names @ Checks.demo_names));
+      exit 2
+    | Some config ->
+      let n = config.Checks.n in
+      let adversary = Adversary.by_name adversary in
+      let memory, body = Checks.setup_of config ~n () in
+      let ct = Conrat_obs.Chrome_trace.create ~n in
+      let result =
+        Scheduler.run ~cheap_collect:config.Checks.cheap_collect
+          ~sink:(Conrat_obs.Chrome_trace.sink ct) ~n ~adversary
+          ~rng:(Rng.create seed) ~memory
+          (fun ~pid ~rng:_ -> body ~pid)
+      in
+      write_chrome_trace ct out;
+      Report.info "[trace] %s under %s: %d steps, %d trace events%s" name
+        adversary.Adversary.name result.Scheduler.steps
+        (Conrat_obs.Chrome_trace.events ct)
+        (if out = "-" then "" else Printf.sprintf ", wrote %s" out);
+      Report.info "[trace] load the file at https://ui.perfetto.dev"
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"CHECKER"
+             ~doc:"Checker config name to trace one execution of (see `conrat list`).")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Output file for the Chrome trace-event JSON ('-' = stdout).")
+  in
+  let trace_adversary_arg =
+    Arg.(value & opt string "round_robin"
+         & info [ "a"; "adversary" ] ~docv:"ADV"
+             ~doc:(Printf.sprintf "Adversary: %s." (String.concat ", " adversary_names)))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record one execution of a checker config as a Chrome/Perfetto trace")
+    Term.(const action $ name_arg $ out_arg $ seed_arg $ trace_adversary_arg)
 
 (* list *)
 
@@ -404,4 +623,5 @@ let () =
   let info = Cmd.info "conrat" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; sweep_cmd; experiment_cmd; check_cmd; list_cmd ]))
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; experiment_cmd; check_cmd; trace_cmd; list_cmd ]))

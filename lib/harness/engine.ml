@@ -14,18 +14,30 @@ type outcome = {
   individual_work : int;
   steps : int;
   registers : int;
+  stage_work : (string * (int * int)) list;
 }
 
 let all_agree outputs =
   match Spec.agreement ~outputs with Ok () -> true | Error _ -> false
 
-let run_consensus ?max_steps ?cheap_collect ~n ~adversary ~inputs ~seed
-    (protocol : Conrat_core.Consensus.factory) =
+(* When the spec asks for a stage breakdown, each trial gets its own
+   [Stage_work] histogram (keeping trials isolated, which parallel
+   execution requires) whose sink rides the scheduler run. *)
+let stage_sink ~stages ~n =
+  if stages then
+    let sw = Conrat_obs.Stage_work.create ~n in
+    (Some (Conrat_obs.Stage_work.sink sw),
+     fun () -> Conrat_obs.Stage_work.totals sw)
+  else (None, fun () -> [])
+
+let run_consensus ?max_steps ?cheap_collect ?(stages = false) ~n ~adversary
+    ~inputs ~seed (protocol : Conrat_core.Consensus.factory) =
   let rng = Rng.create seed in
   let memory = Memory.create () in
   let instance = protocol.instantiate ~n memory in
+  let sink, stage_totals = stage_sink ~stages ~n in
   let result =
-    Scheduler.run ?max_steps ?cheap_collect ~n ~adversary ~rng ~memory
+    Scheduler.run ?max_steps ?cheap_collect ?sink ~n ~adversary ~rng ~memory
       (fun ~pid ~rng -> instance.Conrat_core.Consensus.decide ~pid ~rng inputs.(pid))
   in
   { inputs;
@@ -38,15 +50,17 @@ let run_consensus ?max_steps ?cheap_collect ~n ~adversary ~inputs ~seed
     total_work = Metrics.total result.metrics;
     individual_work = Metrics.individual result.metrics;
     steps = result.steps;
-    registers = result.registers }
+    registers = result.registers;
+    stage_work = stage_totals () }
 
-let run_deciding ?max_steps ?cheap_collect ~n ~adversary ~inputs ~seed
-    (factory : Conrat_objects.Deciding.factory) =
+let run_deciding ?max_steps ?cheap_collect ?(stages = false) ~n ~adversary
+    ~inputs ~seed (factory : Conrat_objects.Deciding.factory) =
   let rng = Rng.create seed in
   let memory = Memory.create () in
   let instance = factory.instantiate ~n memory in
+  let sink, stage_totals = stage_sink ~stages ~n in
   let result =
-    Scheduler.run ?max_steps ?cheap_collect ~n ~adversary ~rng ~memory
+    Scheduler.run ?max_steps ?cheap_collect ?sink ~n ~adversary ~rng ~memory
       (fun ~pid ~rng ->
         Program.map
           (fun out ->
@@ -67,7 +81,8 @@ let run_deciding ?max_steps ?cheap_collect ~n ~adversary ~inputs ~seed
       total_work = Metrics.total result.metrics;
       individual_work = Metrics.individual result.metrics;
       steps = result.steps;
-      registers = result.registers }
+      registers = result.registers;
+      stage_work = stage_totals () }
   in
   (outcome, decisions)
 
@@ -89,11 +104,12 @@ type aggregate = {
   samples : sample list;
   space : int;
   probe_total : int;
+  stage_work : (string * (int * int)) list;
 }
 
 let empty_aggregate =
   { trials = 0; agreements = 0; failures = []; samples = []; space = 0;
-    probe_total = 0 }
+    probe_total = 0; stage_work = [] }
 
 (* Merge two lists that are already in canonical (ascending) order.
    Ties fall back to full polymorphic comparison so the result is a
@@ -119,7 +135,11 @@ let merge a b =
     failures = merge_sorted cmp_failure a.failures b.failures;
     samples = merge_sorted cmp_sample a.samples b.samples;
     space = max a.space b.space;
-    probe_total = a.probe_total + b.probe_total }
+    probe_total = a.probe_total + b.probe_total;
+    (* Stage union-combine (totals add, maxima max) is commutative and
+       associative with identity [[]], so the order-canonicity argument
+       covers it too. *)
+    stage_work = Conrat_obs.Stage_work.merge a.stage_work b.stage_work }
 
 let of_outcome ~seed ~probe (o : outcome) =
   { trials = 1;
@@ -129,7 +149,8 @@ let of_outcome ~seed ~probe (o : outcome) =
       [ { s_seed = seed; s_total = o.total_work; s_indiv = o.individual_work;
           s_probe = probe } ];
     space = o.registers;
-    probe_total = probe }
+    probe_total = probe;
+    stage_work = o.stage_work }
 
 let total_works a = List.map (fun s -> s.s_total) a.samples
 let individual_works a = List.map (fun s -> s.s_indiv) a.samples
@@ -146,25 +167,32 @@ let run_trial (spec : Plan.spec) seed =
   | Plan.Consensus protocol ->
     let o =
       run_consensus ?max_steps:spec.max_steps ~cheap_collect:spec.cheap_collect
-        ~n:spec.n ~adversary:spec.adversary ~inputs ~seed protocol
+        ~stages:spec.stages ~n:spec.n ~adversary:spec.adversary ~inputs ~seed
+        protocol
     in
     of_outcome ~seed ~probe:0 o
   | Plan.Deciding factory ->
     let o, _ =
       run_deciding ?max_steps:spec.max_steps ~cheap_collect:spec.cheap_collect
-        ~n:spec.n ~adversary:spec.adversary ~inputs ~seed factory
+        ~stages:spec.stages ~n:spec.n ~adversary:spec.adversary ~inputs ~seed
+        factory
     in
     of_outcome ~seed ~probe:0 o
   | Plan.Probed build ->
     let protocol, read_probe = build () in
     let o =
       run_consensus ?max_steps:spec.max_steps ~cheap_collect:spec.cheap_collect
-        ~n:spec.n ~adversary:spec.adversary ~inputs ~seed protocol
+        ~stages:spec.stages ~n:spec.n ~adversary:spec.adversary ~inputs ~seed
+        protocol
     in
     of_outcome ~seed ~probe:(read_probe ()) o
 
-let run_seeds spec seeds =
-  List.fold_left (fun acc seed -> merge acc (run_trial spec seed))
+let run_seeds ?notify spec seeds =
+  List.fold_left
+    (fun acc seed ->
+      let agg = merge acc (run_trial spec seed) in
+      (match notify with None -> () | Some f -> f ());
+      agg)
     empty_aggregate seeds
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
@@ -179,7 +207,18 @@ let chunk_seeds ~chunk seeds =
   in
   go [] [] 0 seeds
 
-let run_plan_parallel ~jobs (plan : Plan.t) =
+(* Progress plumbing: a shared atomic trial counter; each completed
+   trial bumps it and invokes the caller's callback with the running
+   total.  The callback must be domain-safe when [jobs > 1] (the
+   [Conrat_obs.Progress] reporter is). *)
+let progress_notify ~on_progress ~total =
+  match on_progress with
+  | None -> None
+  | Some f ->
+    let done_ = Atomic.make 0 in
+    Some (fun () -> f ~done_:(Atomic.fetch_and_add done_ 1 + 1) ~total)
+
+let run_plan_parallel ?notify ~jobs (plan : Plan.t) =
   let specs = Array.of_list plan.Plan.specs in
   (* One task per (spec, seed chunk); chunks keep the work queue fine
      grained enough to balance trials of very different cost. *)
@@ -203,7 +242,7 @@ let run_plan_parallel ~jobs (plan : Plan.t) =
         let i = Atomic.fetch_and_add next 1 in
         if i < Array.length tasks then begin
           let si, seeds = tasks.(i) in
-          (match run_seeds specs.(si) seeds with
+          (match run_seeds ?notify specs.(si) seeds with
            | agg -> partials.(i) <- agg
            | exception e -> Atomic.set failure (Some e));
           loop ()
@@ -232,13 +271,15 @@ let run_plan_parallel ~jobs (plan : Plan.t) =
          (spec.Plan.sid, !acc))
        specs)
 
-let run_plan ?(jobs = 1) (plan : Plan.t) =
+let run_plan ?(jobs = 1) ?on_progress (plan : Plan.t) =
   let jobs = if jobs = 0 then default_jobs () else max 1 jobs in
+  let notify = progress_notify ~on_progress ~total:(Plan.trial_count plan) in
   if jobs = 1 then
     List.map
-      (fun (spec : Plan.spec) -> (spec.Plan.sid, run_seeds spec spec.Plan.seeds))
+      (fun (spec : Plan.spec) ->
+        (spec.Plan.sid, run_seeds ?notify spec spec.Plan.seeds))
       plan.Plan.specs
-  else run_plan_parallel ~jobs plan
+  else run_plan_parallel ?notify ~jobs plan
 
 let run_spec ?jobs (spec : Plan.spec) =
   match run_plan ?jobs (Plan.make ~name:spec.Plan.sid [ spec ]) with

@@ -25,11 +25,15 @@ type outcome = {
   individual_work : int;
   steps : int;
   registers : int;
+  stage_work : (string * (int * int)) list;
+    (** per-stage (total, max individual) work, stage-name ascending;
+        [[]] unless the trial ran with [stages] enabled *)
 }
 
 val run_consensus :
   ?max_steps:int ->
   ?cheap_collect:bool ->
+  ?stages:bool ->
   n:int ->
   adversary:Conrat_sim.Adversary.t ->
   inputs:int array ->
@@ -37,11 +41,13 @@ val run_consensus :
   Conrat_core.Consensus.factory ->
   outcome
 (** One execution.  [safety] is the full consensus contract
-    (termination within the cap, agreement, validity). *)
+    (termination within the cap, agreement, validity).  [stages]
+    (default false) collects the per-stage work breakdown. *)
 
 val run_deciding :
   ?max_steps:int ->
   ?cheap_collect:bool ->
+  ?stages:bool ->
   n:int ->
   adversary:Conrat_sim.Adversary.t ->
   inputs:int array ->
@@ -66,6 +72,9 @@ type aggregate = {
   samples : sample list;           (** per-seed work, seed-ascending *)
   space : int;                     (** registers (max across trials) *)
   probe_total : int;               (** sum of probe counters *)
+  stage_work : (string * (int * int)) list;
+    (** per-stage (summed total, max individual) work across trials,
+        stage-name ascending; [[]] unless [stages] was enabled *)
 }
 
 val empty_aggregate : aggregate
@@ -89,14 +98,20 @@ val run_trial : Plan.spec -> int -> aggregate
 
 val run_spec : ?jobs:int -> Plan.spec -> aggregate
 
-val run_plan : ?jobs:int -> Plan.t -> (string * aggregate) list
+val run_plan :
+  ?jobs:int ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  Plan.t ->
+  (string * aggregate) list
 (** Execute every trial of the plan and return the per-spec aggregates
     keyed by spec id, in plan order.  [jobs] (default 1) > 1 runs the
     trials on that many domains over a shared work queue of seed
     chunks; [jobs = 0] means {!default_jobs}.  Output is identical for
     every [jobs] value.  An exception in any trial (e.g.
     [Scheduler.Collect_disallowed]) is re-raised after the pool
-    drains. *)
+    drains.  [on_progress] is invoked once per completed trial with
+    the running count; with [jobs > 1] it runs on worker domains and
+    must be domain-safe ([Conrat_obs.Progress.tick] is). *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)

@@ -505,7 +505,11 @@ let e8 mode : built =
   let specs =
     List.map
       (fun (sid, n, wl) ->
-        Plan.spec ~sid ~runner:(Plan.Probed probed) ~adversary:Adversary.random_uniform
+        (* [stages]: the fast-path claim is *about* where work happens
+           (the R₋₁;R₀ prefix vs conciliator rounds), so E8 records the
+           per-stage breakdown into its BENCH json. *)
+        Plan.spec ~sid ~stages:true ~runner:(Plan.Probed probed)
+          ~adversary:Adversary.random_uniform
           ~workload:wl ~n ~m:2 ~seeds:(Plan.seeds trials) ())
       cells
   in
@@ -531,7 +535,31 @@ let e8 mode : built =
       ~header:
         [ "n"; "workload"; "E[indiv]"; "max indiv"; "<=bound"; "conciliator entries/trial";
           "safety viol" ]
-      rows
+      rows;
+    (* The stage breakdown makes the fast-path claim directly visible:
+       under all_same every operation lands in the ratifier prefix
+       stages; conciliator stages appear only under split inputs. *)
+    Table.note "";
+    Table.note "Per-stage work (largest spec, summed over trials, top stages by total):";
+    (match List.rev cells with
+     | [] -> ()
+     | (sid, _, _) :: _ ->
+       let agg = Engine.get results sid in
+       let top =
+         List.sort
+           (fun (_, (ta, _)) (_, (tb, _)) -> compare tb ta)
+           agg.Engine.stage_work
+       in
+       let rec take k = function
+         | x :: tl when k > 0 -> x :: take (k - 1) tl
+         | _ -> []
+       in
+       Table.print
+         ~header:[ "stage"; "total work"; "max indiv" ]
+         (List.map
+            (fun (stage, (total, indiv)) ->
+              [ stage; string_of_int total; string_of_int indiv ])
+            (take 8 top)))
   in
   (Plan.make ~name:"E8" specs, render)
 
@@ -710,21 +738,31 @@ let build ?(mode = Full) name =
   | Some f -> f mode
   | None -> raise Not_found
 
-let run ?(mode = Full) ?(jobs = 1) ?(json = false) name =
+let run ?(mode = Full) ?(jobs = 1) ?(json = false) ?(progress = false) name =
   let plan, render = build ~mode name in
   let t0 = Unix.gettimeofday () in
-  let results = Engine.run_plan ~jobs plan in
+  let on_progress =
+    if not progress then None
+    else begin
+      let reporter = Conrat_obs.Progress.create ~label:name () in
+      Some
+        (fun ~done_ ~total ->
+          Conrat_obs.Progress.tick reporter ~done_ ~detail:(fun () ->
+            Printf.sprintf "of %d trials" total))
+    end
+  in
+  let results = Engine.run_plan ~jobs ?on_progress plan in
   let elapsed = Unix.gettimeofday () -. t0 in
   render results;
   if json then
     Report.write_json ~file:(Report.bench_file name) ~experiment:name
       ~mode:(mode_name mode) ~jobs ~elapsed plan results;
-  (* Timing goes to stderr so stdout (the tables) is a pure function of
-     the plan, byte-identical for every jobs value. *)
-  Printf.eprintf "[%s] %d trials in %.2fs (jobs=%d%s)\n%!" name
+  (* Timing goes to stderr (via Report.info) so stdout (the tables) is a
+     pure function of the plan, byte-identical for every jobs value. *)
+  Report.info "[%s] %d trials in %.2fs (jobs=%d%s)" name
     (Plan.trial_count plan) elapsed
     (if jobs = 0 then Engine.default_jobs () else max 1 jobs)
     (if json then ", wrote " ^ Report.bench_file name else "")
 
-let run_all ?(mode = Full) ?(jobs = 1) ?(json = false) () =
-  List.iter (fun (name, _) -> run ~mode ~jobs ~json name) experiments
+let run_all ?(mode = Full) ?(jobs = 1) ?(json = false) ?progress () =
+  List.iter (fun (name, _) -> run ~mode ~jobs ~json ?progress name) experiments

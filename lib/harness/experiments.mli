@@ -46,15 +46,17 @@ val build :
 (** The experiment's plan and table renderer.  Raises [Not_found] for
     unknown names. *)
 
-val run : ?mode:mode -> ?jobs:int -> ?json:bool -> string -> unit
+val run : ?mode:mode -> ?jobs:int -> ?json:bool -> ?progress:bool -> string -> unit
 (** Run one experiment by name and print its tables to stdout.  [jobs]
     (default 1) sizes the engine's domain pool ([0] = all cores);
     stdout is byte-identical for every [jobs] value — elapsed
-    wall-clock time and the jobs used are reported on stderr.  [json]
-    additionally writes [BENCH_<name>.json] in the working directory.
-    Raises [Not_found] for unknown names. *)
+    wall-clock time and the jobs used are reported on stderr (via
+    {!Report.info}).  [json] additionally writes [BENCH_<name>.json]
+    in the working directory.  [progress] (default false) shows a
+    rate-limited per-trial progress line on stderr.  Raises
+    [Not_found] for unknown names. *)
 
-val run_all : ?mode:mode -> ?jobs:int -> ?json:bool -> unit -> unit
+val run_all : ?mode:mode -> ?jobs:int -> ?json:bool -> ?progress:bool -> unit -> unit
 
 val delta_bound : float
 (** Theorem 7's agreement probability, re-exported for the bench. *)

@@ -11,6 +11,7 @@ type outcome = Engine.outcome = {
   individual_work : int;
   steps : int;
   registers : int;
+  stage_work : (string * (int * int)) list;
 }
 
 let run_consensus = Engine.run_consensus

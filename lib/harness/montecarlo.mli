@@ -20,11 +20,14 @@ type outcome = Engine.outcome = {
   individual_work : int;
   steps : int;
   registers : int;
+  stage_work : (string * (int * int)) list;
+    (** per-stage (total, max individual) work; [[]] unless [stages] *)
 }
 
 val run_consensus :
   ?max_steps:int ->
   ?cheap_collect:bool ->
+  ?stages:bool ->
   n:int ->
   adversary:Conrat_sim.Adversary.t ->
   inputs:int array ->
@@ -37,6 +40,7 @@ val run_consensus :
 val run_deciding :
   ?max_steps:int ->
   ?cheap_collect:bool ->
+  ?stages:bool ->
   n:int ->
   adversary:Conrat_sim.Adversary.t ->
   inputs:int array ->

@@ -15,6 +15,7 @@ type spec = {
   seeds : int list;
   max_steps : int option;
   cheap_collect : bool;
+  stages : bool;
 }
 
 type t = {
@@ -22,11 +23,12 @@ type t = {
   specs : spec list;
 }
 
-let spec ?max_steps ?(cheap_collect = false) ~sid ~runner ~adversary ~workload
-    ~n ~m ~seeds () =
+let spec ?max_steps ?(cheap_collect = false) ?(stages = false) ~sid ~runner
+    ~adversary ~workload ~n ~m ~seeds () =
   if n <= 0 then invalid_arg "Plan.spec: n must be positive";
   if seeds = [] then invalid_arg "Plan.spec: empty seed list";
-  { sid; runner; adversary; workload; n; m; seeds; max_steps; cheap_collect }
+  { sid; runner; adversary; workload; n; m; seeds; max_steps; cheap_collect;
+    stages }
 
 let make ~name specs =
   let tbl = Hashtbl.create 16 in

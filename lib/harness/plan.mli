@@ -32,6 +32,9 @@ type spec = {
   seeds : int list;
   max_steps : int option;
   cheap_collect : bool;
+  stages : bool;
+      (** collect the per-stage work breakdown (attaches a
+          [Conrat_obs.Stage_work] sink to every trial) *)
 }
 
 type t = {
@@ -42,6 +45,7 @@ type t = {
 val spec :
   ?max_steps:int ->
   ?cheap_collect:bool ->
+  ?stages:bool ->
   sid:string ->
   runner:runner ->
   adversary:Conrat_sim.Adversary.t ->
@@ -51,7 +55,8 @@ val spec :
   seeds:int list ->
   unit ->
   spec
-(** Smart constructor; rejects [n <= 0] and empty seed lists. *)
+(** Smart constructor; rejects [n <= 0] and empty seed lists.
+    [stages] (default false) enables the per-stage work breakdown. *)
 
 val make : name:string -> spec list -> t
 (** Rejects duplicate spec ids. *)

@@ -4,7 +4,21 @@
    library and the schema is small.  Schema: README "Machine-readable
    results". *)
 
-let schema_version = 1
+(* v2: results may carry a per-stage work breakdown ("stage_work");
+   absent for specs that did not enable stage collection, so v1
+   consumers that ignore unknown keys keep working. *)
+let schema_version = 2
+
+(* All human-facing progress/wall-clock chatter from the harness goes
+   through here so that [--json -] output on stdout stays machine-clean
+   and tests can assert on one stream. *)
+let info fmt =
+  Printf.ksprintf
+    (fun s ->
+      output_string stderr s;
+      output_char stderr '\n';
+      flush stderr)
+    fmt
 
 let buf_add_json_string buf s =
   Buffer.add_char buf '"';
@@ -62,6 +76,18 @@ let add_result buf (spec : Plan.spec) (agg : Engine.aggregate) =
   add_summary buf "total_work" (Engine.total_works agg);
   Buffer.add_string buf ",";
   add_summary buf "individual_work" (Engine.individual_works agg);
+  (match agg.Engine.stage_work with
+   | [] -> ()
+   | stages ->
+     Buffer.add_string buf ",\"stage_work\":{";
+     List.iteri
+       (fun i (stage, (total, indiv)) ->
+         if i > 0 then Buffer.add_char buf ',';
+         buf_add_json_string buf stage;
+         Buffer.add_string buf
+           (Printf.sprintf ":{\"total\":%d,\"max_individual\":%d}" total indiv))
+       stages;
+     Buffer.add_char buf '}');
   Buffer.add_string buf ",\"failures\":[";
   List.iteri
     (fun i (seed, reason) ->

@@ -4,6 +4,15 @@
     ("Machine-readable results") and versioned by [schema_version]. *)
 
 val schema_version : int
+(** 2 since the observability PR: result objects may carry a
+    ["stage_work"] map (stage → total / max-individual work) when the
+    spec enabled stage collection.  v1 documents are a strict subset. *)
+
+val info : ('a, unit, string, unit) format4 -> 'a
+(** [info fmt …] prints one human-facing status line to stderr and
+    flushes.  Every progress/timing message in the harness and CLI
+    routes through this, keeping stdout reserved for machine-readable
+    output ([--json -]). *)
 
 val json_of_run :
   experiment:string ->

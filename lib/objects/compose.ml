@@ -1,13 +1,18 @@
 open Conrat_sim
 
+(* Each component's program is wrapped in a {!Program.Label} carrying
+   the component's name.  Labels nest under [fold_left pair] — the
+   machine peels them outermost-first, so the innermost (leaf) name is
+   what sticks as the per-process stage.  Observability only: labels
+   are part of the program value, so replay purity is unaffected. *)
 let pair (x : Deciding.t) (y : Deciding.t) : Deciding.t =
   { name = Printf.sprintf "(%s; %s)" x.name y.name;
     space = x.space + y.space;
     run =
       (fun ~pid ~rng v ->
-        Program.bind (x.run ~pid ~rng v) (fun out ->
+        Program.bind (Program.label x.name (x.run ~pid ~rng v)) (fun out ->
           if out.Deciding.decide then Program.return out
-          else y.run ~pid ~rng out.Deciding.value)) }
+          else Program.label y.name (y.run ~pid ~rng out.Deciding.value))) }
 
 let pass_through : Deciding.t =
   { name = "pass";
@@ -47,9 +52,13 @@ let lazy_seq name nth : Deciding.factory =
               (fun ~pid ~rng v ->
                 let rec go i v =
                   let x = get i in
-                  Program.bind (x.Deciding.run ~pid ~rng v) (fun out ->
-                    if out.Deciding.decide then Program.return out
-                    else go (i + 1) out.Deciding.value)
+                  Program.bind
+                    (Program.label
+                       (Printf.sprintf "%s#%d" x.Deciding.name i)
+                       (x.Deciding.run ~pid ~rng v))
+                    (fun out ->
+                      if out.Deciding.decide then Program.return out
+                      else go (i + 1) out.Deciding.value)
                 in
                 go 0 v) }
         and get i =

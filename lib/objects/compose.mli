@@ -8,7 +8,10 @@
     suite checks all of these as executable properties. *)
 
 val pair : Deciding.t -> Deciding.t -> Deciding.t
-(** [(X; Y)] on already-instantiated objects sharing a memory. *)
+(** [(X; Y)] on already-instantiated objects sharing a memory.  Each
+    component's program is wrapped in a {!Program.label} carrying the
+    component's [name], so observability sinks can attribute every
+    operation to the stage that issued it. *)
 
 val seq : Deciding.t list -> Deciding.t
 (** [X₁; X₂; …; X_k].  The empty sequence is {!Deciding.copy_object}'s
@@ -30,6 +33,10 @@ val lazy_seq :
     The composite's [space] grows as stages are instantiated: at any
     point it equals the summed footprint of the stages created so far
     (surfaced by [conrat run] as the deciding-object space).
+
+    Stage labels are ["name#i"] — the component's own name suffixed
+    with its position, so repeated instantiations of the same factory
+    (e.g. ratifier rounds) remain distinguishable in traces.
 
     Note for the exhaustive explorers: instantiation mutates factory
     closure state {e outside} shared memory, so a lazily composed

@@ -1,0 +1,93 @@
+type entry = {
+  name : string;
+  engine : string;
+  executions : int;
+  wall_clock_seconds : float;
+  exhausted : bool;
+}
+
+let default_path = "BENCH_VERIFY.json"
+
+(* Locate ["key": <token>] in a flat object chunk and return the raw
+   token text.  Works because the producer never nests objects inside
+   result entries and never escapes quotes in these fields. *)
+let raw_field chunk key =
+  let needle = Printf.sprintf "\"%s\":" key in
+  match
+    let nl = String.length needle and cl = String.length chunk in
+    let rec scan i =
+      if i + nl > cl then None
+      else if String.sub chunk i nl = needle then Some (i + nl)
+      else scan (i + 1)
+    in
+    scan 0
+  with
+  | None -> None
+  | Some start ->
+    let cl = String.length chunk in
+    let rec skip_ws i = if i < cl && chunk.[i] = ' ' then skip_ws (i + 1) else i in
+    let start = skip_ws start in
+    if start >= cl then None
+    else if chunk.[start] = '"' then begin
+      match String.index_from_opt chunk (start + 1) '"' with
+      | None -> None
+      | Some close -> Some (String.sub chunk (start + 1) (close - start - 1))
+    end
+    else begin
+      let rec stop i =
+        if i >= cl then i
+        else match chunk.[i] with ',' | '}' | ']' | ' ' | '\n' -> i | _ -> stop (i + 1)
+      in
+      let e = stop start in
+      if e = start then None else Some (String.sub chunk start (e - start))
+    end
+
+let parse_chunk chunk =
+  match
+    ( raw_field chunk "name",
+      raw_field chunk "engine",
+      raw_field chunk "executions",
+      raw_field chunk "wall_clock_seconds",
+      raw_field chunk "exhausted" )
+  with
+  | Some name, engine, Some execs, Some secs, exhausted ->
+    (try
+       Some
+         { name;
+           engine = Option.value engine ~default:"por";
+           executions = int_of_string execs;
+           wall_clock_seconds = float_of_string secs;
+           exhausted = exhausted = Some "true" }
+     with _ -> None)
+  | _ -> None
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception _ -> []
+  | contents ->
+    (* Split into top-level-ish { ... } chunks; entries are flat, so a
+       naive brace split is exact after dropping the document braces. *)
+    let chunks = ref [] in
+    let depth = ref 0 in
+    let start = ref 0 in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '{' ->
+          incr depth;
+          if !depth = 2 then start := i
+        | '}' ->
+          if !depth = 2 then
+            chunks := String.sub contents !start (i - !start + 1) :: !chunks;
+          decr depth
+        | _ -> ())
+      contents;
+    List.rev !chunks |> List.filter_map parse_chunk
+
+let find entries ~name ~engine =
+  List.find_opt (fun e -> e.name = name && e.engine = engine) entries

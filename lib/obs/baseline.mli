@@ -1,0 +1,24 @@
+(** Committed benchmark baselines, for progress ETAs.
+
+    Reads the flat-object JSON written by the verification benchmark
+    ([BENCH_VERIFY.json]): a known schema produced by this repo, parsed
+    with a small tolerant field scanner — not a general JSON parser.
+    Unreadable files or missing fields yield an empty list / [None]
+    rather than an error: baselines only ever improve a progress
+    display. *)
+
+type entry = {
+  name : string;                (** checker config name *)
+  engine : string;              (** ["por"], ["naive"], … *)
+  executions : int;             (** leaf executions in the baseline run *)
+  wall_clock_seconds : float;
+  exhausted : bool;
+}
+
+val load : string -> entry list
+(** Entries of the file, or [[]] if it cannot be read or parsed. *)
+
+val find : entry list -> name:string -> engine:string -> entry option
+
+val default_path : string
+(** ["BENCH_VERIFY.json"], resolved relative to the working directory. *)

@@ -1,0 +1,151 @@
+open Conrat_sim
+
+type scope =
+  | Execution
+  | Stage of string
+  | Stage_prefix of string
+
+type spec = {
+  label : string;
+  scope : scope;
+  individual : int option;
+  total : int option;
+  registers : int option;
+  mean_total : float option;
+}
+
+let spec ?individual ?total ?registers ?mean_total ?(scope = Execution) label =
+  { label; scope; individual; total; registers; mean_total }
+
+type violation = {
+  spec_label : string;
+  kind : string;
+  observed : float;
+  bound : float;
+  execution : int;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s = %g exceeds bound %g%s" v.spec_label v.kind
+    v.observed v.bound
+    (if v.execution >= 0 then Printf.sprintf " (execution %d)" v.execution
+     else " (mean over executions)")
+
+(* Per-spec live state.  [flagged] keeps at most one violation per
+   (spec, kind): bounds that fail usually fail on every subsequent op,
+   and a flood of identical violations helps nobody. *)
+type tracker = {
+  t_spec : spec;
+  per_pid : int array;
+  mutable exec_total : int;
+  mutable sum_totals : float;
+}
+
+type t = {
+  n : int;
+  trackers : tracker list;
+  mutable execs : int;
+  mutable violas : violation list;  (* newest first *)
+  flagged : (string * string, unit) Hashtbl.t;
+}
+
+let create ~n ~specs =
+  { n;
+    trackers =
+      List.map
+        (fun s ->
+          { t_spec = s; per_pid = Array.make n 0; exec_total = 0;
+            sum_totals = 0.0 })
+        specs;
+    execs = 0;
+    violas = [];
+    flagged = Hashtbl.create 8 }
+
+let flag t ~spec_label ~kind ~observed ~bound ~execution =
+  if not (Hashtbl.mem t.flagged (spec_label, kind)) then begin
+    Hashtbl.replace t.flagged (spec_label, kind) ();
+    t.violas <- { spec_label; kind; observed; bound; execution } :: t.violas
+  end
+
+let in_scope scope stage =
+  match (scope, stage) with
+  | Execution, _ -> true
+  | (Stage _ | Stage_prefix _), None -> false
+  | Stage name, Some s -> String.equal name s
+  | Stage_prefix p, Some s ->
+    String.length s >= String.length p && String.equal p (String.sub s 0 (String.length p))
+
+let on_op t ~step:_ ~pid ~kind:_ ~loc:_ ~landed:_ ~stage =
+  List.iter
+    (fun tr ->
+      if in_scope tr.t_spec.scope stage then begin
+        tr.per_pid.(pid) <- tr.per_pid.(pid) + 1;
+        tr.exec_total <- tr.exec_total + 1;
+        (match tr.t_spec.individual with
+         | Some b when tr.per_pid.(pid) > b ->
+           flag t ~spec_label:tr.t_spec.label ~kind:"individual"
+             ~observed:(float_of_int tr.per_pid.(pid)) ~bound:(float_of_int b)
+             ~execution:t.execs
+         | _ -> ());
+        match tr.t_spec.total with
+        | Some b when tr.exec_total > b ->
+          flag t ~spec_label:tr.t_spec.label ~kind:"total"
+            ~observed:(float_of_int tr.exec_total) ~bound:(float_of_int b)
+            ~execution:t.execs
+        | _ -> ()
+      end)
+    t.trackers
+
+let sink t =
+  Sink.make
+    ~on_op:(fun ~step ~pid ~kind ~loc ~landed ~stage ->
+      on_op t ~step ~pid ~kind ~loc ~landed ~stage)
+    ()
+
+let end_execution ?registers t =
+  List.iter
+    (fun tr ->
+      (match (tr.t_spec.registers, registers) with
+       | Some b, Some r when r > b ->
+         flag t ~spec_label:tr.t_spec.label ~kind:"registers"
+           ~observed:(float_of_int r) ~bound:(float_of_int b)
+           ~execution:t.execs
+       | _ -> ());
+      tr.sum_totals <- tr.sum_totals +. float_of_int tr.exec_total;
+      tr.exec_total <- 0;
+      Array.fill tr.per_pid 0 t.n 0)
+    t.trackers;
+  t.execs <- t.execs + 1
+
+let executions t = t.execs
+
+let violations t = List.rev t.violas
+
+let result t =
+  let mean_violations =
+    if t.execs = 0 then []
+    else
+      List.filter_map
+        (fun tr ->
+          match tr.t_spec.mean_total with
+          | Some b ->
+            let mean = tr.sum_totals /. float_of_int t.execs in
+            if mean > b then
+              Some
+                { spec_label = tr.t_spec.label; kind = "mean_total";
+                  observed = mean; bound = b; execution = -1 }
+            else None
+          | None -> None)
+        t.trackers
+  in
+  match violations t @ mean_violations with
+  | [] -> Ok ()
+  | vs -> Error vs
+
+let check t =
+  match result t with
+  | Ok () -> ()
+  | Error vs ->
+    failwith
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" pp_violation) vs))

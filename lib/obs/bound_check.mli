@@ -1,0 +1,78 @@
+(** Live work-bound checking against the paper's theorems.
+
+    A {!t} watches a run through its {!sink} and keeps per-process and
+    total operation counts for each declared {!spec}, scoped to the
+    whole execution or to a {!Conrat_sim.Program.label} stage.  Hard
+    bounds ([individual], [total], [registers]) are checked {e live} —
+    the first operation past a budget records a violation — while
+    [mean_total] is an expectation bound checked over all executions
+    seen (Theorem 7's 6n is a bound on {e expected} total work, so a
+    single unlucky execution may exceed it legitimately).
+
+    Bounds come straight from the paper via
+    [Conrat_core.Conciliator.max_individual_work] (Theorem 6's
+    2·lg n + O(1)), [Conrat_core.Ratifier.max_individual_work] and
+    [Ratifier.space] (Theorem 10 and the register budgets).
+
+    Intended for scheduler-driven (Monte Carlo) runs: attach the sink,
+    call {!end_execution} after each run, then {!check} or {!result}.
+    Not meaningful under the snapshotting explorers — backtracking
+    rewinds state but not these counters. *)
+
+type scope =
+  | Execution                 (** count every operation *)
+  | Stage of string           (** operations whose stage equals the name *)
+  | Stage_prefix of string
+      (** operations whose stage starts with the prefix — matches the
+          ["name#i"] labels of [Compose.lazy_seq] across positions *)
+
+type spec = {
+  label : string;             (** for violation messages *)
+  scope : scope;
+  individual : int option;    (** max ops by any one process, per execution *)
+  total : int option;         (** max ops in total, per execution *)
+  registers : int option;     (** max registers allocated at execution end *)
+  mean_total : float option;  (** bound on mean total ops across executions *)
+}
+
+val spec :
+  ?individual:int -> ?total:int -> ?registers:int -> ?mean_total:float ->
+  ?scope:scope -> string -> spec
+(** [spec name] with the given bounds; [scope] defaults to
+    [Execution]. *)
+
+type violation = {
+  spec_label : string;
+  kind : string;              (** ["individual"], ["total"], … *)
+  observed : float;
+  bound : float;
+  execution : int;            (** 0-based execution index; -1 for mean *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : n:int -> specs:spec list -> t
+
+val sink : t -> Conrat_sim.Sink.t
+
+val end_execution : ?registers:int -> t -> unit
+(** Close the current execution: check [registers] bounds against the
+    given final register count (skipped when omitted), fold the totals
+    into the mean accounting, reset per-execution counters. *)
+
+val executions : t -> int
+(** Executions closed so far. *)
+
+val violations : t -> violation list
+(** Hard-bound violations recorded so far (at most one per spec and
+    kind), oldest first.  Does not include mean bounds — those are
+    only decidable at {!result} time. *)
+
+val result : t -> (unit, violation list) result
+(** All violations including [mean_total] checks over the executions
+    seen; [Ok ()] if every bound held. *)
+
+val check : t -> unit
+(** Raise [Failure] with a readable message if {!result} is an error. *)

@@ -1,0 +1,31 @@
+(** Chrome trace-event exporter.
+
+    Collects the events of one (or several sequential) executions into
+    the Trace Event JSON format understood by Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and [chrome://tracing]:
+    each simulated process is a track, every operation a 1-µs complete
+    event at its logical step (1 step = 1 µs of trace time), every
+    {!Conrat_sim.Program.label} stage a nested duration span, decisions
+    and explorer snapshot/restore instants.  The output is a single
+    JSON object [{"traceEvents": [...]}]. *)
+
+type t
+
+val create : n:int -> t
+(** A fresh collector for [n] processes.  Emits thread-name metadata so
+    tracks are labeled ["process 0"], …, plus an ["explorer"] track for
+    snapshot/restore events. *)
+
+val sink : t -> Conrat_sim.Sink.t
+(** The sink to install on a run ({!Conrat_sim.Scheduler.run},
+    {!Conrat_sim.Explore.explore}, …). *)
+
+val events : t -> int
+(** Trace events recorded so far (metadata included). *)
+
+val write : t -> out_channel -> unit
+(** Finalize (close any open stage spans) and write the JSON document.
+    Call once, after the run. *)
+
+val to_string : t -> string
+(** As {!write}, into a string. *)

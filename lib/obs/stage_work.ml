@@ -1,0 +1,49 @@
+open Conrat_sim
+
+let unlabeled = "(unlabeled)"
+
+type t = {
+  n : int;
+  table : (string, int array) Hashtbl.t;
+}
+
+let create ~n = { n; table = Hashtbl.create 16 }
+
+let on_op t ~stage ~pid =
+  let key = match stage with Some s -> s | None -> unlabeled in
+  let counts =
+    match Hashtbl.find_opt t.table key with
+    | Some a -> a
+    | None ->
+      let a = Array.make t.n 0 in
+      Hashtbl.add t.table key a;
+      a
+  in
+  counts.(pid) <- counts.(pid) + 1
+
+let sink t =
+  Sink.make
+    ~on_op:(fun ~step:_ ~pid ~kind:_ ~loc:_ ~landed:_ ~stage ->
+      on_op t ~stage ~pid)
+    ()
+
+let totals t =
+  Hashtbl.fold
+    (fun stage counts acc ->
+      let total = Array.fold_left ( + ) 0 counts in
+      let indiv = Array.fold_left max 0 counts in
+      (stage, (total, indiv)) :: acc)
+    t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | ((ka, (ta, ia)) as ha) :: ta', ((kb, (tb, ib)) as hb) :: tb' ->
+      let c = String.compare ka kb in
+      if c < 0 then ha :: go ta' b
+      else if c > 0 then hb :: go a tb'
+      else (ka, (ta + tb, max ia ib)) :: go ta' tb'
+  in
+  go a b

@@ -1,0 +1,26 @@
+(** Per-stage work histogram.
+
+    Accumulates operation counts keyed by the innermost
+    {!Conrat_sim.Program.label} stage, per process, across everything
+    the attached sink sees.  The harness uses one per trial to produce
+    the per-stage work breakdown of the schema-v2 metrics JSON.
+    Operations issued outside any label are keyed ["(unlabeled)"]. *)
+
+type t
+
+val create : n:int -> t
+
+val sink : t -> Conrat_sim.Sink.t
+
+val totals : t -> (string * (int * int)) list
+(** [(stage, (total ops, max ops by one process))] per stage seen,
+    sorted by stage name. *)
+
+val merge : (string * (int * int)) list -> (string * (int * int)) list ->
+  (string * (int * int)) list
+(** Union-combine two breakdowns: totals add, per-process maxima take
+    the max (trials are independent executions).  Commutative and
+    associative; both inputs and the output are sorted by stage. *)
+
+val unlabeled : string
+(** The key under which label-free operations are counted. *)

@@ -31,10 +31,10 @@ let coin_of_op op =
    and the branch points actually encountered as (chosen, arity) pairs
    in order.  Branch points of arity 1 are not recorded. *)
 let run_path ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
-    ~n ~setup path =
+    ?sink ~n ~setup path =
   let memory, body = setup () in
   let trace = if record then Some (Trace.create ()) else None in
-  let machine = Machine.create ~cheap_collect ?trace ~n ~memory body in
+  let machine = Machine.create ~cheap_collect ?trace ?sink ~n ~memory body in
   let recorded = ref [] in
   let remaining = ref path in
   let take arity =
@@ -97,9 +97,9 @@ exception Out_of_budget
    as [Conrat_verify.Naive]), so the two engines' statistics and
    outcome sequences coincide leaf for leaf. *)
 let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
-    ?(stop = fun () -> false) ~n ~setup ~check () =
+    ?(stop = fun () -> false) ?sink ?heartbeat ~n ~setup ~check () =
   let memory, body = setup () in
-  let machine = Machine.create ~cheap_collect ~n ~memory body in
+  let machine = Machine.create ~cheap_collect ?sink ~n ~memory body in
   let complete_count = ref 0 in
   let truncated_count = ref 0 in
   let runs = ref 0 in
@@ -113,6 +113,11 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     if !runs >= max_runs || stop () then raise Out_of_budget;
     incr runs;
     if complete then incr complete_count else incr truncated_count;
+    (match heartbeat with
+     | None -> ()
+     | Some hb ->
+       hb ~runs:!runs ~steps:(Machine.total_steps machine)
+         ~depth:(Machine.steps machine));
     match check ~complete (Machine.outputs machine) with
     | Ok () -> ()
     | Error reason -> raise (Abort reason)

@@ -57,6 +57,7 @@ val run_path :
   ?record:bool ->
   ?max_depth:int ->
   ?cheap_collect:bool ->
+  ?sink:Sink.t ->
   n:int ->
   setup:(unit -> Memory.t * (pid:int -> 'r Program.t)) ->
   int list ->
@@ -83,6 +84,8 @@ val explore :
   ?max_runs:int ->
   ?cheap_collect:bool ->
   ?stop:(unit -> bool) ->
+  ?sink:Sink.t ->
+  ?heartbeat:(runs:int -> steps:int -> depth:int -> unit) ->
   n:int ->
   setup:(unit -> Memory.t * (pid:int -> 'r Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
@@ -94,5 +97,8 @@ val explore :
     at the end of every path; the first [Error] aborts the search and
     is returned together with the statistics so far.  [stop] is polled
     at every leaf; returning [true] ends the search early with
-    [exhausted = false] (used for wall-clock budgets).  Defaults:
-    [max_depth = 200], [max_runs = 2_000_000]. *)
+    [exhausted = false] (used for wall-clock budgets).  [sink]
+    receives per-transition observability events; [heartbeat] is
+    called once per leaf with the running totals ([depth] is the leaf's
+    own path length) — rate limiting is the callback's business.
+    Defaults: [max_depth = 200], [max_runs = 2_000_000]. *)

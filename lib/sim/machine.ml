@@ -7,11 +7,13 @@ type 'r t = {
   cheap_collect : bool;
   programs : 'r Program.t array;
   pending : Op.any option array;
+  stages : string option array;
   mutable enabled : int array;
   mutable steps : int;
   mutable total_steps : int;
   metrics : Metrics.t option;
   trace : Trace.t option;
+  sink : Sink.t option;
 }
 
 let rebuild_enabled pending n =
@@ -21,26 +23,41 @@ let rebuild_enabled pending n =
   done;
   Array.of_list !pids
 
-let create ?(cheap_collect = false) ?metrics ?trace ~n ~memory body =
+(* Peel stage labels off the front of a program, recording the
+   innermost one as [pid]'s current stage.  Stored programs are always
+   label-free at the top, so the hot path below pays one constructor
+   check per transition. *)
+let rec settle stages pid p =
+  match p with
+  | Program.Label (s, p) ->
+    stages.(pid) <- Some s;
+    settle stages pid p
+  | p -> p
+
+let create ?(cheap_collect = false) ?metrics ?trace ?sink ~n ~memory body =
   if n <= 0 then invalid_arg "Machine.create: n must be positive";
-  let programs = Array.init n (fun pid -> body ~pid) in
+  let stages = Array.make n None in
+  let programs = Array.init n (fun pid -> settle stages pid (body ~pid)) in
   let pending = Array.map Program.pending programs in
   { n;
     memory;
     cheap_collect;
     programs;
     pending;
+    stages;
     enabled = rebuild_enabled pending n;
     steps = 0;
     total_steps = 0;
     metrics;
-    trace }
+    trace;
+    sink }
 
 let n t = t.n
 let memory t = t.memory
 let enabled t = t.enabled
 let unsafe_pending t = t.pending
 let pending_op t pid = t.pending.(pid)
+let stage t pid = t.stages.(pid)
 let steps t = t.steps
 let total_steps t = t.total_steps
 let running t = Array.length t.enabled > 0
@@ -71,7 +88,10 @@ let apply : type a. _ -> a Op.t -> landed:bool -> a * int option =
 
 let step_forced t ~pid ~landed =
   match t.programs.(pid) with
-  | Program.Done _ -> raise (Stuck "scheduled a finished process")
+  | Program.Done _ | Program.Label _ ->
+    (* Stored programs are settled, so [Label] is unreachable; listed to
+       keep the match total. *)
+    raise (Stuck "scheduled a finished process")
   | Program.Step (op, k) ->
     let result, observed = apply t op ~landed in
     Option.iter (fun m -> Metrics.record m ~pid (Op.kind (Op.Any op))) t.metrics;
@@ -79,12 +99,23 @@ let step_forced t ~pid ~landed =
       (fun tr ->
         Trace.add tr { Trace.step = t.steps; pid; op = Op.Any op; landed; observed })
       t.trace;
+    (match t.sink with
+     | None -> ()
+     | Some s ->
+       let any = Op.Any op in
+       s.Sink.on_op ~step:t.steps ~pid ~kind:(Op.kind any) ~loc:(Op.loc any)
+         ~landed ~stage:t.stages.(pid));
     t.steps <- t.steps + 1;
     t.total_steps <- t.total_steps + 1;
-    let p = k result in
+    let p = settle t.stages pid (k result) in
     t.programs.(pid) <- p;
     t.pending.(pid) <- Program.pending p;
-    if t.pending.(pid) = None then t.enabled <- rebuild_enabled t.pending t.n
+    if t.pending.(pid) = None then begin
+      t.enabled <- rebuild_enabled t.pending t.n;
+      match t.sink with
+      | None -> ()
+      | Some s -> s.Sink.on_decide ~step:t.steps ~pid
+    end
 
 let step_random t ~pid ~coin =
   match t.pending.(pid) with
@@ -100,14 +131,19 @@ let step_random t ~pid ~coin =
 type 'r snapshot = {
   s_programs : 'r Program.t array;
   s_pending : Op.any option array;
+  s_stages : string option array;
   s_enabled : int array;
   s_memory : int option array;
   s_steps : int;
 }
 
 let snapshot t =
+  (match t.sink with
+   | None -> ()
+   | Some s -> s.Sink.on_snapshot ~step:t.steps);
   { s_programs = Array.copy t.programs;
     s_pending = Array.copy t.pending;
+    s_stages = Array.copy t.stages;
     s_enabled = Array.copy t.enabled;
     s_memory = Memory.snapshot t.memory;
     s_steps = t.steps }
@@ -115,8 +151,12 @@ let snapshot t =
 (* [total_steps] is deliberately not restored: it counts transitions
    ever applied, the explorer's work measure. *)
 let restore t s =
+  (match t.sink with
+   | None -> ()
+   | Some k -> k.Sink.on_restore ~step:t.steps);
   Array.blit s.s_programs 0 t.programs 0 t.n;
   Array.blit s.s_pending 0 t.pending 0 t.n;
+  Array.blit s.s_stages 0 t.stages 0 t.n;
   t.enabled <- Array.copy s.s_enabled;
   Memory.restore t.memory s.s_memory;
   t.steps <- s.s_steps

@@ -29,6 +29,7 @@ val create :
   ?cheap_collect:bool ->
   ?metrics:Metrics.t ->
   ?trace:Trace.t ->
+  ?sink:Sink.t ->
   n:int ->
   memory:Memory.t ->
   (pid:int -> 'r Program.t) ->
@@ -37,7 +38,9 @@ val create :
     as each process's program.  Bodies are evaluated in pid order (any
     pure prefix, including register allocation, runs here).  When
     [metrics] / [trace] are given, every transition is recorded into
-    them. *)
+    them.  When [sink] is given, every transition, decision, snapshot
+    and restore is reported to it; without one the instrumentation
+    costs a single branch per transition. *)
 
 val n : 'r t -> int
 val memory : 'r t -> Memory.t
@@ -52,6 +55,11 @@ val unsafe_pending : 'r t -> Op.any option array
     copy) — the adversary view's [pending] field. *)
 
 val pending_op : 'r t -> int -> Op.any option
+
+val stage : 'r t -> int -> string option
+(** The innermost {!Program.label} stage [pid] is currently executing
+    in, if any — maintained as labels are peeled off advancing
+    programs, and rolled back by {!restore}. *)
 
 val steps : 'r t -> int
 (** Transitions applied on the current path (restored by {!restore}). *)

@@ -25,7 +25,17 @@ let individual t = Array.fold_left max 0 t.per_pid
 
 let per_process t = Array.copy t.per_pid
 
-let unsafe_counts t = t.per_pid
+(* [counts] is the live per-pid array behind an abstract type: holders
+   can read it (and see it advance as the scheduler works) but the type
+   seals off mutation — no copy per step, no "read-only by convention"
+   hole. *)
+type counts = int array
+
+let counts t = t.per_pid
+let count c pid = c.(pid)
+let counts_length c = Array.length c
+let counts_to_array c = Array.copy c
+let counts_of_array a = Array.copy a
 
 let ops_of t ~pid = t.per_pid.(pid)
 

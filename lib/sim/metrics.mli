@@ -20,10 +20,28 @@ val individual : t -> int
 val per_process : t -> int array
 (** A copy of the per-process operation counts. *)
 
-val unsafe_counts : t -> int array
-(** The live per-process counter array, shared with the scheduler —
-    read-only by convention.  Used to build adversary views without an
-    O(n) copy per step. *)
+type counts
+(** A read-only view of the live per-process counter array.  It is the
+    scheduler's own array behind an abstract type: reads see the
+    current counts with no O(n) copy per step, and mutation is a type
+    error rather than a convention.  (This replaces the former
+    [unsafe_counts], which leaked the mutable array itself.) *)
+
+val counts : t -> counts
+(** The live read-only counter view, shared with the scheduler — used
+    to build adversary views. *)
+
+val count : counts -> int -> int
+(** [count c pid] is the number of operations executed by [pid]. *)
+
+val counts_length : counts -> int
+
+val counts_to_array : counts -> int array
+(** A fresh mutable copy; mutating it cannot affect the scheduler. *)
+
+val counts_of_array : int array -> counts
+(** A read-only view of a copy of [a] (for tests and hand-built
+    views). *)
 
 val ops_of : t -> pid:int -> int
 (** Operations executed by one process. *)

@@ -9,3 +9,4 @@ let collect loc len = Effect.perform (Step (Op.Collect (loc, len)))
 let rec exec : 'r. 'r Program.t -> 'r = function
   | Program.Done r -> r
   | Program.Step (op, k) -> exec (k (Effect.perform (Step op)))
+  | Program.Label (_, p) -> exec p

@@ -1,6 +1,7 @@
 type 'r t =
   | Done of 'r
   | Step : 'a Op.t * ('a -> 'r t) -> 'r t
+  | Label of string * 'r t
 
 let return x = Done x
 
@@ -8,6 +9,7 @@ let rec bind p f =
   match p with
   | Done x -> f x
   | Step (op, k) -> Step (op, fun a -> bind (k a) f)
+  | Label (s, p) -> Label (s, bind p f)
 
 let map f p = bind p (fun x -> Done (f x))
 
@@ -22,13 +24,22 @@ let prob_write l v ~p = perform (Op.Prob_write (l, v, p))
 let prob_write_detect l v ~p = perform (Op.Prob_write_detect (l, v, p))
 let collect l len = perform (Op.Collect (l, len))
 
-let pending = function
+let label s p = Label (s, p)
+
+let rec pending = function
   | Done _ -> None
   | Step (op, _) -> Some (Op.Any op)
+  | Label (_, p) -> pending p
 
-let is_done = function Done _ -> true | Step _ -> false
+let rec is_done = function
+  | Done _ -> true
+  | Step _ -> false
+  | Label (_, p) -> is_done p
 
-let result = function Done r -> Some r | Step _ -> None
+let rec result = function
+  | Done r -> Some r
+  | Step _ -> None
+  | Label (_, p) -> result p
 
 (* Monadic iteration helpers for porting loop-shaped protocol code.
    [exists_array] short-circuits like [Array.exists], preserving the

@@ -26,6 +26,14 @@
 type 'r t =
   | Done of 'r
   | Step : 'a Op.t * ('a -> 'r t) -> 'r t
+  | Label of string * 'r t
+      (** A stage marker: behaves exactly like the wrapped program, but
+          tells the machine that the process is entering the named
+          protocol stage.  Purely observational — labels produce no
+          transition, cannot be scheduled against, and are invisible to
+          adversaries and explorers.  {!Compose} emits one per composed
+          stage; the {!Sink} receives the innermost enclosing label with
+          every operation event. *)
 
 val return : 'r -> 'r t
 (** A program that immediately returns. *)
@@ -50,8 +58,13 @@ val prob_write : Memory.loc -> int -> p:Op.prob -> unit t
 val prob_write_detect : Memory.loc -> int -> p:Op.prob -> bool t
 val collect : Memory.loc -> int -> int option array t
 
+val label : string -> 'r t -> 'r t
+(** [label s p] marks [p] as (the start of) stage [s].  Labels are part
+    of the program value, so labelled programs stay replay-pure. *)
+
 val pending : 'r t -> Op.any option
-(** The operation the program is blocked on, if any. *)
+(** The operation the program is blocked on, if any (looks through
+    labels). *)
 
 val is_done : 'r t -> bool
 

@@ -11,7 +11,7 @@ exception Collect_disallowed = Machine.Collect_disallowed
 exception Stuck = Machine.Stuck
 
 let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
-    ~n ~(adversary : Adversary.t) ~rng ~memory body =
+    ?sink ~n ~(adversary : Adversary.t) ~rng ~memory body =
   if n <= 0 then invalid_arg "Scheduler.run: n must be positive";
   (* Stream layout is fixed so that executions are reproducible: local
      coins, then probabilistic-write coins, then adversary randomness. *)
@@ -21,7 +21,7 @@ let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
   let metrics = Metrics.create ~n in
   let trace = if record then Some (Trace.create ()) else None in
   let machine =
-    Machine.create ~cheap_collect ~metrics ?trace ~n ~memory
+    Machine.create ~cheap_collect ~metrics ?trace ?sink ~n ~memory
       (fun ~pid -> body ~pid ~rng:local_rngs.(pid))
   in
   let completed = ref false in
@@ -40,7 +40,7 @@ let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
           enabled = en;
           pending = Machine.unsafe_pending machine;
           memory;
-          op_counts = Metrics.unsafe_counts metrics }
+          op_counts = Metrics.counts metrics }
       in
       let choice = choose view in
       let pid =
@@ -60,6 +60,7 @@ let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
     trace;
     registers = Memory.size memory }
 
-let run_direct ?max_steps ?record ?cheap_collect ~n ~adversary ~rng ~memory body =
-  run ?max_steps ?record ?cheap_collect ~n ~adversary ~rng ~memory
+let run_direct ?max_steps ?record ?cheap_collect ?sink ~n ~adversary ~rng ~memory
+    body =
+  run ?max_steps ?record ?cheap_collect ?sink ~n ~adversary ~rng ~memory
     (fun ~pid ~rng -> Fiber.to_program (Fiber.spawn (fun () -> body ~pid ~rng)))

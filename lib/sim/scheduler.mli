@@ -36,6 +36,7 @@ val run :
   ?max_steps:int ->
   ?record:bool ->
   ?cheap_collect:bool ->
+  ?sink:Sink.t ->
   n:int ->
   adversary:Adversary.t ->
   rng:Rng.t ->
@@ -50,12 +51,14 @@ val run :
     time, invisible to the adversary), and the adversary's own
     randomness.  [max_steps] (default [10_000_000]) bounds the
     execution so that tests can detect non-termination; a capped run
-    has [completed = false]. *)
+    has [completed = false].  [sink] receives structured observability
+    events (see {!Sink}); omitting it costs one branch per step. *)
 
 val run_direct :
   ?max_steps:int ->
   ?record:bool ->
   ?cheap_collect:bool ->
+  ?sink:Sink.t ->
   n:int ->
   adversary:Adversary.t ->
   rng:Rng.t ->

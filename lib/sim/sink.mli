@@ -1,0 +1,45 @@
+(** Observation sinks: the tap every execution engine drains into.
+
+    A sink is a set of callbacks the {!Machine} invokes as it executes:
+    one per applied operation (with the process, operation kind,
+    register, coin outcome and current {!Program.label} stage), one when
+    a process returns, and one per explorer snapshot/restore.  Engines
+    thread an optional sink down to the machine; when none is installed
+    the whole mechanism costs a single branch per transition (see
+    [bench/obs_overhead.ml] and the [obs-bench] CI gate).
+
+    Concrete sinks live in [Conrat_obs]: a Chrome trace-event exporter,
+    a live work-bound checker, and a per-stage work histogram.  This
+    module only defines the interface (it must be visible to the
+    machine) plus the trivial combinators. *)
+
+type t = {
+  on_op :
+    step:int -> pid:int -> kind:Op.kind -> loc:Memory.loc -> landed:bool ->
+    stage:string option -> unit;
+      (** One applied transition.  [step] is the 0-based position on the
+          current path, [landed] whether memory changed (for reads it is
+          [false]), [stage] the innermost enclosing {!Program.label}. *)
+  on_decide : step:int -> pid:int -> unit;
+      (** [pid]'s program returned; [step] transitions had been applied. *)
+  on_snapshot : step:int -> unit;  (** an explorer snapshotted the state *)
+  on_restore : step:int -> unit;   (** an explorer backtracked to a snapshot *)
+}
+
+val make :
+  ?on_op:
+    (step:int -> pid:int -> kind:Op.kind -> loc:Memory.loc -> landed:bool ->
+     stage:string option -> unit) ->
+  ?on_decide:(step:int -> pid:int -> unit) ->
+  ?on_snapshot:(step:int -> unit) ->
+  ?on_restore:(step:int -> unit) ->
+  unit ->
+  t
+(** A sink with the given callbacks; omitted ones do nothing. *)
+
+val null : t
+(** The no-op sink: every callback does nothing.  Attaching it measures
+    the pure dispatch overhead of the instrumentation. *)
+
+val tee : t -> t -> t
+(** [tee a b] forwards every event to [a] then [b]. *)

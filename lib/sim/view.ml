@@ -9,7 +9,7 @@ type full = {
   enabled : int array;
   pending : Op.any option array;
   memory : Memory.t;
-  op_counts : int array;
+  op_counts : Metrics.counts;
 }
 
 type oblivious = {
@@ -55,7 +55,7 @@ let to_value_oblivious v =
     vo_n = v.n;
     vo_enabled = v.enabled;
     vo_pending = Array.map (Option.map (mask ~hide_value:true ~hide_loc:false)) v.pending;
-    vo_op_counts = Array.copy v.op_counts }
+    vo_op_counts = Metrics.counts_to_array v.op_counts }
 
 let to_location_oblivious v =
   { lo_step = v.step;
@@ -63,4 +63,4 @@ let to_location_oblivious v =
     lo_enabled = v.enabled;
     lo_pending = Array.map (Option.map (mask ~hide_value:false ~hide_loc:true)) v.pending;
     lo_contents = Memory.snapshot v.memory;
-    lo_op_counts = Array.copy v.op_counts }
+    lo_op_counts = Metrics.counts_to_array v.op_counts }

@@ -25,7 +25,7 @@ type full = {
   enabled : int array;            (** pids still running, ascending *)
   pending : Op.any option array;  (** pending op per pid; [None] = halted *)
   memory : Memory.t;              (** the shared store (adaptive only) *)
-  op_counts : int array;          (** per-pid work so far *)
+  op_counts : Metrics.counts;     (** per-pid work so far (read-only) *)
 }
 
 type oblivious = {

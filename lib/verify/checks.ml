@@ -146,11 +146,11 @@ type failure = {
 
 type outcome = (Por.stats, failure) result
 
-let run ?stop ?max_runs config =
+let run ?stop ?max_runs ?sink ?heartbeat config =
   let max_runs = Option.value max_runs ~default:config.max_runs in
   let result =
     Por.explore ~max_depth:config.max_depth ~max_runs
-      ~cheap_collect:config.cheap_collect ?stop ~n:config.n
+      ~cheap_collect:config.cheap_collect ?stop ?sink ?heartbeat ~n:config.n
       ~setup:(setup_of config ~n:config.n)
       ~check:(check_of config ~n:config.n)
       ()
@@ -184,7 +184,7 @@ type cross = {
   outcome_count : int;
 }
 
-let cross_check ?stop ?max_runs config =
+let cross_check ?stop ?max_runs ?naive_heartbeat ?por_heartbeat config =
   let max_runs = Option.value max_runs ~default:config.max_runs in
   let collect () = Hashtbl.create 64 in
   let noting outcomes ~complete outputs =
@@ -195,14 +195,16 @@ let cross_check ?stop ?max_runs config =
   let naive_outcomes = collect () in
   let naive =
     Naive.explore ~max_depth:config.max_depth ~max_runs
-      ~cheap_collect:config.cheap_collect ?stop ~n:config.n
+      ~cheap_collect:config.cheap_collect ?stop ?heartbeat:naive_heartbeat
+      ~n:config.n
       ~setup:(setup_of config ~n:config.n)
       ~check:(noting naive_outcomes) ()
   in
   let por_outcomes = collect () in
   let por =
     Por.explore ~max_depth:config.max_depth ~max_runs
-      ~cheap_collect:config.cheap_collect ?stop ~n:config.n
+      ~cheap_collect:config.cheap_collect ?stop ?heartbeat:por_heartbeat
+      ~n:config.n
       ~setup:(setup_of config ~n:config.n)
       ~check:(noting por_outcomes) ()
   in

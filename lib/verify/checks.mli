@@ -63,7 +63,15 @@ type failure = {
 
 type outcome = (Por.stats, failure) result
 
-val run : ?stop:(unit -> bool) -> ?max_runs:int -> t -> outcome
+val run :
+  ?stop:(unit -> bool) ->
+  ?max_runs:int ->
+  ?sink:Conrat_sim.Sink.t ->
+  ?heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
+  t -> outcome
+(** [sink] and [heartbeat] are passed through to {!Por.explore} (the
+    heartbeat fires per leaf; rate limiting is the callback's
+    business). *)
 
 val replay : t -> Artifact.t -> (unit, string) result
 (** Replay an artifact under this config's factory and property (the
@@ -78,5 +86,10 @@ type cross = {
 }
 
 val cross_check :
-  ?stop:(unit -> bool) -> ?max_runs:int -> t -> (cross, string) result
-(** [Error _] if either engine found a property violation. *)
+  ?stop:(unit -> bool) ->
+  ?max_runs:int ->
+  ?naive_heartbeat:(runs:int -> steps:int -> depth:int -> unit) ->
+  ?por_heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
+  t -> (cross, string) result
+(** [Error _] if either engine found a property violation.  The two
+    heartbeats report the respective engine's progress. *)

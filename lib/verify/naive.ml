@@ -8,7 +8,7 @@ type stats = {
 }
 
 let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
-    ?(stop = fun () -> false) ~n ~setup ~check () =
+    ?(stop = fun () -> false) ?heartbeat ~n ~setup ~check () =
   let complete_count = ref 0 in
   let truncated_count = ref 0 in
   let runs = ref 0 in
@@ -26,6 +26,9 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
       let run = Explore.run_path ~max_depth ~cheap_collect ~n ~setup path in
       steps := !steps + run.Explore.steps;
       if run.Explore.completed then incr complete_count else incr truncated_count;
+      (match heartbeat with
+       | None -> ()
+       | Some hb -> hb ~runs:!runs ~steps:!steps ~depth:run.Explore.steps);
       match check ~complete:run.Explore.completed run.Explore.outputs with
       | Error reason -> Error (reason, stats false)
       | Ok () ->

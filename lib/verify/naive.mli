@@ -25,6 +25,7 @@ val explore :
   ?max_runs:int ->
   ?cheap_collect:bool ->
   ?stop:(unit -> bool) ->
+  ?heartbeat:(runs:int -> steps:int -> depth:int -> unit) ->
   n:int ->
   setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
@@ -33,5 +34,7 @@ val explore :
 (** [explore ~n ~setup ~check ()] runs every path; [check] is called at
     the end of each one and the first [Error] aborts the search.
     [stop] is polled before each run; returning [true] ends the search
-    early with [exhausted = false].  Defaults: [max_depth = 200],
+    early with [exhausted = false].  [heartbeat] fires once per path
+    with running totals ([depth] = that path's length); rate limiting
+    is the callback's business.  Defaults: [max_depth = 200],
     [max_runs = 2_000_000]. *)

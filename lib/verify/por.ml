@@ -32,9 +32,9 @@ type frame =
 let in_sleep sleep pid = List.exists (fun e -> e.pid = pid) sleep
 
 let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
-    ?(stop = fun () -> false) ~n ~setup ~check () =
+    ?(stop = fun () -> false) ?sink ?heartbeat ~n ~setup ~check () =
   let memory, body = setup () in
-  let machine = Machine.create ~cheap_collect ~n ~memory body in
+  let machine = Machine.create ~cheap_collect ?sink ~n ~memory body in
   let frames = ref (Array.make 64 (Coin { outcome = 0 })) in
   let nframes = ref 0 in
   let push f =
@@ -63,6 +63,11 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
   let leaf kind =
     if !runs >= max_runs || stop () then raise Out_of_budget;
     incr runs;
+    (match heartbeat with
+     | None -> ()
+     | Some hb ->
+       hb ~runs:!runs ~pruned:!pruned_count
+         ~steps:(Machine.total_steps machine) ~depth:(Machine.steps machine));
     match kind with
     | `Pruned -> incr pruned_count
     | (`Complete | `Truncated) as kind ->

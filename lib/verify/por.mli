@@ -58,6 +58,8 @@ val explore :
   ?max_runs:int ->
   ?cheap_collect:bool ->
   ?stop:(unit -> bool) ->
+  ?sink:Conrat_sim.Sink.t ->
+  ?heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
   n:int ->
   setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
@@ -67,4 +69,7 @@ val explore :
     counts pruned paths too (each reaches a leaf), and a [check]
     failure additionally returns the failing branch path, in
     {!Conrat_sim.Explore.run_path}'s encoding, ready for
-    {!Shrink.minimize} and {!Artifact} replay. *)
+    {!Shrink.minimize} and {!Artifact} replay.  [sink] observes every
+    machine transition (including snapshot/restore backtracking);
+    [heartbeat] fires once per leaf (pruned leaves included) with
+    running totals — rate limiting is the callback's business. *)

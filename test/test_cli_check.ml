@@ -60,6 +60,121 @@ let expect name ~code ?stdout_has ?stderr_has ?stderr_lacks (c, out, err) =
         failf "%s: stderr unexpectedly contains %S (got: %s)" name needle err)
     stderr_lacks
 
+(* Minimal recursive-descent JSON validator — enough grammar to assert
+   that a whole stdout capture or trace file is one well-formed JSON
+   value (objects, arrays, strings with escapes, numbers, literals).
+   The toolchain has no JSON library; this is the test-side counterpart
+   of the hand-emitted documents. *)
+let is_valid_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let fail () = raise Exit in
+  let expect c = if peek () = Some c then incr pos else fail () in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('t' | 'f' | 'n') -> literal ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos; members ()
+        | Some '}' -> incr pos
+        | _ -> fail ()
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos; elements ()
+        | Some ']' -> incr pos
+        | _ -> fail ()
+      in
+      elements ()
+    end
+  and string_lit () =
+    expect '"';
+    let rec chars () =
+      if !pos >= n then fail ();
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        (if !pos >= n then fail ());
+        (match s.[!pos] with
+         | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> incr pos
+         | 'u' ->
+           incr pos;
+           for _ = 1 to 4 do
+             (if !pos >= n then fail ());
+             (match s.[!pos] with
+              | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> incr pos
+              | _ -> fail ())
+           done
+         | _ -> fail ());
+        chars ()
+      | c when Char.code c < 0x20 -> fail ()
+      | _ -> incr pos; chars ()
+    in
+    chars ()
+  and literal () =
+    let word w =
+      let l = String.length w in
+      if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l else fail ()
+    in
+    match peek () with
+    | Some 't' -> word "true"
+    | Some 'f' -> word "false"
+    | _ -> word "null"
+  and number () =
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let start = !pos in
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        incr pos
+      done;
+      if !pos = start then fail ()
+    in
+    digits ();
+    if peek () = Some '.' then (incr pos; digits ());
+    (match peek () with
+     | Some ('e' | 'E') ->
+       incr pos;
+       (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+       digits ()
+     | _ -> ())
+  in
+  match value (); skip_ws (); !pos = n with
+  | complete -> complete
+  | exception Exit -> false
+
 let () =
   (* PR 1 regression: unknown experiment names are a clean usage error,
      not an uncaught exception (which would also exit 2 — hence the
@@ -92,6 +207,48 @@ let () =
 
   expect "replay missing artifact" ~code:2 ~stderr_has:"cannot load"
     (run "check --replay /nonexistent/artifact.sexp");
+
+  (* --json -: the JSON document owns stdout, human lines move to
+     stderr, and the capture must parse as one well-formed JSON value. *)
+  let code, out, err = run "check binary_ratifier_n2 conciliator_n2 --json -" in
+  expect "check --json - runs" ~code:0 ~stderr_has:"exhausted" (code, out, err);
+  if not (is_valid_json out) then
+    failf "check --json -: stdout is not a single JSON document (got: %s)" out;
+  if not (contains ~needle:"\"kind\": \"verify-bench\"" out) then
+    failf "check --json -: document kind missing (got: %s)" out;
+  if not (contains ~needle:"conciliator_n2" err) then
+    failf "check --json -: per-config report missing from stderr (got: %s)" err;
+
+  (* --quiet: success says nothing on stdout; failures still exit 1. *)
+  let code, out, err = run "check --quiet binary_ratifier_n2" in
+  expect "check --quiet" ~code:0 (code, out, err);
+  if String.trim out <> "" then failf "check --quiet: stdout not empty (got: %s)" out;
+  expect "check --quiet still fails loudly" ~code:1 ~stdout_has:"VIOLATION"
+    (run (Printf.sprintf "check --quiet fallback_unstaked_n2 --artifact-dir %s"
+            (Filename.quote tmpdir)));
+
+  (* trace: a Perfetto-loadable Chrome trace-event document. *)
+  let trace_file = Filename.concat tmpdir "trace.json" in
+  let code, out, err =
+    run (Printf.sprintf "trace composite_n2 --out %s" (Filename.quote trace_file))
+  in
+  expect "trace writes a file" ~code:0 ~stderr_has:"trace events" (code, out, err);
+  if String.trim out <> "" then failf "trace: stdout not clean (got: %s)" out;
+  let doc = read_file trace_file in
+  if not (is_valid_json doc) then
+    failf "trace: %s is not valid JSON (got: %s)" trace_file doc;
+  if not (contains ~needle:"\"traceEvents\"" doc) then
+    failf "trace: missing traceEvents key (got: %s)" doc;
+  if not (contains ~needle:"\"ph\":\"B\"" doc) then
+    failf "trace: composite run produced no stage spans (got: %s)" doc;
+
+  let code, out, err = run "trace conciliator_n2 --out -" in
+  expect "trace to stdout" ~code:0 (code, out, err);
+  if not (is_valid_json out) then
+    failf "trace --out -: stdout is not valid JSON (got: %s)" out;
+
+  expect "trace unknown name" ~code:2 ~stderr_has:"unknown checker"
+    (run "trace definitely_not_a_checker --out -");
 
   if !failures > 0 then begin
     Printf.eprintf "%d CLI test(s) failed\n%!" !failures;

@@ -28,7 +28,14 @@ let aggregate_gen =
               total_work = total;
               individual_work = indiv;
               steps = total;
-              registers = 1 + (total mod 7) }
+              registers = 1 + (total mod 7);
+              stage_work =
+                (* Varying stage keys so the merge laws cover the
+                   stage-work union-combine too. *)
+                (match total mod 3 with
+                 | 0 -> []
+                 | 1 -> [ ("alpha", (total, indiv)) ]
+                 | _ -> [ ("alpha", (total, indiv)); ("beta", (1, 1)) ]) }
           in
           Engine.of_outcome ~seed ~probe:(total mod 3) o)
         (int_bound 1000)
@@ -67,7 +74,7 @@ let test_merge_counts () =
     Engine.of_outcome ~seed ~probe:2
       { inputs = [| 0 |]; outputs = [| Some 0 |]; agreed; safety = Ok ();
         completed = true; total_work = 10 * seed; individual_work = seed;
-        steps = 10 * seed; registers = seed }
+        steps = 10 * seed; registers = seed; stage_work = [] }
   in
   let m = Engine.merge (o true 3) (Engine.merge (o false 1) (o true 2)) in
   checki "trials" 3 m.Engine.trials;

@@ -595,7 +595,7 @@ let make_full_view () =
     pending =
       [| Some (Op.Any (Op.Prob_write (l, 7, 0.5))); Some (Op.Any (Op.Read l)) |];
     memory;
-    op_counts = [| 2; 1 |] }
+    op_counts = Metrics.counts_of_array [| 2; 1 |] }
 
 let test_view_oblivious_projection () =
   let v = View.to_oblivious (make_full_view ()) in
