@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke verify perf-verify obs-bench check bench clean
+.PHONY: all build test smoke verify fault-verify perf-verify obs-bench check bench clean
 
 all: build
 
@@ -31,15 +31,44 @@ verify:
 	$(DUNE) exec bin/conrat_cli.exe -- check all \
 	  --budget $(VERIFY_BUDGET) --artifact-dir $(VERIFY_DIR)
 
+# Crash-closed exhaustive verification (DESIGN.md §10): the *_fN
+# checker configs enumerate every schedule x coin outcome x placement
+# of up to f crash-stops and must exhaust cleanly; the expected-fail
+# fault demos (a crash-unsafe ratifier variant, the shipped ratifier
+# on weakened registers) must exit 1 and leave replayable
+# counterexample artifacts in FAULT_VERIFY_DIR for CI to upload.
+FAULT_VERIFY_DIR ?= .
+fault-verify:
+	$(DUNE) exec bin/conrat_cli.exe -- check \
+	  binary_ratifier_n2_f1 binary_ratifier_n3_f1 binary_ratifier_n3_f2 \
+	  binary_ratifier_accept_n3_f2 conciliator_n2_f1 \
+	  --artifact-dir $(FAULT_VERIFY_DIR)
+	@if $(DUNE) exec bin/conrat_cli.exe -- check ratifier_await_ack \
+	    --artifact-dir $(FAULT_VERIFY_DIR) >/dev/null 2>&1; \
+	then echo "fault-verify: ratifier_await_ack unexpectedly passed"; exit 1; \
+	else echo "fault-verify: ratifier_await_ack caught (expected)"; fi
+	@if $(DUNE) exec bin/conrat_cli.exe -- check binary_ratifier_n2_weak \
+	    --artifact-dir $(FAULT_VERIFY_DIR) >/dev/null 2>&1; \
+	then echo "fault-verify: binary_ratifier_n2_weak unexpectedly passed"; exit 1; \
+	else echo "fault-verify: binary_ratifier_n2_weak caught (expected)"; fi
+
 # Exploration-speed benchmark: the same configs under the same budget,
 # but also emitting BENCH_VERIFY.json (schema v1: executions explored,
 # machine steps, wall-clock per config) so exploration-speed
 # regressions show up in the bench trajectory.  CI uploads the JSON.
 # The committed BENCH_VERIFY.json was produced with no budget
 # (PERF_VERIFY_BUDGET=0 = unlimited), which exhausts every config
-# including the depth-40 fallback bound (~4.5 min total).
+# including the depth-40 fallback bound (~5 min total).
+#
+# The second step is the fault-plane regression guard (same discipline
+# as obs-bench): POR-explore the failure-free fallback_n2_d28 with the
+# fault plane disabled vs engaged-but-inert, interleaved best-of-5,
+# and fail if the toggled bookkeeping costs more than FAULT_MAX_PCT
+# percent.  Writes BENCH_FAULT.json (committed; CI uploads the fresh
+# one).
 PERF_VERIFY_BUDGET ?= 120
 PERF_VERIFY_JSON ?= BENCH_VERIFY.json
+FAULT_MAX_PCT ?= 3.0
 perf-verify:
 ifeq ($(PERF_VERIFY_BUDGET),0)
 	$(DUNE) exec bin/conrat_cli.exe -- check all --json $(PERF_VERIFY_JSON)
@@ -48,6 +77,8 @@ else
 	  --budget $(PERF_VERIFY_BUDGET) --json $(PERF_VERIFY_JSON)
 endif
 	@test -s $(PERF_VERIFY_JSON) && echo "perf-verify: $(PERF_VERIFY_JSON) written"
+	$(DUNE) exec bench/fault_overhead.exe -- --max-overhead-pct $(FAULT_MAX_PCT)
+	@test -s BENCH_FAULT.json && echo "perf-verify: BENCH_FAULT.json written"
 
 # Observability-overhead gate: POR-explore fallback_n2_d28 with no
 # sink vs a null sink, best-of-5, and fail if the disabled-sink hot

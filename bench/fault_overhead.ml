@@ -1,0 +1,111 @@
+(* The fault-plane tax: what does compiling crash/weak-register support
+   into the machine cost on the failure-free fast path where it is
+   disabled?
+
+   The plane's hot-path costs are all behind two flags that stay false
+   in a failure-free exploration — [Memory.t]'s shadow tracking (writes
+   maintain the previous-value shadow, backups capture it) and the
+   machine's crash bookkeeping (snapshots capture the crashed set).
+   This gate measures the toggleable part the way BENCH_OBS.json
+   measures the observability tax: explore one committed checker config
+   under the POR engine, [reps] times with the plane fully disabled and
+   [reps] times with the shadow bookkeeping engaged but inert
+   ({!Memory.engage_shadow}: every conditional branch taken, no
+   register actually weak, so the explored tree is bit-identical),
+   interleaved, comparing best-of-N processor times (Sys.time — the
+   gate runs on shared machines where wall clock is too noisy to
+   resolve 3%).
+
+   Exits non-zero when the engaged-but-inert overhead exceeds
+   --max-overhead-pct (default 3%), and writes BENCH_FAULT.json so the
+   number rides the bench trajectory.  `make perf-verify` is the entry
+   point; CI runs it on every push. *)
+
+open Conrat_verify
+
+let config_name = ref "fallback_n2_d28"
+let reps = ref 5
+let max_pct = ref 3.0
+let out_file = ref "BENCH_FAULT.json"
+
+let args =
+  [ ("--config", Arg.Set_string config_name,
+     "NAME  checker config to explore (default fallback_n2_d28)");
+    ("--reps", Arg.Set_int reps, "N  timed repetitions per arm (default 5)");
+    ("--max-overhead-pct", Arg.Set_float max_pct,
+     "PCT  fail when the engaged-but-inert overhead exceeds this (default 3.0)");
+    ("--out", Arg.Set_string out_file,
+     "FILE  JSON result file (default BENCH_FAULT.json)") ]
+
+let usage = "fault_overhead [--config NAME] [--reps N] [--max-overhead-pct PCT]"
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let config =
+    match Checks.find !config_name with
+    | Some c -> c
+    | None ->
+      Printf.eprintf "fault_overhead: unknown checker config %s\n" !config_name;
+      exit 2
+  in
+  if config.Checks.faults <> Conrat_sim.Fault.none then begin
+    Printf.eprintf
+      "fault_overhead: %s is not failure-free; the gate measures the \
+       disabled fast path\n"
+      !config_name;
+    exit 2
+  end;
+  let n = config.Checks.n in
+  let explore ~engaged () =
+    let setup () =
+      let memory, body = Checks.setup_of config ~n () in
+      if engaged then Conrat_sim.Memory.engage_shadow memory;
+      (memory, body)
+    in
+    let t0 = Sys.time () in
+    (match
+       Por.explore ~max_depth:config.Checks.max_depth
+         ~max_runs:config.Checks.max_runs
+         ~cheap_collect:config.Checks.cheap_collect ~n ~setup
+         ~check:(Checks.check_of config ~n) ()
+     with
+     | Ok s when s.Por.exhausted -> ()
+     | Ok _ ->
+       Printf.eprintf "fault_overhead: %s did not exhaust under its budget\n"
+         !config_name;
+       exit 2
+     | Error (reason, _, _) ->
+       Printf.eprintf "fault_overhead: %s violated its property: %s\n"
+         !config_name reason;
+       exit 2);
+    Sys.time () -. t0
+  in
+  (* One untimed warmup per arm, then interleave the timed reps. *)
+  ignore (explore ~engaged:false ());
+  ignore (explore ~engaged:true ());
+  let bare = ref infinity and engaged = ref infinity in
+  for i = 1 to !reps do
+    let b = explore ~engaged:false () in
+    let e = explore ~engaged:true () in
+    bare := Float.min !bare b;
+    engaged := Float.min !engaged e;
+    Printf.eprintf
+      "[fault-bench] rep %d/%d: disabled %.3fs, engaged-inert %.3fs\n%!" i
+      !reps b e
+  done;
+  let overhead_pct = (!engaged -. !bare) /. !bare *. 100.0 in
+  let ok = overhead_pct <= !max_pct in
+  let oc = open_out !out_file in
+  Printf.fprintf oc
+    "{\n  \"schema_version\": 1,\n  \"kind\": \"fault-overhead\",\n  \
+     \"config\": %S,\n  \"reps\": %d,\n  \"disabled_seconds\": %.3f,\n  \
+     \"engaged_inert_seconds\": %.3f,\n  \"overhead_pct\": %.2f,\n  \
+     \"max_overhead_pct\": %.2f,\n  \"ok\": %b\n}\n"
+    !config_name !reps !bare !engaged overhead_pct !max_pct ok;
+  close_out oc;
+  Printf.printf
+    "fault-bench: %s best-of-%d — disabled %.3fs, engaged-inert %.3fs, \
+     overhead %.2f%% (limit %.1f%%): %s\n"
+    !config_name !reps !bare !engaged overhead_pct !max_pct
+    (if ok then "OK" else "OVER BUDGET");
+  if not ok then exit 1

@@ -140,15 +140,38 @@ let run_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let action n m seed protocol adversary workload trials jobs stages progress =
+  let action n m seed protocol adversary workload trials jobs stages faults
+      json progress =
+    (* SIGINT stops the engine between trials: the aggregates of the
+       trials that did finish are flushed (tables, and a well-formed
+       partial JSON document when --json was given), then exit 130.
+       Installed before anything sized by [trials] so the window in
+       which the inherited disposition (often SIG_IGN under a
+       backgrounding shell) still applies is negligible. *)
+    let interrupted = Atomic.make false in
+    ignore
+      (Sys.signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> Atomic.set interrupted true)));
+    let fault_model =
+      match faults with
+      | None -> None
+      | Some s ->
+        (match Fault.of_string s with
+         | Ok model -> Some model
+         | Error msg ->
+           Printf.eprintf "conrat: bad --faults %S: %s\n" s msg;
+           exit 2)
+    in
     let factory = protocol_of_name ~m protocol in
     let adversary = Adversary.by_name adversary in
     let workload = Workload.by_name workload in
     let spec =
-      Plan.spec ~stages ~sid:"sweep" ~runner:(Plan.Consensus factory) ~adversary
-        ~workload ~n ~m ~seeds:(Plan.seeds ~base:seed trials) ()
+      Plan.spec ?faults:fault_model ~stages ~sid:"sweep"
+        ~runner:(Plan.Consensus factory) ~adversary ~workload ~n ~m
+        ~seeds:(Plan.seeds ~base:seed trials) ()
     in
     let plan = Plan.make ~name:"sweep" [ spec ] in
+    let json_stdout = json = Some "-" in
     let reporter =
       if progress then
         Some (Conrat_obs.Progress.create ~expected:trials ~label:"sweep" ())
@@ -162,37 +185,109 @@ let sweep_cmd =
         reporter
     in
     let t0 = Unix.gettimeofday () in
-    let results = Engine.run_plan ~jobs ?on_progress plan in
+    let results =
+      Engine.run_plan ~jobs ?on_progress
+        ~stop:(fun () -> Atomic.get interrupted)
+        ~quarantine:true plan
+    in
     let elapsed = Unix.gettimeofday () -. t0 in
     Option.iter Conrat_obs.Progress.finish reporter;
     let agg = Engine.get results "sweep" in
-    let indiv = Stats.of_ints (Engine.individual_works agg) in
-    let total = Stats.of_ints (Engine.total_works agg) in
-    Table.print
-      ~header:[ "metric"; "mean"; "sd"; "median"; "p95"; "max" ]
-      [ [ "individual work"; Table.fl indiv.mean; Table.fl indiv.stddev;
-          Table.fl indiv.median; Table.fl indiv.p95; Table.fl indiv.maximum ];
-        [ "total work"; Table.fl total.mean; Table.fl total.stddev;
-          Table.fl total.median; Table.fl total.p95; Table.fl total.maximum ] ];
-    (match agg.Engine.stage_work with
-     | [] -> ()
-     | stage_rows ->
-       print_newline ();
-       Table.print
-         ~header:[ "stage"; "total work"; "max individual" ]
-         (List.map
-            (fun (stage, (tot, ind)) ->
-              [ stage; string_of_int tot; string_of_int ind ])
-            stage_rows));
-    Printf.printf "agreement: %d/%d trials; registers: %d; safety violations: %d\n"
-      agg.Engine.agreements agg.Engine.trials agg.Engine.space
-      (List.length agg.Engine.failures);
-    List.iteri
-      (fun i (seed, reason) ->
-        if i < 3 then Printf.printf "  violation (seed %d): %s\n" seed reason)
-      agg.Engine.failures;
-    Report.info "[sweep] %d trials in %.2fs (jobs=%d)" trials elapsed
-      (if jobs = 0 then Engine.default_jobs () else max 1 jobs)
+    if not json_stdout && agg.Engine.trials > 0 then begin
+      let indiv = Stats.of_ints (Engine.individual_works agg) in
+      let total = Stats.of_ints (Engine.total_works agg) in
+      Table.print
+        ~header:[ "metric"; "mean"; "sd"; "median"; "p95"; "max" ]
+        [ [ "individual work"; Table.fl indiv.mean; Table.fl indiv.stddev;
+            Table.fl indiv.median; Table.fl indiv.p95; Table.fl indiv.maximum ];
+          [ "total work"; Table.fl total.mean; Table.fl total.stddev;
+            Table.fl total.median; Table.fl total.p95; Table.fl total.maximum ] ];
+      (match agg.Engine.stage_work with
+       | [] -> ()
+       | stage_rows ->
+         print_newline ();
+         Table.print
+           ~header:[ "stage"; "total work"; "max individual" ]
+           (List.map
+              (fun (stage, (tot, ind)) ->
+                [ stage; string_of_int tot; string_of_int ind ])
+              stage_rows))
+    end;
+    if not json_stdout then begin
+      Printf.printf
+        "agreement: %d/%d trials; registers: %d; safety violations: %d\n"
+        agg.Engine.agreements agg.Engine.trials agg.Engine.space
+        (List.length agg.Engine.failures);
+      if agg.Engine.crash_total > 0 || agg.Engine.quarantined <> [] then
+        Printf.printf "faults:    crashes=%d quarantined=%d\n"
+          agg.Engine.crash_total
+          (List.length agg.Engine.quarantined);
+      List.iteri
+        (fun i (seed, reason) ->
+          if i < 3 then Printf.printf "  violation (seed %d): %s\n" seed reason)
+        agg.Engine.failures;
+      flush stdout
+    end
+    else
+      Report.info
+        "[sweep] agreement: %d/%d trials; registers: %d; safety violations: %d"
+        agg.Engine.agreements agg.Engine.trials agg.Engine.space
+        (List.length agg.Engine.failures);
+    (match json with
+     | None -> ()
+     | Some file ->
+       let pairs_obj field_name pairs =
+         Printf.sprintf "\"%s\": [%s]" field_name
+           (String.concat ", "
+              (List.map
+                 (fun (seed, text) ->
+                   Printf.sprintf "{\"seed\":%d,\"detail\":%S}" seed text)
+                 pairs))
+       in
+       let works field_name samples =
+         if samples = [] then Printf.sprintf "\"%s\": null" field_name
+         else
+           let s = Stats.of_ints samples in
+           Printf.sprintf
+             "\"%s\": {\"mean\":%.3f,\"stddev\":%.3f,\"median\":%.3f,\
+              \"p95\":%.3f,\"max\":%.3f}"
+             field_name s.Stats.mean s.Stats.stddev s.Stats.median s.Stats.p95
+             s.Stats.maximum
+       in
+       let doc =
+         Printf.sprintf
+           "{\n  \"schema_version\": 1,\n  \"kind\": \"sweep\",\n  \
+            \"protocol\": %S,\n  \"adversary\": %S,\n  \"workload\": %S,\n  \
+            \"n\": %d,\n  \"m\": %d,\n  \"seed\": %d,\n  \
+            \"faults\": %S,\n  \"trials_requested\": %d,\n  \
+            \"trials_completed\": %d,\n  \"agreements\": %d,\n  \
+            \"registers\": %d,\n  \"crash_total\": %d,\n  \
+            \"interrupted\": %b,\n  %s,\n  %s,\n  %s,\n  %s\n}\n"
+           protocol adversary.Adversary.name workload.Workload.wname n m seed
+           (Fault.to_string
+              (Option.value fault_model ~default:Fault.none))
+           trials agg.Engine.trials agg.Engine.agreements agg.Engine.space
+           agg.Engine.crash_total
+           (Atomic.get interrupted)
+           (pairs_obj "violations" agg.Engine.failures)
+           (pairs_obj "quarantined" agg.Engine.quarantined)
+           (works "total_work" (Engine.total_works agg))
+           (works "individual_work" (Engine.individual_works agg))
+       in
+       if json_stdout then (print_string doc; flush stdout)
+       else begin
+         let oc = open_out file in
+         output_string oc doc;
+         close_out oc;
+         Report.info "[sweep] wrote %s" file
+       end);
+    Report.info "[sweep] %d/%d trials in %.2fs (jobs=%d)" agg.Engine.trials
+      trials elapsed
+      (if jobs = 0 then Engine.default_jobs () else max 1 jobs);
+    if Atomic.get interrupted then begin
+      Report.info "[sweep] interrupted (SIGINT); partial results flushed";
+      exit 130
+    end
   in
   let stages_arg =
     Arg.(value & flag
@@ -200,13 +295,30 @@ let sweep_cmd =
              ~doc:"Also collect and print the per-stage work breakdown \
                    (where in the composed protocol the operations happen).")
   in
+  let faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Inject faults into every trial: 'crash:f=K' (up to K \
+                   random crash-stops), 'weak' (stale reads on weakened \
+                   registers), 'crash:f=K,weak', or 'none'.  Safety is still \
+                   checked on the survivors; crashed processes are excused.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the sweep's aggregate as a JSON document (schema v1, \
+                   kind \"sweep\"); '-' writes it to stdout and moves the \
+                   human-facing tables to stderr.  On SIGINT the document \
+                   still lands, well-formed, with \"interrupted\": true.")
+  in
   let progress_arg =
     Arg.(value & flag
          & info [ "progress" ] ~doc:"Show a progress line on stderr while sweeping.")
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Monte-Carlo sweep at one configuration")
     Term.(const action $ n_arg $ m_arg $ seed_arg $ protocol_arg $ adversary_arg
-          $ workload_arg $ trials_arg $ jobs_arg $ stages_arg $ progress_arg)
+          $ workload_arg $ trials_arg $ jobs_arg $ stages_arg $ faults_arg
+          $ json_arg $ progress_arg)
 
 (* experiment *)
 
@@ -246,28 +358,38 @@ let experiment_cmd =
 
 let check_cmd =
   let open Conrat_verify in
-  let action naive cross budget max_runs artifact_dir replay json progress
-      progress_interval quiet names =
+  let action naive cross budget timeout max_runs artifact_dir replay json
+      faults checkpoint resume progress progress_interval quiet names =
     match replay with
     | Some file ->
-      (match Artifact.load file with
-       | Error msg ->
-         Printf.eprintf "conrat: cannot load artifact %s: %s\n" file msg;
-         exit 2
-       | Ok artifact ->
-         (match Checks.find artifact.Artifact.checker with
-          | None ->
-            Printf.eprintf "conrat: artifact names unknown checker %s\n"
-              artifact.Artifact.checker;
-            exit 2
-          | Some config ->
-            (match Checks.replay config artifact with
-             | Error reason ->
-               Printf.printf "%s: reproduced: %s\n" artifact.Artifact.checker reason
-             | Ok () ->
-               Printf.printf "%s: did NOT reproduce (checker passed)\n"
-                 artifact.Artifact.checker;
-               exit 1)))
+      (* A replay must never die with a backtrace on operator input: any
+         escape from artifact parsing or re-execution (torn file, stale
+         register indices, n larger than the config's inputs, …) is a
+         diagnosable bad-artifact condition, exit 2. *)
+      (try
+         match Artifact.load file with
+         | Error msg ->
+           Printf.eprintf "conrat: cannot load artifact %s: %s\n" file msg;
+           exit 2
+         | Ok artifact ->
+           (match Checks.find artifact.Artifact.checker with
+            | None ->
+              Printf.eprintf "conrat: artifact names unknown checker %s\n"
+                artifact.Artifact.checker;
+              exit 2
+            | Some config ->
+              (match Checks.replay config artifact with
+               | Error reason ->
+                 Printf.printf "%s: reproduced: %s\n" artifact.Artifact.checker
+                   reason
+               | Ok () ->
+                 Printf.printf "%s: did NOT reproduce (checker passed)\n"
+                   artifact.Artifact.checker;
+                 exit 1))
+       with e ->
+         Printf.eprintf "conrat: artifact %s is not replayable: %s\n" file
+           (Printexc.to_string e);
+         exit 2)
     | None ->
       let names = if names = [] || names = [ "all" ] then Checks.names else names in
       (match List.find_opt (fun n -> Checks.find n = None) names with
@@ -276,6 +398,64 @@ let check_cmd =
            (String.concat ", " (Checks.names @ Checks.demo_names));
          exit 2
        | None -> ());
+      let fault_override =
+        match faults with
+        | None -> None
+        | Some s ->
+          (match Fault.of_string s with
+           | Ok m -> Some m
+           | Error msg ->
+             Printf.eprintf "conrat: bad --faults %S: %s\n" s msg;
+             exit 2)
+      in
+      let engine_name = if cross then "cross" else if naive then "naive" else "por" in
+      if (checkpoint <> None || resume <> None) && cross then begin
+        Printf.eprintf "conrat: --checkpoint/--resume do not apply to --cross\n";
+        exit 2
+      end;
+      if (checkpoint <> None || resume <> None) && List.length names <> 1 then begin
+        Printf.eprintf
+          "conrat: --checkpoint/--resume need exactly one checker name\n";
+        exit 2
+      end;
+      let resume_counts =
+        match resume with
+        | None -> None
+        | Some file ->
+          (match Checkpoint.load file with
+           | Error msg ->
+             Printf.eprintf "conrat: cannot load checkpoint %s: %s\n" file msg;
+             exit 2
+           | Ok ck ->
+             if ck.Checkpoint.engine <> engine_name then begin
+               Printf.eprintf
+                 "conrat: checkpoint %s was written by the %s engine (this run \
+                  uses %s)\n"
+                 file ck.Checkpoint.engine engine_name;
+               exit 2
+             end;
+             if not (List.mem ck.Checkpoint.checker names) then begin
+               Printf.eprintf "conrat: checkpoint %s is for checker %s\n" file
+                 ck.Checkpoint.checker;
+               exit 2
+             end;
+             Some ck.Checkpoint.counts)
+      in
+      let on_checkpoint ~name =
+        Option.map
+          (fun file counts ->
+            Checkpoint.save file
+              { Checkpoint.engine = engine_name; checker = name; counts })
+          checkpoint
+      in
+      (* SIGINT flips a flag the exploration polls; the explorer saves a
+         final checkpoint (when asked), the partial JSON document is
+         still written, and the process exits 130 like an interrupted
+         shell command. *)
+      let interrupted = Atomic.make false in
+      ignore
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle (fun _ -> Atomic.set interrupted true)));
       (* With `--json -` the JSON document owns stdout, so every human
          line is rerouted to stderr via Report.info. *)
       let json_stdout = json = Some "-" in
@@ -332,10 +512,11 @@ let check_cmd =
       in
       let finish rep = Option.iter Conrat_obs.Progress.finish rep in
       let t0 = Unix.gettimeofday () in
-      let stop () =
-        match budget with
-        | None -> false
-        | Some s -> Unix.gettimeofday () -. t0 > s
+      let stop_global () =
+        Atomic.get interrupted
+        || (match budget with
+            | None -> false
+            | Some s -> Unix.gettimeofday () -. t0 > s)
       in
       let max_runs_of config =
         match max_runs with Some r -> r | None -> config.Checks.max_runs
@@ -371,7 +552,7 @@ let check_cmd =
           ~truncated:s.Naive.truncated ~steps:s.Naive.steps
           ~exhausted:s.Naive.exhausted ~ok elapsed
       in
-      let report_por name (s : Por.stats) elapsed =
+      let report_por ~stop name (s : Por.stats) elapsed =
         if not quiet then
           say
             "%-26s explored=%d (complete=%d truncated=%d) pruned=%d steps=%d %s (%.1fs)"
@@ -384,8 +565,22 @@ let check_cmd =
       List.iter
         (fun name ->
           let config = Option.get (Checks.find name) in
+          let config =
+            match fault_override with
+            | None -> config
+            | Some m -> { config with Checks.faults = m }
+          in
           let t1 = Unix.gettimeofday () in
           let elapsed () = Unix.gettimeofday () -. t1 in
+          (* [--timeout] bounds each config separately, on top of the
+             global [--budget]; either way the explorer stops cleanly
+             and its partial statistics are still reported/noted. *)
+          let stop () =
+            stop_global ()
+            || (match timeout with
+                | None -> false
+                | Some s -> Unix.gettimeofday () -. t1 > s)
+          in
           if cross then begin
             let naive_rep = reporter ~engine:"naive" name in
             let por_rep = reporter ~engine:"por" name in
@@ -416,8 +611,11 @@ let check_cmd =
             let result =
               Naive.explore ~max_depth:config.Checks.max_depth
                 ~max_runs:(max_runs_of config)
-                ~cheap_collect:config.Checks.cheap_collect ~stop
+                ~cheap_collect:config.Checks.cheap_collect
+                ~faults:config.Checks.faults ~stop
                 ?heartbeat:(naive_heartbeat rep)
+                ?resume:resume_counts
+                ?on_checkpoint:(on_checkpoint ~name)
                 ~n:config.Checks.n
                 ~setup:(Checks.setup_of config ~n:config.Checks.n)
                 ~check:(Checks.check_of config ~n:config.Checks.n)
@@ -445,12 +643,14 @@ let check_cmd =
             let rep = reporter ~engine:"por" name in
             let result =
               Checks.run ~stop ~max_runs:(max_runs_of config)
-                ?heartbeat:(por_heartbeat rep) config
+                ?heartbeat:(por_heartbeat rep)
+                ?resume:resume_counts
+                ?on_checkpoint:(on_checkpoint ~name) config
             in
             finish rep;
             match result with
             | Ok s ->
-              report_por name s (elapsed ());
+              report_por ~stop name s (elapsed ());
               note_por ~name ~ok:true s (elapsed ())
             | Error f ->
               let file =
@@ -485,6 +685,10 @@ let check_cmd =
            close_out oc;
            Report.info "[check] wrote %s" file
          end);
+      if Atomic.get interrupted then begin
+        Report.info "[check] interrupted (SIGINT); partial results flushed";
+        exit 130
+      end;
       if !failed then exit 1
   in
   let naive_arg =
@@ -502,6 +706,38 @@ let check_cmd =
          & info [ "budget" ] ~docv:"SECONDS"
              ~doc:"Wall-clock budget across all requested checkers; exploration \
                    stops cleanly (reported as not exhausted) when exceeded.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-config wall-clock budget (on top of the global \
+                   $(b,--budget)); a config that exceeds it stops cleanly and \
+                   its partial statistics still land in the report and the \
+                   $(b,--json) document.")
+  in
+  let faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Override every requested config's fault model: 'none', \
+                   'crash:f=K' (crash-closed exploration of up to K \
+                   crash-stops), 'weak' (regular-register read forks), or \
+                   'crash:f=K,weak'.")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Periodically save the explorer's DFS frontier to FILE \
+                   (atomically), and once more on SIGINT or budget exhaustion; \
+                   requires exactly one checker name.  Resume with \
+                   $(b,--resume) for bit-identical totals.")
+  in
+  let resume_arg =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Resume exploration from a checkpoint written by \
+                   $(b,--checkpoint) (the engine and checker name must match); \
+                   the completed run's statistics are bit-identical to an \
+                   uninterrupted one.")
   in
   let max_runs_arg =
     Arg.(value & opt (some int) None
@@ -552,8 +788,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Exhaustively verify named checker configs (POR engine by default)")
-    Term.(const action $ naive_arg $ cross_arg $ budget_arg $ max_runs_arg
-          $ artifact_dir_arg $ replay_arg $ json_arg $ progress_arg
+    Term.(const action $ naive_arg $ cross_arg $ budget_arg $ timeout_arg
+          $ max_runs_arg $ artifact_dir_arg $ replay_arg $ json_arg
+          $ faults_arg $ checkpoint_arg $ resume_arg $ progress_arg
           $ progress_interval_arg $ quiet_arg $ names_arg)
 
 (* trace *)

@@ -37,6 +37,38 @@ let binary () = of_quorum Quorum.binary
 let bollobas ~m = of_quorum (Quorum.bollobas_optimal ~m)
 let bitvector ~m = of_quorum (Quorum.bitvector ~m)
 
+(* Deliberately NOT wait-free: a §7-style test double for the fault
+   plane.  Process 0 announces its value then spins until some reader
+   acknowledges; readers that catch the announcement ack and decide,
+   readers that beat it decline with their own input.  Failure-free at
+   n = 2 every complete execution decides (the lone reader must have
+   acked for process 0 to finish), so Weak_consensus holds — but the
+   helping pattern is crash-unsafe: crash process 0 before the
+   announcement and the reader's (false, v) declination becomes the
+   complete execution's only surviving output, violating acceptance on
+   all-equal inputs.  The crash-closed explorer must find this. *)
+let await_ack () =
+  let fname = "ratifier(await_ack)" in
+  Deciding.make_factory fname (fun ~n:_ memory ->
+    let flag = Memory.alloc memory in
+    let ack = Memory.alloc memory in
+    Deciding.instance fname ~space:2 (fun ~pid ~rng:_ v ->
+      if pid = 0 then
+        let* () = write flag v in
+        let rec spin () =
+          let* a = read ack in
+          if a = None then spin ()
+          else return { Deciding.decide = true; value = v }
+        in
+        spin ()
+      else
+        let* w = read flag in
+        match w with
+        | Some u ->
+          let* () = write ack 1 in
+          return { Deciding.decide = true; value = u }
+        | None -> return { Deciding.decide = false; value = v }))
+
 let cheap_collect ~m =
   let q = Quorum.singleton ~m in
   let fname = Printf.sprintf "ratifier(cheap_collect,m=%d)" m in

@@ -26,6 +26,16 @@ val bollobas : m:int -> Conrat_objects.Deciding.factory
 val bitvector : m:int -> Conrat_objects.Deciding.factory
 (** §6.2(3): [2⌈lg m⌉ + 1] registers, ≤ [2⌈lg m⌉ + 2] operations. *)
 
+val await_ack : unit -> Conrat_objects.Deciding.factory
+(** KNOWN CRASH-UNSAFE test double (2 registers): process 0 announces
+    its input and spins until acknowledged; other processes ack and
+    decide if they see the announcement, decline with their own input
+    otherwise.  Failure-free at [n = 2] it satisfies weak consensus
+    (complete executions require the ack), but crashing process 0
+    before its announcement leaves a surviving declination on all-equal
+    inputs — an acceptance violation only the crash-closed explorer can
+    reach.  Not wait-free; exists to exercise the fault pipeline. *)
+
 val cheap_collect : m:int -> Conrat_objects.Deciding.factory
 (** §6.2(4): the cheap-collect-model ratifier — write quorums of size
     1, read quorums checked with a single collect operation; 4

@@ -10,6 +10,7 @@ type outcome = {
   agreed : bool;
   safety : (unit, string) result;
   completed : bool;
+  crashes : int;
   total_work : int;
   individual_work : int;
   steps : int;
@@ -30,14 +31,34 @@ let stage_sink ~stages ~n =
      fun () -> Conrat_obs.Stage_work.totals sw)
   else (None, fun () -> [])
 
-let run_consensus ?max_steps ?cheap_collect ?(stages = false) ~n ~adversary
-    ~inputs ~seed (protocol : Conrat_core.Consensus.factory) =
+(* Monte-Carlo fault injection: a non-none model weakens the registers
+   (when asked) and installs the default Injector plan.  The crash
+   count rides in the outcome; safety stays meaningful because the
+   checks below quantify over produced outputs only and [completed]
+   means every *surviving* process finished. *)
+let fault_setup faults memory =
+  match faults with
+  | None -> None
+  | Some (m : Fault.model) ->
+    if Fault.is_none m then None
+    else begin
+      if m.Fault.weak_reads then Memory.weaken_all memory;
+      Some (Conrat_faults.Injector.of_model m)
+    end
+
+let count_crashed crashed =
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 crashed
+
+let run_consensus ?max_steps ?cheap_collect ?(stages = false) ?faults ~n
+    ~adversary ~inputs ~seed (protocol : Conrat_core.Consensus.factory) =
   let rng = Rng.create seed in
   let memory = Memory.create () in
+  let plan = fault_setup faults memory in
   let instance = protocol.instantiate ~n memory in
   let sink, stage_totals = stage_sink ~stages ~n in
   let result =
-    Scheduler.run ?max_steps ?cheap_collect ?sink ~n ~adversary ~rng ~memory
+    Scheduler.run ?max_steps ?cheap_collect ?faults:plan ?sink ~n ~adversary
+      ~rng ~memory
       (fun ~pid ~rng -> instance.Conrat_core.Consensus.decide ~pid ~rng inputs.(pid))
   in
   { inputs;
@@ -47,20 +68,23 @@ let run_consensus ?max_steps ?cheap_collect ?(stages = false) ~n ~adversary
       Spec.consensus_execution ~inputs ~outputs:result.outputs
         ~completed:result.completed;
     completed = result.completed;
+    crashes = count_crashed result.crashed;
     total_work = Metrics.total result.metrics;
     individual_work = Metrics.individual result.metrics;
     steps = result.steps;
     registers = result.registers;
     stage_work = stage_totals () }
 
-let run_deciding ?max_steps ?cheap_collect ?(stages = false) ~n ~adversary
-    ~inputs ~seed (factory : Conrat_objects.Deciding.factory) =
+let run_deciding ?max_steps ?cheap_collect ?(stages = false) ?faults ~n
+    ~adversary ~inputs ~seed (factory : Conrat_objects.Deciding.factory) =
   let rng = Rng.create seed in
   let memory = Memory.create () in
+  let plan = fault_setup faults memory in
   let instance = factory.instantiate ~n memory in
   let sink, stage_totals = stage_sink ~stages ~n in
   let result =
-    Scheduler.run ?max_steps ?cheap_collect ?sink ~n ~adversary ~rng ~memory
+    Scheduler.run ?max_steps ?cheap_collect ?faults:plan ?sink ~n ~adversary
+      ~rng ~memory
       (fun ~pid ~rng ->
         Program.map
           (fun out ->
@@ -78,6 +102,7 @@ let run_deciding ?max_steps ?cheap_collect ?(stages = false) ~n ~adversary
           [ Spec.validity ~inputs ~outputs:values;
             Spec.coherence ~outputs:decisions ];
       completed = result.completed;
+      crashes = count_crashed result.crashed;
       total_work = Metrics.total result.metrics;
       individual_work = Metrics.individual result.metrics;
       steps = result.steps;
@@ -101,15 +126,17 @@ type aggregate = {
   trials : int;
   agreements : int;
   failures : (int * string) list;
+  quarantined : (int * string) list;
   samples : sample list;
   space : int;
   probe_total : int;
+  crash_total : int;
   stage_work : (string * (int * int)) list;
 }
 
 let empty_aggregate =
-  { trials = 0; agreements = 0; failures = []; samples = []; space = 0;
-    probe_total = 0; stage_work = [] }
+  { trials = 0; agreements = 0; failures = []; quarantined = []; samples = [];
+    space = 0; probe_total = 0; crash_total = 0; stage_work = [] }
 
 (* Merge two lists that are already in canonical (ascending) order.
    Ties fall back to full polymorphic comparison so the result is a
@@ -133,9 +160,11 @@ let merge a b =
   { trials = a.trials + b.trials;
     agreements = a.agreements + b.agreements;
     failures = merge_sorted cmp_failure a.failures b.failures;
+    quarantined = merge_sorted cmp_failure a.quarantined b.quarantined;
     samples = merge_sorted cmp_sample a.samples b.samples;
     space = max a.space b.space;
     probe_total = a.probe_total + b.probe_total;
+    crash_total = a.crash_total + b.crash_total;
     (* Stage union-combine (totals add, maxima max) is commutative and
        associative with identity [[]], so the order-canonicity argument
        covers it too. *)
@@ -145,12 +174,17 @@ let of_outcome ~seed ~probe (o : outcome) =
   { trials = 1;
     agreements = (if o.agreed then 1 else 0);
     failures = (match o.safety with Ok () -> [] | Error r -> [ (seed, r) ]);
+    quarantined = [];
     samples =
       [ { s_seed = seed; s_total = o.total_work; s_indiv = o.individual_work;
           s_probe = probe } ];
     space = o.registers;
     probe_total = probe;
+    crash_total = o.crashes;
     stage_work = o.stage_work }
+
+let of_quarantined ~seed exn =
+  { empty_aggregate with quarantined = [ (seed, Printexc.to_string exn) ] }
 
 let total_works a = List.map (fun s -> s.s_total) a.samples
 let individual_works a = List.map (fun s -> s.s_indiv) a.samples
@@ -167,32 +201,46 @@ let run_trial (spec : Plan.spec) seed =
   | Plan.Consensus protocol ->
     let o =
       run_consensus ?max_steps:spec.max_steps ~cheap_collect:spec.cheap_collect
-        ~stages:spec.stages ~n:spec.n ~adversary:spec.adversary ~inputs ~seed
-        protocol
+        ~stages:spec.stages ~faults:spec.faults ~n:spec.n
+        ~adversary:spec.adversary ~inputs ~seed protocol
     in
     of_outcome ~seed ~probe:0 o
   | Plan.Deciding factory ->
     let o, _ =
       run_deciding ?max_steps:spec.max_steps ~cheap_collect:spec.cheap_collect
-        ~stages:spec.stages ~n:spec.n ~adversary:spec.adversary ~inputs ~seed
-        factory
+        ~stages:spec.stages ~faults:spec.faults ~n:spec.n
+        ~adversary:spec.adversary ~inputs ~seed factory
     in
     of_outcome ~seed ~probe:0 o
   | Plan.Probed build ->
     let protocol, read_probe = build () in
     let o =
       run_consensus ?max_steps:spec.max_steps ~cheap_collect:spec.cheap_collect
-        ~stages:spec.stages ~n:spec.n ~adversary:spec.adversary ~inputs ~seed
-        protocol
+        ~stages:spec.stages ~faults:spec.faults ~n:spec.n
+        ~adversary:spec.adversary ~inputs ~seed protocol
     in
     of_outcome ~seed ~probe:(read_probe ()) o
 
-let run_seeds ?notify spec seeds =
+let run_seeds ?notify ?(stop = fun () -> false) ?(quarantine = false) spec seeds
+    =
   List.fold_left
     (fun acc seed ->
-      let agg = merge acc (run_trial spec seed) in
-      (match notify with None -> () | Some f -> f ());
-      agg)
+      if stop () then acc
+      else begin
+        let one =
+          if quarantine then
+            (* A raising trial is recorded, not fatal: the seed lands in
+               [quarantined] (a sorted singleton, so the merge stays a
+               commutative monoid) and the remaining seeds still run. *)
+            match run_trial spec seed with
+            | agg -> agg
+            | exception e -> of_quarantined ~seed e
+          else run_trial spec seed
+        in
+        let agg = merge acc one in
+        (match notify with None -> () | Some f -> f ());
+        agg
+      end)
     empty_aggregate seeds
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
@@ -218,7 +266,7 @@ let progress_notify ~on_progress ~total =
     let done_ = Atomic.make 0 in
     Some (fun () -> f ~done_:(Atomic.fetch_and_add done_ 1 + 1) ~total)
 
-let run_plan_parallel ?notify ~jobs (plan : Plan.t) =
+let run_plan_parallel ?notify ?stop ?quarantine ~jobs (plan : Plan.t) =
   let specs = Array.of_list plan.Plan.specs in
   (* One task per (spec, seed chunk); chunks keep the work queue fine
      grained enough to balance trials of very different cost. *)
@@ -242,7 +290,7 @@ let run_plan_parallel ?notify ~jobs (plan : Plan.t) =
         let i = Atomic.fetch_and_add next 1 in
         if i < Array.length tasks then begin
           let si, seeds = tasks.(i) in
-          (match run_seeds ?notify specs.(si) seeds with
+          (match run_seeds ?notify ?stop ?quarantine specs.(si) seeds with
            | agg -> partials.(i) <- agg
            | exception e -> Atomic.set failure (Some e));
           loop ()
@@ -271,15 +319,15 @@ let run_plan_parallel ?notify ~jobs (plan : Plan.t) =
          (spec.Plan.sid, !acc))
        specs)
 
-let run_plan ?(jobs = 1) ?on_progress (plan : Plan.t) =
+let run_plan ?(jobs = 1) ?on_progress ?stop ?quarantine (plan : Plan.t) =
   let jobs = if jobs = 0 then default_jobs () else max 1 jobs in
   let notify = progress_notify ~on_progress ~total:(Plan.trial_count plan) in
   if jobs = 1 then
     List.map
       (fun (spec : Plan.spec) ->
-        (spec.Plan.sid, run_seeds ?notify spec spec.Plan.seeds))
+        (spec.Plan.sid, run_seeds ?notify ?stop ?quarantine spec spec.Plan.seeds))
       plan.Plan.specs
-  else run_plan_parallel ?notify ~jobs plan
+  else run_plan_parallel ?notify ?stop ?quarantine ~jobs plan
 
 let run_spec ?jobs (spec : Plan.spec) =
   match run_plan ?jobs (Plan.make ~name:spec.Plan.sid [ spec ]) with

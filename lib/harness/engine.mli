@@ -20,7 +20,8 @@ type outcome = {
   safety : (unit, string) result;
     (** agreement + validity on this execution ([Ok] required always
         for consensus; conciliators may legitimately disagree) *)
-  completed : bool;
+  completed : bool;        (** every surviving process finished in the cap *)
+  crashes : int;           (** crash-stops injected into this trial *)
   total_work : int;
   individual_work : int;
   steps : int;
@@ -34,6 +35,7 @@ val run_consensus :
   ?max_steps:int ->
   ?cheap_collect:bool ->
   ?stages:bool ->
+  ?faults:Conrat_sim.Fault.model ->
   n:int ->
   adversary:Conrat_sim.Adversary.t ->
   inputs:int array ->
@@ -41,13 +43,18 @@ val run_consensus :
   Conrat_core.Consensus.factory ->
   outcome
 (** One execution.  [safety] is the full consensus contract
-    (termination within the cap, agreement, validity).  [stages]
-    (default false) collects the per-stage work breakdown. *)
+    (termination within the cap, agreement, validity; both are already
+    survivor-aware — crashed processes produce no output and outputs
+    are only checked where produced).  [stages] (default false)
+    collects the per-stage work breakdown.  [faults] (default none)
+    weakens registers when asked and injects the default
+    [Conrat_faults.Injector.of_model] plan. *)
 
 val run_deciding :
   ?max_steps:int ->
   ?cheap_collect:bool ->
   ?stages:bool ->
+  ?faults:Conrat_sim.Fault.model ->
   n:int ->
   adversary:Conrat_sim.Adversary.t ->
   inputs:int array ->
@@ -66,12 +73,16 @@ type sample = {
 }
 
 type aggregate = {
-  trials : int;
+  trials : int;                    (** trials that ran to an outcome *)
   agreements : int;                (** trials where all values matched *)
   failures : (int * string) list;  (** (seed, reason), seed-ascending *)
+  quarantined : (int * string) list;
+    (** (seed, exception) for trials that raised while quarantine was
+        enabled, seed-ascending; not counted in [trials] *)
   samples : sample list;           (** per-seed work, seed-ascending *)
   space : int;                     (** registers (max across trials) *)
   probe_total : int;               (** sum of probe counters *)
+  crash_total : int;               (** injected crash-stops, summed *)
   stage_work : (string * (int * int)) list;
     (** per-stage (summed total, max individual) work across trials,
         stage-name ascending; [[]] unless [stages] was enabled *)
@@ -101,6 +112,8 @@ val run_spec : ?jobs:int -> Plan.spec -> aggregate
 val run_plan :
   ?jobs:int ->
   ?on_progress:(done_:int -> total:int -> unit) ->
+  ?stop:(unit -> bool) ->
+  ?quarantine:bool ->
   Plan.t ->
   (string * aggregate) list
 (** Execute every trial of the plan and return the per-spec aggregates
@@ -109,9 +122,18 @@ val run_plan :
     chunks; [jobs = 0] means {!default_jobs}.  Output is identical for
     every [jobs] value.  An exception in any trial (e.g.
     [Scheduler.Collect_disallowed]) is re-raised after the pool
-    drains.  [on_progress] is invoked once per completed trial with
-    the running count; with [jobs > 1] it runs on worker domains and
-    must be domain-safe ([Conrat_obs.Progress.tick] is). *)
+    drains — unless [quarantine] is true, in which case the trial's
+    seed and exception are recorded in the aggregate's [quarantined]
+    list and every other trial still runs (worker-domain isolation; the
+    quarantined entries merge order-canonically like failures, so the
+    parallel = sequential byte-identity is preserved).  [stop] is
+    polled between trials (domain-safely; use an [Atomic] flag from a
+    signal handler): once it returns true, remaining trials are
+    skipped and the partial aggregates are returned well-formed — what
+    a SIGINT-interrupted sweep flushes.  [on_progress] is invoked once
+    per completed trial with the running count; with [jobs > 1] it
+    runs on worker domains and must be domain-safe
+    ([Conrat_obs.Progress.tick] is). *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)

@@ -7,6 +7,7 @@ type outcome = Engine.outcome = {
   agreed : bool;
   safety : (unit, string) result;
   completed : bool;
+  crashes : int;
   total_work : int;
   individual_work : int;
   steps : int;

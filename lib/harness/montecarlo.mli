@@ -16,6 +16,7 @@ type outcome = Engine.outcome = {
     (** agreement + validity on this execution ([Ok] required always
         for consensus; conciliators may legitimately disagree) *)
   completed : bool;
+  crashes : int;           (** injected crash-stops (0 without faults) *)
   total_work : int;
   individual_work : int;
   steps : int;
@@ -28,6 +29,7 @@ val run_consensus :
   ?max_steps:int ->
   ?cheap_collect:bool ->
   ?stages:bool ->
+  ?faults:Conrat_sim.Fault.model ->
   n:int ->
   adversary:Conrat_sim.Adversary.t ->
   inputs:int array ->
@@ -41,6 +43,7 @@ val run_deciding :
   ?max_steps:int ->
   ?cheap_collect:bool ->
   ?stages:bool ->
+  ?faults:Conrat_sim.Fault.model ->
   n:int ->
   adversary:Conrat_sim.Adversary.t ->
   inputs:int array ->

@@ -16,6 +16,7 @@ type spec = {
   max_steps : int option;
   cheap_collect : bool;
   stages : bool;
+  faults : Fault.model;
 }
 
 type t = {
@@ -23,12 +24,12 @@ type t = {
   specs : spec list;
 }
 
-let spec ?max_steps ?(cheap_collect = false) ?(stages = false) ~sid ~runner
-    ~adversary ~workload ~n ~m ~seeds () =
+let spec ?max_steps ?(cheap_collect = false) ?(stages = false)
+    ?(faults = Fault.none) ~sid ~runner ~adversary ~workload ~n ~m ~seeds () =
   if n <= 0 then invalid_arg "Plan.spec: n must be positive";
   if seeds = [] then invalid_arg "Plan.spec: empty seed list";
   { sid; runner; adversary; workload; n; m; seeds; max_steps; cheap_collect;
-    stages }
+    stages; faults }
 
 let make ~name specs =
   let tbl = Hashtbl.create 16 in

@@ -35,6 +35,13 @@ type spec = {
   stages : bool;
       (** collect the per-stage work breakdown (attaches a
           [Conrat_obs.Stage_work] sink to every trial) *)
+  faults : Conrat_sim.Fault.model;
+      (** Monte-Carlo fault injection: registers are weakened when
+          [weak_reads] and each trial runs under the default
+          [Conrat_faults.Injector.of_model] plan.  A non-{!Conrat_sim.Fault.none}
+          model changes the trials' random streams (the plan draws from
+          its own split); {!Conrat_sim.Fault.none} is bit-identical to
+          the pre-fault-plane engine. *)
 }
 
 type t = {
@@ -46,6 +53,7 @@ val spec :
   ?max_steps:int ->
   ?cheap_collect:bool ->
   ?stages:bool ->
+  ?faults:Conrat_sim.Fault.model ->
   sid:string ->
   runner:runner ->
   adversary:Conrat_sim.Adversary.t ->

@@ -120,6 +120,17 @@ let on_decide t ~step ~pid =
       strf "\"tid\":%d" pid;
       strf "\"ts\":%d" step ]
 
+let on_crash t ~step ~pid =
+  t.last_step <- max t.last_step step;
+  close_span t pid ~step;
+  event t
+    [ "\"name\":\"crash\"";
+      "\"ph\":\"i\"";
+      "\"s\":\"t\"";
+      "\"pid\":1";
+      strf "\"tid\":%d" pid;
+      strf "\"ts\":%d" step ]
+
 let explorer_instant t name ~step =
   t.last_step <- max t.last_step step;
   event t
@@ -135,6 +146,7 @@ let sink t =
     ~on_op:(fun ~step ~pid ~kind ~loc ~landed ~stage ->
       on_op t ~step ~pid ~kind ~loc ~landed ~stage)
     ~on_decide:(fun ~step ~pid -> on_decide t ~step ~pid)
+    ~on_crash:(fun ~step ~pid -> on_crash t ~step ~pid)
     ~on_snapshot:(fun ~step -> explorer_instant t "snapshot" ~step)
     ~on_restore:(fun ~step -> explorer_instant t "restore" ~step)
     ()

@@ -5,9 +5,11 @@
     ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and [chrome://tracing]:
     each simulated process is a track, every operation a 1-µs complete
     event at its logical step (1 step = 1 µs of trace time), every
-    {!Conrat_sim.Program.label} stage a nested duration span, decisions
-    and explorer snapshot/restore instants.  The output is a single
-    JSON object [{"traceEvents": [...]}]. *)
+    {!Conrat_sim.Program.label} stage a nested duration span, decisions,
+    injected crash-stops (an instant on the crashed process's track that
+    also closes its open stage span) and explorer snapshot/restore
+    instants.  The output is a single JSON object
+    [{"traceEvents": [...]}]. *)
 
 type t
 

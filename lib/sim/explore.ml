@@ -8,20 +8,26 @@ type stats = {
 type 'r run = {
   outputs : 'r option array;
   completed : bool;
+  crashed : bool array;
   branches : (int * int) list;
   trace : Trace.t option;
   steps : int;
 }
 
 (* The coin decision for a pending operation, in the explorer's
-   convention: probabilistic writes with 0 < p < 1 branch (choice 0 =
-   landed), degenerate probabilities and deterministic ops do not. *)
-let coin_of_op op =
+   convention: probabilistic writes with 0 < p < 1 branch on the coin
+   (choice 0 = landed), reads on registers the setup marked weak branch
+   on freshness (choice 0 = fresh, so default-0 paths replay the atomic
+   semantics), and everything else is deterministic. *)
+let coin_of_op ~memory op =
   match Op.prob op with
   | Some p when p <= 0.0 -> `Det false
   | Some p when p >= 1.0 -> `Det true
-  | Some _ -> `Branch
-  | None -> `Det (Op.is_write op)
+  | Some _ -> `Coin
+  | None ->
+    (match op with
+     | Op.Any (Op.Read l) when Memory.is_weak memory l -> `Weak
+     | _ -> `Det (Op.is_write op))
 
 (* Run one execution following [path] (list of branch choices); choices
    beyond the path default to 0, and out-of-range choices are clamped to
@@ -29,14 +35,21 @@ let coin_of_op op =
    against another (e.g. a fixed protocol vs the buggy test double it
    was found on).  Returns the outputs, whether the execution completed,
    and the branch points actually encountered as (chosen, arity) pairs
-   in order.  Branch points of arity 1 are not recorded. *)
+   in order.  Branch points of arity 1 are not recorded.
+
+   With a crash budget f > 0 ([faults]), every scheduling point over
+   enabled set [en] widens from |en| to 2|en| choices while budget
+   remains: index i < |en| steps en.(i), index |en| + j crash-stops
+   en.(j).  Crash choices come after step choices so the all-zeros path
+   is still the failure-free canonical execution. *)
 let run_path ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
-    ?sink ~n ~setup path =
+    ?(faults = Fault.none) ?sink ~n ~setup path =
   let memory, body = setup () in
   let trace = if record then Some (Trace.create ()) else None in
   let machine = Machine.create ~cheap_collect ?trace ?sink ~n ~memory body in
   let recorded = ref [] in
   let remaining = ref path in
+  let crashes_left = ref faults.Fault.crashes in
   let take arity =
     let chosen = match !remaining with c :: tl -> remaining := tl; c | [] -> 0 in
     let chosen = if chosen < 0 || chosen >= arity then 0 else chosen in
@@ -54,19 +67,28 @@ let run_path ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
     end
     else if Machine.steps machine >= max_depth then running := false
     else begin
-      let idx = if arity = 1 then 0 else take arity in
-      let pid = en.(idx) in
-      let op = Option.get (Machine.pending_op machine pid) in
-      let landed =
-        match coin_of_op op with
-        | `Det landed -> landed
-        | `Branch -> take 2 = 0
-      in
-      Machine.step_forced machine ~pid ~landed
+      let total = if !crashes_left > 0 then 2 * arity else arity in
+      let idx = if total = 1 then 0 else take total in
+      if idx >= arity then begin
+        decr crashes_left;
+        Machine.crash machine ~pid:en.(idx - arity)
+      end
+      else begin
+        let pid = en.(idx) in
+        let op = Option.get (Machine.pending_op machine pid) in
+        let landed =
+          match coin_of_op ~memory op with
+          | `Det landed -> landed
+          | `Coin -> take 2 = 0
+          | `Weak -> take 2 = 1
+        in
+        Machine.step_forced machine ~pid ~landed
+      end
     end
   done;
   { outputs = Machine.outputs machine;
     completed = !completed;
+    crashed = Array.init n (Machine.is_crashed machine);
     branches = List.rev !recorded;
     trace;
     steps = Machine.steps machine }
@@ -91,13 +113,14 @@ exception Out_of_budget
    internal node with more than one child snapshots once, and visiting
    a later child restores that snapshot in O(|memory| + n) instead of
    re-executing the path prefix.  Single-successor corridors (one
-   enabled process, deterministic coin) — the common case — cost no
-   snapshot at all.  Leaves are visited in exactly the lexicographic
-   order of the re-execution enumerator ([run_path] + [next_path], kept
-   as [Conrat_verify.Naive]), so the two engines' statistics and
-   outcome sequences coincide leaf for leaf. *)
+   enabled process, deterministic coin, no crash budget) — the common
+   case — cost no snapshot at all.  Leaves are visited in exactly the
+   lexicographic order of the re-execution enumerator ([run_path] +
+   [next_path], kept as [Conrat_verify.Naive]), so the two engines'
+   statistics and outcome sequences coincide leaf for leaf. *)
 let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
-    ?(stop = fun () -> false) ?sink ?heartbeat ~n ~setup ~check () =
+    ?(faults = Fault.none) ?(stop = fun () -> false) ?sink ?heartbeat
+    ~n ~setup ~check () =
   let memory, body = setup () in
   let machine = Machine.create ~cheap_collect ?sink ~n ~memory body in
   let complete_count = ref 0 in
@@ -122,39 +145,53 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     | Ok () -> ()
     | Error reason -> raise (Abort reason)
   in
-  let rec go depth =
+  let rec go ~crashes_left depth =
     let en = Machine.enabled machine in
     let arity = Array.length en in
     if arity = 0 then leaf true
     else if depth >= max_depth then leaf false
-    else if arity = 1 then visit ~snap:None ~pid:en.(0) (depth + 1)
     else begin
-      (* The machine's enabled array mutates as we step; iterate a copy. *)
-      let en = Array.copy en in
-      let snap = Machine.snapshot machine in
-      for idx = 0 to arity - 1 do
-        if idx > 0 then Machine.restore machine snap;
-        visit ~snap:(Some snap) ~pid:en.(idx) (depth + 1)
-      done
+      let total = if crashes_left > 0 then 2 * arity else arity in
+      if total = 1 then visit ~snap:None ~crashes_left ~idx:0 ~en (depth + 1)
+      else begin
+        (* The machine's enabled array mutates as we step; iterate a copy. *)
+        let en = Array.copy en in
+        let snap = Machine.snapshot machine in
+        for idx = 0 to total - 1 do
+          if idx > 0 then Machine.restore machine snap;
+          visit ~snap:(Some snap) ~crashes_left ~idx ~en (depth + 1)
+        done
+      end
     end
-  and visit ~snap ~pid depth =
-    (* Machine is at the branch state; apply pid's transition(s). *)
-    let op = Option.get (Machine.pending_op machine pid) in
-    match coin_of_op op with
-    | `Det landed ->
-      Machine.step_forced machine ~pid ~landed;
-      go depth
-    | `Branch ->
-      (* The coin's pre-state is the node state itself: reuse (or take)
-         the node snapshot rather than a second one. *)
-      let snap = match snap with Some s -> s | None -> Machine.snapshot machine in
-      Machine.step_forced machine ~pid ~landed:true;
-      go depth;
-      Machine.restore machine snap;
-      Machine.step_forced machine ~pid ~landed:false;
-      go depth
+  and visit ~snap ~crashes_left ~idx ~en depth =
+    (* Machine is at the branch state; apply the idx-th choice. *)
+    let arity = Array.length en in
+    if idx >= arity then begin
+      Machine.crash machine ~pid:en.(idx - arity);
+      go ~crashes_left:(crashes_left - 1) depth
+    end
+    else begin
+      let pid = en.(idx) in
+      let op = Option.get (Machine.pending_op machine pid) in
+      let branch first second =
+        (* The coin's pre-state is the node state itself: reuse (or take)
+           the node snapshot rather than a second one. *)
+        let snap = match snap with Some s -> s | None -> Machine.snapshot machine in
+        Machine.step_forced machine ~pid ~landed:first;
+        go ~crashes_left depth;
+        Machine.restore machine snap;
+        Machine.step_forced machine ~pid ~landed:second;
+        go ~crashes_left depth
+      in
+      match coin_of_op ~memory op with
+      | `Det landed ->
+        Machine.step_forced machine ~pid ~landed;
+        go ~crashes_left depth
+      | `Coin -> branch true false
+      | `Weak -> branch false true
+    end
   in
-  match go 0 with
+  match go ~crashes_left:faults.Fault.crashes 0 with
   | () -> Ok (stats true)
   | exception Out_of_budget -> Ok (stats false)
   | exception Abort reason -> Error (reason, stats false)

@@ -41,22 +41,26 @@ type stats = {
 
 type 'r run = {
   outputs : 'r option array;      (** per-process results; [None] = unfinished *)
-  completed : bool;               (** all processes returned within [max_depth] *)
+  completed : bool;               (** no process still runnable within [max_depth] *)
+  crashed : bool array;           (** which pids crash-stopped on this path *)
   branches : (int * int) list;    (** (chosen, arity) at each branch point met *)
   trace : Trace.t option;         (** present iff [record] was set *)
   steps : int;                    (** operations executed on this path *)
 }
 
-val coin_of_op : Op.any -> [ `Det of bool | `Branch ]
+val coin_of_op : memory:Memory.t -> Op.any -> [ `Det of bool | `Coin | `Weak ]
 (** The explorer's branching convention for a pending operation:
-    probabilistic writes with [0 < p < 1] branch (choice 0 = landed);
-    degenerate probabilities and deterministic operations have a forced
+    probabilistic writes with [0 < p < 1] branch on the coin ([`Coin],
+    choice 0 = landed); reads on registers marked weak branch on
+    freshness ([`Weak], choice 0 = fresh, choice 1 = stale); degenerate
+    probabilities and other deterministic operations have a forced
     coin.  Shared with the POR engine so both classify identically. *)
 
 val run_path :
   ?record:bool ->
   ?max_depth:int ->
   ?cheap_collect:bool ->
+  ?faults:Fault.model ->
   ?sink:Sink.t ->
   n:int ->
   setup:(unit -> Memory.t * (pid:int -> 'r Program.t)) ->
@@ -66,12 +70,22 @@ val run_path :
     path described by [path]: each element resolves one branch point in
     order — an index into the ascending-pid enabled array at scheduling
     points with ≥ 2 enabled processes, and [0] (landed) / [1] (missed)
-    at probabilistic writes with [0 < p < 1].  Choices beyond the end
+    at probabilistic writes with [0 < p < 1] (respectively [0] (fresh)
+    / [1] (stale) at weak-register reads).  Choices beyond the end
     of [path] default to 0, and out-of-range choices clamp to 0, so any
     integer list is a valid schedule for any protocol — the basis for
     replayable counterexample artifacts and delta-debugging shrinks.
     Scheduling points with a single enabled process consume no path
-    element and are not recorded in [branches]. *)
+    element and are not recorded in [branches].
+
+    When [faults] carries a crash budget f > 0, every scheduling point
+    over enabled set [en] has [2·|en|] choices while budget remains:
+    indices below [|en|] step the corresponding process, the rest
+    crash-stop it (so the all-zeros path remains the failure-free
+    canonical execution, and such points always consume a path element
+    even with one enabled process).  [faults.weak_reads] itself has no
+    effect here — weakness lives in the registers the setup marked via
+    {!Memory.mark_weak} / {!Memory.weaken_all}. *)
 
 val next_path : (int * int) list -> int list option
 (** The lexicographically next unexplored path after the given
@@ -83,6 +97,7 @@ val explore :
   ?max_depth:int ->
   ?max_runs:int ->
   ?cheap_collect:bool ->
+  ?faults:Fault.model ->
   ?stop:(unit -> bool) ->
   ?sink:Sink.t ->
   ?heartbeat:(runs:int -> steps:int -> depth:int -> unit) ->
@@ -95,10 +110,16 @@ val explore :
     statefully: [setup] is called {e once}; the machine is snapshotted
     at branch points and restored when backtracking.  [check] is called
     at the end of every path; the first [Error] aborts the search and
-    is returned together with the statistics so far.  [stop] is polled
+    is returned together with the statistics so far.  At a
+    [complete = true] leaf a [None] output means exactly that the
+    process crash-stopped (possible only with a crash budget); at a
+    truncated leaf it may also mean "still running".  [stop] is polled
     at every leaf; returning [true] ends the search early with
     [exhausted = false] (used for wall-clock budgets).  [sink]
     receives per-transition observability events; [heartbeat] is
     called once per leaf with the running totals ([depth] is the leaf's
     own path length) — rate limiting is the callback's business.
-    Defaults: [max_depth = 200], [max_runs = 2_000_000]. *)
+    [faults] widens scheduling points with crash choices exactly as in
+    {!run_path}, keeping the two engines' path encodings aligned.
+    Defaults: [max_depth = 200], [max_runs = 2_000_000],
+    [faults = Fault.none]. *)

@@ -1,0 +1,96 @@
+(* The fault plane's core vocabulary: which faults an execution may
+   contain (the [model], carried by checker configs and artifacts) and
+   what a fault injector may do to one scheduling step (the [action] /
+   [plan], used by the Monte-Carlo scheduler).  Combinators that build
+   interesting plans live in [Conrat_faults]; this module only defines
+   the types the machine-level drivers need. *)
+
+type model = {
+  crashes : int;
+  weak_reads : bool;
+}
+
+let none = { crashes = 0; weak_reads = false }
+
+let is_none m = m.crashes = 0 && not m.weak_reads
+
+let crash_only f =
+  if f < 0 then invalid_arg "Fault.crash_only: negative budget";
+  { crashes = f; weak_reads = false }
+
+let model ?(crashes = 0) ?(weak_reads = false) () =
+  if crashes < 0 then invalid_arg "Fault.model: negative crash budget";
+  { crashes; weak_reads }
+
+let to_string m =
+  if is_none m then "none"
+  else
+    String.concat ","
+      ((if m.crashes > 0 then [ Printf.sprintf "crash:f=%d" m.crashes ] else [])
+       @ (if m.weak_reads then [ "weak" ] else []))
+
+(* Accepted spec grammar (the CLI's --faults argument):
+     none | crash:f=K | weak | crash:f=K,weak   (parts in any order) *)
+let of_string s =
+  let err () = Error (Printf.sprintf "bad fault spec %S (try crash:f=2,weak)" s) in
+  match String.trim s with
+  | "" | "none" -> Ok none
+  | s ->
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok acc
+      | part :: rest ->
+        (match String.trim part with
+         | "weak" -> go { acc with weak_reads = true } rest
+         | part ->
+           let prefix = "crash:f=" in
+           let pl = String.length prefix in
+           if String.length part > pl && String.sub part 0 pl = prefix then
+             match int_of_string_opt (String.sub part pl (String.length part - pl)) with
+             | Some f when f >= 0 -> go { acc with crashes = f } rest
+             | Some _ | None -> err ()
+           else err ())
+    in
+    go none parts
+
+let to_sexp m =
+  Sexp.List
+    [ Sexp.Atom "faults";
+      Sexp.List [ Sexp.Atom "crashes"; Sexp.of_int m.crashes ];
+      Sexp.List [ Sexp.Atom "weak-reads"; Sexp.of_bool m.weak_reads ] ]
+
+let of_sexp sexp =
+  match sexp with
+  | Sexp.List (Sexp.Atom "faults" :: _) ->
+    let field name decode =
+      match Sexp.assoc1 name sexp with
+      | Some v -> decode v
+      | None -> None
+    in
+    (match (field "crashes" Sexp.to_int, field "weak-reads" Sexp.to_bool) with
+     | Some crashes, Some weak_reads when crashes >= 0 -> Ok { crashes; weak_reads }
+     | _ -> Error "Fault.of_sexp: bad faults record")
+  | _ -> Error "Fault.of_sexp: expected (faults ...)"
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+(* ------------------------------------------------------------------ *)
+(* Injection plans for the Monte-Carlo scheduler                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The plan sees the adversary's choice and may override it: schedule
+   it normally, crash-stop a process instead, or deliver the chosen
+   process's pending read stale (only meaningful on a weak register —
+   the scheduler silently downgrades [Stale] to [Step] otherwise). *)
+type action =
+  | Step of int
+  | Crash of int
+  | Stale of int
+
+type plan = {
+  plan_name : string;
+  plan_fresh : n:int -> Rng.t -> (View.full -> chosen:int -> action);
+}
+
+let no_plan =
+  { plan_name = "none"; plan_fresh = (fun ~n:_ _rng _view ~chosen -> Step chosen) }

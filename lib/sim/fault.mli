@@ -1,0 +1,67 @@
+(** The fault plane's core vocabulary.
+
+    A {!model} says which faults a whole verification run may contain —
+    a crash-stop budget and whether registers are weak (regular rather
+    than atomic).  Models ride along in checker configs and
+    counterexample artifacts, so a fault-found violation replays under
+    the same fault class it was found in.
+
+    A {!plan} is the Monte-Carlo side: a stateful injector consulted by
+    {!Scheduler.run} once per step, which may override the adversary's
+    choice with a crash or a stale read delivery.  Plan combinators
+    (crash budgets, byzantine read rates, mixes) live in the
+    [Conrat_faults] library; this module defines only the types the
+    machine-level drivers need. *)
+
+type model = {
+  crashes : int;      (** max crash-stop events per execution (f) *)
+  weak_reads : bool;  (** registers are regular: reads may return the
+                          pre-write ("stale") value *)
+}
+
+val none : model
+(** The failure-free atomic model — behaviour is bit-identical to a
+    build without the fault plane. *)
+
+val is_none : model -> bool
+
+val crash_only : int -> model
+(** [crash_only f] allows up to [f] crash-stops, atomic registers. *)
+
+val model : ?crashes:int -> ?weak_reads:bool -> unit -> model
+
+val to_string : model -> string
+(** ["none"], ["crash:f=2"], ["weak"], ["crash:f=1,weak"] — the CLI's
+    [--faults] syntax.  Inverse of {!of_string}. *)
+
+val of_string : string -> (model, string) result
+(** Parse a [--faults] spec: comma-separated [crash:f=K] and [weak]
+    parts in any order; [""] and ["none"] mean {!none}. *)
+
+val to_sexp : model -> Sexp.t
+val of_sexp : Sexp.t -> (model, string) result
+(** Serialization as [(faults (crashes K) (weak-reads B))] — the
+    fault-model field of counterexample artifacts. *)
+
+val pp : Format.formatter -> model -> unit
+
+(** {1 Injection plans for the Monte-Carlo scheduler} *)
+
+type action =
+  | Step of int   (** schedule normally (payload ignored by the scheduler) *)
+  | Crash of int  (** crash-stop this (enabled) process instead *)
+  | Stale of int  (** deliver the chosen process's pending read stale;
+                      honoured only when that operation is a read on a
+                      register marked weak *)
+
+type plan = {
+  plan_name : string;
+  plan_fresh : n:int -> Rng.t -> (View.full -> chosen:int -> action);
+      (** Like {!Adversary.t}: [plan_fresh ~n rng] returns a stateful
+          per-execution injector.  It is called after the adversary's
+          choice [chosen] has been validated against the enabled set;
+          invalid overrides degrade to [Step chosen]. *)
+}
+
+val no_plan : plan
+(** Always [Step chosen] — identical to running without a plan. *)

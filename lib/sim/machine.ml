@@ -8,6 +8,12 @@ type 'r t = {
   programs : 'r Program.t array;
   pending : Op.any option array;
   stages : string option array;
+  crashed : bool array;
+  mutable crash_count : int;
+  (* Sticky: set by the first [crash] and never cleared, so failure-free
+     explorations (the common case) know [crashed] is all-false without
+     scanning it and skip capturing it in snapshots. *)
+  mutable ever_crashed : bool;
   mutable enabled : int array;
   mutable steps : int;
   mutable total_steps : int;
@@ -45,6 +51,9 @@ let create ?(cheap_collect = false) ?metrics ?trace ?sink ~n ~memory body =
     programs;
     pending;
     stages;
+    crashed = Array.make n false;
+    crash_count = 0;
+    ever_crashed = false;
     enabled = rebuild_enabled pending n;
     steps = 0;
     total_steps = 0;
@@ -63,15 +72,27 @@ let total_steps t = t.total_steps
 let running t = Array.length t.enabled > 0
 let outputs t = Array.map Program.result t.programs
 let output t pid = Program.result t.programs.(pid)
+let crashes t = t.crash_count
+let is_crashed t pid = t.crashed.(pid)
+
+let classify t pid =
+  if t.crashed.(pid) then `Crashed
+  else if Option.is_some t.pending.(pid) then `Running
+  else `Decided
 
 (* The one op interpreter.  The coin outcome for probabilistic writes
    has already been decided by the caller; [apply] just carries it out
-   and reports what a read observed (for trace recording). *)
+   and reports what a read observed (for trace recording).  For reads
+   the coin is overloaded as the freshness choice on weak (regular)
+   registers: [landed = true] delivers the stale pre-write value.
+   Engines only offer that choice on registers the setup marked weak,
+   so atomic executions are unchanged ([landed] is always [false] for
+   reads on the legacy paths). *)
 let apply : type a. _ -> a Op.t -> landed:bool -> a * int option =
   fun t op ~landed ->
   match op with
   | Op.Read l ->
-    let v = Memory.read t.memory l in
+    let v = if landed then Memory.read_stale t.memory l else Memory.read t.memory l in
     (v, v)
   | Op.Write (l, v) ->
     Memory.write t.memory l v;
@@ -97,7 +118,7 @@ let step_forced t ~pid ~landed =
     Option.iter (fun m -> Metrics.record m ~pid (Op.kind (Op.Any op))) t.metrics;
     Option.iter
       (fun tr ->
-        Trace.add tr { Trace.step = t.steps; pid; op = Op.Any op; landed; observed })
+        Trace.add tr { Trace.step = t.steps; pid; op = Some (Op.Any op); landed; observed })
       t.trace;
     (match t.sink with
      | None -> ()
@@ -128,12 +149,43 @@ let step_random t ~pid ~coin =
     in
     step_forced t ~pid ~landed
 
+(* Crash-stop: the process halts permanently without executing its
+   pending operation.  It leaves the enabled set (so the machine may
+   reach "no process running" with undecided processes — a leaf where
+   [output] is [None] for exactly the crashed pids) and its memory
+   effects so far stay visible, which is the crash-stop model: a crash
+   is indistinguishable from the process merely being very slow, except
+   that it never moves again.  A crash consumes a step so that trace
+   positions and depth accounting line up across engines. *)
+let crash t ~pid =
+  if t.crashed.(pid) then raise (Stuck "crashed an already-crashed process");
+  if Option.is_none t.pending.(pid) then raise (Stuck "crashed a finished process");
+  t.crashed.(pid) <- true;
+  t.crash_count <- t.crash_count + 1;
+  t.ever_crashed <- true;
+  t.pending.(pid) <- None;
+  t.enabled <- rebuild_enabled t.pending t.n;
+  Option.iter
+    (fun tr ->
+      Trace.add tr { Trace.step = t.steps; pid; op = None; landed = false; observed = None })
+    t.trace;
+  (match t.sink with
+   | None -> ()
+   | Some s -> s.Sink.on_crash ~step:t.steps ~pid);
+  t.steps <- t.steps + 1;
+  t.total_steps <- t.total_steps + 1
+
 type 'r snapshot = {
   s_programs : 'r Program.t array;
   s_pending : Op.any option array;
   s_stages : string option array;
+  (* [None] = every process was live at snapshot time; taken on
+     crash-free paths so the per-snapshot copy is paid only once a
+     crash actually happens below the root. *)
+  s_crashed : bool array option;
+  s_crash_count : int;
   s_enabled : int array;
-  s_memory : int option array;
+  s_memory : Memory.backup;
   s_steps : int;
 }
 
@@ -144,8 +196,10 @@ let snapshot t =
   { s_programs = Array.copy t.programs;
     s_pending = Array.copy t.pending;
     s_stages = Array.copy t.stages;
+    s_crashed = (if t.ever_crashed then Some (Array.copy t.crashed) else None);
+    s_crash_count = t.crash_count;
     s_enabled = Array.copy t.enabled;
-    s_memory = Memory.snapshot t.memory;
+    s_memory = Memory.backup t.memory;
     s_steps = t.steps }
 
 (* [total_steps] is deliberately not restored: it counts transitions
@@ -157,6 +211,10 @@ let restore t s =
   Array.blit s.s_programs 0 t.programs 0 t.n;
   Array.blit s.s_pending 0 t.pending 0 t.n;
   Array.blit s.s_stages 0 t.stages 0 t.n;
+  (match s.s_crashed with
+   | Some crashed -> Array.blit crashed 0 t.crashed 0 t.n
+   | None -> if t.ever_crashed then Array.fill t.crashed 0 t.n false);
+  t.crash_count <- s.s_crash_count;
   t.enabled <- Array.copy s.s_enabled;
-  Memory.restore t.memory s.s_memory;
+  Memory.restore_backup t.memory s.s_memory;
   t.steps <- s.s_steps

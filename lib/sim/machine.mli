@@ -72,10 +72,32 @@ val running : 'r t -> bool
 val outputs : 'r t -> 'r option array
 val output : 'r t -> int -> 'r option
 
+val crashes : 'r t -> int
+(** Number of processes crash-stopped so far on the current path
+    (restored by {!restore}). *)
+
+val is_crashed : 'r t -> int -> bool
+
+val classify : 'r t -> int -> [ `Running | `Decided | `Crashed ]
+(** What a pid's [None] output means at a leaf: still running (pending
+    operation, truncated execution), decided (program returned), or
+    crash-stopped.  Lets checkers excuse crashed processes from
+    completion-conditional properties without excusing live ones. *)
+
 val step_forced : 'r t -> pid:int -> landed:bool -> unit
 (** Apply [pid]'s pending operation with the coin outcome already
-    decided ([landed] is ignored for deterministic operations' memory
-    effect but recorded in the trace; pass [Op.is_write] for them). *)
+    decided.  For reads, [landed = true] delivers the stale (pre-write)
+    value of a weak register — callers must only do this on registers
+    marked weak (see {!Memory.mark_weak}); pass [false] for an atomic
+    read.  For other deterministic operations [landed] is ignored for
+    the memory effect but recorded in the trace; pass [Op.is_write]. *)
+
+val crash : 'r t -> pid:int -> unit
+(** Crash-stop [pid]: it permanently leaves the enabled set without
+    executing its pending operation; its writes so far remain visible.
+    Counts as one step; records a crash trace event and fires the
+    sink's [on_crash].  Raises {!Stuck} if [pid] already finished or
+    crashed.  Undone by {!restore} like any other transition. *)
 
 val step_random : 'r t -> pid:int -> coin:Rng.t -> unit
 (** Apply [pid]'s pending operation, drawing the coin for a

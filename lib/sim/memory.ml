@@ -1,21 +1,69 @@
 type loc = int
 
-type t = { mutable cells : int option array; mutable len : int }
+(* [prev] shadows [cells] on *weak* registers only: prev.(i) is what
+   cells.(i) held before the most recent write, i.e. the value a
+   regular-register read concurrent with that write is allowed to
+   return.  [weak] marks the registers on which a driver may actually
+   deliver such stale reads; the flag is configuration (set at
+   allocation time), not execution state, so the shadow is maintained
+   for exactly the registers where it is observable.
 
-let create () = { cells = Array.make 16 None; len = 0 }
+   Shadow maintenance is undone on backtracking through an undo
+   journal ([jlocs]/[jvals]): each shadow update pushes the overwritten
+   shadow value, a {!backup} records just the journal length, and
+   {!restore_backup} pops back to it.  That keeps the per-snapshot cost
+   of the fault plane at one integer — O(weak writes undone) instead of
+   O(|memory|) — and exactly zero stores on stores with no weak
+   register. *)
+type t = {
+  mutable cells : int option array;
+  mutable prev : int option array;
+  mutable weak : bool array;
+  mutable len : int;
+  mutable weak_default : bool;
+  (* Fast path: true iff any register is (or may become, via
+     [weak_default]) weak.  While false, a write's shadow check is a
+     single predictable branch, keeping the atomic model's per-step
+     cost identical to a build without the fault plane. *)
+  mutable has_weak : bool;
+  mutable jlocs : int array;
+  mutable jvals : int option array;
+  mutable jlen : int;
+}
+
+let create () =
+  { cells = Array.make 16 None;
+    prev = Array.make 16 None;
+    weak = Array.make 16 false;
+    len = 0;
+    weak_default = false;
+    has_weak = false;
+    jlocs = Array.make 16 0;
+    jvals = Array.make 16 None;
+    jlen = 0 }
 
 let ensure_capacity t needed =
   if needed > Array.length t.cells then begin
     let cap = max needed (2 * Array.length t.cells) in
     let cells = Array.make cap None in
+    let prev = Array.make cap None in
+    let weak = Array.make cap false in
     Array.blit t.cells 0 cells 0 t.len;
-    t.cells <- cells
+    Array.blit t.prev 0 prev 0 t.len;
+    Array.blit t.weak 0 weak 0 t.len;
+    t.cells <- cells;
+    t.prev <- prev;
+    t.weak <- weak
   end
 
 let alloc ?init t =
   ensure_capacity t (t.len + 1);
   let loc = t.len in
   t.cells.(loc) <- init;
+  (* A register that has never been written has no older value to
+     return: its stale view is its initial contents. *)
+  t.prev.(loc) <- init;
+  t.weak.(loc) <- t.weak_default;
   t.len <- t.len + 1;
   loc
 
@@ -30,9 +78,69 @@ let read t loc =
   check t loc;
   t.cells.(loc)
 
+let read_stale t loc =
+  check t loc;
+  t.prev.(loc)
+
+let journal_push t loc v =
+  if t.jlen = Array.length t.jlocs then begin
+    let cap = 2 * t.jlen in
+    let jlocs = Array.make cap 0 in
+    let jvals = Array.make cap None in
+    Array.blit t.jlocs 0 jlocs 0 t.jlen;
+    Array.blit t.jvals 0 jvals 0 t.jlen;
+    t.jlocs <- jlocs;
+    t.jvals <- jvals
+  end;
+  t.jlocs.(t.jlen) <- loc;
+  t.jvals.(t.jlen) <- v;
+  t.jlen <- t.jlen + 1
+
 let write t loc v =
   check t loc;
+  if t.has_weak && t.weak.(loc) then begin
+    journal_push t loc t.prev.(loc);
+    t.prev.(loc) <- t.cells.(loc)
+  end;
   t.cells.(loc) <- Some v
+
+(* Weakness is configuration: [mark_weak]/[weaken_all] are meant to run
+   at setup time, before any exploration branches.  Syncing the shadow
+   on marking makes a later marking safe too (the stale view collapses
+   to the current contents rather than exposing an unmaintained one). *)
+let mark_weak t loc =
+  check t loc;
+  if not t.weak.(loc) then begin
+    t.prev.(loc) <- t.cells.(loc);
+    t.weak.(loc) <- true
+  end;
+  t.has_weak <- true
+
+let is_weak t loc =
+  t.has_weak
+  && begin
+       check t loc;
+       t.weak.(loc)
+     end
+
+(* Bench/test hook: force the weak-register conditionals onto their
+   deepest disabled-path evaluation (every write tests its register's
+   weakness, every backup captures the journal mark) without weakening
+   any register, so observable behaviour — and the explored tree — is
+   exactly the atomic model.  The "engaged but inert" arm of the
+   fault-plane overhead gate (bench/fault_overhead.ml), mirroring what
+   [Sink.null] is to the observability gate. *)
+let engage_shadow t = t.has_weak <- true
+
+let weaken_all t =
+  for i = 0 to t.len - 1 do
+    if not t.weak.(i) then begin
+      t.prev.(i) <- t.cells.(i);
+      t.weak.(i) <- true
+    end
+  done;
+  t.weak_default <- true;
+  t.has_weak <- true
 
 let size t = t.len
 
@@ -47,6 +155,37 @@ let restore t snap =
      over an execution that lazily allocated must un-allocate, or the
      restored state would see registers it never created.  [alloc]
      re-initialises cells, so stale contents past [len] are harmless. *)
+  t.len <- slen
+
+(* Full-fidelity backup for the exhaustive explorers: unlike [snapshot]
+   (a contents-only view handed to adversaries), a backup also pins the
+   previous-value shadow so stale reads replay identically after
+   backtracking — as a journal mark, not a copy.  Restores must follow
+   the explorers' LIFO discipline (a backup is restored only while
+   every journal entry younger than it belongs to writes being undone),
+   which snapshot-and-backtrack search satisfies by construction.
+   Weak flags need no capture — they only change via allocation, and
+   truncation plus re-allocation recomputes them. *)
+type backup = { b_cells : int option array; b_jlen : int }
+
+let backup t =
+  { b_cells = Array.sub t.cells 0 t.len; b_jlen = t.jlen }
+
+let restore_backup t b =
+  let slen = Array.length b.b_cells in
+  if slen > t.len then
+    invalid_arg "Memory.restore_backup: backup longer than store";
+  if b.b_jlen > t.jlen then
+    invalid_arg "Memory.restore_backup: journal shorter than at backup time";
+  while t.jlen > b.b_jlen do
+    t.jlen <- t.jlen - 1;
+    (* A journaled register may have been deallocated by an earlier
+       truncating restore on this path; its shadow slot still exists
+       (capacity never shrinks) and [alloc] re-initialises it, so the
+       undo store is harmless. *)
+    t.prev.(t.jlocs.(t.jlen)) <- t.jvals.(t.jlen)
+  done;
+  Array.blit b.b_cells 0 t.cells 0 slen;
   t.len <- slen
 
 let pp ppf t =

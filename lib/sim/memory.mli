@@ -28,8 +28,36 @@ val read : t -> loc -> int option
 (** Current contents.  Raises [Invalid_argument] on an unallocated
     address. *)
 
+val read_stale : t -> loc -> int option
+(** The register's contents before its most recent write — the value a
+    {e regular} (non-atomic) register may legally return to a read that
+    overlaps that write.  Equals {!read} on a register never written
+    since allocation.  The shadow is maintained only for registers
+    marked weak (the only ones on which drivers deliver stale reads);
+    on an atomic register this returns the contents as of the register
+    becoming weak, i.e. its initial contents if it never does. *)
+
 val write : t -> loc -> int -> unit
 (** Overwrite a register with [Some v]. *)
+
+val mark_weak : t -> loc -> unit
+(** Mark one register as regular (non-atomic): fault-aware drivers may
+    deliver {!read_stale} results on it. *)
+
+val is_weak : t -> loc -> bool
+(** Whether stale reads may be delivered on this register. *)
+
+val weaken_all : t -> unit
+(** Mark every currently-allocated register weak, and make weakness the
+    default for registers allocated later on this store. *)
+
+val engage_shadow : t -> unit
+(** Bench/test hook: force the weak-register conditionals onto their
+    deepest disabled-path evaluation (every write tests its register's
+    weakness) without weakening any register, so observable behaviour
+    stays exactly the atomic model.  The "engaged but inert" arm of the
+    fault-plane overhead gate, as {!Sink.null} is to the observability
+    gate. *)
 
 val size : t -> int
 (** Number of registers allocated so far — the protocol's space
@@ -46,5 +74,20 @@ val restore : t -> int option array -> unit
     allocated since the snapshot are deallocated ([size] shrinks back);
     a snapshot longer than the current store raises
     [Invalid_argument]. *)
+
+type backup
+(** Full-fidelity state capture for explorer backtracking: contents
+    plus a journal mark pinning the previous-value shadow consulted by
+    {!read_stale}, so stale reads replay identically after
+    backtracking.  Unlike {!snapshot} it is opaque — adversary views
+    keep seeing plain contents arrays. *)
+
+val backup : t -> backup
+
+val restore_backup : t -> backup -> unit
+(** Same truncation semantics as {!restore}.  Backups must be restored
+    in the explorers' LIFO discipline (most recent first, each possibly
+    several times); restoring one invalidates every backup taken after
+    it. *)
 
 val pp : Format.formatter -> t -> unit

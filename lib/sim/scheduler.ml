@@ -3,6 +3,7 @@ type 'r result = {
   metrics : Metrics.t;
   steps : int;
   completed : bool;
+  crashed : bool array;
   trace : Trace.t option;
   registers : int;
 }
@@ -11,13 +12,20 @@ exception Collect_disallowed = Machine.Collect_disallowed
 exception Stuck = Machine.Stuck
 
 let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
-    ?sink ~n ~(adversary : Adversary.t) ~rng ~memory body =
+    ?faults ?sink ~n ~(adversary : Adversary.t) ~rng ~memory body =
   if n <= 0 then invalid_arg "Scheduler.run: n must be positive";
   (* Stream layout is fixed so that executions are reproducible: local
-     coins, then probabilistic-write coins, then adversary randomness. *)
+     coins, then probabilistic-write coins, then adversary randomness.
+     The fault plan's stream is split last and only when a plan is
+     installed, so fault-free runs keep their historical streams. *)
   let local_rngs = Rng.split_n rng n in
   let write_coins = Rng.split_n rng n in
   let choose = adversary.Adversary.fresh ~n (Rng.split rng) in
+  let inject =
+    match faults with
+    | None -> None
+    | Some (p : Fault.plan) -> Some (p.Fault.plan_fresh ~n (Rng.split rng))
+  in
   let metrics = Metrics.create ~n in
   let trace = if record then Some (Trace.create ()) else None in
   let machine =
@@ -48,7 +56,25 @@ let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
         then choice
         else Adversary.next_enabled_from en n (((choice mod n) + n) mod n)
       in
-      Machine.step_random machine ~pid ~coin:write_coins.(pid);
+      (* The fault plan sees the adversary's (already validated) choice
+         and may override it.  Invalid overrides — crashing a pid that
+         is not enabled, delivering a stale read to a process whose
+         pending operation is not a read on a weak register — degrade
+         to the plain step, so plans never have to track enabledness. *)
+      (match inject with
+       | None -> Machine.step_random machine ~pid ~coin:write_coins.(pid)
+       | Some inject ->
+         (match inject view ~chosen:pid with
+          | Fault.Crash p when Machine.pending_op machine p <> None ->
+            Machine.crash machine ~pid:p
+          | Fault.Stale p
+            when p = pid
+                 && (match Machine.pending_op machine p with
+                     | Some (Op.Any (Op.Read l)) -> Memory.is_weak memory l
+                     | _ -> false) ->
+            Machine.step_forced machine ~pid:p ~landed:true
+          | Fault.Step _ | Fault.Crash _ | Fault.Stale _ ->
+            Machine.step_random machine ~pid ~coin:write_coins.(pid)));
       loop ()
     end
   in
@@ -57,10 +83,11 @@ let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
     metrics;
     steps = Machine.steps machine;
     completed = !completed;
+    crashed = Array.init n (Machine.is_crashed machine);
     trace;
     registers = Memory.size memory }
 
-let run_direct ?max_steps ?record ?cheap_collect ?sink ~n ~adversary ~rng ~memory
-    body =
-  run ?max_steps ?record ?cheap_collect ?sink ~n ~adversary ~rng ~memory
+let run_direct ?max_steps ?record ?cheap_collect ?faults ?sink ~n ~adversary ~rng
+    ~memory body =
+  run ?max_steps ?record ?cheap_collect ?faults ?sink ~n ~adversary ~rng ~memory
     (fun ~pid ~rng -> Fiber.to_program (Fiber.spawn (fun () -> body ~pid ~rng)))

@@ -18,7 +18,8 @@ type 'r result = {
     (** per-process return values; [None] = still running at the cap *)
   metrics : Metrics.t;    (** work accounting for the execution *)
   steps : int;            (** operations executed (= [Metrics.total]) *)
-  completed : bool;       (** all processes returned before [max_steps] *)
+  completed : bool;       (** no process still runnable before [max_steps] *)
+  crashed : bool array;   (** which pids a fault plan crash-stopped *)
   trace : Trace.t option; (** recorded when [~record:true] *)
   registers : int;        (** registers allocated at the end *)
 }
@@ -36,6 +37,7 @@ val run :
   ?max_steps:int ->
   ?record:bool ->
   ?cheap_collect:bool ->
+  ?faults:Fault.plan ->
   ?sink:Sink.t ->
   n:int ->
   adversary:Adversary.t ->
@@ -52,12 +54,22 @@ val run :
     randomness.  [max_steps] (default [10_000_000]) bounds the
     execution so that tests can detect non-termination; a capped run
     has [completed = false].  [sink] receives structured observability
-    events (see {!Sink}); omitting it costs one branch per step. *)
+    events (see {!Sink}); omitting it costs one branch per step.
+
+    [faults] installs a fault-injection plan (see {!Fault.plan} and the
+    combinators in [Conrat_faults]): after the adversary's choice is
+    validated, the plan may crash-stop an enabled process or deliver
+    the chosen process's pending read stale (honoured only on
+    registers marked weak).  The plan's randomness is split from [rng]
+    {e after} the historical streams, so runs without a plan are
+    bit-identical to earlier versions, and a given seed produces the
+    same fault placements on every replay. *)
 
 val run_direct :
   ?max_steps:int ->
   ?record:bool ->
   ?cheap_collect:bool ->
+  ?faults:Fault.plan ->
   ?sink:Sink.t ->
   n:int ->
   adversary:Adversary.t ->

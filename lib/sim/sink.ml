@@ -3,6 +3,7 @@ type t = {
     step:int -> pid:int -> kind:Op.kind -> loc:Memory.loc -> landed:bool ->
     stage:string option -> unit;
   on_decide : step:int -> pid:int -> unit;
+  on_crash : step:int -> pid:int -> unit;
   on_snapshot : step:int -> unit;
   on_restore : step:int -> unit;
 }
@@ -11,9 +12,9 @@ let nop_op ~step:_ ~pid:_ ~kind:_ ~loc:_ ~landed:_ ~stage:_ = ()
 let nop_step_pid ~step:_ ~pid:_ = ()
 let nop_step ~step:_ = ()
 
-let make ?(on_op = nop_op) ?(on_decide = nop_step_pid) ?(on_snapshot = nop_step)
-    ?(on_restore = nop_step) () =
-  { on_op; on_decide; on_snapshot; on_restore }
+let make ?(on_op = nop_op) ?(on_decide = nop_step_pid) ?(on_crash = nop_step_pid)
+    ?(on_snapshot = nop_step) ?(on_restore = nop_step) () =
+  { on_op; on_decide; on_crash; on_snapshot; on_restore }
 
 let null = make ()
 
@@ -26,6 +27,10 @@ let tee a b =
       (fun ~step ~pid ->
         a.on_decide ~step ~pid;
         b.on_decide ~step ~pid);
+    on_crash =
+      (fun ~step ~pid ->
+        a.on_crash ~step ~pid;
+        b.on_crash ~step ~pid);
     on_snapshot =
       (fun ~step ->
         a.on_snapshot ~step;

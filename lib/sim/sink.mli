@@ -22,6 +22,8 @@ type t = {
           [false]), [stage] the innermost enclosing {!Program.label}. *)
   on_decide : step:int -> pid:int -> unit;
       (** [pid]'s program returned; [step] transitions had been applied. *)
+  on_crash : step:int -> pid:int -> unit;
+      (** [pid] crash-stopped (a fault-plane pseudo-transition). *)
   on_snapshot : step:int -> unit;  (** an explorer snapshotted the state *)
   on_restore : step:int -> unit;   (** an explorer backtracked to a snapshot *)
 }
@@ -31,6 +33,7 @@ val make :
     (step:int -> pid:int -> kind:Op.kind -> loc:Memory.loc -> landed:bool ->
      stage:string option -> unit) ->
   ?on_decide:(step:int -> pid:int -> unit) ->
+  ?on_crash:(step:int -> pid:int -> unit) ->
   ?on_snapshot:(step:int -> unit) ->
   ?on_restore:(step:int -> unit) ->
   unit ->

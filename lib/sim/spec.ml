@@ -81,6 +81,33 @@ let acceptance ~inputs ~outputs =
     end
   end
 
+(* Crash-robust acceptance: like [acceptance], but a process with no
+   output is excused.  At a crash-complete leaf (no process runnable)
+   the explorers guarantee [None] outputs are exactly the crashed
+   processes, so this is "every survivor accepts" — the strongest form
+   of Lemma 3 that survives crash-stop faults, since a crashed process
+   cannot be obliged to decide. *)
+let acceptance_survivors ~inputs ~outputs =
+  if Array.length inputs = 0 then Ok ()
+  else begin
+    let v0 = inputs.(0) in
+    if Array.exists (fun v -> v <> v0) inputs then Ok ()
+    else begin
+      let bad = ref None in
+      Array.iteri
+        (fun pid out ->
+          match out with
+          | Some (true, v) when v = v0 -> ()
+          | Some (d, v) -> if !bad = None then bad := Some (pid, (d, v))
+          | None -> ())
+        outputs;
+      match !bad with
+      | None -> Ok ()
+      | Some (pid, (d, v)) ->
+        errf "acceptance: all inputs %d but surviving p%d output (%b, %d)" v0 pid d v
+    end
+  end
+
 let consensus_execution ~inputs ~outputs ~completed =
   if not completed then Error "termination: execution hit the step bound"
   else

@@ -1,14 +1,14 @@
 type event = {
   step : int;
   pid : int;
-  op : Op.any;
+  op : Op.any option;
   landed : bool;
   observed : int option;
 }
 
 type t = { mutable events : event array; mutable len : int }
 
-let create () = { events = Array.make 64 { step = 0; pid = 0; op = Op.Any (Op.Read 0); landed = false; observed = None }; len = 0 }
+let create () = { events = Array.make 64 { step = 0; pid = 0; op = None; landed = false; observed = None }; len = 0 }
 
 let add t e =
   if t.len = Array.length t.events then begin
@@ -29,10 +29,14 @@ let events t = Array.to_list (Array.sub t.events 0 t.len)
 
 let event_equal a b =
   a.step = b.step && a.pid = b.pid && a.landed = b.landed && a.observed = b.observed
-  && Op.kind a.op = Op.kind b.op
-  && Op.loc a.op = Op.loc b.op
-  && Op.value a.op = Op.value b.op
-  && Op.prob a.op = Op.prob b.op
+  && (match (a.op, b.op) with
+      | None, None -> true
+      | Some a, Some b ->
+        Op.kind a = Op.kind b
+        && Op.loc a = Op.loc b
+        && Op.value a = Op.value b
+        && Op.prob a = Op.prob b
+      | None, Some _ | Some _, None -> false)
 
 let equal t1 t2 =
   t1.len = t2.len
@@ -41,12 +45,17 @@ let equal t1 t2 =
 
 let event_to_sexp e =
   let open Sexp in
-  List
-    [ of_int e.step;
-      of_int e.pid;
-      Op.to_sexp e.op;
-      of_bool e.landed;
-      (match e.observed with None -> List [] | Some v -> List [ of_int v ]) ]
+  match e.op with
+  | None ->
+    (* A crash-stop pseudo-event: no operation, no coin, no observation. *)
+    List [ of_int e.step; of_int e.pid; Atom "crash" ]
+  | Some op ->
+    List
+      [ of_int e.step;
+        of_int e.pid;
+        Op.to_sexp op;
+        of_bool e.landed;
+        (match e.observed with None -> List [] | Some v -> List [ of_int v ]) ]
 
 let event_of_sexp sexp =
   let open Sexp in
@@ -54,13 +63,17 @@ let event_of_sexp sexp =
     Error (Printf.sprintf "Trace.event_of_sexp: bad event %s" (to_string sexp))
   in
   match sexp with
+  | List [ step; pid; Atom "crash" ] ->
+    (match (to_int step, to_int pid) with
+     | Some step, Some pid -> Ok { step; pid; op = None; landed = false; observed = None }
+     | _ -> err ())
   | List [ step; pid; op; landed; observed ] ->
     (match (to_int step, to_int pid, Op.of_sexp op, to_bool landed, observed) with
      | Some step, Some pid, Ok op, Some landed, List [] ->
-       Ok { step; pid; op; landed; observed = None }
+       Ok { step; pid; op = Some op; landed; observed = None }
      | Some step, Some pid, Ok op, Some landed, List [ v ] ->
        (match to_int v with
-        | Some v -> Ok { step; pid; op; landed; observed = Some v }
+        | Some v -> Ok { step; pid; op = Some op; landed; observed = Some v }
         | None -> err ())
      | _ -> err ())
   | _ -> err ()
@@ -82,9 +95,12 @@ let of_sexp sexp =
   | Sexp.Atom _ -> Error "Trace.of_sexp: expected a list of events"
 
 let pp_event ppf e =
-  Format.fprintf ppf "#%d p%d %a%s%s" e.step e.pid Op.pp e.op
-    (if e.landed then "!" else "")
-    (match e.observed with None -> "" | Some v -> Printf.sprintf " =>%d" v)
+  match e.op with
+  | None -> Format.fprintf ppf "#%d p%d CRASH" e.step e.pid
+  | Some op ->
+    Format.fprintf ppf "#%d p%d %a%s%s" e.step e.pid Op.pp op
+      (if e.landed then "!" else "")
+      (match e.observed with None -> "" | Some v -> Printf.sprintf " =>%d" v)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

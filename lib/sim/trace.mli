@@ -8,8 +8,9 @@
 type event = {
   step : int;            (** 0-based position in the execution *)
   pid : int;             (** the process the adversary scheduled *)
-  op : Op.any;           (** the operation it executed *)
-  landed : bool;         (** for (probabilistic) writes: whether memory changed *)
+  op : Op.any option;    (** the operation it executed; [None] = crash-stop *)
+  landed : bool;         (** probabilistic writes: did memory change; weak
+                             reads: was the stale value delivered *)
   observed : int option; (** for reads: the value returned *)
 }
 
@@ -28,7 +29,8 @@ val equal : t -> t -> bool
 
 val to_sexp : t -> Sexp.t
 val of_sexp : Sexp.t -> (t, string) result
-(** Serialization as a list of [(step pid op landed observed)] events —
+(** Serialization as a list of [(step pid op landed observed)] events
+    (crash-stop events serialize as the shorter [(step pid crash)]) —
     the schedule half of a counterexample artifact.  Round-trips
     exactly: [of_sexp (to_sexp t)] is {!equal} to [t]. *)
 

@@ -8,6 +8,7 @@ type t = {
   inputs : int array;
   max_depth : int;
   cheap_collect : bool;
+  faults : Fault.model;
   path : int list;
   reason : string;
   trace : Trace.t option;
@@ -24,6 +25,12 @@ let to_sexp a =
       List [ Atom "cheap-collect"; of_bool a.cheap_collect ];
       List (Atom "path" :: List.map of_int a.path);
       List [ Atom "reason"; Atom a.reason ] ]
+  in
+  (* Emitted only when a fault model is active, so fault-free artifacts
+     (including all pre-existing fixtures) keep their exact bytes. *)
+  let fields =
+    if Fault.is_none a.faults then fields
+    else fields @ [ List [ Atom "faults"; Atom (Fault.to_string a.faults) ] ]
   in
   let fields =
     match a.trace with
@@ -69,13 +76,19 @@ let of_sexp sexp =
       let* cheap_collect = field "cheap-collect" to_bool in
       let* path = int_list "path" in
       let* reason = field "reason" to_atom in
+      let* faults =
+        match assoc1 "faults" sexp with
+        | None -> Ok Fault.none
+        | Some (Atom s) -> Fault.of_string s
+        | Some _ -> Error "Artifact.of_sexp: bad field faults"
+      in
       let* trace =
         match assoc1 "trace" sexp with
         | None -> Ok None
         | Some t -> Result.map Option.some (Trace.of_sexp t)
       in
       Ok { checker; n; inputs = Array.of_list inputs; max_depth; cheap_collect;
-           path; reason; trace }
+           faults; path; reason; trace }
   | _ -> Error "Artifact.of_sexp: expected (counterexample ...)"
 
 let save file a =
@@ -97,17 +110,20 @@ let load file =
 let replay ~setup ~check a =
   let r =
     Explore.run_path ~max_depth:a.max_depth ~cheap_collect:a.cheap_collect
-      ~n:a.n ~setup a.path
+      ~faults:a.faults ~n:a.n ~setup a.path
   in
   check ~complete:r.completed r.outputs
 
-let of_failure ~checker ~n ~inputs ~max_depth ~cheap_collect ~setup ~check path =
+let of_failure ~checker ~n ~inputs ~max_depth ~cheap_collect
+    ?(faults = Fault.none) ~setup ~check path =
   let r =
-    Explore.run_path ~record:true ~max_depth ~cheap_collect ~n ~setup path
+    Explore.run_path ~record:true ~max_depth ~cheap_collect ~faults ~n ~setup
+      path
   in
   let reason =
     match check ~complete:r.completed r.outputs with
     | Error reason -> reason
     | Ok () -> invalid_arg "Artifact.of_failure: path does not fail the checker"
   in
-  { checker; n; inputs; max_depth; cheap_collect; path; reason; trace = r.trace }
+  { checker; n; inputs; max_depth; cheap_collect; faults; path; reason;
+    trace = r.trace }

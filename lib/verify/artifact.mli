@@ -24,6 +24,10 @@ type t = {
   inputs : int array;
   max_depth : int;
   cheap_collect : bool;
+  faults : Conrat_sim.Fault.model;
+    (** fault model the path was recorded under — it fixes the path
+        encoding.  Serialized only when not {!Conrat_sim.Fault.none},
+        so fault-free artifacts keep the pre-fault byte format. *)
   path : int list;             (** branch choices incl. coin outcomes *)
   reason : string;             (** checker message when recorded *)
   trace : Conrat_sim.Trace.t option;  (** the witness execution, for humans *)
@@ -51,6 +55,7 @@ val of_failure :
   inputs:int array ->
   max_depth:int ->
   cheap_collect:bool ->
+  ?faults:Conrat_sim.Fault.model ->
   setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
   int list ->

@@ -1,0 +1,97 @@
+open Conrat_sim
+
+(* A checkpoint freezes an exhaustive explorer's DFS frontier: the path
+   (in Explore.run_path's branch encoding) to the leaf the explorer was
+   about to count, plus everything already counted strictly before that
+   leaf.  The convention "current leaf is saved uncounted" makes the
+   resume semantics unambiguous: the resumed run fast-forwards along
+   [path] without counting or checking anything, then counts that very
+   leaf normally and explores on.  The result — outcome set, leaf order
+   and statistics — is bit-identical to an uninterrupted run. *)
+
+type counts = {
+  path : int list;
+  complete : int;
+  truncated : int;
+  pruned : int;
+  steps : int;
+}
+
+type t = {
+  engine : string;   (* "por" or "naive" *)
+  checker : string;  (* registry config name, to refuse cross-config resumes *)
+  counts : counts;
+}
+
+let schema_version = 1
+
+let to_sexp t =
+  let open Sexp in
+  List
+    [ Atom "checkpoint";
+      List [ Atom "schema"; of_int schema_version ];
+      List [ Atom "engine"; Atom t.engine ];
+      List [ Atom "checker"; Atom t.checker ];
+      List (Atom "path" :: List.map of_int t.counts.path);
+      List [ Atom "complete"; of_int t.counts.complete ];
+      List [ Atom "truncated"; of_int t.counts.truncated ];
+      List [ Atom "pruned"; of_int t.counts.pruned ];
+      List [ Atom "steps"; of_int t.counts.steps ] ]
+
+let of_sexp sexp =
+  let open Sexp in
+  let ( let* ) r f = Result.bind r f in
+  let field name decode =
+    match assoc1 name sexp with
+    | Some v ->
+      (match decode v with
+       | Some x -> Ok x
+       | None -> Error (Printf.sprintf "Checkpoint.of_sexp: bad field %s" name))
+    | None -> Error (Printf.sprintf "Checkpoint.of_sexp: missing field %s" name)
+  in
+  match sexp with
+  | List (Atom "checkpoint" :: _) ->
+    let* schema = field "schema" to_int in
+    if schema <> schema_version then
+      Error (Printf.sprintf "Checkpoint.of_sexp: unsupported schema %d" schema)
+    else
+      let* engine = field "engine" to_atom in
+      let* checker = field "checker" to_atom in
+      let* path =
+        match assoc "path" sexp with
+        | None -> Error "Checkpoint.of_sexp: missing field path"
+        | Some items ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest ->
+              (match to_int item with
+               | Some i -> go (i :: acc) rest
+               | None -> Error "Checkpoint.of_sexp: bad field path")
+          in
+          go [] items
+      in
+      let* complete = field "complete" to_int in
+      let* truncated = field "truncated" to_int in
+      let* pruned = field "pruned" to_int in
+      let* steps = field "steps" to_int in
+      Ok { engine; checker; counts = { path; complete; truncated; pruned; steps } }
+  | _ -> Error "Checkpoint.of_sexp: expected (checkpoint ...)"
+
+(* Write-then-rename so a SIGINT (or kill) mid-save leaves either the
+   previous checkpoint or the new one on disk, never a torn file. *)
+let save file t =
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf
+        "; conrat explorer checkpoint (resume with `conrat check %s --resume %s`)@.%a@."
+        t.checker (Filename.basename file) Sexp.pp (to_sexp t));
+  Sys.rename tmp file
+
+let load file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | contents -> Result.bind (Sexp.of_string contents) of_sexp
+  | exception Sys_error msg -> Error msg

@@ -16,15 +16,26 @@ type t = {
   max_depth : int;
   max_runs : int;
   cheap_collect : bool;
+  faults : Fault.model;
 }
 
-let check_of_property property ~inputs ~complete outputs =
+(* Under a crash budget, completion-conditional clauses switch to their
+   survivor form: a [None] output at a complete leaf is a crashed
+   process (exactly — survivors always finish at complete leaves), and
+   crash-stop is allowed to excuse it from acceptance.  Validity,
+   coherence and agreement already quantify over produced outputs only,
+   so they are checked verbatim — those are the crash-robust safety
+   properties. *)
+let check_of_property property ~crash_tolerant ~inputs ~complete outputs =
+  let acceptance =
+    if crash_tolerant then Spec.acceptance_survivors else Spec.acceptance
+  in
   match property with
   | Weak_consensus ->
     Spec.all
       [ Spec.validity_decided ~inputs ~outputs;
         Spec.coherence ~outputs;
-        (if complete then Spec.acceptance ~inputs ~outputs else Ok ()) ]
+        (if complete then acceptance ~inputs ~outputs else Ok ()) ]
   | Valid_coherent ->
     Spec.all [ Spec.validity_decided ~inputs ~outputs; Spec.coherence ~outputs ]
   | Deciders_agree ->
@@ -39,6 +50,7 @@ let check_of_property property ~inputs ~complete outputs =
 let setup_of config ~n () =
   let rng = Rng.create 0 in
   let memory = Memory.create () in
+  if config.faults.Fault.weak_reads then Memory.weaken_all memory;
   let instance = config.factory.Deciding.instantiate ~n memory in
   let inputs = Array.sub config.inputs 0 n in
   let body ~pid =
@@ -49,13 +61,15 @@ let setup_of config ~n () =
   (memory, body)
 
 let check_of config ~n ~complete outputs =
-  check_of_property config.property ~inputs:(Array.sub config.inputs 0 n)
-    ~complete outputs
+  check_of_property config.property
+    ~crash_tolerant:(config.faults.Fault.crashes > 0)
+    ~inputs:(Array.sub config.inputs 0 n) ~complete outputs
 
 let target_of config =
   { Shrink.n = config.n;
     max_depth = config.max_depth;
     cheap_collect = config.cheap_collect;
+    faults = config.faults;
     setup = setup_of config;
     check = check_of config }
 
@@ -64,9 +78,9 @@ let target_of config =
 (* ------------------------------------------------------------------ *)
 
 let config ?(max_depth = 200) ?(max_runs = 20_000_000) ?(cheap_collect = false)
-    ~doc ~factory ~inputs ~property name =
+    ?(faults = Fault.none) ~doc ~factory ~inputs ~property name =
   { name; doc; factory; n = Array.length inputs; inputs; property;
-    max_depth; max_runs; cheap_collect }
+    max_depth; max_runs; cheap_collect; faults }
 
 let all =
   [ config "binary_ratifier_n2"
@@ -117,7 +131,36 @@ let all =
       ~doc:"racing fallback, n=2, full tree to depth 40 (stateful-POR bound)"
       ~factory:(Conrat_core.Fallback.racing ~m:2 ())
       ~inputs:[| 0; 1 |] ~property:Deciders_agree ~max_depth:40
-      ~max_runs:2_000_000_000 ]
+      ~max_runs:2_000_000_000;
+    (* Crash-closed configs: the same protocols proved safe under every
+       placement of up to f crash-stops (acceptance in its survivor
+       form).  Ratifiers are deterministic and wait-free, so the whole
+       crash-closed tree is finite without depth truncation. *)
+    config "binary_ratifier_n2_f1"
+      ~doc:"binary ratifier, n=2, conflicting inputs, crash-closed f=1"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1 |] ~property:Weak_consensus
+      ~faults:(Fault.crash_only 1);
+    config "binary_ratifier_n3_f1"
+      ~doc:"binary ratifier, n=3, split inputs, crash-closed f=1"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1; 0 |] ~property:Weak_consensus
+      ~faults:(Fault.crash_only 1);
+    config "binary_ratifier_n3_f2"
+      ~doc:"binary ratifier, n=3, split inputs, crash-closed f=2"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1; 0 |] ~property:Weak_consensus
+      ~faults:(Fault.crash_only 2);
+    config "binary_ratifier_accept_n3_f2"
+      ~doc:"binary ratifier, n=3, agreeing inputs, survivor acceptance, f=2"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 1; 1; 1 |] ~property:Weak_consensus
+      ~faults:(Fault.crash_only 2);
+    config "conciliator_n2_f1"
+      ~doc:"impatient first-mover conciliator, n=2, depth 60, crash-closed f=1"
+      ~factory:(Conrat_core.Conciliator.impatient_first_mover ())
+      ~inputs:[| 0; 1 |] ~property:Valid_coherent ~max_depth:60
+      ~faults:(Fault.crash_only 1) ]
 
 (* Expected-failure demos: excluded from [all]; runnable by name to
    exercise the find → shrink → artifact pipeline end to end. *)
@@ -125,7 +168,17 @@ let demos =
   [ config "fallback_unstaked_n2"
       ~doc:"KNOWN-UNSOUND unstaked fallback (§7 test double) — must fail"
       ~factory:(Conrat_core.Fallback.racing_unstaked ~m:2 ())
-      ~inputs:[| 0; 1 |] ~property:Deciders_agree ~max_depth:28 ]
+      ~inputs:[| 0; 1 |] ~property:Deciders_agree ~max_depth:28;
+    config "ratifier_await_ack"
+      ~doc:"KNOWN CRASH-UNSAFE await-ack helper — must fail acceptance at f=1"
+      ~factory:(Conrat_core.Ratifier.await_ack ())
+      ~inputs:[| 1; 1 |] ~property:Weak_consensus ~max_depth:40
+      ~faults:(Fault.crash_only 1);
+    config "binary_ratifier_n2_weak"
+      ~doc:"binary ratifier on weak (regular) registers — must fail coherence"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1 |] ~property:Valid_coherent
+      ~faults:(Fault.model ~weak_reads:true ()) ]
 
 let find name =
   List.find_opt (fun c -> c.name = name) (all @ demos)
@@ -146,11 +199,13 @@ type failure = {
 
 type outcome = (Por.stats, failure) result
 
-let run ?stop ?max_runs ?sink ?heartbeat config =
+let run ?stop ?max_runs ?sink ?heartbeat ?resume ?checkpoint_every
+    ?on_checkpoint config =
   let max_runs = Option.value max_runs ~default:config.max_runs in
   let result =
     Por.explore ~max_depth:config.max_depth ~max_runs
-      ~cheap_collect:config.cheap_collect ?stop ?sink ?heartbeat ~n:config.n
+      ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop ?sink
+      ?heartbeat ?resume ?checkpoint_every ?on_checkpoint ~n:config.n
       ~setup:(setup_of config ~n:config.n)
       ~check:(check_of config ~n:config.n)
       ()
@@ -163,8 +218,8 @@ let run ?stop ?max_runs ?sink ?heartbeat config =
     let artifact =
       Artifact.of_failure ~checker:config.name ~n
         ~inputs:(Array.sub config.inputs 0 n) ~max_depth:config.max_depth
-        ~cheap_collect:config.cheap_collect ~setup:(setup_of config ~n)
-        ~check:(check_of config ~n) path
+        ~cheap_collect:config.cheap_collect ~faults:config.faults
+        ~setup:(setup_of config ~n) ~check:(check_of config ~n) path
     in
     Error { reason; stats; artifact; shrink_replays = !count }
 
@@ -195,16 +250,16 @@ let cross_check ?stop ?max_runs ?naive_heartbeat ?por_heartbeat config =
   let naive_outcomes = collect () in
   let naive =
     Naive.explore ~max_depth:config.max_depth ~max_runs
-      ~cheap_collect:config.cheap_collect ?stop ?heartbeat:naive_heartbeat
-      ~n:config.n
+      ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop
+      ?heartbeat:naive_heartbeat ~n:config.n
       ~setup:(setup_of config ~n:config.n)
       ~check:(noting naive_outcomes) ()
   in
   let por_outcomes = collect () in
   let por =
     Por.explore ~max_depth:config.max_depth ~max_runs
-      ~cheap_collect:config.cheap_collect ?stop ?heartbeat:por_heartbeat
-      ~n:config.n
+      ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop
+      ?heartbeat:por_heartbeat ~n:config.n
       ~setup:(setup_of config ~n:config.n)
       ~check:(noting por_outcomes) ()
   in

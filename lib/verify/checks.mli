@@ -29,16 +29,27 @@ type t = {
   max_depth : int;
   max_runs : int;                (** per-engine execution budget *)
   cheap_collect : bool;
+  faults : Conrat_sim.Fault.model;
+    (** fault closure for this config.  With [crashes > 0] the
+        exploration covers every placement of up to that many
+        crash-stops and the completion-conditional acceptance clause
+        switches to {!Conrat_sim.Spec.acceptance_survivors} (crashed
+        processes are excused; everything else is checked verbatim).
+        With [weak_reads] every register is weakened and each read
+        forks fresh/stale. *)
 }
 
 val all : t list
 (** Every config expected to pass, in increasing cost order; includes
     the POR-only bounds (binary ratifier n=4, fallback depths 34
-    and 40). *)
+    and 40) and the crash-closed configs (binary ratifier f ≤ 2,
+    conciliator f = 1). *)
 
 val demos : t list
-(** Expected-failure demos (the §7 unstaked fallback test double) —
-    runnable by name, excluded from {!all}. *)
+(** Expected-failure demos — runnable by name, excluded from {!all}:
+    the §7 unstaked fallback test double, the crash-unsafe await-ack
+    helper (fails survivor acceptance at f = 1), and the binary
+    ratifier on weak registers (fails coherence). *)
 
 val names : string list
 val demo_names : string list
@@ -68,10 +79,15 @@ val run :
   ?max_runs:int ->
   ?sink:Conrat_sim.Sink.t ->
   ?heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
+  ?resume:Checkpoint.counts ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Checkpoint.counts -> unit) ->
   t -> outcome
-(** [sink] and [heartbeat] are passed through to {!Por.explore} (the
-    heartbeat fires per leaf; rate limiting is the callback's
-    business). *)
+(** [sink], [heartbeat] and the checkpointing triple are passed through
+    to {!Por.explore} (the heartbeat fires per leaf; rate limiting is
+    the callback's business).  The config's [faults] model is applied
+    to the exploration, the property, the shrinker and the recorded
+    artifact. *)
 
 val replay : t -> Artifact.t -> (unit, string) result
 (** Replay an artifact under this config's factory and property (the

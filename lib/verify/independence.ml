@@ -24,3 +24,25 @@ let overlap a b = a.lo < b.hi && b.lo < a.hi
 let independent o1 o2 =
   let f1 = footprint o1 and f2 = footprint o2 in
   (not (overlap f1 f2)) || ((not f1.writes) && not f2.writes)
+
+(* Crash-aware transitions: a scheduling candidate is either executing
+   a pending operation or crash-stopping the process. *)
+type action =
+  | Exec of Op.any
+  | Crash
+
+(* Two transitions of distinct processes commute unless their operations
+   conflict on memory.  A crash touches no register, so crash(p) is
+   independent of every transition of q ≠ p: both orders leave the same
+   memory, program states and crashed set.  crash(p) vs crash(q) also
+   commutes state-wise; with a finite crash budget the two can disable
+   each other (budget 1), but a sleeping crash entry below a budget-
+   exhausted transition is inert — crash candidates are only generated
+   while budget remains — so treating them as independent stays sound.
+   Same-process pairs never commute (executing p removes/changes p's
+   pending transition), including exec(p) vs crash(p). *)
+let independent_actions ~pid1 a1 ~pid2 a2 =
+  pid1 <> pid2
+  && (match (a1, a2) with
+      | Exec o1, Exec o2 -> independent o1 o2
+      | Crash, _ | _, Crash -> true)

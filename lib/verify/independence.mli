@@ -32,3 +32,18 @@ val footprint : Conrat_sim.Op.any -> footprint
 val independent : Conrat_sim.Op.any -> Conrat_sim.Op.any -> bool
 (** Symmetric and irreflexive-agnostic (only ever consulted for ops of
     two different processes). *)
+
+type action =
+  | Exec of Conrat_sim.Op.any  (** execute the process's pending operation *)
+  | Crash                      (** crash-stop the process *)
+
+val independent_actions :
+  pid1:int -> action -> pid2:int -> action -> bool
+(** The crash-aware relation used by the fault-enabled POR engine.
+    Transitions of the same process are always dependent; across
+    processes, [Exec]/[Exec] reduces to {!independent} and a [Crash]
+    is independent of everything (it touches no register).  Crash/crash
+    pairs can disable each other under a budget of one, but crash
+    candidates only exist while budget remains, so a sleeping crash
+    below a budget-exhausting transition is inert — see the soundness
+    note in the implementation. *)

@@ -8,11 +8,26 @@ type stats = {
 }
 
 let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
-    ?(stop = fun () -> false) ?heartbeat ~n ~setup ~check () =
+    ?(faults = Fault.none) ?(stop = fun () -> false) ?heartbeat
+    ?resume ?(checkpoint_every = 100_000) ?on_checkpoint ~n ~setup ~check () =
   let complete_count = ref 0 in
   let truncated_count = ref 0 in
   let runs = ref 0 in
   let steps = ref 0 in
+  (* Resuming the re-execution enumerator is trivial: a path IS the
+     whole frontier, so restore the counters and re-enter the loop at
+     the checkpointed (uncounted) path. *)
+  let start_path =
+    match resume with
+    | None -> []
+    | Some (c : Checkpoint.counts) ->
+      complete_count := c.complete;
+      truncated_count := c.truncated;
+      runs := c.complete + c.truncated;
+      steps := c.steps;
+      c.path
+  in
+  let last_saved = ref !runs in
   let stats exhausted =
     { complete = !complete_count;
       truncated = !truncated_count;
@@ -20,10 +35,23 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
       steps = !steps }
   in
   let rec drive path =
-    if !runs >= max_runs || stop () then Ok (stats false)
+    let stopping = !runs >= max_runs || stop () in
+    (match on_checkpoint with
+     | Some save when stopping || !runs - !last_saved >= checkpoint_every ->
+       (* Saved before running/counting [path], mirroring Por: the
+          resumed run re-runs and counts this very leaf. *)
+       save
+         { Checkpoint.path;
+           complete = !complete_count;
+           truncated = !truncated_count;
+           pruned = 0;
+           steps = !steps };
+       last_saved := !runs
+     | Some _ | None -> ());
+    if stopping then Ok (stats false)
     else begin
       incr runs;
-      let run = Explore.run_path ~max_depth ~cheap_collect ~n ~setup path in
+      let run = Explore.run_path ~max_depth ~cheap_collect ~faults ~n ~setup path in
       steps := !steps + run.Explore.steps;
       if run.Explore.completed then incr complete_count else incr truncated_count;
       (match heartbeat with
@@ -37,4 +65,4 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
          | None -> Ok (stats true))
     end
   in
-  drive []
+  drive start_path

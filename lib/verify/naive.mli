@@ -24,8 +24,12 @@ val explore :
   ?max_depth:int ->
   ?max_runs:int ->
   ?cheap_collect:bool ->
+  ?faults:Conrat_sim.Fault.model ->
   ?stop:(unit -> bool) ->
   ?heartbeat:(runs:int -> steps:int -> depth:int -> unit) ->
+  ?resume:Checkpoint.counts ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Checkpoint.counts -> unit) ->
   n:int ->
   setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
@@ -36,5 +40,11 @@ val explore :
     [stop] is polled before each run; returning [true] ends the search
     early with [exhausted = false].  [heartbeat] fires once per path
     with running totals ([depth] = that path's length); rate limiting
-    is the callback's business.  Defaults: [max_depth = 200],
-    [max_runs = 2_000_000]. *)
+    is the callback's business.  [faults] closes the enumerated tree
+    under crash-stops and weak-register stale reads (see
+    {!Conrat_sim.Explore.run_path}).  [on_checkpoint]/[resume] follow
+    {!Por.explore}'s convention — the saved path is the next uncounted
+    leaf, and a resumed run's statistics are bit-identical to an
+    uninterrupted one ([Checkpoint.counts.pruned] is always [0] here).
+    Defaults: [max_depth = 200], [max_runs = 2_000_000],
+    [checkpoint_every = 100_000]. *)

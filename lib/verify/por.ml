@@ -10,29 +10,50 @@ type stats = {
 
 let explored stats = stats.complete + stats.truncated
 
-(* A sleep-set element: an enabled process together with its pending
-   operation (which is fixed until the process is scheduled). *)
+(* A sleep-set element: a scheduling candidate — execute a process's
+   pending operation (fixed until the process is scheduled) or, when
+   [crash] is set, crash-stop it.  A flat record rather than an
+   [Independence.action] wrapper: candidates are rebuilt at every
+   scheduling point of a multi-million-leaf DFS, so one allocation per
+   candidate is the budget ([op] is the already-allocated pending op
+   either way; it is meaningless-but-harmless for crash entries). *)
 type entry = {
   pid : int;
   op : Op.any;
+  crash : bool;
 }
 
-(* Branch-point marks, kept on an explicit stack solely so the failing
-   path can be reported in Explore.run_path's encoding when a check
-   aborts the search.  All other per-node state (sleep sets, snapshots,
-   depth) lives in the DFS recursion.  Scheduling points with a single
-   enabled process are not marked, matching the path encoding. *)
+(* Branch-point marks, kept on an explicit stack solely so the current
+   path can be reported in Explore.run_path's encoding — when a check
+   aborts the search, and as the checkpoint frontier.  All other
+   per-node state (sleep sets, snapshots, depth, crash budget) lives in
+   the DFS recursion.  Scheduling points with a single candidate are
+   not marked, matching the path encoding. *)
 type sched_mark = { mutable chosen : int }
-type coin_mark = { mutable outcome : int (* 0 = landed, 1 = missed *) }
+type coin_mark = { mutable outcome : int (* 0 = landed/fresh, 1 = missed/stale *) }
 
 type frame =
   | Sched of sched_mark
   | Coin of coin_mark
 
-let in_sleep sleep pid = List.exists (fun e -> e.pid = pid) sleep
+(* Identity of a sleeping transition: pid plus action kind.  Within a
+   state a pid's pending operation is fixed, so (pid, crash?) determines
+   the transition; the op rides along only for the independence filter. *)
+let in_sleep sleep e =
+  List.exists (fun x -> x.pid = e.pid && x.crash = e.crash) sleep
+
+(* [Independence.independent_actions] specialized to flat entries: two
+   transitions of distinct processes commute unless both execute and
+   their operations conflict (a crash touches no register). *)
+let independent_entries x e =
+  x.pid <> e.pid && (x.crash || e.crash || Independence.independent x.op e.op)
+
+let corrupt () =
+  invalid_arg "Por.explore: checkpoint path inconsistent with this config"
 
 let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
-    ?(stop = fun () -> false) ?sink ?heartbeat ~n ~setup ~check () =
+    ?(faults = Fault.none) ?(stop = fun () -> false) ?sink ?heartbeat
+    ?resume ?(checkpoint_every = 100_000) ?on_checkpoint ~n ~setup ~check () =
   let memory, body = setup () in
   let machine = Machine.create ~cheap_collect ?sink ~n ~memory body in
   let frames = ref (Array.make 64 (Coin { outcome = 0 })) in
@@ -51,23 +72,72 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
   let truncated_count = ref 0 in
   let pruned_count = ref 0 in
   let runs = ref 0 in
+  (* Resume support: [rail] is the checkpointed path still to be
+     fast-forwarded along (consumed at marked branch points, exploring
+     nothing off it); [pending_offset] re-bases the step counter at the
+     first leaf so resumed statistics continue the interrupted run's
+     totals instead of this process's (which only paid for replaying
+     one path prefix). *)
+  let rail = ref [] in
+  let steps_offset = ref 0 in
+  let pending_offset = ref None in
+  (match resume with
+   | None -> ()
+   | Some (c : Checkpoint.counts) ->
+     complete_count := c.complete;
+     truncated_count := c.truncated;
+     pruned_count := c.pruned;
+     runs := c.complete + c.truncated + c.pruned;
+     rail := c.path;
+     pending_offset := Some c.steps);
+  let take_rail () =
+    match !rail with [] -> None | c :: tl -> rail := tl; Some c
+  in
+  let total_steps () = !steps_offset + Machine.total_steps machine in
+  let last_saved = ref !runs in
   let stats exhausted =
     { complete = !complete_count;
       truncated = !truncated_count;
       pruned = !pruned_count;
       exhausted;
-      steps = Machine.total_steps machine }
+      steps = total_steps () }
   in
   let exception Abort of string in
   let exception Out_of_budget in
+  (* The current position in Explore.run_path's encoding; frames are
+     kept on the stack when [Abort] unwinds, root first. *)
+  let current_path () =
+    List.init !nframes (fun i ->
+      match !frames.(i) with
+      | Sched s -> s.chosen
+      | Coin c -> c.outcome)
+  in
   let leaf kind =
-    if !runs >= max_runs || stop () then raise Out_of_budget;
+    (match !pending_offset with
+     | Some prior -> steps_offset := prior - Machine.total_steps machine;
+       pending_offset := None
+     | None -> ());
+    let stopping = !runs >= max_runs || stop () in
+    (match on_checkpoint with
+     | Some save when stopping || !runs - !last_saved >= checkpoint_every ->
+       (* Saved before counting this leaf: the resumed run re-reaches
+          and counts it, so an interrupted + resumed exploration visits
+          exactly the uninterrupted leaf sequence. *)
+       save
+         { Checkpoint.path = current_path ();
+           complete = !complete_count;
+           truncated = !truncated_count;
+           pruned = !pruned_count;
+           steps = total_steps () };
+       last_saved := !runs
+     | Some _ | None -> ());
+    if stopping then raise Out_of_budget;
     incr runs;
     (match heartbeat with
      | None -> ()
      | Some hb ->
-       hb ~runs:!runs ~pruned:!pruned_count
-         ~steps:(Machine.total_steps machine) ~depth:(Machine.steps machine));
+       hb ~runs:!runs ~pruned:!pruned_count ~steps:(total_steps ())
+         ~depth:(Machine.steps machine));
     match kind with
     | `Pruned -> incr pruned_count
     | (`Complete | `Truncated) as kind ->
@@ -77,46 +147,76 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
        | Ok () -> ()
        | Error reason -> raise (Abort reason))
   in
-  let enabled_entries () =
-    Array.map
-      (fun pid -> { pid; op = Option.get (Machine.pending_op machine pid) })
-      (Machine.enabled machine)
+  (* Scheduling candidates at the current state: executing each enabled
+     process (ascending pid), then — while crash budget remains —
+     crash-stopping each (same order).  Crashes after steps keeps the
+     all-zeros path the failure-free canonical execution and matches
+     Explore.run_path's arity layout choice for choice. *)
+  let candidates crashes_left =
+    let en = Machine.enabled machine in
+    if crashes_left > 0 then begin
+      let k = Array.length en in
+      Array.init (2 * k) (fun i ->
+        let crash = i >= k in
+        let pid = en.(if crash then i - k else i) in
+        { pid; op = Option.get (Machine.pending_op machine pid); crash })
+    end
+    else
+      (* Failure-free: same shape (and cost) as the pre-fault explorer. *)
+      Array.map
+        (fun pid ->
+          { pid; op = Option.get (Machine.pending_op machine pid); crash = false })
+        en
   in
   let rec first_awake entries sleep i =
     if i >= Array.length entries then None
-    else if in_sleep sleep entries.(i).pid then first_awake entries sleep (i + 1)
+    else if in_sleep sleep entries.(i) then first_awake entries sleep (i + 1)
     else Some i
   in
-  (* [descend z depth]: the machine sits at a fresh state whose
-     inherited sleep set is [z].  Pick the first enabled process not
+  (* [descend z crashes_left depth]: the machine sits at a fresh state
+     whose inherited sleep set is [z].  Pick the first candidate not
      asleep; if they all are, this path only revisits already-explored
      traces — prune.  After a scheduling choice is fully explored it
      enters the state's sleep set, so its subtree is never re-entered
      from a sibling; trying the sibling restores the state snapshot
      instead of re-executing from the root. *)
-  let rec descend z depth =
-    let entries = enabled_entries () in
-    if Array.length entries = 0 then leaf `Complete
+  let rec descend z crashes_left depth =
+    let cands = candidates crashes_left in
+    if Array.length cands = 0 then leaf `Complete
     else if depth >= max_depth then leaf `Truncated
     else begin
-      match first_awake entries z 0 with
+      match first_awake cands z 0 with
       | None -> leaf `Pruned
       | Some i ->
-        if Array.length entries = 1 then
-          (* Sole enabled process: no alternative can ever be tried
-             here, so no snapshot and no mark. *)
-          transition ~entry:entries.(0) ~sleep:z ~snap:None ~depth
+        if Array.length cands = 1 then
+          (* Sole candidate: no alternative can ever be tried here, so
+             no snapshot and no mark. *)
+          transition ~entry:cands.(0) ~sleep:z ~snap:None ~crashes_left ~depth
         else begin
           let snap = Machine.snapshot machine in
           let mark = { chosen = i } in
           push (Sched mark);
           let sleep = ref z in
+          (match take_rail () with
+           | None -> ()
+           | Some c ->
+             (* Fast-forward: advance the first_awake progression to the
+                checkpointed choice, growing the sleep set exactly as
+                the interrupted run did but exploring nothing. *)
+             if c < 0 || c >= Array.length cands then corrupt ();
+             while mark.chosen <> c do
+               let e = cands.(mark.chosen) in
+               sleep := e :: !sleep;
+               match first_awake cands !sleep 0 with
+               | Some j -> mark.chosen <- j
+               | None -> corrupt ()
+             done);
           let continue = ref true in
           while !continue do
-            let e = entries.(mark.chosen) in
-            transition ~entry:e ~sleep:!sleep ~snap:(Some snap) ~depth;
+            let e = cands.(mark.chosen) in
+            transition ~entry:e ~sleep:!sleep ~snap:(Some snap) ~crashes_left ~depth;
             sleep := e :: !sleep;
-            match first_awake entries !sleep 0 with
+            match first_awake cands !sleep 0 with
             | Some j ->
               mark.chosen <- j;
               Machine.restore machine snap
@@ -125,37 +225,43 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
           pop ()
         end
     end
-  (* Descend through one chosen transition: processes whose pending op
-     commutes with it stay asleep below.  A probabilistic write with
-     0 < p < 1 forks on the coin; its pre-state is the scheduling
-     state itself, so the node snapshot is reused when there is one. *)
-  and transition ~entry ~sleep ~snap ~depth =
-    let z' = List.filter (fun x -> Independence.independent x.op entry.op) sleep in
-    match Explore.coin_of_op entry.op with
-    | `Det landed ->
-      Machine.step_forced machine ~pid:entry.pid ~landed;
-      descend z' (depth + 1)
-    | `Branch ->
-      let snap = match snap with Some s -> s | None -> Machine.snapshot machine in
-      let mark = { outcome = 0 } in
-      push (Coin mark);
-      Machine.step_forced machine ~pid:entry.pid ~landed:true;
-      descend z' (depth + 1);
-      mark.outcome <- 1;
-      Machine.restore machine snap;
-      Machine.step_forced machine ~pid:entry.pid ~landed:false;
-      descend z' (depth + 1);
-      pop ()
+  (* Descend through one chosen transition: candidates that commute with
+     it (crash-aware relation) stay asleep below.  A probabilistic write
+     with 0 < p < 1 forks on the coin and a weak-register read forks on
+     freshness; either fork's pre-state is the scheduling state itself,
+     so the node snapshot is reused when there is one. *)
+  and transition ~entry ~sleep ~snap ~crashes_left ~depth =
+    let z' = List.filter (fun x -> independent_entries x entry) sleep in
+    if entry.crash then begin
+      Machine.crash machine ~pid:entry.pid;
+      descend z' (crashes_left - 1) (depth + 1)
+    end
+    else
+      match Explore.coin_of_op ~memory entry.op with
+      | `Det landed ->
+        Machine.step_forced machine ~pid:entry.pid ~landed;
+        descend z' crashes_left (depth + 1)
+      | `Coin -> fork ~entry ~z' ~snap ~crashes_left ~depth ~landed0:true
+      | `Weak -> fork ~entry ~z' ~snap ~crashes_left ~depth ~landed0:false
+  (* Two-way fork on the coin (choice 0 = [landed0]) or on freshness
+     (choice 0 = fresh): straight-line, since this is the inner loop. *)
+  and fork ~entry ~z' ~snap ~crashes_left ~depth ~landed0 =
+    let snap = match snap with Some s -> s | None -> Machine.snapshot machine in
+    let mark = { outcome = 0 } in
+    push (Coin mark);
+    let start = match take_rail () with None -> 0 | Some c -> c in
+    if start < 0 || start > 1 then corrupt ();
+    if start = 0 then begin
+      Machine.step_forced machine ~pid:entry.pid ~landed:landed0;
+      descend z' crashes_left (depth + 1);
+      Machine.restore machine snap
+    end;
+    mark.outcome <- 1;
+    Machine.step_forced machine ~pid:entry.pid ~landed:(not landed0);
+    descend z' crashes_left (depth + 1);
+    pop ()
   in
-  (* The aborting path in Explore.run_path's encoding; frames are kept
-     on the stack when [Abort] unwinds, root first. *)
-  let current_path () =
-    List.init !nframes (fun i ->
-      match !frames.(i) with
-      | Sched s -> s.chosen
-      | Coin c -> c.outcome)
-  in
-  match descend [] 0 with
+  match descend [] faults.Fault.crashes 0 with
   | () -> Ok (stats true)
   | exception Out_of_budget -> Ok (stats false)
   | exception Abort reason -> Error (reason, current_path (), stats false)

@@ -38,7 +38,18 @@
     prefix at the cut differs.  Complete-execution coverage is
     unaffected; when exact truncated-prefix coverage matters, use
     {!Naive.explore} (the [conrat check --naive] engine) or raise
-    [max_depth]. *)
+    [max_depth].
+
+    With a {!Conrat_sim.Fault} budget, every scheduling state also
+    offers crash-stop candidates (after the step candidates, matching
+    {!Conrat_sim.Explore.run_path}'s path layout), so the reduced tree
+    is closed under up to [faults.crashes] crashes placed anywhere.
+    A crash touches no register and is therefore independent of every
+    transition of another process — crash placements commute freely
+    with concurrent steps, which is where most of the reduction over
+    the naive crash-closed tree comes from.  Weak registers add a
+    fresh/stale fork to each of their reads, handled exactly like a
+    probabilistic-write coin. *)
 
 type stats = {
   complete : int;    (** complete executions checked *)
@@ -57,9 +68,13 @@ val explore :
   ?max_depth:int ->
   ?max_runs:int ->
   ?cheap_collect:bool ->
+  ?faults:Conrat_sim.Fault.model ->
   ?stop:(unit -> bool) ->
   ?sink:Conrat_sim.Sink.t ->
   ?heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
+  ?resume:Checkpoint.counts ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Checkpoint.counts -> unit) ->
   n:int ->
   setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
@@ -72,4 +87,20 @@ val explore :
     {!Shrink.minimize} and {!Artifact} replay.  [sink] observes every
     machine transition (including snapshot/restore backtracking);
     [heartbeat] fires once per leaf (pruned leaves included) with
-    running totals — rate limiting is the callback's business. *)
+    running totals — rate limiting is the callback's business.
+
+    [faults] closes the tree under crash-stops and weak-register reads
+    (default {!Conrat_sim.Fault.none}; registers must additionally be
+    marked weak on the [setup]-returned memory for stale forks to
+    appear).
+
+    Checkpointing: when [on_checkpoint] is given it receives the DFS
+    frontier — the path to the {e current, not yet counted} leaf plus
+    the counts strictly before it — every [checkpoint_every] leaves
+    (default [100_000]) and once more when the search stops on [stop]
+    or [max_runs].  Passing that value back as [resume] (with the same
+    config, engine and budgets) fast-forwards to the saved leaf without
+    re-counting and continues; the completed search's statistics and
+    outcome sequence are bit-identical to an uninterrupted run.  A
+    [resume] value inconsistent with the config raises
+    [Invalid_argument]. *)

@@ -4,6 +4,7 @@ type 'r target = {
   n : int;
   max_depth : int;
   cheap_collect : bool;
+  faults : Fault.model;
   setup : n:int -> unit -> Memory.t * (pid:int -> 'r Program.t);
   check : n:int -> complete:bool -> 'r option array -> (unit, string) result;
 }
@@ -12,7 +13,8 @@ let failing ?(count = ref 0) target ~n path =
   incr count;
   let r =
     Explore.run_path ~max_depth:target.max_depth
-      ~cheap_collect:target.cheap_collect ~n ~setup:(target.setup ~n) path
+      ~cheap_collect:target.cheap_collect ~faults:target.faults ~n
+      ~setup:(target.setup ~n) path
   in
   Result.is_error (target.check ~n ~complete:r.completed r.outputs)
 
@@ -90,8 +92,8 @@ let minimize ?(min_n = 1) ?(explore_budget = 20_000) ?count target ~path:path0 (
       else begin
         let result =
           Por.explore ~max_depth:target.max_depth ~max_runs:explore_budget
-            ~cheap_collect:target.cheap_collect ~n:n' ~setup:(target.setup ~n:n')
-            ~check:(target.check ~n:n')
+            ~cheap_collect:target.cheap_collect ~faults:target.faults ~n:n'
+            ~setup:(target.setup ~n:n') ~check:(target.check ~n:n')
             ()
         in
         match result with

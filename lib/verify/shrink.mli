@@ -23,6 +23,12 @@ type 'r target = {
   n : int;                (** processes in the original counterexample *)
   max_depth : int;
   cheap_collect : bool;
+  faults : Conrat_sim.Fault.model;
+    (** the fault budget the counterexample was found under — it fixes
+        the path encoding, so replays and the smaller-[n] re-exploration
+        must use the same model.  Zeroing a choice at a fault-widened
+        scheduling point turns a crash into the first enabled step, so
+        the shrinker also minimizes fault placements for free. *)
   setup : n:int -> unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t);
     (** must accept any [1 ≤ n' ≤ n] (e.g. by truncating the inputs) *)
   check : n:int -> complete:bool -> 'r option array -> (unit, string) result;

@@ -1,0 +1,92 @@
+; conrat counterexample artifact (replay with `conrat check --replay ratifier_await_ack.counterexample.sexp`)
+(counterexample
+ (schema 1)
+ (checker ratifier_await_ack)
+ (n 2)
+ (inputs 1 1)
+ (max-depth 40)
+ (cheap-collect false)
+ (path
+  1
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  0
+  1)
+ (reason "acceptance: all inputs 1 but surviving p1 output (false, 1)")
+ (faults crash:f=1)
+ (trace
+  ((0 1 (read 0) false ())
+   (1 0 (write 0 1) true ())
+   (2 0 (read 1) false ())
+   (3 0 (read 1) false ())
+   (4 0 (read 1) false ())
+   (5 0 (read 1) false ())
+   (6 0 (read 1) false ())
+   (7 0 (read 1) false ())
+   (8 0 (read 1) false ())
+   (9 0 (read 1) false ())
+   (10 0 (read 1) false ())
+   (11 0 (read 1) false ())
+   (12 0 (read 1) false ())
+   (13 0 (read 1) false ())
+   (14 0 (read 1) false ())
+   (15 0 (read 1) false ())
+   (16 0 (read 1) false ())
+   (17 0 (read 1) false ())
+   (18 0 (read 1) false ())
+   (19 0 (read 1) false ())
+   (20 0 (read 1) false ())
+   (21 0 (read 1) false ())
+   (22 0 (read 1) false ())
+   (23 0 (read 1) false ())
+   (24 0 (read 1) false ())
+   (25 0 (read 1) false ())
+   (26 0 (read 1) false ())
+   (27 0 (read 1) false ())
+   (28 0 (read 1) false ())
+   (29 0 (read 1) false ())
+   (30 0 (read 1) false ())
+   (31 0 (read 1) false ())
+   (32 0 (read 1) false ())
+   (33 0 (read 1) false ())
+   (34 0 (read 1) false ())
+   (35 0 (read 1) false ())
+   (36 0 (read 1) false ())
+   (37 0 (read 1) false ())
+   (38 0 (read 1) false ())
+   (39 0 crash))))

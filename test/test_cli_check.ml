@@ -250,6 +250,170 @@ let () =
   expect "trace unknown name" ~code:2 ~stderr_has:"unknown checker"
     (run "trace definitely_not_a_checker --out -");
 
+  (* ---- fault plane ------------------------------------------------ *)
+
+  expect "check --faults override" ~code:0 ~stdout_has:"exhausted"
+    (run "check --faults crash:f=1 binary_ratifier_n2");
+
+  expect "check --faults bad spec" ~code:2 ~stderr_has:"bad --faults"
+    (run "check --faults bogus binary_ratifier_n2");
+
+  expect "crash-closed registry config" ~code:0 ~stdout_has:"exhausted"
+    (run "check binary_ratifier_n3_f2");
+
+  (* the crash-unsafe demo is caught, shrunk, and its artifact replays *)
+  let aa_artifact = Filename.concat tmpdir "ratifier_await_ack.counterexample.sexp" in
+  expect "await_ack demo caught" ~code:1 ~stdout_has:"VIOLATION"
+    (run (Printf.sprintf "check ratifier_await_ack --artifact-dir %s"
+            (Filename.quote tmpdir)));
+  if not (Sys.file_exists aa_artifact) then
+    failf "await_ack violation did not write %s" aa_artifact;
+  expect "await_ack artifact replays" ~code:0 ~stdout_has:"reproduced"
+    (run (Printf.sprintf "check --replay %s" (Filename.quote aa_artifact)));
+
+  (* ---- malformed artifacts never escape as backtraces ------------- *)
+
+  let replace ~sub ~by s =
+    let sl = String.length sub in
+    let b = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i < String.length s do
+      if
+        !i + sl <= String.length s
+        && String.sub s !i sl = sub
+      then begin
+        Buffer.add_string b by;
+        i := !i + sl
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  let write_file file contents =
+    Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc contents)
+  in
+  let fixture = read_file (Filename.concat "fixtures" "ratifier_await_ack.sexp") in
+  if fixture = "" then failf "fixture ratifier_await_ack.sexp missing from test cwd";
+
+  let truncated = Filename.concat tmpdir "truncated.sexp" in
+  write_file truncated (String.sub fixture 0 (String.length fixture / 2));
+  expect "replay truncated artifact" ~code:2 ~stderr_has:"cannot load"
+    (run (Printf.sprintf "check --replay %s" (Filename.quote truncated)));
+
+  let garbage = Filename.concat tmpdir "garbage.sexp" in
+  write_file garbage "this is ( not an artifact";
+  expect "replay garbage artifact" ~code:2 ~stderr_has:"cannot load"
+    (run (Printf.sprintf "check --replay %s" (Filename.quote garbage)));
+
+  (* parses fine but lies about n: re-execution would blow up in
+     Array.sub; the CLI must catch it and exit 2 with one line *)
+  let oversized = Filename.concat tmpdir "oversized.sexp" in
+  write_file oversized
+    (replace ~sub:"(n 2)" ~by:"(n 9)"
+       (replace ~sub:"(inputs 1 1)" ~by:"(inputs 1 1 1 1 1 1 1 1 1)" fixture));
+  let code, _out, err =
+    run (Printf.sprintf "check --replay %s" (Filename.quote oversized))
+  in
+  expect "replay oversized-n artifact" ~code:2 ~stderr_has:"not replayable"
+    (code, _out, err);
+  if String.length (String.trim err) > 0
+     && List.length (String.split_on_char '\n' (String.trim err)) > 1
+  then failf "oversized replay: diagnostic is not one line (got: %s)" err;
+
+  (* ---- checkpoint / resume ---------------------------------------- *)
+
+  let ck = Filename.concat tmpdir "ck.sexp" in
+  expect "checkpointed partial run" ~code:0 ~stdout_has:"run budget exceeded"
+    (run (Printf.sprintf "check --checkpoint %s --max-runs 100 binary_ratifier_n3_f1"
+            (Filename.quote ck)));
+  if not (Sys.file_exists ck) then failf "checkpoint file not written";
+  (* resume completes with totals bit-identical to the uninterrupted run *)
+  let _, full_out, _ = run "check binary_ratifier_n3_f1" in
+  let code, resumed_out, err =
+    run (Printf.sprintf "check --resume %s binary_ratifier_n3_f1" (Filename.quote ck))
+  in
+  expect "resumed run exhausts" ~code:0 ~stdout_has:"exhausted"
+    (code, resumed_out, err);
+  let stats_of s =
+    (* strip the trailing "(0.0s)" timing, which may legitimately differ *)
+    match String.index_opt s '(' with
+    | Some i when i > 0 && String.length s > 2 && s.[i + 1] <> 'c' ->
+      String.trim (String.sub s 0 i)
+    | _ -> String.trim s
+  in
+  if stats_of full_out <> stats_of resumed_out then
+    failf "resume not bit-identical: %S vs %S" (stats_of full_out)
+      (stats_of resumed_out);
+
+  expect "resume engine mismatch" ~code:2 ~stderr_has:"engine"
+    (run (Printf.sprintf "check --naive --resume %s binary_ratifier_n3_f1"
+            (Filename.quote ck)));
+  expect "checkpoint with --cross" ~code:2 ~stderr_has:"--cross"
+    (run (Printf.sprintf "check --cross --checkpoint %s binary_ratifier_n2"
+            (Filename.quote ck)));
+  expect "checkpoint needs one name" ~code:2 ~stderr_has:"exactly one"
+    (run (Printf.sprintf "check --checkpoint %s binary_ratifier_n2 binary_ratifier_n3"
+            (Filename.quote ck)));
+  expect "resume missing file" ~code:2 ~stderr_has:"cannot load checkpoint"
+    (run "check --resume /nonexistent/ck.sexp binary_ratifier_n2");
+
+  (* ---- sweep: faults + JSON + SIGINT ------------------------------ *)
+
+  let code, out, _ = run "sweep -n 3 -t 25 --faults crash:f=1 --json -" in
+  expect "sweep --json - runs" ~code:0 (code, out, "");
+  if not (is_valid_json out) then
+    failf "sweep --json -: stdout is not one JSON document (got: %s)" out;
+  if not (contains ~needle:"\"kind\": \"sweep\"" out) then
+    failf "sweep --json -: kind missing (got: %s)" out;
+  if not (contains ~needle:"\"faults\": \"crash:f=1\"" out) then
+    failf "sweep --json -: fault spec not echoed (got: %s)" out;
+
+  expect "sweep --faults bad spec" ~code:2 ~stderr_has:"bad --faults"
+    (run "sweep --faults bogus -t 5");
+
+  (* SIGINT mid-sweep: partial JSON still lands, well-formed, exit 130 *)
+  let sweep_json = Filename.concat tmpdir "sweep.json" in
+  let out = Filename.concat tmpdir "stdout" in
+  let err = Filename.concat tmpdir "stderr" in
+  let code =
+    Sys.command
+      (Printf.sprintf
+         "%s sweep -n 3 -t 100000 --json %s > %s 2> %s & pid=$!; \
+          sleep 1; kill -INT $pid 2>/dev/null; wait $pid"
+         (Filename.quote cli) (Filename.quote sweep_json) (Filename.quote out)
+         (Filename.quote err))
+  in
+  if code <> 130 then failf "interrupted sweep: exit %d, expected 130" code;
+  let doc = read_file sweep_json in
+  if not (is_valid_json doc) then
+    failf "interrupted sweep: JSON not well-formed (got: %s)" doc;
+  if not (contains ~needle:"\"interrupted\": true" doc) then
+    failf "interrupted sweep: flag missing (got: %s)" doc;
+
+  (* SIGINT mid-check: checkpoint + partial JSON flushed, exit 130 *)
+  let sig_ck = Filename.concat tmpdir "sig_ck.sexp" in
+  let sig_json = Filename.concat tmpdir "sig.json" in
+  let code =
+    Sys.command
+      (Printf.sprintf
+         "%s check --checkpoint %s --json %s fallback_n2_d34 > %s 2> %s & \
+          pid=$!; sleep 1; kill -INT $pid 2>/dev/null; wait $pid"
+         (Filename.quote cli) (Filename.quote sig_ck) (Filename.quote sig_json)
+         (Filename.quote out) (Filename.quote err))
+  in
+  if code <> 130 then failf "interrupted check: exit %d, expected 130" code;
+  if not (Sys.file_exists sig_ck) then
+    failf "interrupted check: checkpoint not written";
+  if not (is_valid_json (read_file sig_json)) then
+    failf "interrupted check: JSON not well-formed (got: %s)" (read_file sig_json);
+
+  (* per-config --timeout stops cleanly and still exits 0 *)
+  expect "check --timeout" ~code:0 ~stdout_has:"BUDGET EXCEEDED"
+    (run "check --timeout 0.01 fallback_n2_d34");
+
   if !failures > 0 then begin
     Printf.eprintf "%d CLI test(s) failed\n%!" !failures;
     exit 1

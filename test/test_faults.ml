@@ -1,0 +1,498 @@
+(* Tests for the fault plane: crash-stop / weak-register injection in
+   the machine, crash-closed exhaustive verification, SIGINT-safe
+   checkpoint/resume bit-identity, the Injector plan combinators and the
+   quarantining engine.
+
+   The qcheck property is the headline: validity and coherence hold on
+   random crash schedules (0 ≤ crashes ≤ n−1) for every registry
+   config, with crashed processes excused and survivors held to the
+   full contract. *)
+
+open Conrat_sim
+open Conrat_verify
+
+let check = Alcotest.check
+let checkb msg expected actual = check Alcotest.bool msg expected actual
+let checki msg expected actual = check Alcotest.int msg expected actual
+let tc = Alcotest.test_case
+
+let config name =
+  match Checks.find name with
+  | Some c -> c
+  | None -> Alcotest.failf "no checker config named %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Random crash schedules keep validity + coherence (qcheck)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every fault-free registry config, re-armed with the largest
+   meaningful crash budget (n − 1 leaves at least one survivor). *)
+let crashable =
+  List.filter_map
+    (fun c ->
+      if Fault.is_none c.Checks.faults then
+        Some { c with Checks.faults = Fault.crash_only (c.Checks.n - 1) }
+      else None)
+    Checks.all
+
+let qcheck_crash_schedules_safe =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (int_bound (List.length crashable - 1))
+        (list_size (int_bound 80) (int_bound 12)))
+  in
+  let print (i, path) =
+    Printf.sprintf "%s %s" (List.nth crashable i).Checks.name
+      (String.concat "," (List.map string_of_int path))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"validity+coherence under random crash schedules"
+    (QCheck.make ~print gen)
+    (fun (i, path) ->
+      let c = List.nth crashable i in
+      let run =
+        Explore.run_path ~max_depth:c.Checks.max_depth
+          ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults
+          ~n:c.Checks.n
+          ~setup:(Checks.setup_of c ~n:c.Checks.n)
+          path
+      in
+      match
+        Checks.check_of c ~n:c.Checks.n ~complete:run.Explore.completed
+          run.Explore.outputs
+      with
+      | Ok () -> true
+      | Error reason ->
+        QCheck.Test.fail_reportf "%s violated under crash schedule: %s"
+          c.Checks.name reason)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-closed exhaustive checks                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_closed_registry_configs () =
+  (* Quick members of the crash-closed registry exhaust and pass; the
+     explored counts double as determinism locks (cf. BENCH_VERIFY). *)
+  List.iter
+    (fun (name, expected_complete) ->
+      match Checks.run (config name) with
+      | Ok s ->
+        checkb (name ^ " exhausted") true s.Por.exhausted;
+        checki (name ^ " complete leaves") expected_complete s.Por.complete
+      | Error f -> Alcotest.failf "%s violated: %s" name f.Checks.reason)
+    [ ("binary_ratifier_n2_f1", 24); ("binary_ratifier_n3_f1", 408) ]
+
+let test_fault_free_stats_unchanged () =
+  (* The fault plane compiled in but disabled must not change the
+     exploration: same leaf/step counts as the committed baseline. *)
+  match Checks.run (config "binary_ratifier_n2") with
+  | Ok s ->
+    checkb "exhausted" true s.Por.exhausted;
+    checki "complete" 6 s.Por.complete
+  | Error f -> Alcotest.failf "violation: %s" f.Checks.reason
+
+(* ------------------------------------------------------------------ *)
+(* The crash-unsafe demo and its committed fixture                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_await_ack_caught_and_shrunk () =
+  let demo = config "ratifier_await_ack" in
+  match Checks.run demo with
+  | Ok _ ->
+    Alcotest.fail "await_ack demo passed; crash injection lost its witness"
+  | Error f ->
+    checkb "violation is about acceptance" true
+      (String.length f.Checks.reason >= 10
+       && String.sub f.Checks.reason 0 10 = "acceptance");
+    checkb "artifact records the crash model" true
+      (f.Checks.artifact.Artifact.faults = Fault.crash_only 1);
+    (match Checks.replay demo f.Checks.artifact with
+     | Error reason -> checkb "shrunk artifact reproduces" true (reason = f.Checks.reason)
+     | Ok () -> Alcotest.fail "shrunk artifact does not reproduce")
+
+let fixture_file name = Filename.concat "fixtures" name
+
+let load_fixture name =
+  match Artifact.load (fixture_file name) with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "cannot load fixture %s: %s" name e
+
+let test_await_ack_fixture_reproduces () =
+  let a = load_fixture "ratifier_await_ack.sexp" in
+  check Alcotest.string "fixture names the demo" "ratifier_await_ack"
+    a.Artifact.checker;
+  checkb "fixture carries the crash model" true
+    (a.Artifact.faults = Fault.crash_only 1);
+  match Checks.replay (config "ratifier_await_ack") a with
+  | Error reason ->
+    checkb "fixture reproduces its recorded reason" true
+      (reason = a.Artifact.reason)
+  | Ok () -> Alcotest.fail "fixture no longer reproduces"
+
+let test_weak_read_fixture_reproduces () =
+  let a = load_fixture "binary_ratifier_n2_weak.sexp" in
+  checkb "fixture carries the weak-read model" true
+    (a.Artifact.faults = Fault.model ~weak_reads:true ());
+  match Checks.replay (config "binary_ratifier_n2_weak") a with
+  | Error reason ->
+    checkb "fixture reproduces its recorded reason" true
+      (reason = a.Artifact.reason)
+  | Ok () -> Alcotest.fail "weak-read fixture no longer reproduces"
+
+let test_weak_demo_caught () =
+  match Checks.run (config "binary_ratifier_n2_weak") with
+  | Ok _ -> Alcotest.fail "weak-read demo passed; stale forks lost the witness"
+  | Error f ->
+    checkb "violation is about coherence" true
+      (String.length f.Checks.reason >= 9
+       && String.sub f.Checks.reason 0 9 = "coherence")
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/resume: segmented run is bit-identical to uninterrupted  *)
+(* ------------------------------------------------------------------ *)
+
+let test_por_checkpoint_resume_bit_identical () =
+  let c = config "binary_ratifier_n3_f1" in
+  let full =
+    match Checks.run c with
+    | Ok s -> s
+    | Error f -> Alcotest.failf "unexpected violation: %s" f.Checks.reason
+  in
+  (* Re-run in budget segments, checkpointing at each stop and resuming
+     from the saved frontier; the final statistics must be equal. *)
+  let saved = ref None in
+  let budget = ref 150 in
+  let final = ref None in
+  let segments = ref 0 in
+  while !final = None do
+    incr segments;
+    if !segments > 100 then Alcotest.fail "segmented run does not converge";
+    match
+      Checks.run ~max_runs:!budget ?resume:!saved ~checkpoint_every:max_int
+        ~on_checkpoint:(fun counts -> saved := Some counts)
+        c
+    with
+    | Ok s when s.Por.exhausted -> final := Some s
+    | Ok _ -> budget := !budget + 150
+    | Error f -> Alcotest.failf "violation mid-segment: %s" f.Checks.reason
+  done;
+  checkb "≥ 2 segments actually exercised resume" true (!segments >= 2);
+  checkb "segmented statistics bit-identical" true (Option.get !final = full)
+
+let test_naive_checkpoint_resume_bit_identical () =
+  let c = config "binary_ratifier_n2_f1" in
+  let explore ?max_runs ?resume ?on_checkpoint () =
+    Naive.explore ~max_depth:c.Checks.max_depth ?max_runs
+      ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults ?resume
+      ~checkpoint_every:max_int ?on_checkpoint ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(Checks.check_of c ~n:c.Checks.n)
+      ()
+  in
+  let full =
+    match explore () with
+    | Ok s -> s
+    | Error (r, _) -> Alcotest.failf "unexpected violation: %s" r
+  in
+  let saved = ref None in
+  let budget = ref 40 in
+  let final = ref None in
+  let segments = ref 0 in
+  while !final = None do
+    incr segments;
+    if !segments > 100 then Alcotest.fail "segmented run does not converge";
+    match
+      explore ~max_runs:!budget ?resume:!saved
+        ~on_checkpoint:(fun counts -> saved := Some counts)
+        ()
+    with
+    | Ok s when s.Naive.exhausted -> final := Some s
+    | Ok _ -> budget := !budget + 40
+    | Error (r, _) -> Alcotest.failf "violation mid-segment: %s" r
+  done;
+  checkb "≥ 2 segments actually exercised resume" true (!segments >= 2);
+  checkb "segmented statistics bit-identical" true (Option.get !final = full)
+
+let test_resume_rejects_corrupt_path () =
+  let c = config "binary_ratifier_n2_f1" in
+  let bogus =
+    { Checkpoint.path = [ 7; 7; 7; 7; 7; 7; 7 ]; complete = 3; truncated = 0;
+      pruned = 0; steps = 10 }
+  in
+  try
+    ignore (Checks.run ~resume:bogus c);
+    Alcotest.fail "corrupt resume path accepted"
+  with Invalid_argument _ -> ()
+
+let test_checkpoint_sexp_roundtrip () =
+  let ck =
+    { Checkpoint.engine = "por"; checker = "binary_ratifier_n3_f1";
+      counts =
+        { Checkpoint.path = [ 1; 0; 3 ]; complete = 42; truncated = 7;
+          pruned = 99; steps = 1234 } }
+  in
+  match Checkpoint.of_sexp (Checkpoint.to_sexp ck) with
+  | Ok ck' -> checkb "round-trips" true (ck = ck')
+  | Error e -> Alcotest.failf "checkpoint did not parse back: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Injector plan combinators on the Monte Carlo scheduler              *)
+(* ------------------------------------------------------------------ *)
+
+let write_then_read ~n () =
+  let memory = Memory.create () in
+  let regs = Array.init n (fun _ -> Memory.alloc memory) in
+  let body ~pid ~rng:_ =
+    let open Program in
+    let* () = write regs.(pid) (pid + 1) in
+    let* v = read regs.((pid + 1) mod n) in
+    return (Option.value v ~default:(-1))
+  in
+  (memory, body)
+
+let test_crash_at () =
+  let memory = Memory.create () in
+  let r = Memory.alloc memory in
+  let body ~pid ~rng:_ =
+    let open Program in
+    if pid = 0 then
+      let* () = write r 1 in
+      return 1
+    else
+      let* v = read r in
+      return (Option.value v ~default:0)
+  in
+  let result =
+    Scheduler.run ~n:2
+      ~adversary:Adversary.round_robin
+      ~rng:(Rng.create 1) ~memory
+      ~faults:(Conrat_faults.Injector.crash_at ~step:0 ~pid:0)
+      body
+  in
+  checkb "p0 crashed" true result.Scheduler.crashed.(0);
+  checkb "p0 produced no output" true (result.Scheduler.outputs.(0) = None);
+  checkb "run completed" true result.Scheduler.completed;
+  (* p0 crashed before its write landed, so p1 read the default *)
+  checkb "p1 saw no write" true (result.Scheduler.outputs.(1) = Some 0)
+
+let count_crashed crashed =
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 crashed
+
+let test_crashing_respects_budget () =
+  (* rate 1.0 wants a crash at every step; the budget caps it at f. *)
+  for seed = 0 to 9 do
+    let memory, body = write_then_read ~n:3 () in
+    let result =
+      Scheduler.run ~n:3
+        ~adversary:Adversary.random_uniform
+        ~rng:(Rng.create seed) ~memory
+        ~faults:(Conrat_faults.Injector.crashing ~rate:1.0 ~f:2 ())
+        body
+    in
+    checkb "completed" true result.Scheduler.completed;
+    checkb "crashes within budget" true
+      (count_crashed result.Scheduler.crashed <= 2);
+    checkb "rate 1.0 crashes someone" true
+      (count_crashed result.Scheduler.crashed > 0)
+  done
+
+let test_byzantine_reads_deliver_stale () =
+  (* A weak register read with rate 1.0 must deliver the pre-write
+     state: the process observes the register as if its own write had
+     not happened yet. *)
+  let memory = Memory.create () in
+  let r = Memory.alloc memory in
+  Memory.weaken_all memory;
+  let body ~pid:_ ~rng:_ =
+    let open Program in
+    let* () = write r 5 in
+    let* v = read r in
+    return (match v with Some x -> x | None -> -1)
+  in
+  let result =
+    Scheduler.run ~n:1
+      ~adversary:Adversary.round_robin
+      ~rng:(Rng.create 3) ~memory
+      ~faults:(Conrat_faults.Injector.byzantine_reads ~rate:1.0 ())
+      body
+  in
+  checkb "stale read observed the pre-write state" true
+    (result.Scheduler.outputs.(0) = Some (-1))
+
+let test_byzantine_reads_ignore_strong_registers () =
+  (* Without Memory.weaken_all the same plan must change nothing. *)
+  let memory = Memory.create () in
+  let r = Memory.alloc memory in
+  let body ~pid:_ ~rng:_ =
+    let open Program in
+    let* () = write r 5 in
+    let* v = read r in
+    return (match v with Some x -> x | None -> -1)
+  in
+  let result =
+    Scheduler.run ~n:1
+      ~adversary:Adversary.round_robin
+      ~rng:(Rng.create 3) ~memory
+      ~faults:(Conrat_faults.Injector.byzantine_reads ~rate:1.0 ())
+      body
+  in
+  checkb "strong register reads stay fresh" true
+    (result.Scheduler.outputs.(0) = Some 5)
+
+let test_injector_of_spec () =
+  (match Conrat_faults.Injector.of_spec "crash:f=2,weak" with
+   | Ok plan -> checkb "plan named" true (plan.Fault.plan_name <> "")
+   | Error e -> Alcotest.failf "of_spec rejected a valid spec: %s" e);
+  match Conrat_faults.Injector.of_spec "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "of_spec accepted garbage"
+
+let test_fault_free_streams_unperturbed () =
+  (* Installing no plan must reproduce historical executions exactly:
+     same outputs, same step count for the same seed. *)
+  let run faults =
+    let memory, body = write_then_read ~n:3 () in
+    Scheduler.run ~n:3
+      ~adversary:Adversary.random_uniform
+      ~rng:(Rng.create 11) ~memory ?faults body
+  in
+  let a = run None in
+  let b = run None in
+  checkb "same outputs" true (a.Scheduler.outputs = b.Scheduler.outputs);
+  checki "same steps" a.Scheduler.steps b.Scheduler.steps
+
+(* ------------------------------------------------------------------ *)
+(* Survivor-aware acceptance                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_acceptance_survivors () =
+  let inputs = [| 1; 1 |] in
+  checkb "crashed process excused" true
+    (Spec.acceptance_survivors ~inputs ~outputs:[| Some (true, 1); None |]
+     = Ok ());
+  checkb "survivor must still accept" true
+    (Result.is_error
+       (Spec.acceptance_survivors ~inputs ~outputs:[| Some (false, 1); None |]));
+  checkb "all crashed is vacuous" true
+    (Spec.acceptance_survivors ~inputs ~outputs:[| None; None |] = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Engine: fault plumbing, quarantine, cooperative stop                *)
+(* ------------------------------------------------------------------ *)
+
+open Conrat_harness
+
+let test_engine_faulted_trials_stay_safe () =
+  (* Random crash injection across many seeds: every trial's safety
+     check (survivor-aware) passes and at least one crash fires. *)
+  let crash_seen = ref 0 in
+  for seed = 0 to 99 do
+    let o =
+      Engine.run_consensus
+        ~faults:(Fault.crash_only 1)
+        ~n:3
+        ~adversary:Adversary.random_uniform
+        ~inputs:[| 0; 1; 1 |] ~seed
+        (Conrat_core.Consensus.standard ~m:2)
+    in
+    checkb (Printf.sprintf "seed %d safe under crashes" seed) true
+      (o.Engine.safety = Ok ());
+    checkb "crash within budget" true (o.Engine.crashes <= 1);
+    crash_seen := !crash_seen + o.Engine.crashes
+  done;
+  checkb "some crash actually fired" true (!crash_seen > 0)
+
+let boom_factory =
+  { Conrat_core.Consensus.name = "boom";
+    instantiate =
+      (fun ~n:_ _memory ->
+        { Conrat_core.Consensus.name = "boom";
+          space = (fun () -> 0);
+          decide =
+            (fun ~pid:_ ~rng:_ v ->
+              if v = 1 then failwith "boom" else Conrat_sim.Program.return v) }) }
+
+let boom_plan seeds =
+  Plan.make ~name:"q"
+    [ Plan.spec ~sid:"q"
+        ~runner:(Plan.Consensus boom_factory)
+        ~adversary:Adversary.round_robin
+        ~workload:(Workload.by_name "split_half") ~n:2 ~m:2
+        ~seeds:(Plan.seeds seeds) () ]
+
+let test_engine_quarantine () =
+  (* split_half always hands some process input 1, so every trial
+     raises; with quarantine on, all are recorded and none counted. *)
+  let plan = boom_plan 6 in
+  let seq = Engine.run_plan ~quarantine:true plan in
+  let par = Engine.run_plan ~jobs:2 ~quarantine:true plan in
+  checkb "parallel = sequential byte-identity holds" true (seq = par);
+  let agg = Engine.get seq "q" in
+  checki "every trial quarantined" 6 (List.length agg.Engine.quarantined);
+  checki "no quarantined trial counted" 0 agg.Engine.trials;
+  checkb "quarantined list is seed-ascending" true
+    (let seeds = List.map fst agg.Engine.quarantined in
+     seeds = List.sort_uniq compare seeds);
+  (* without quarantine the exception surfaces to the caller *)
+  match Engine.run_plan plan with
+  | _ -> Alcotest.fail "trial exception did not surface without quarantine"
+  | exception Failure _ -> ()
+
+let test_engine_stop_flushes_partial () =
+  let spec =
+    Plan.spec ~sid:"s"
+      ~runner:(Plan.Consensus (Conrat_core.Consensus.standard ~m:2))
+      ~adversary:Adversary.round_robin
+      ~workload:(Workload.by_name "split_half") ~n:2 ~m:2
+      ~seeds:(Plan.seeds 20) ()
+  in
+  let plan = Plan.make ~name:"s" [ spec ] in
+  let polls = ref 0 in
+  let results =
+    Engine.run_plan
+      ~stop:(fun () ->
+        incr polls;
+        !polls > 5)
+      plan
+  in
+  let agg = Engine.get results "s" in
+  checkb "stopped early" true (agg.Engine.trials < 20);
+  checkb "some trials ran" true (agg.Engine.trials > 0);
+  checki "partial aggregate is well-formed" agg.Engine.trials
+    (List.length agg.Engine.samples)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "faults"
+    [ ( "crash_schedules",
+        [ QCheck_alcotest.to_alcotest qcheck_crash_schedules_safe;
+          tc "acceptance_survivors" `Quick test_acceptance_survivors ] );
+      ( "crash_closed",
+        [ tc "registry configs" `Quick test_crash_closed_registry_configs;
+          tc "fault-free unchanged" `Quick test_fault_free_stats_unchanged ] );
+      ( "demos_and_fixtures",
+        [ tc "await_ack caught+shrunk" `Quick test_await_ack_caught_and_shrunk;
+          tc "await_ack fixture" `Quick test_await_ack_fixture_reproduces;
+          tc "weak fixture" `Quick test_weak_read_fixture_reproduces;
+          tc "weak demo caught" `Quick test_weak_demo_caught ] );
+      ( "checkpoint",
+        [ tc "por resume bit-identical" `Quick
+            test_por_checkpoint_resume_bit_identical;
+          tc "naive resume bit-identical" `Quick
+            test_naive_checkpoint_resume_bit_identical;
+          tc "corrupt path rejected" `Quick test_resume_rejects_corrupt_path;
+          tc "sexp round-trip" `Quick test_checkpoint_sexp_roundtrip ] );
+      ( "injector",
+        [ tc "crash_at" `Quick test_crash_at;
+          tc "crashing budget" `Quick test_crashing_respects_budget;
+          tc "byzantine stale" `Quick test_byzantine_reads_deliver_stale;
+          tc "byzantine strong no-op" `Quick
+            test_byzantine_reads_ignore_strong_registers;
+          tc "of_spec" `Quick test_injector_of_spec;
+          tc "fault-free streams" `Quick test_fault_free_streams_unperturbed ] );
+      ( "engine",
+        [ tc "faulted trials safe" `Quick test_engine_faulted_trials_stay_safe;
+          tc "quarantine" `Quick test_engine_quarantine;
+          tc "stop flushes partial" `Quick test_engine_stop_flushes_partial ] ) ]

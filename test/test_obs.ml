@@ -25,7 +25,7 @@ let run_checker_once ?sink ?(adversary = "round_robin") ~seed name =
 let test_trace_roundtrip_all_kinds () =
   let t = Trace.create () in
   let ev step pid op landed observed =
-    Trace.add t { Trace.step; pid; op = Op.Any op; landed; observed }
+    Trace.add t { Trace.step; pid; op = Some (Op.Any op); landed; observed }
   in
   ev 0 0 (Op.Read 0) false (Some 3);
   ev 1 1 (Op.Write (1, 7)) true None;
@@ -107,7 +107,9 @@ let test_trace_roundtrip_truncation_path () =
       let t = Option.get run.Explore.trace in
       List.iter
         (fun (e : Trace.event) ->
-          if Op.loc e.Trace.op > 0 then saw_late_register := true)
+          match e.Trace.op with
+          | Some op when Op.loc op > 0 -> saw_late_register := true
+          | _ -> ())
         (Trace.events t);
       match Trace.of_sexp (Trace.to_sexp t) with
       | Error msg -> Alcotest.failf "path trace did not parse back: %s" msg

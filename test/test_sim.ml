@@ -678,7 +678,7 @@ let test_trace_roundtrip () =
   let t = Trace.create () in
   for i = 0 to 99 do
     Trace.add t
-      { Trace.step = i; pid = i mod 3; op = Op.Any (Op.Read i); landed = false; observed = Some i }
+      { Trace.step = i; pid = i mod 3; op = Some (Op.Any (Op.Read i)); landed = false; observed = Some i }
   done;
   checki "length" 100 (Trace.length t);
   checki "get step" 42 (Trace.get t 42).Trace.step;
@@ -687,12 +687,12 @@ let test_trace_roundtrip () =
 let test_trace_equal () =
   let mk () =
     let t = Trace.create () in
-    Trace.add t { Trace.step = 0; pid = 1; op = Op.Any (Op.Write (0, 3)); landed = true; observed = None };
+    Trace.add t { Trace.step = 0; pid = 1; op = Some (Op.Any (Op.Write (0, 3))); landed = true; observed = None };
     t
   in
   checkb "equal" true (Trace.equal (mk ()) (mk ()));
   let t2 = mk () in
-  Trace.add t2 { Trace.step = 1; pid = 0; op = Op.Any (Op.Read 0); landed = false; observed = None };
+  Trace.add t2 { Trace.step = 1; pid = 0; op = Some (Op.Any (Op.Read 0)); landed = false; observed = None };
   checkb "different lengths" false (Trace.equal (mk ()) t2)
 
 (* ------------------------------------------------------------------ *)
