@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke verify fault-verify perf-verify obs-bench check bench clean
+.PHONY: all build test smoke verify fault-verify perf-verify obs-bench perf-step bench-gates check bench clean
 
 all: build
 
@@ -83,11 +83,36 @@ endif
 # Observability-overhead gate: POR-explore fallback_n2_d28 with no
 # sink vs a null sink, best-of-5, and fail if the disabled-sink hot
 # path costs more than OBS_MAX_PCT percent.  Writes BENCH_OBS.json
-# (committed; CI uploads the fresh one).
-OBS_MAX_PCT ?= 3.0
+# (committed; CI uploads the fresh one).  The budget is 12% against
+# the VM engine, not the original 3%: the tap's absolute cost
+# (~10ns/event, one indirect call) has not moved, but the VM halved
+# the per-step denominator — see bench/obs_overhead.ml for the
+# arithmetic.
+OBS_MAX_PCT ?= 12.0
 obs-bench:
 	$(DUNE) exec bench/obs_overhead.exe -- --max-overhead-pct $(OBS_MAX_PCT)
 	@test -s BENCH_OBS.json && echo "obs-bench: BENCH_OBS.json written"
+
+# Step-rate regression gate: the identical POR search under the tree
+# interpreter vs the compiled VM (the only variable is the program
+# engine behind the Machine façade), interleaved best-of-STEP_REPS,
+# failing when the VM's steps/s advantage drops below STEP_MIN_SPEEDUP.
+# Writes BENCH_STEP.json (committed; CI uploads the fresh one).  See
+# bench/step_rate.ml for why the floor sits under the ~1.6x
+# engine-isolated ratio rather than the ~2.4x end-to-end win over the
+# pre-VM commit recorded in EXPERIMENTS.md.
+STEP_REPS ?= 5
+STEP_MIN_SPEEDUP ?= 1.4
+perf-step:
+	$(DUNE) exec bench/step_rate.exe -- \
+	  --reps $(STEP_REPS) --min-speedup $(STEP_MIN_SPEEDUP)
+	@test -s BENCH_STEP.json && echo "perf-step: BENCH_STEP.json written"
+
+# Every committed performance gate in one target — what CI runs after
+# the correctness stages: exploration speed (BENCH_VERIFY.json) +
+# fault-plane overhead (BENCH_FAULT.json), observability overhead
+# (BENCH_OBS.json), and the VM step-rate floor (BENCH_STEP.json).
+bench-gates: perf-verify obs-bench perf-step
 
 check: build test smoke verify
 

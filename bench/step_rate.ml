@@ -1,0 +1,121 @@
+(* The tentpole's number: machine transitions per second, compiled VM
+   vs tree interpreter, on the committed depth-28 fallback exploration.
+
+   Both engines run the identical POR search (same leaves, same
+   statistics — test/test_vm.ml proves it differentially); the only
+   variable is the program engine behind the Machine façade.  The tree
+   interpreter re-enters closure continuations and copies state at
+   every branch point; the VM dispatches through per-pc integer tables
+   and snapshots n program counters plus an O(1) memory journal mark.
+
+   Methodology follows the other committed gates (BENCH_OBS.json,
+   BENCH_FAULT.json): one untimed warmup per arm, then [reps] timed
+   repetitions interleaved tree/vm, best-of-N processor times
+   (Sys.time — wall clock is too noisy on shared machines).  Writes
+   BENCH_STEP.json (schema v1, one row per engine) and exits non-zero
+   when the VM speedup falls below --min-speedup — the regression gate
+   that keeps the compiler's point from silently eroding.  `make
+   perf-step` is the entry point; CI runs it via `make bench-gates`.
+
+   On the floor: both arms share today's slimmed exploration driver, so
+   the ratio here isolates the engine (and its snapshot discipline)
+   alone, under a workload that reaches a leaf every ~2.6 steps — it
+   deliberately understates the end-to-end win.  Against the
+   pre-refactor commit (old driver + tree engine, ~2.7M steps/s on the
+   reference machine) the VM engine explores this config ~2.4x faster
+   end to end; EXPERIMENTS.md records that comparison, which a
+   same-binary gate cannot re-measure.  The default floor is set with
+   headroom under the ~1.6x engine-isolated ratio we measure, so CI
+   noise does not trip it but an engine regression does. *)
+
+open Conrat_verify
+
+let config_name = ref "fallback_n2_d28"
+let reps = ref 5
+let min_speedup = ref 1.4
+let out_file = ref "BENCH_STEP.json"
+
+let args =
+  [ ("--config", Arg.Set_string config_name,
+     "NAME  checker config to explore (default fallback_n2_d28)");
+    ("--reps", Arg.Set_int reps, "N  timed repetitions per arm (default 5)");
+    ("--min-speedup", Arg.Set_float min_speedup,
+     "X  fail when vm steps/s < X * tree steps/s (default 1.4)");
+    ("--out", Arg.Set_string out_file,
+     "FILE  JSON result file (default BENCH_STEP.json)") ]
+
+let usage = "step_rate [--config NAME] [--reps N] [--min-speedup X]"
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let config =
+    match Checks.find !config_name with
+    | Some c -> c
+    | None ->
+      Printf.eprintf "step_rate: unknown checker config %s\n" !config_name;
+      exit 2
+  in
+  let n = config.Checks.n in
+  (* Returns (seconds, machine steps).  The step count is engine- and
+     rep-invariant (the traversal is deterministic); it is re-read per
+     run only to keep the timed region identical. *)
+  let explore ~engine () =
+    let t0 = Sys.time () in
+    match
+      Por.explore ~engine ~max_depth:config.Checks.max_depth
+        ~max_runs:config.Checks.max_runs
+        ~cheap_collect:config.Checks.cheap_collect ~n
+        ~setup:(Checks.setup_of config ~n)
+        ~check:(Checks.check_of config ~n) ()
+    with
+    | Ok s when s.Por.exhausted -> (Sys.time () -. t0, s.Por.steps)
+    | Ok _ ->
+      Printf.eprintf "step_rate: %s did not exhaust under its budget\n"
+        !config_name;
+      exit 2
+    | Error (reason, _, _) ->
+      Printf.eprintf "step_rate: %s violated its property: %s\n" !config_name
+        reason;
+      exit 2
+  in
+  ignore (explore ~engine:`Tree ());
+  ignore (explore ~engine:`Vm ());
+  let tree_best = ref infinity and vm_best = ref infinity in
+  let tree_steps = ref 0 and vm_steps = ref 0 in
+  for i = 1 to !reps do
+    let ts, tn = explore ~engine:`Tree () in
+    let vs, vn = explore ~engine:`Vm () in
+    tree_best := Float.min !tree_best ts;
+    vm_best := Float.min !vm_best vs;
+    tree_steps := tn;
+    vm_steps := vn;
+    Printf.eprintf "[step-bench] rep %d/%d: tree %.3fs, vm %.3fs\n%!" i !reps ts
+      vs
+  done;
+  if !tree_steps <> !vm_steps then begin
+    Printf.eprintf "step_rate: engines disagree on step count (%d vs %d)\n"
+      !tree_steps !vm_steps;
+    exit 2
+  end;
+  let rate steps best = float_of_int steps /. best in
+  let tree_rate = rate !tree_steps !tree_best in
+  let vm_rate = rate !vm_steps !vm_best in
+  let speedup = vm_rate /. tree_rate in
+  let ok = speedup >= !min_speedup in
+  let oc = open_out !out_file in
+  Printf.fprintf oc
+    "{\n  \"schema_version\": 1,\n  \"kind\": \"step-rate\",\n  \
+     \"config\": %S,\n  \"reps\": %d,\n  \"steps\": %d,\n  \"results\": [\n    \
+     {\"engine\": \"tree\", \"best_seconds\": %.3f, \"steps_per_second\": %.0f},\n    \
+     {\"engine\": \"vm\", \"best_seconds\": %.3f, \"steps_per_second\": %.0f}\n  \
+     ],\n  \"speedup\": %.2f,\n  \"min_speedup\": %.2f,\n  \"ok\": %b\n}\n"
+    !config_name !reps !tree_steps !tree_best tree_rate !vm_best vm_rate speedup
+    !min_speedup ok;
+  close_out oc;
+  Printf.printf
+    "step-bench: %s best-of-%d — tree %.3fs (%.2fM steps/s), vm %.3fs \
+     (%.2fM steps/s), speedup %.2fx (floor %.1fx): %s\n"
+    !config_name !reps !tree_best (tree_rate /. 1e6) !vm_best (vm_rate /. 1e6)
+    speedup !min_speedup
+    (if ok then "OK" else "UNDER FLOOR");
+  if not ok then exit 1

@@ -358,8 +358,20 @@ let experiment_cmd =
 
 let check_cmd =
   let open Conrat_verify in
-  let action naive cross budget timeout max_runs artifact_dir replay json
+  let action naive cross engine_s budget timeout max_runs artifact_dir replay json
       faults checkpoint resume progress progress_interval quiet names =
+    (* The program engine (VM vs tree interpreter) is orthogonal to the
+       exploration algorithm (--naive / --cross): every algorithm runs
+       on either engine with bit-identical results. *)
+    let exec_engine : Machine.engine =
+      match engine_s with
+      | "vm" -> `Vm
+      | "tree" -> `Tree
+      | other ->
+        Printf.eprintf "conrat: bad --engine %S (expected 'vm' or 'tree')\n"
+          other;
+        exit 2
+    in
     match replay with
     | Some file ->
       (* A replay must never die with a backtrace on operator input: any
@@ -378,7 +390,7 @@ let check_cmd =
                 artifact.Artifact.checker;
               exit 2
             | Some config ->
-              (match Checks.replay config artifact with
+              (match Checks.replay ~engine:exec_engine config artifact with
                | Error reason ->
                  Printf.printf "%s: reproduced: %s\n" artifact.Artifact.checker
                    reason
@@ -533,13 +545,17 @@ let check_cmd =
           | Some p -> Printf.sprintf ",\"pruned\":%d" p
           | None -> ""
         in
+        (* "engine" stays the exploration algorithm (por/naive), the key
+           the BENCH_VERIFY baseline reader has always parsed;
+           "exec_engine" is the program engine (vm/tree). *)
         json_results :=
           Printf.sprintf
-            "{\"name\":%S,\"engine\":%S,\"executions\":%d,\"complete\":%d,\
+            "{\"name\":%S,\"engine\":%S,\"exec_engine\":%S,\"executions\":%d,\
+             \"complete\":%d,\
              \"truncated\":%d%s,\"steps\":%d,\"wall_clock_seconds\":%.3f,\
              \"exhausted\":%b,\"ok\":%b}"
-            name engine (complete + truncated) complete truncated pruned_field
-            steps elapsed exhausted ok
+            name engine engine_s (complete + truncated) complete truncated
+            pruned_field steps elapsed exhausted ok
           :: !json_results
       in
       let note_por ~name ~ok (s : Por.stats) elapsed =
@@ -585,7 +601,8 @@ let check_cmd =
             let naive_rep = reporter ~engine:"naive" name in
             let por_rep = reporter ~engine:"por" name in
             let result =
-              Checks.cross_check ~stop ~max_runs:(max_runs_of config)
+              Checks.cross_check ~engine:exec_engine ~stop
+                ~max_runs:(max_runs_of config)
                 ?naive_heartbeat:(naive_heartbeat naive_rep)
                 ?por_heartbeat:(por_heartbeat por_rep) config
             in
@@ -593,15 +610,22 @@ let check_cmd =
             finish por_rep;
             match result with
             | Ok x ->
+              (* AGREE requires both differentials: naive vs POR outcome
+                 sets, and the POR search repeated under the other
+                 program engine (vm vs tree). *)
+              let ok = x.Checks.outcomes_agree && x.Checks.engines_agree in
               if not quiet then
-                say "%-26s naive=%d/%d por=%d/%d pruned=%d outcomes=%d %s (%.1fs)"
+                say
+                  "%-26s naive=%d/%d por=%d/%d pruned=%d outcomes=%d \
+                   engines=%s %s (%.1fs)"
                   name x.Checks.naive.Naive.complete x.naive.truncated
                   x.por.Por.complete x.por.truncated x.por.pruned x.outcome_count
-                  (if x.outcomes_agree then "AGREE" else "MISMATCH")
+                  (if x.engines_agree then "ok" else "MISMATCH")
+                  (if ok then "AGREE" else "MISMATCH")
                   (elapsed ());
-              note_naive ~name ~ok:x.outcomes_agree x.Checks.naive (elapsed ());
-              note_por ~name ~ok:x.outcomes_agree x.Checks.por (elapsed ());
-              if not x.outcomes_agree then failed := true
+              note_naive ~name ~ok x.Checks.naive (elapsed ());
+              note_por ~name ~ok x.Checks.por (elapsed ());
+              if not ok then failed := true
             | Error reason ->
               say "%-26s VIOLATION: %s" name reason;
               failed := true
@@ -609,7 +633,7 @@ let check_cmd =
           else if naive then begin
             let rep = reporter ~engine:"naive" name in
             let result =
-              Naive.explore ~max_depth:config.Checks.max_depth
+              Naive.explore ~engine:exec_engine ~max_depth:config.Checks.max_depth
                 ~max_runs:(max_runs_of config)
                 ~cheap_collect:config.Checks.cheap_collect
                 ~faults:config.Checks.faults ~stop
@@ -642,7 +666,7 @@ let check_cmd =
           else begin
             let rep = reporter ~engine:"por" name in
             let result =
-              Checks.run ~stop ~max_runs:(max_runs_of config)
+              Checks.run ~engine:exec_engine ~stop ~max_runs:(max_runs_of config)
                 ?heartbeat:(por_heartbeat rep)
                 ?resume:resume_counts
                 ?on_checkpoint:(on_checkpoint ~name) config
@@ -699,7 +723,17 @@ let check_cmd =
   let cross_arg =
     Arg.(value & flag
          & info [ "cross" ]
-             ~doc:"Run both engines and compare complete-execution outcome sets.")
+             ~doc:"Run both exploration algorithms (naive and POR) and compare \
+                   complete-execution outcome sets; also repeats the POR search \
+                   under the other program engine (vm vs tree) and compares.")
+  in
+  let engine_arg =
+    Arg.(value & opt string "vm"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Program engine: 'vm' (compiled flat-instruction VM, the \
+                   default) or 'tree' (the direct Program.t interpreter, kept \
+                   as the differential oracle).  Results are bit-identical \
+                   under either.")
   in
   let budget_arg =
     Arg.(value & opt (some float) None
@@ -788,7 +822,8 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Exhaustively verify named checker configs (POR engine by default)")
-    Term.(const action $ naive_arg $ cross_arg $ budget_arg $ timeout_arg
+    Term.(const action $ naive_arg $ cross_arg $ engine_arg $ budget_arg
+          $ timeout_arg
           $ max_runs_arg $ artifact_dir_arg $ replay_arg $ json_arg
           $ faults_arg $ checkpoint_arg $ resume_arg $ progress_arg
           $ progress_interval_arg $ quiet_arg $ names_arg)

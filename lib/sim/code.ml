@@ -1,0 +1,343 @@
+(* Lazily-compiled flat instruction code for the register-file VM.
+
+   A [Program.t] is a closure-bearing tree: it cannot be statically
+   flattened, because each continuation is an opaque OCaml function.
+   The compiler here instead *interns* the tree one step at a time: the
+   first time an execution steps through a (state, observation) edge,
+   the continuation is invoked once and its residual program is encoded
+   as a new integer-indexed instruction; every later traversal of the
+   same edge — and a backtracking explorer retraverses each edge up to
+   millions of times — is an integer table lookup that allocates
+   nothing.
+
+   Soundness rests on the replay-purity contract of {!Program}: a
+   continuation re-invoked with the same observation returns a
+   behaviourally identical residual program, so memoizing its first
+   unfolding is exact.  Program counters form a forest (one tree per
+   process; each pc has exactly one incoming edge), so on a straight-
+   line run every dispatch is a miss and continuations are invoked
+   exactly once, in exactly the tree interpreter's order — protocols
+   that draw local randomness inside continuations behave identically
+   under either engine wherever their behaviour was defined at all.
+
+   The one global effect a continuation may legally perform is lazy
+   register allocation (the unbounded constructions of §4.1.1 allocate
+   instances on demand).  Allocated addresses depend on the *global*
+   store length, not just on local history, so an interned successor
+   records the store length it was unfolded at plus the initial
+   contents of the registers it allocated: a memo hit replays the
+   allocations (the truncating restore that made this state reachable
+   again un-allocated them), and a traversal at a different store
+   length interns a sibling successor (chained via [alt]) whose
+   instructions capture the right addresses. *)
+
+exception Collect_disallowed
+
+type 'r instr =
+  | Halt
+  | Read of {
+      loc : Memory.loc;
+      k : int option -> 'r Program.t;
+      (* Successor chain heads indexed by the observation: slot 0 =
+         read ⊥, slot v+1 = read v ≥ 0; the rare negative values
+         overflow into the [neg] association list. *)
+      mutable tab : int array;
+      mutable neg : (int * int) list;
+    }
+  | Write of {
+      loc : Memory.loc;
+      value : int;
+      k : unit -> 'r Program.t;
+      mutable next : int;
+    }
+  | Prob of {
+      (* A blind probabilistic write: the coin decides the memory
+         effect but the process learns nothing, so there is a single
+         successor. *)
+      loc : Memory.loc;
+      value : int;
+      k : unit -> 'r Program.t;
+      mutable next : int;
+    }
+  | Prob_detect of {
+      loc : Memory.loc;
+      value : int;
+      k : bool -> 'r Program.t;
+      mutable hit : int;
+      mutable miss : int;
+    }
+  | Collect of {
+      loc : Memory.loc;
+      len : int;
+      k : int option array -> 'r Program.t;
+      mutable succs : (int option array * int) list;
+    }
+
+(* Shared empty array: physical equality marks "this pc allocated no
+   registers", the overwhelmingly common case. *)
+let no_allocs : int option array = [||]
+
+type 'r t = {
+  memory : Memory.t;
+  roots : int array;
+  mutable instrs : 'r instr array;
+  mutable pend : Op.any option array;   (* pending descriptor, shared *)
+  mutable stages : string option array; (* absolute stage label here *)
+  mutable results : 'r option array;    (* [Some r] exactly at [Halt] *)
+  mutable coins : int array;            (* cached branching class *)
+  mutable allocs : int option array array;
+  mutable prelen : int array;           (* store length when unfolded *)
+  mutable alt : int array;              (* same-edge, other [prelen] *)
+  mutable len : int;
+  mutable last_observed : int option;
+}
+
+(* Branching classes, shared with [Machine.coin_class]: 0 = forced
+   miss, 1 = forced landed, 2 = coin (0 < p < 1), 3 = weak-register
+   read (forks on freshness).  Weakness is configuration fixed at setup
+   time, so the class is a per-pc constant. *)
+let class_of : type a. Memory.t -> a Op.t -> int =
+  fun memory op ->
+  match op with
+  | Op.Prob_write (_, _, p) | Op.Prob_write_detect (_, _, p) ->
+    if p <= 0.0 then 0 else if p >= 1.0 then 1 else 2
+  | Op.Read l -> if Memory.is_weak memory l then 3 else 0
+  | Op.Write _ -> 1
+  | Op.Collect _ -> 0
+
+let grow t =
+  let cap = 2 * Array.length t.instrs in
+  let instrs = Array.make cap Halt in
+  Array.blit t.instrs 0 instrs 0 t.len;
+  t.instrs <- instrs;
+  let pend = Array.make cap None in
+  Array.blit t.pend 0 pend 0 t.len;
+  t.pend <- pend;
+  let stages = Array.make cap None in
+  Array.blit t.stages 0 stages 0 t.len;
+  t.stages <- stages;
+  let results = Array.make cap None in
+  Array.blit t.results 0 results 0 t.len;
+  t.results <- results;
+  let coins = Array.make cap 0 in
+  Array.blit t.coins 0 coins 0 t.len;
+  t.coins <- coins;
+  let allocs = Array.make cap no_allocs in
+  Array.blit t.allocs 0 allocs 0 t.len;
+  t.allocs <- allocs;
+  let prelen = Array.make cap 0 in
+  Array.blit t.prelen 0 prelen 0 t.len;
+  t.prelen <- prelen;
+  let alt = Array.make cap (-1) in
+  Array.blit t.alt 0 alt 0 t.len;
+  t.alt <- alt
+
+let add t instr ~pend ~stage ~result ~coin ~allocs ~prelen =
+  if t.len = Array.length t.instrs then grow t;
+  let pc = t.len in
+  t.instrs.(pc) <- instr;
+  t.pend.(pc) <- pend;
+  t.stages.(pc) <- stage;
+  t.results.(pc) <- result;
+  t.coins.(pc) <- coin;
+  t.allocs.(pc) <- allocs;
+  t.prelen.(pc) <- prelen;
+  t.alt.(pc) <- -1;
+  t.len <- pc + 1;
+  pc
+
+(* Peel stage labels exactly as the tree interpreter's [settle] does:
+   the innermost label becomes the pc's stage; with none, the parent
+   pc's stage is inherited (stages are sticky). *)
+let rec peel stage p =
+  match p with
+  | Program.Label (s, p) -> peel (Some s) p
+  | p -> (stage, p)
+
+let intern t ~stage ~prelen ~allocs p =
+  let stage, p = peel stage p in
+  match p with
+  | Program.Label _ -> assert false (* peeled *)
+  | Program.Done r ->
+    add t Halt ~pend:None ~stage ~result:(Some r) ~coin:0 ~allocs ~prelen
+  | Program.Step (op, k) ->
+    let coin = class_of t.memory op in
+    let instr =
+      match op with
+      | Op.Read loc -> Read { loc; k; tab = [||]; neg = [] }
+      | Op.Write (loc, value) -> Write { loc; value; k; next = -1 }
+      | Op.Prob_write (loc, value, _) -> Prob { loc; value; k; next = -1 }
+      | Op.Prob_write_detect (loc, value, _) ->
+        Prob_detect { loc; value; k; hit = -1; miss = -1 }
+      | Op.Collect (loc, len) -> Collect { loc; len; k; succs = [] }
+    in
+    (* The pending descriptor wraps the *original* op value, so traces
+       and artifacts carry bit-identical floats under either engine. *)
+    add t instr ~pend:(Some (Op.Any op)) ~stage ~result:None ~coin ~allocs ~prelen
+
+let compile ~memory ~n body =
+  let t =
+    { memory;
+      roots = Array.make n (-1);
+      instrs = Array.make 64 Halt;
+      pend = Array.make 64 None;
+      stages = Array.make 64 None;
+      results = Array.make 64 None;
+      coins = Array.make 64 0;
+      allocs = Array.make 64 no_allocs;
+      prelen = Array.make 64 0;
+      alt = Array.make 64 (-1);
+      len = 0;
+      last_observed = None }
+  in
+  (* Bodies are evaluated in pid order, like the tree interpreter's
+     [create]: any pure prefix (including register allocation) runs
+     here.  Roots are never re-dispatched, so they record no allocs. *)
+  for pid = 0 to n - 1 do
+    t.roots.(pid) <-
+      intern t ~stage:None ~prelen:(Memory.size memory) ~allocs:no_allocs
+        (body ~pid)
+  done;
+  t
+
+let root t pid = t.roots.(pid)
+let pending t pc = t.pend.(pc)
+let stage t pc = t.stages.(pc)
+let result t pc = t.results.(pc)
+let coin_class t pc = t.coins.(pc)
+let size t = t.len
+let last_observed t = t.last_observed
+
+(* First chain entry usable at store length [len0]: a pc that allocated
+   nothing is address-stable, otherwise its recorded unfold length must
+   match so that replayed allocations land at the addresses its
+   instructions captured. *)
+let rec chain_lookup t pc len0 =
+  if pc < 0 then -1
+  else if t.allocs.(pc) == no_allocs || t.prelen.(pc) = len0 then pc
+  else chain_lookup t t.alt.(pc) len0
+
+(* Memo hit on an allocating pc: the continuation is not re-invoked, so
+   re-perform its recorded allocations. *)
+let replay_allocs t pc =
+  let inits = t.allocs.(pc) in
+  if inits != no_allocs then
+    for i = 0 to Array.length inits - 1 do
+      match inits.(i) with
+      | None -> ignore (Memory.alloc t.memory : Memory.loc)
+      | Some v -> ignore (Memory.alloc ~init:v t.memory : Memory.loc)
+    done
+
+let capture_allocs t len0 =
+  let len1 = Memory.size t.memory in
+  if len1 = len0 then no_allocs
+  else Array.init (len1 - len0) (fun i -> Memory.read t.memory (len0 + i))
+
+(* Cold path: unfold one continuation, capturing any registers it
+   allocates, and intern the residual program at the head of the
+   edge's chain.  The caller installs the returned pc in its slot. *)
+let unfold : type a r. r t -> stage:string option -> len0:int ->
+  (a -> r Program.t) -> a -> int -> int =
+  fun t ~stage ~len0 k v head ->
+  let p = k v in
+  let allocs = capture_allocs t len0 in
+  let q = intern t ~stage ~prelen:len0 ~allocs p in
+  t.alt.(q) <- head;
+  q
+
+(* Execute the instruction at [pc] with the coin already decided,
+   applying its memory effect and returning the successor pc.  What a
+   read observed is left in [last_observed] (the cell's own option
+   value — nothing is allocated) for the façade's trace recording. *)
+let step t ~cheap_collect ~pc ~landed =
+  let stage = t.stages.(pc) in
+  match t.instrs.(pc) with
+  | Halt -> invalid_arg "Code.step: process already halted"
+  | Read r ->
+    let v =
+      if landed then Memory.read_stale t.memory r.loc
+      else Memory.read t.memory r.loc
+    in
+    t.last_observed <- v;
+    let len0 = Memory.size t.memory in
+    let e = match v with None -> 0 | Some x -> if x >= 0 then x + 1 else -1 in
+    if e >= 0 then begin
+      if e >= Array.length r.tab then begin
+        let cap = max (e + 1) (2 * Array.length r.tab + 1) in
+        let tab = Array.make cap (-1) in
+        Array.blit r.tab 0 tab 0 (Array.length r.tab);
+        r.tab <- tab
+      end;
+      let head = r.tab.(e) in
+      let q = chain_lookup t head len0 in
+      if q >= 0 then begin replay_allocs t q; q end
+      else begin
+        let q = unfold t ~stage ~len0 r.k v head in
+        r.tab.(e) <- q;
+        q
+      end
+    end
+    else begin
+      let key = match v with Some x -> x | None -> assert false in
+      let head =
+        match List.assoc_opt key r.neg with Some h -> h | None -> -1
+      in
+      let q = chain_lookup t head len0 in
+      if q >= 0 then begin replay_allocs t q; q end
+      else begin
+        let q = unfold t ~stage ~len0 r.k v head in
+        r.neg <- (key, q) :: List.remove_assoc key r.neg;
+        q
+      end
+    end
+  | Write w ->
+    Memory.write t.memory w.loc w.value;
+    t.last_observed <- None;
+    let len0 = Memory.size t.memory in
+    let q = chain_lookup t w.next len0 in
+    if q >= 0 then begin replay_allocs t q; q end
+    else begin
+      let q = unfold t ~stage ~len0 w.k () w.next in
+      w.next <- q;
+      q
+    end
+  | Prob w ->
+    if landed then Memory.write t.memory w.loc w.value;
+    t.last_observed <- None;
+    let len0 = Memory.size t.memory in
+    let q = chain_lookup t w.next len0 in
+    if q >= 0 then begin replay_allocs t q; q end
+    else begin
+      let q = unfold t ~stage ~len0 w.k () w.next in
+      w.next <- q;
+      q
+    end
+  | Prob_detect w ->
+    if landed then Memory.write t.memory w.loc w.value;
+    t.last_observed <- None;
+    let len0 = Memory.size t.memory in
+    let head = if landed then w.hit else w.miss in
+    let q = chain_lookup t head len0 in
+    if q >= 0 then begin replay_allocs t q; q end
+    else begin
+      let q = unfold t ~stage ~len0 w.k landed head in
+      (if landed then w.hit <- q else w.miss <- q);
+      q
+    end
+  | Collect c ->
+    if not cheap_collect then raise Collect_disallowed;
+    let arr = Array.init c.len (fun i -> Memory.read t.memory (c.loc + i)) in
+    t.last_observed <- None;
+    let len0 = Memory.size t.memory in
+    let head =
+      match List.find_opt (fun (key, _) -> key = arr) c.succs with
+      | Some (_, h) -> h
+      | None -> -1
+    in
+    let q = chain_lookup t head len0 in
+    if q >= 0 then begin replay_allocs t q; q end
+    else begin
+      let q = unfold t ~stage ~len0 c.k arr head in
+      c.succs <- (arr, q) :: List.filter (fun (key, _) -> key <> arr) c.succs;
+      q
+    end

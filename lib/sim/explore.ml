@@ -42,11 +42,11 @@ let coin_of_op ~memory op =
    remains: index i < |en| steps en.(i), index |en| + j crash-stops
    en.(j).  Crash choices come after step choices so the all-zeros path
    is still the failure-free canonical execution. *)
-let run_path ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
+let run_path ?engine ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
     ?(faults = Fault.none) ?sink ~n ~setup path =
   let memory, body = setup () in
   let trace = if record then Some (Trace.create ()) else None in
-  let machine = Machine.create ~cheap_collect ?trace ?sink ~n ~memory body in
+  let machine = Machine.create ?engine ~cheap_collect ?trace ?sink ~n ~memory body in
   let recorded = ref [] in
   let remaining = ref path in
   let crashes_left = ref faults.Fault.crashes in
@@ -75,12 +75,12 @@ let run_path ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
       end
       else begin
         let pid = en.(idx) in
-        let op = Option.get (Machine.pending_op machine pid) in
         let landed =
-          match coin_of_op ~memory op with
-          | `Det landed -> landed
-          | `Coin -> take 2 = 0
-          | `Weak -> take 2 = 1
+          match Machine.coin_class machine pid with
+          | 0 -> false
+          | 1 -> true
+          | 2 -> take 2 = 0
+          | _ -> take 2 = 1
         in
         Machine.step_forced machine ~pid ~landed
       end
@@ -118,11 +118,11 @@ exception Out_of_budget
    lexicographic order of the re-execution enumerator ([run_path] +
    [next_path], kept as [Conrat_verify.Naive]), so the two engines'
    statistics and outcome sequences coincide leaf for leaf. *)
-let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
+let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     ?(faults = Fault.none) ?(stop = fun () -> false) ?sink ?heartbeat
     ~n ~setup ~check () =
   let memory, body = setup () in
-  let machine = Machine.create ~cheap_collect ?sink ~n ~memory body in
+  let machine = Machine.create ?engine ~cheap_collect ?sink ~n ~memory body in
   let complete_count = ref 0 in
   let truncated_count = ref 0 in
   let runs = ref 0 in
@@ -172,7 +172,6 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     end
     else begin
       let pid = en.(idx) in
-      let op = Option.get (Machine.pending_op machine pid) in
       let branch first second =
         (* The coin's pre-state is the node state itself: reuse (or take)
            the node snapshot rather than a second one. *)
@@ -183,12 +182,15 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
         Machine.step_forced machine ~pid ~landed:second;
         go ~crashes_left depth
       in
-      match coin_of_op ~memory op with
-      | `Det landed ->
-        Machine.step_forced machine ~pid ~landed;
+      match Machine.coin_class machine pid with
+      | 0 ->
+        Machine.step_forced machine ~pid ~landed:false;
         go ~crashes_left depth
-      | `Coin -> branch true false
-      | `Weak -> branch false true
+      | 1 ->
+        Machine.step_forced machine ~pid ~landed:true;
+        go ~crashes_left depth
+      | 2 -> branch true false
+      | _ -> branch false true
     end
   in
   match go ~crashes_left:faults.Fault.crashes 0 with

@@ -57,6 +57,7 @@ val coin_of_op : memory:Memory.t -> Op.any -> [ `Det of bool | `Coin | `Weak ]
     coin.  Shared with the POR engine so both classify identically. *)
 
 val run_path :
+  ?engine:Machine.engine ->
   ?record:bool ->
   ?max_depth:int ->
   ?cheap_collect:bool ->
@@ -94,6 +95,7 @@ val next_path : (int * int) list -> int list option
     historical re-execution enumerator (see [Conrat_verify.Naive]). *)
 
 val explore :
+  ?engine:Machine.engine ->
   ?max_depth:int ->
   ?max_runs:int ->
   ?cheap_collect:bool ->
@@ -121,5 +123,7 @@ val explore :
     own path length) — rate limiting is the callback's business.
     [faults] widens scheduling points with crash choices exactly as in
     {!run_path}, keeping the two engines' path encodings aligned.
-    Defaults: [max_depth = 200], [max_runs = 2_000_000],
+    [engine] selects the program engine (default the compiled VM); the
+    leaf order, statistics and outcome sequence are identical under
+    either.  Defaults: [max_depth = 200], [max_runs = 2_000_000],
     [faults = Fault.none]. *)

@@ -1,13 +1,25 @@
-exception Collect_disallowed
+exception Collect_disallowed = Code.Collect_disallowed
 exception Stuck of string
+
+type engine = [ `Vm | `Tree ]
+
+(* Engine-specific program state.  [Compiled] drives the flat
+   instruction VM (the default); [Tree] walks the [Program.t] values in
+   place — the historical interpreter, kept as the differential-testing
+   oracle.  Everything else (pending descriptors, crash state, enabled
+   set, step counters, instrumentation) is engine-independent and lives
+   in the façade, so both engines feed the observability and fault
+   layers through exactly the same code. *)
+type 'r engine_state =
+  | Compiled of 'r Vm.t
+  | Tree of { programs : 'r Program.t array; stages : string option array }
 
 type 'r t = {
   n : int;
   memory : Memory.t;
   cheap_collect : bool;
-  programs : 'r Program.t array;
+  state : 'r engine_state;
   pending : Op.any option array;
-  stages : string option array;
   crashed : bool array;
   mutable crash_count : int;
   (* Sticky: set by the first [crash] and never cleared, so failure-free
@@ -15,6 +27,13 @@ type 'r t = {
      scanning it and skip capturing it in snapshots. *)
   mutable ever_crashed : bool;
   mutable enabled : int array;
+  (* All [2^n] possible enabled sets, interned at creation and indexed
+     by the liveness bitmask — [enabled] always aliases one of them (or
+     a fresh array when [n] is too large to tabulate).  Interning keeps
+     the they-are-shared-immutably invariant that lets snapshots alias
+     [enabled] without copying, while making a process's decide/crash
+     transition allocation-free. *)
+  enabled_tab : int array array option;
   mutable steps : int;
   mutable total_steps : int;
   metrics : Metrics.t option;
@@ -22,7 +41,23 @@ type 'r t = {
   sink : Sink.t option;
 }
 
-let rebuild_enabled pending n =
+let enabled_of_mask n mask =
+  let k = ref 0 in
+  for pid = 0 to n - 1 do
+    if mask land (1 lsl pid) <> 0 then incr k
+  done;
+  let a = Array.make !k 0 in
+  let j = ref 0 in
+  for pid = 0 to n - 1 do
+    if mask land (1 lsl pid) <> 0 then begin a.(!j) <- pid; incr j end
+  done;
+  a
+
+(* Beyond this the table would dwarf the machine; no current protocol
+   config comes close. *)
+let max_tabulated_n = 10
+
+let rebuild_enabled_alloc pending n =
   let pids = ref [] in
   for pid = n - 1 downto 0 do
     if Option.is_some pending.(pid) then pids := pid :: !pids
@@ -40,38 +75,83 @@ let rec settle stages pid p =
     settle stages pid p
   | p -> p
 
-let create ?(cheap_collect = false) ?metrics ?trace ?sink ~n ~memory body =
+let create ?(engine = `Vm) ?(cheap_collect = false) ?metrics ?trace ?sink ~n
+    ~memory body =
   if n <= 0 then invalid_arg "Machine.create: n must be positive";
-  let stages = Array.make n None in
-  let programs = Array.init n (fun pid -> settle stages pid (body ~pid)) in
-  let pending = Array.map Program.pending programs in
+  let state =
+    match engine with
+    | `Vm -> Compiled (Vm.create ~cheap_collect ~n ~memory body)
+    | `Tree ->
+      let stages = Array.make n None in
+      let programs = Array.init n (fun pid -> settle stages pid (body ~pid)) in
+      Tree { programs; stages }
+  in
+  let pending =
+    match state with
+    | Compiled vm -> Array.init n (fun pid -> Vm.pending vm pid)
+    | Tree { programs; _ } -> Array.map Program.pending programs
+  in
+  let enabled_tab =
+    if n <= max_tabulated_n then
+      Some (Array.init (1 lsl n) (enabled_of_mask n))
+    else None
+  in
   { n;
     memory;
     cheap_collect;
-    programs;
+    state;
     pending;
-    stages;
     crashed = Array.make n false;
     crash_count = 0;
     ever_crashed = false;
-    enabled = rebuild_enabled pending n;
+    enabled = rebuild_enabled_alloc pending n;
+    enabled_tab;
     steps = 0;
     total_steps = 0;
     metrics;
     trace;
     sink }
 
+let rebuild_enabled t =
+  match t.enabled_tab with
+  | Some tab ->
+    let mask = ref 0 in
+    for pid = 0 to t.n - 1 do
+      if Option.is_some t.pending.(pid) then mask := !mask lor (1 lsl pid)
+    done;
+    t.enabled <- tab.(!mask)
+  | None -> t.enabled <- rebuild_enabled_alloc t.pending t.n
+
 let n t = t.n
 let memory t = t.memory
+let engine t : engine =
+  match t.state with Compiled _ -> `Vm | Tree _ -> `Tree
 let enabled t = t.enabled
 let unsafe_pending t = t.pending
 let pending_op t pid = t.pending.(pid)
-let stage t pid = t.stages.(pid)
+
+let stage t pid =
+  match t.state with
+  | Compiled vm -> Vm.stage vm pid
+  | Tree { stages; _ } -> stages.(pid)
+
 let steps t = t.steps
 let total_steps t = t.total_steps
 let running t = Array.length t.enabled > 0
-let outputs t = Array.map Program.result t.programs
-let output t pid = Program.result t.programs.(pid)
+
+let output t pid =
+  match t.state with
+  | Compiled vm -> Vm.result vm pid
+  | Tree { programs; _ } -> Program.result programs.(pid)
+
+let outputs t = Array.init t.n (fun pid -> output t pid)
+
+let outputs_into t buf =
+  if Array.length buf <> t.n then
+    invalid_arg "Machine.outputs_into: buffer length is not n";
+  for pid = 0 to t.n - 1 do
+    buf.(pid) <- output t pid
+  done
 let crashes t = t.crash_count
 let is_crashed t pid = t.crashed.(pid)
 
@@ -80,14 +160,32 @@ let classify t pid =
   else if Option.is_some t.pending.(pid) then `Running
   else `Decided
 
-(* The one op interpreter.  The coin outcome for probabilistic writes
-   has already been decided by the caller; [apply] just carries it out
-   and reports what a read observed (for trace recording).  For reads
-   the coin is overloaded as the freshness choice on weak (regular)
-   registers: [landed = true] delivers the stale pre-write value.
-   Engines only offer that choice on registers the setup marked weak,
-   so atomic executions are unchanged ([landed] is always [false] for
-   reads on the legacy paths). *)
+(* Branching class of [pid]'s pending operation as a nonallocating
+   int (0 = forced miss, 1 = forced landed, 2 = coin, 3 = weak-register
+   read): the explorers' per-step classification, cached per pc by the
+   VM and recomputed from the descriptor by the tree engine. *)
+let coin_class t pid =
+  match t.state with
+  | Compiled vm -> Vm.coin_class vm pid
+  | Tree _ ->
+    (match t.pending.(pid) with
+     | None -> raise (Stuck "classified a finished process")
+     | Some (Op.Any op) ->
+       (match op with
+        | Op.Prob_write (_, _, p) | Op.Prob_write_detect (_, _, p) ->
+          if p <= 0.0 then 0 else if p >= 1.0 then 1 else 2
+        | Op.Read l -> if Memory.is_weak t.memory l then 3 else 0
+        | Op.Write _ -> 1
+        | Op.Collect _ -> 0))
+
+(* The tree engine's op interpreter.  The coin outcome for
+   probabilistic writes has already been decided by the caller; [apply]
+   just carries it out and reports what a read observed (for trace
+   recording).  For reads the coin is overloaded as the freshness
+   choice on weak (regular) registers: [landed = true] delivers the
+   stale pre-write value.  Engines only offer that choice on registers
+   the setup marked weak, so atomic executions are unchanged ([landed]
+   is always [false] for reads on the legacy paths). *)
 let apply : type a. _ -> a Op.t -> landed:bool -> a * int option =
   fun t op ~landed ->
   match op with
@@ -108,35 +206,63 @@ let apply : type a. _ -> a Op.t -> landed:bool -> a * int option =
     (Array.init len (fun i -> Memory.read t.memory (l + i)), None)
 
 let step_forced t ~pid ~landed =
-  match t.programs.(pid) with
-  | Program.Done _ | Program.Label _ ->
-    (* Stored programs are settled, so [Label] is unreachable; listed to
-       keep the match total. *)
-    raise (Stuck "scheduled a finished process")
-  | Program.Step (op, k) ->
-    let result, observed = apply t op ~landed in
-    Option.iter (fun m -> Metrics.record m ~pid (Op.kind (Op.Any op))) t.metrics;
-    Option.iter
-      (fun tr ->
-        Trace.add tr { Trace.step = t.steps; pid; op = Some (Op.Any op); landed; observed })
-      t.trace;
+  match t.pending.(pid) with
+  | None -> raise (Stuck "scheduled a finished process")
+  | Some any ->
+    (* Apply the effect and advance the program state; events are
+       recorded afterwards with the pre-step stage and step counter, so
+       the two engines feed instrumentation identically.  The stage is
+       only consumed by the sink, so it is not even fetched without one
+       — this loop runs millions of times per exploration and every
+       branch below is written to stay allocation-free when the
+       corresponding instrument is absent. *)
+    let observed, stage =
+      match t.state with
+      | Compiled vm ->
+        let stage =
+          match t.sink with None -> None | Some _ -> Vm.stage vm pid
+        in
+        let observed = Vm.exec vm ~pid ~landed in
+        (observed, stage)
+      | Tree { programs; stages } ->
+        (match programs.(pid) with
+         | Program.Done _ | Program.Label _ ->
+           (* Stored programs are settled and [pending] already
+              screened finished ones; listed to keep the match total. *)
+           raise (Stuck "scheduled a finished process")
+         | Program.Step (op, k) ->
+           let result, observed = apply t op ~landed in
+           let stage = stages.(pid) in
+           programs.(pid) <- settle stages pid (k result);
+           (observed, stage))
+    in
+    (match t.metrics with
+     | None -> ()
+     | Some m -> Metrics.record m ~pid (Op.kind any));
+    (match t.trace with
+     | None -> ()
+     | Some tr ->
+       Trace.add tr { Trace.step = t.steps; pid; op = Some any; landed; observed });
     (match t.sink with
      | None -> ()
      | Some s ->
-       let any = Op.Any op in
        s.Sink.on_op ~step:t.steps ~pid ~kind:(Op.kind any) ~loc:(Op.loc any)
-         ~landed ~stage:t.stages.(pid));
+         ~landed ~stage);
     t.steps <- t.steps + 1;
     t.total_steps <- t.total_steps + 1;
-    let p = settle t.stages pid (k result) in
-    t.programs.(pid) <- p;
-    t.pending.(pid) <- Program.pending p;
-    if t.pending.(pid) = None then begin
-      t.enabled <- rebuild_enabled t.pending t.n;
-      match t.sink with
-      | None -> ()
-      | Some s -> s.Sink.on_decide ~step:t.steps ~pid
-    end
+    let pending' =
+      match t.state with
+      | Compiled vm -> Vm.pending vm pid
+      | Tree { programs; _ } -> Program.pending programs.(pid)
+    in
+    t.pending.(pid) <- pending';
+    match pending' with
+    | Some _ -> ()
+    | None ->
+      rebuild_enabled t;
+      (match t.sink with
+       | None -> ()
+       | Some s -> s.Sink.on_decide ~step:t.steps ~pid)
 
 let step_random t ~pid ~coin =
   match t.pending.(pid) with
@@ -164,7 +290,7 @@ let crash t ~pid =
   t.crash_count <- t.crash_count + 1;
   t.ever_crashed <- true;
   t.pending.(pid) <- None;
-  t.enabled <- rebuild_enabled t.pending t.n;
+  rebuild_enabled t;
   Option.iter
     (fun tr ->
       Trace.add tr { Trace.step = t.steps; pid; op = None; landed = false; observed = None })
@@ -175,32 +301,89 @@ let crash t ~pid =
   t.steps <- t.steps + 1;
   t.total_steps <- t.total_steps + 1
 
+(* Engine half of a snapshot: the VM's is [n] integers (its program
+   state is just the pc file; pending descriptors are recomputed from
+   the code store on restore), the tree's is the historical
+   three-array copy. *)
+type 'r engine_snap =
+  | Vm_snap of Vm.snapshot
+  | Tree_snap of {
+      programs : 'r Program.t array;
+      pending : Op.any option array;
+      stages : string option array;
+    }
+
 type 'r snapshot = {
-  s_programs : 'r Program.t array;
-  s_pending : Op.any option array;
-  s_stages : string option array;
+  (* The engine half is immutable but its payload arrays are refreshed
+     in place by [snapshot_into]; the façade half is mutable for the
+     same reason — pooled snapshots are the explorers' per-branch-point
+     allocation budget. *)
+  s_engine : 'r engine_snap;
   (* [None] = every process was live at snapshot time; taken on
      crash-free paths so the per-snapshot copy is paid only once a
      crash actually happens below the root. *)
-  s_crashed : bool array option;
-  s_crash_count : int;
-  s_enabled : int array;
+  mutable s_crashed : bool array option;
+  mutable s_crash_count : int;
+  mutable s_enabled : int array;
   s_memory : Memory.backup;
-  s_steps : int;
+  mutable s_steps : int;
 }
 
 let snapshot t =
   (match t.sink with
    | None -> ()
    | Some s -> s.Sink.on_snapshot ~step:t.steps);
-  { s_programs = Array.copy t.programs;
-    s_pending = Array.copy t.pending;
-    s_stages = Array.copy t.stages;
+  (* The two engines pay their own snapshot bills here: the VM copies
+     [n] program counters and takes an O(1) delta mark on the store;
+     the tree oracle keeps its historical cost — three O(n) array
+     copies plus an O(|memory|) full-store backup (delta journaling is
+     never even switched on for a tree machine, so its write path is
+     the historical one too). *)
+  let s_engine, s_memory =
+    match t.state with
+    | Compiled vm -> (Vm_snap (Vm.snapshot vm), Memory.backup t.memory)
+    | Tree { programs; stages } ->
+      ( Tree_snap
+          { programs = Array.copy programs;
+            pending = Array.copy t.pending;
+            stages = Array.copy stages },
+        Memory.full_backup t.memory )
+  in
+  { s_engine;
     s_crashed = (if t.ever_crashed then Some (Array.copy t.crashed) else None);
     s_crash_count = t.crash_count;
-    s_enabled = Array.copy t.enabled;
-    s_memory = Memory.backup t.memory;
+    (* Shared, not copied: enabled arrays are rebuilt immutably on
+       every change (decide/crash), never updated in place. *)
+    s_enabled = t.enabled;
+    s_memory;
     s_steps = t.steps }
+
+(* Refresh a pooled snapshot in place — semantically [snapshot], minus
+   the allocations: the VM engine blits [n] pcs and restamps the O(1)
+   memory mark, so a branch point costs zero heap words once its pool
+   slot exists.  The tree oracle refreshes by the same historical
+   copies it pays for a fresh snapshot. *)
+let snapshot_into t s =
+  (match t.sink with
+   | None -> ()
+   | Some k -> k.Sink.on_snapshot ~step:t.steps);
+  (match t.state, s.s_engine with
+   | Compiled vm, Vm_snap pcs -> Vm.snapshot_into vm pcs
+   | Tree { programs; stages }, Tree_snap snap ->
+     Array.blit programs 0 snap.programs 0 t.n;
+     Array.blit t.pending 0 snap.pending 0 t.n;
+     Array.blit stages 0 snap.stages 0 t.n
+   | Compiled _, Tree_snap _ | Tree _, Vm_snap _ ->
+     invalid_arg "Machine.snapshot_into: snapshot from a different engine");
+  (if not t.ever_crashed then s.s_crashed <- None
+   else
+     match s.s_crashed with
+     | Some crashed -> Array.blit t.crashed 0 crashed 0 t.n
+     | None -> s.s_crashed <- Some (Array.copy t.crashed));
+  s.s_crash_count <- t.crash_count;
+  s.s_enabled <- t.enabled;
+  Memory.backup_into t.memory s.s_memory;
+  s.s_steps <- t.steps
 
 (* [total_steps] is deliberately not restored: it counts transitions
    ever applied, the explorer's work measure. *)
@@ -208,13 +391,24 @@ let restore t s =
   (match t.sink with
    | None -> ()
    | Some k -> k.Sink.on_restore ~step:t.steps);
-  Array.blit s.s_programs 0 t.programs 0 t.n;
-  Array.blit s.s_pending 0 t.pending 0 t.n;
-  Array.blit s.s_stages 0 t.stages 0 t.n;
   (match s.s_crashed with
    | Some crashed -> Array.blit crashed 0 t.crashed 0 t.n
    | None -> if t.ever_crashed then Array.fill t.crashed 0 t.n false);
   t.crash_count <- s.s_crash_count;
-  t.enabled <- Array.copy s.s_enabled;
+  (match t.state, s.s_engine with
+   | Compiled vm, Vm_snap pcs ->
+     Vm.restore vm pcs;
+     (* Crashed state is already rolled back above: a crashed process
+        keeps its pc but pends nothing. *)
+     for pid = 0 to t.n - 1 do
+       t.pending.(pid) <- (if t.crashed.(pid) then None else Vm.pending vm pid)
+     done
+   | Tree { programs; stages }, Tree_snap snap ->
+     Array.blit snap.programs 0 programs 0 t.n;
+     Array.blit snap.pending 0 t.pending 0 t.n;
+     Array.blit snap.stages 0 stages 0 t.n
+   | Compiled _, Tree_snap _ | Tree _, Vm_snap _ ->
+     invalid_arg "Machine.restore: snapshot taken under a different engine");
+  t.enabled <- s.s_enabled;
   Memory.restore_backup t.memory s.s_memory;
   t.steps <- s.s_steps

@@ -1,7 +1,7 @@
-(** The single small-step transition core.
+(** The single small-step transition façade.
 
     A machine holds the complete state of one execution: the per-process
-    pending {!Program.t}s, the shared {!Memory.t}, and the step count.
+    program state, the shared {!Memory.t}, and the step count.
     One transition = a scheduling choice (which enabled process moves)
     × a coin choice (did a probabilistic write land).  Every execution
     engine in the repo — the Monte Carlo {!Scheduler}, the exhaustive
@@ -9,11 +9,19 @@
     driver over this module, so the operation-application semantics
     lives in exactly one place.
 
-    Because program states are plain values, a machine state can be
-    {!snapshot}ed and later {!restore}d in O(|memory| + n); the
-    explorers use this to backtrack instead of re-executing path
-    prefixes.  [restore] also rolls back registers allocated since the
-    snapshot (see {!Memory.restore}). *)
+    Two interchangeable program engines sit behind the façade: the
+    default [`Vm] compiles each program once into flat instruction code
+    (see {!Code} / {!Vm}) and steps through integer dispatch tables
+    with zero per-step allocation; [`Tree] is the historical direct
+    interpreter over {!Program.t} values, kept as the
+    differential-testing oracle.  Both produce identical traces, sink
+    events, metrics, leaf orders and outcome sets.
+
+    A machine state can be {!snapshot}ed and later {!restore}d; under
+    the VM a snapshot is [n] integers plus an O(1) memory delta mark,
+    so backtracking costs O(changes undone) rather than O(|memory| +
+    n).  [restore] also rolls back registers allocated since the
+    snapshot (see {!Memory.restore_backup}). *)
 
 exception Collect_disallowed
 (** Raised when a program performs a collect but the machine was not
@@ -23,9 +31,14 @@ exception Stuck of string
 (** Raised when a finished process is scheduled — an engine bug, not a
     protocol property. *)
 
+type engine = [ `Vm | `Tree ]
+(** The program engine driving a machine: the compiled flat-instruction
+    VM (default) or the tree-walking oracle interpreter. *)
+
 type 'r t
 
 val create :
+  ?engine:engine ->
   ?cheap_collect:bool ->
   ?metrics:Metrics.t ->
   ?trace:Trace.t ->
@@ -40,10 +53,14 @@ val create :
     [metrics] / [trace] are given, every transition is recorded into
     them.  When [sink] is given, every transition, decision, snapshot
     and restore is reported to it; without one the instrumentation
-    costs a single branch per transition. *)
+    costs a single branch per transition.  [engine] selects the program
+    engine (default [`Vm]). *)
 
 val n : 'r t -> int
 val memory : 'r t -> Memory.t
+
+val engine : 'r t -> engine
+(** Which program engine this machine runs on. *)
 
 val enabled : 'r t -> int array
 (** Enabled pids, ascending.  The returned array is the machine's own
@@ -72,6 +89,12 @@ val running : 'r t -> bool
 val outputs : 'r t -> 'r option array
 val output : 'r t -> int -> 'r option
 
+val outputs_into : 'r t -> 'r option array -> unit
+(** Fill a caller-owned buffer of length [n] with the current outputs —
+    the explorers' per-leaf path, which reuses one buffer across
+    millions of leaves instead of allocating {!outputs} each time.
+    Raises [Invalid_argument] on a length mismatch. *)
+
 val crashes : 'r t -> int
 (** Number of processes crash-stopped so far on the current path
     (restored by {!restore}). *)
@@ -83,6 +106,14 @@ val classify : 'r t -> int -> [ `Running | `Decided | `Crashed ]
     operation, truncated execution), decided (program returned), or
     crash-stopped.  Lets checkers excuse crashed processes from
     completion-conditional properties without excusing live ones. *)
+
+val coin_class : 'r t -> int -> int
+(** Branching class of [pid]'s pending operation, as a nonallocating
+    int: 0 = forced miss, 1 = forced landed, 2 = coin ([0 < p < 1],
+    choice 0 = landed), 3 = weak-register read (choice 0 = fresh).
+    The same classification as [Explore.coin_of_op]; cached per pc
+    under the VM engine.  Raises {!Stuck} on a finished process under
+    the tree engine. *)
 
 val step_forced : 'r t -> pid:int -> landed:bool -> unit
 (** Apply [pid]'s pending operation with the coin outcome already
@@ -108,10 +139,23 @@ val step_random : 'r t -> pid:int -> coin:Rng.t -> unit
 type 'r snapshot
 
 val snapshot : 'r t -> 'r snapshot
-(** O(|memory| + n) copy of the machine state (programs, pending ops,
-    enabled set, memory contents, step count). *)
+(** Capture the machine state.  Under the VM engine this is [n]
+    program-counter integers plus an O(1) memory journal mark; under
+    the tree engine it is the historical O(|memory| + n) copy of the
+    program, pending and stage arrays. *)
+
+val snapshot_into : 'r t -> 'r snapshot -> unit
+(** Refresh an existing snapshot of this machine in place —
+    semantically {!snapshot} (including the sink event), minus the
+    allocations.  The explorers pool one snapshot per DFS nesting
+    level and refresh it when a sibling branch point reuses the level;
+    the refreshed snapshot obeys the same LIFO discipline as a fresh
+    one.  Raises [Invalid_argument] if the snapshot came from the
+    other engine. *)
 
 val restore : 'r t -> 'r snapshot -> unit
 (** Return the machine to a snapshotted state.  The snapshot must have
-    been taken on this machine, at a state whose memory had no more
-    registers than the current one (always true along a DFS). *)
+    been taken on this machine, and restores must follow the
+    explorers' LIFO discipline (see {!Memory.restore_backup}) — which
+    depth-first snapshot-and-backtrack search satisfies by
+    construction. *)

@@ -14,7 +14,16 @@ type loc = int
    {!restore_backup} pops back to it.  That keeps the per-snapshot cost
    of the fault plane at one integer — O(weak writes undone) instead of
    O(|memory|) — and exactly zero stores on stores with no weak
-   register. *)
+   register.
+
+   Cell contents are rolled back the same way: once the first {!backup}
+   is taken ([journaling] flips on and stays on), every write pushes the
+   overwritten contents onto a second journal ([cjlocs]/[cjvals]), a
+   backup records only the three journal/length marks, and a restore
+   pops writes back in LIFO order.  Backtracking thus costs O(writes
+   undone) — the delta — instead of O(|memory|), and executions that
+   never back up (the Monte Carlo scheduler) never pay for journaling
+   at all. *)
 type t = {
   mutable cells : int option array;
   mutable prev : int option array;
@@ -29,6 +38,11 @@ type t = {
   mutable jlocs : int array;
   mutable jvals : int option array;
   mutable jlen : int;
+  (* Cell-contents undo journal; maintained only once a backup exists. *)
+  mutable journaling : bool;
+  mutable cjlocs : int array;
+  mutable cjvals : int option array;
+  mutable cjlen : int;
 }
 
 let create () =
@@ -40,7 +54,11 @@ let create () =
     has_weak = false;
     jlocs = Array.make 16 0;
     jvals = Array.make 16 None;
-    jlen = 0 }
+    jlen = 0;
+    journaling = false;
+    cjlocs = Array.make 16 0;
+    cjvals = Array.make 16 None;
+    cjlen = 0 }
 
 let ensure_capacity t needed =
   if needed > Array.length t.cells then begin
@@ -96,8 +114,23 @@ let journal_push t loc v =
   t.jvals.(t.jlen) <- v;
   t.jlen <- t.jlen + 1
 
+let cjournal_push t loc v =
+  if t.cjlen = Array.length t.cjlocs then begin
+    let cap = 2 * t.cjlen in
+    let cjlocs = Array.make cap 0 in
+    let cjvals = Array.make cap None in
+    Array.blit t.cjlocs 0 cjlocs 0 t.cjlen;
+    Array.blit t.cjvals 0 cjvals 0 t.cjlen;
+    t.cjlocs <- cjlocs;
+    t.cjvals <- cjvals
+  end;
+  t.cjlocs.(t.cjlen) <- loc;
+  t.cjvals.(t.cjlen) <- v;
+  t.cjlen <- t.cjlen + 1
+
 let write t loc v =
   check t loc;
+  if t.journaling then cjournal_push t loc t.cells.(loc);
   if t.has_weak && t.weak.(loc) then begin
     journal_push t loc t.prev.(loc);
     t.prev.(loc) <- t.cells.(loc)
@@ -160,33 +193,92 @@ let restore t snap =
 (* Full-fidelity backup for the exhaustive explorers: unlike [snapshot]
    (a contents-only view handed to adversaries), a backup also pins the
    previous-value shadow so stale reads replay identically after
-   backtracking — as a journal mark, not a copy.  Restores must follow
-   the explorers' LIFO discipline (a backup is restored only while
-   every journal entry younger than it belongs to writes being undone),
-   which snapshot-and-backtrack search satisfies by construction.
-   Weak flags need no capture — they only change via allocation, and
-   truncation plus re-allocation recomputes them. *)
-type backup = { b_cells : int option array; b_jlen : int }
+   backtracking.  Two representations coexist:
+
+   [backup] is a pure delta mark — three journal/length integers.
+   Taking one is O(1); the first one flips [journaling] on so that
+   subsequent writes push their overwritten contents, and restoring
+   pops both journals back to the marks, undoing exactly the writes
+   since the backup.  Restores must follow the explorers' LIFO
+   discipline (a backup is restored only while every journal entry
+   younger than it belongs to writes being undone), which
+   snapshot-and-backtrack search satisfies by construction.
+
+   [full_backup] is the historical O(|memory|) copy, preserved for the
+   tree-interpreter oracle so that differential benchmarks measure the
+   engine the codebase actually shipped before the VM: it copies the
+   live cells and never turns journaling on, leaving the write path
+   untouched.  The two kinds must not be mixed on one store (a store
+   that has ever taken a delta mark journals writes that a full restore
+   would not pop); each [Machine] takes only its own engine's kind.
+
+   Weak flags need no capture either way — they only change via
+   allocation, and truncation plus re-allocation recomputes them. *)
+type backup = {
+  (* [Some cells] = full backup; [None] = delta mark.  Mutable so the
+     explorers can refresh a pooled backup in place ({!backup_into})
+     instead of allocating one per branch point. *)
+  mutable b_full : int option array option;
+  mutable b_len : int;
+  mutable b_cjlen : int;
+  mutable b_jlen : int;
+}
 
 let backup t =
-  { b_cells = Array.sub t.cells 0 t.len; b_jlen = t.jlen }
+  t.journaling <- true;
+  { b_full = None; b_len = t.len; b_cjlen = t.cjlen; b_jlen = t.jlen }
 
-let restore_backup t b =
-  let slen = Array.length b.b_cells in
-  if slen > t.len then
-    invalid_arg "Memory.restore_backup: backup longer than store";
-  if b.b_jlen > t.jlen then
+let full_backup t =
+  { b_full = Some (Array.sub t.cells 0 t.len);
+    b_len = t.len;
+    b_cjlen = 0;
+    b_jlen = t.jlen }
+
+(* Refresh [b] to capture the current state, keeping its kind: a pooled
+   delta mark is three integer stores; a pooled full backup reuses its
+   cells array when the store length hasn't changed. *)
+let backup_into t b =
+  (match b.b_full with
+   | None ->
+     b.b_len <- t.len;
+     b.b_cjlen <- t.cjlen
+   | Some cells ->
+     if Array.length cells = t.len then Array.blit t.cells 0 cells 0 t.len
+     else b.b_full <- Some (Array.sub t.cells 0 t.len);
+     b.b_len <- t.len);
+  b.b_jlen <- t.jlen
+
+let pop_weak_journal t b_jlen =
+  if b_jlen > t.jlen then
     invalid_arg "Memory.restore_backup: journal shorter than at backup time";
-  while t.jlen > b.b_jlen do
+  while t.jlen > b_jlen do
     t.jlen <- t.jlen - 1;
     (* A journaled register may have been deallocated by an earlier
        truncating restore on this path; its shadow slot still exists
        (capacity never shrinks) and [alloc] re-initialises it, so the
        undo store is harmless. *)
     t.prev.(t.jlocs.(t.jlen)) <- t.jvals.(t.jlen)
-  done;
-  Array.blit b.b_cells 0 t.cells 0 slen;
-  t.len <- slen
+  done
+
+let restore_backup t b =
+  if b.b_len > t.len then
+    invalid_arg "Memory.restore_backup: backup longer than store";
+  (match b.b_full with
+   | None ->
+     if b.b_cjlen > t.cjlen then
+       invalid_arg "Memory.restore_backup: journal shorter than at backup time";
+     while t.cjlen > b.b_cjlen do
+       t.cjlen <- t.cjlen - 1;
+       (* Popping in LIFO order ends each cell at its oldest journaled
+          value — the contents as of backup time, however many times it
+          was written since. *)
+       t.cells.(t.cjlocs.(t.cjlen)) <- t.cjvals.(t.cjlen)
+     done
+   | Some cells -> Array.blit cells 0 t.cells 0 b.b_len);
+  pop_weak_journal t b.b_jlen;
+  (* Registers allocated since the backup are dropped; [alloc] never
+     journals (truncation is its undo). *)
+  t.len <- b.b_len
 
 let pp ppf t =
   Format.fprintf ppf "@[<hov 1>[";

@@ -76,18 +76,37 @@ val restore : t -> int option array -> unit
     [Invalid_argument]. *)
 
 type backup
-(** Full-fidelity state capture for explorer backtracking: contents
-    plus a journal mark pinning the previous-value shadow consulted by
-    {!read_stale}, so stale reads replay identically after
-    backtracking.  Unlike {!snapshot} it is opaque — adversary views
-    keep seeing plain contents arrays. *)
+(** Full-fidelity state capture for explorer backtracking, as a pure
+    delta mark: three journal/length integers, so taking one is O(1)
+    and restoring costs O(writes undone) instead of O(|memory|).  The
+    first backup on a store permanently enables write journaling (every
+    later write pushes its overwritten contents); stores that never
+    back up — the Monte Carlo scheduler's — never pay for it.  A backup
+    also pins the previous-value shadow consulted by {!read_stale}, so
+    stale reads replay identically after backtracking.  Unlike
+    {!snapshot} it is opaque — adversary views keep seeing plain
+    contents arrays. *)
 
 val backup : t -> backup
+
+val full_backup : t -> backup
+(** The historical O(|memory|) capture: copies the live cells and pins
+    the stale-read shadow, without enabling write journaling.  Kept for
+    the tree-interpreter oracle so differential benchmarks charge it
+    the snapshot cost the pre-VM engine actually paid.  Do not mix the
+    two kinds on one store: once {!backup} has enabled journaling, a
+    full restore would leave stale journal entries behind. *)
+
+val backup_into : t -> backup -> unit
+(** Refresh an existing backup (of either kind, keeping its kind) to
+    capture the current state — the explorers' pooled-snapshot path,
+    which avoids allocating a backup per branch point.  The refreshed
+    backup is subject to the same LIFO discipline as a fresh one. *)
 
 val restore_backup : t -> backup -> unit
 (** Same truncation semantics as {!restore}.  Backups must be restored
     in the explorers' LIFO discipline (most recent first, each possibly
     several times); restoring one invalidates every backup taken after
-    it. *)
+    it.  Do not mix with plain {!restore} on a journaling store. *)
 
 val pp : Format.formatter -> t -> unit

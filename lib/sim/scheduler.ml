@@ -11,7 +11,7 @@ type 'r result = {
 exception Collect_disallowed = Machine.Collect_disallowed
 exception Stuck = Machine.Stuck
 
-let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
+let run ?engine ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
     ?faults ?sink ~n ~(adversary : Adversary.t) ~rng ~memory body =
   if n <= 0 then invalid_arg "Scheduler.run: n must be positive";
   (* Stream layout is fixed so that executions are reproducible: local
@@ -29,7 +29,7 @@ let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
   let metrics = Metrics.create ~n in
   let trace = if record then Some (Trace.create ()) else None in
   let machine =
-    Machine.create ~cheap_collect ~metrics ?trace ?sink ~n ~memory
+    Machine.create ?engine ~cheap_collect ~metrics ?trace ?sink ~n ~memory
       (fun ~pid -> body ~pid ~rng:local_rngs.(pid))
   in
   let completed = ref false in
@@ -87,7 +87,8 @@ let run ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = false)
     trace;
     registers = Memory.size memory }
 
-let run_direct ?max_steps ?record ?cheap_collect ?faults ?sink ~n ~adversary ~rng
-    ~memory body =
-  run ?max_steps ?record ?cheap_collect ?faults ?sink ~n ~adversary ~rng ~memory
+let run_direct ?engine ?max_steps ?record ?cheap_collect ?faults ?sink ~n ~adversary
+    ~rng ~memory body =
+  run ?engine ?max_steps ?record ?cheap_collect ?faults ?sink ~n ~adversary ~rng
+    ~memory
     (fun ~pid ~rng -> Fiber.to_program (Fiber.spawn (fun () -> body ~pid ~rng)))

@@ -34,6 +34,7 @@ exception Stuck of string
     (= {!Machine.Stuck}). *)
 
 val run :
+  ?engine:Machine.engine ->
   ?max_steps:int ->
   ?record:bool ->
   ?cheap_collect:bool ->
@@ -63,9 +64,16 @@ val run :
     registers marked weak).  The plan's randomness is split from [rng]
     {e after} the historical streams, so runs without a plan are
     bit-identical to earlier versions, and a given seed produces the
-    same fault placements on every replay. *)
+    same fault placements on every replay.
+
+    [engine] selects the program engine (default the compiled VM; see
+    {!Machine.engine}).  A Monte Carlo run is straight-line, so every
+    VM dispatch is a first unfolding and continuations execute exactly
+    once in tree order — results are identical under either engine,
+    including for bodies drawing local randomness. *)
 
 val run_direct :
+  ?engine:Machine.engine ->
   ?max_steps:int ->
   ?record:bool ->
   ?cheap_collect:bool ->

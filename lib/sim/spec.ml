@@ -2,84 +2,115 @@ type decision = bool * int
 
 let errf fmt = Format.kasprintf (fun s -> Error s) fmt
 
-let mem_input inputs v = Array.exists (fun x -> x = v) inputs
+(* Every checker below is a module-level index recursion threading its
+   arrays as parameters rather than [Array.iteri] + refs or local
+   closures: the exhaustive explorers evaluate these at every leaf of
+   multi-million-leaf searches, so the passing path must allocate
+   nothing — and a [let rec] nested inside the checker would allocate
+   its closure (capturing the arrays) on every call.  Failure paths
+   (which build the message) are cold.  Each reports the same violation
+   the historical fold did: the first bad process in pid order. *)
+
+let rec mem_input inputs v i =
+  i < Array.length inputs && (inputs.(i) = v || mem_input inputs v (i + 1))
+
+let mem_input inputs v = mem_input inputs v 0
+
+let rec validity_scan inputs (outputs : int option array) n pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some v when not (mem_input inputs v) ->
+      errf "validity: p%d output %d, which is nobody's input" pid v
+    | Some _ | None -> validity_scan inputs outputs n (pid + 1)
 
 let validity ~inputs ~outputs =
-  let bad = ref None in
-  Array.iteri
-    (fun pid out ->
-      match out with
-      | Some v when not (mem_input inputs v) ->
-        if !bad = None then bad := Some (pid, v)
-      | Some _ | None -> ())
-    outputs;
-  match !bad with
-  | None -> Ok ()
-  | Some (pid, v) -> errf "validity: p%d output %d, which is nobody's input" pid v
+  validity_scan inputs outputs (Array.length outputs) 0
+
+let rec validity_decided_scan inputs (outputs : decision option array) n pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some (_, v) when not (mem_input inputs v) ->
+      errf "validity: p%d output %d, which is nobody's input" pid v
+    | Some _ | None -> validity_decided_scan inputs outputs n (pid + 1)
 
 let validity_decided ~inputs ~outputs =
-  validity ~inputs ~outputs:(Array.map (Option.map snd) outputs)
+  validity_decided_scan inputs outputs (Array.length outputs) 0
 
-let agreement ~outputs =
-  let first = ref None in
-  let bad = ref None in
-  Array.iteri
-    (fun pid out ->
-      match out, !first with
-      | Some v, None -> first := Some (pid, v)
-      | Some v, Some (pid0, v0) when v <> v0 ->
-        if !bad = None then bad := Some (pid0, v0, pid, v)
-      | _ -> ())
-    outputs;
-  match !bad with
-  | None -> Ok ()
-  | Some (p0, v0, p1, v1) -> errf "agreement: p%d output %d but p%d output %d" p0 v0 p1 v1
+let rec agreement_against (outputs : int option array) n pid0 v0 pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some v when v <> v0 ->
+      errf "agreement: p%d output %d but p%d output %d" pid0 v0 pid v
+    | Some _ | None -> agreement_against outputs n pid0 v0 (pid + 1)
 
-let coherence ~outputs =
-  let decided = ref None in
-  Array.iteri
-    (fun pid out ->
-      match out with
-      | Some (true, v) when !decided = None -> decided := Some (pid, v)
-      | _ -> ())
-    outputs;
-  match !decided with
-  | None -> Ok ()
-  | Some (dpid, dv) ->
-    let bad = ref None in
-    Array.iteri
-      (fun pid out ->
-        match out with
-        | Some (_, v) when v <> dv -> if !bad = None then bad := Some (pid, v)
-        | _ -> ())
-      outputs;
-    (match !bad with
-     | None -> Ok ()
-     | Some (pid, v) ->
-       errf "coherence: p%d decided %d but p%d output value %d" dpid dv pid v)
+let rec agreement_first (outputs : int option array) n pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some v -> agreement_against outputs n pid v (pid + 1)
+    | None -> agreement_first outputs n (pid + 1)
+
+let agreement ~outputs = agreement_first outputs (Array.length outputs) 0
+
+(* {!agreement} over deciding-object outputs directly, without
+   materializing the value projection — the per-leaf hot path of the
+   registry's Deciders_agree checkers. *)
+let rec agreement_decided_against (outputs : decision option array) n pid0 v0 pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some (_, v) when v <> v0 ->
+      errf "agreement: p%d output %d but p%d output %d" pid0 v0 pid v
+    | Some _ | None -> agreement_decided_against outputs n pid0 v0 (pid + 1)
+
+let rec agreement_decided_first (outputs : decision option array) n pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some (_, v) -> agreement_decided_against outputs n pid v (pid + 1)
+    | None -> agreement_decided_first outputs n (pid + 1)
+
+let agreement_decided ~outputs =
+  agreement_decided_first outputs (Array.length outputs) 0
+
+let rec coherence_against (outputs : decision option array) n dpid dv pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some (_, v) when v <> dv ->
+      errf "coherence: p%d decided %d but p%d output value %d" dpid dv pid v
+    | Some _ | None -> coherence_against outputs n dpid dv (pid + 1)
+
+let rec coherence_decider (outputs : decision option array) n pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some (true, v) -> coherence_against outputs n pid v 0
+    | Some _ | None -> coherence_decider outputs n (pid + 1)
+
+let coherence ~outputs = coherence_decider outputs (Array.length outputs) 0
+
+let rec all_inputs_equal inputs v0 i =
+  i >= Array.length inputs || (inputs.(i) = v0 && all_inputs_equal inputs v0 (i + 1))
+
+let rec acceptance_scan (outputs : decision option array) n v0 pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some (true, v) when v = v0 -> acceptance_scan outputs n v0 (pid + 1)
+    | Some (d, v) ->
+      errf "acceptance: all inputs %d but p%d output (%b, %d)" v0 pid d v
+    | None -> errf "acceptance: all inputs %d but p%d did not finish" v0 pid
 
 let acceptance ~inputs ~outputs =
   if Array.length inputs = 0 then Ok ()
-  else begin
+  else
     let v0 = inputs.(0) in
-    if Array.exists (fun v -> v <> v0) inputs then Ok ()
-    else begin
-      let bad = ref None in
-      Array.iteri
-        (fun pid out ->
-          match out with
-          | Some (true, v) when v = v0 -> ()
-          | Some (d, v) -> if !bad = None then bad := Some (pid, Some (d, v))
-          | None -> if !bad = None then bad := Some (pid, None))
-        outputs;
-      match !bad with
-      | None -> Ok ()
-      | Some (pid, Some (d, v)) ->
-        errf "acceptance: all inputs %d but p%d output (%b, %d)" v0 pid d v
-      | Some (pid, None) ->
-        errf "acceptance: all inputs %d but p%d did not finish" v0 pid
-    end
-  end
+    if not (all_inputs_equal inputs v0 1) then Ok ()
+    else acceptance_scan outputs (Array.length outputs) v0 0
 
 (* Crash-robust acceptance: like [acceptance], but a process with no
    output is excused.  At a crash-complete leaf (no process runnable)
@@ -87,26 +118,21 @@ let acceptance ~inputs ~outputs =
    processes, so this is "every survivor accepts" — the strongest form
    of Lemma 3 that survives crash-stop faults, since a crashed process
    cannot be obliged to decide. *)
+let rec acceptance_survivors_scan (outputs : decision option array) n v0 pid =
+  if pid >= n then Ok ()
+  else
+    match outputs.(pid) with
+    | Some (true, v) when v = v0 -> acceptance_survivors_scan outputs n v0 (pid + 1)
+    | Some (d, v) ->
+      errf "acceptance: all inputs %d but surviving p%d output (%b, %d)" v0 pid d v
+    | None -> acceptance_survivors_scan outputs n v0 (pid + 1)
+
 let acceptance_survivors ~inputs ~outputs =
   if Array.length inputs = 0 then Ok ()
-  else begin
+  else
     let v0 = inputs.(0) in
-    if Array.exists (fun v -> v <> v0) inputs then Ok ()
-    else begin
-      let bad = ref None in
-      Array.iteri
-        (fun pid out ->
-          match out with
-          | Some (true, v) when v = v0 -> ()
-          | Some (d, v) -> if !bad = None then bad := Some (pid, (d, v))
-          | None -> ())
-        outputs;
-      match !bad with
-      | None -> Ok ()
-      | Some (pid, (d, v)) ->
-        errf "acceptance: all inputs %d but surviving p%d output (%b, %d)" v0 pid d v
-    end
-  end
+    if not (all_inputs_equal inputs v0 1) then Ok ()
+    else acceptance_survivors_scan outputs (Array.length outputs) v0 0
 
 let consensus_execution ~inputs ~outputs ~completed =
   if not completed then Error "termination: execution hit the step bound"

@@ -25,6 +25,11 @@ val agreement : outputs:int option array -> (unit, string) result
 (** All finished processes returned the same value (consensus
     agreement). *)
 
+val agreement_decided : outputs:decision option array -> (unit, string) result
+(** {!agreement} on the value component of deciding-object outputs,
+    without materializing the projection — the checkers' per-leaf hot
+    path. *)
+
 val coherence : outputs:decision option array -> (unit, string) result
 (** If any process output [(1, v)] then every finished process output
     [(_, v)] (§3: non-deciders stick to any value chosen by a

@@ -1,0 +1,32 @@
+(* The register-file VM: per-process program counters over a lazily
+   compiled {!Code} store.  All interpretation lives in [Code.step];
+   this module owns the mutable execution state (the pc file) and its
+   O(n)-integers snapshots — the delta-friendly counterpart of the
+   tree interpreter's program-array copies. *)
+
+type 'r t = {
+  code : 'r Code.t;
+  cheap_collect : bool;
+  pcs : int array;
+}
+
+let create ?(cheap_collect = false) ~n ~memory body =
+  let code = Code.compile ~memory ~n body in
+  { code; cheap_collect; pcs = Array.init n (fun pid -> Code.root code pid) }
+
+let exec t ~pid ~landed =
+  t.pcs.(pid) <-
+    Code.step t.code ~cheap_collect:t.cheap_collect ~pc:t.pcs.(pid) ~landed;
+  Code.last_observed t.code
+
+let pending t pid = Code.pending t.code t.pcs.(pid)
+let stage t pid = Code.stage t.code t.pcs.(pid)
+let result t pid = Code.result t.code t.pcs.(pid)
+let coin_class t pid = Code.coin_class t.code t.pcs.(pid)
+let code_size t = Code.size t.code
+
+type snapshot = int array
+
+let snapshot t = Array.copy t.pcs
+let snapshot_into t (s : snapshot) = Array.blit t.pcs 0 s 0 (Array.length s)
+let restore t (s : snapshot) = Array.blit s 0 t.pcs 0 (Array.length s)

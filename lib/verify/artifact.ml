@@ -107,9 +107,9 @@ let load file =
     Result.bind (Sexp.of_string contents) of_sexp
   | exception Sys_error msg -> Error msg
 
-let replay ~setup ~check a =
+let replay ?engine ~setup ~check a =
   let r =
-    Explore.run_path ~max_depth:a.max_depth ~cheap_collect:a.cheap_collect
+    Explore.run_path ?engine ~max_depth:a.max_depth ~cheap_collect:a.cheap_collect
       ~faults:a.faults ~n:a.n ~setup a.path
   in
   check ~complete:r.completed r.outputs

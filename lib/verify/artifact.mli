@@ -42,12 +42,15 @@ val save : string -> t -> unit
 val load : string -> (t, string) result
 
 val replay :
+  ?engine:Conrat_sim.Machine.engine ->
   setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
   check:(complete:bool -> 'r option array -> (unit, string) result) ->
   t ->
   (unit, string) result
 (** Re-run the stored schedule against [setup] and return the checker's
-    verdict: [Error reason] means the violation reproduced. *)
+    verdict: [Error reason] means the violation reproduced.  [engine]
+    selects the program engine (default the compiled VM); replays are
+    bit-identical under either. *)
 
 val of_failure :
   checker:string ->

@@ -26,23 +26,36 @@ type t = {
    coherence and agreement already quantify over produced outputs only,
    so they are checked verbatim — those are the crash-robust safety
    properties. *)
-let check_of_property property ~crash_tolerant ~inputs ~complete outputs =
+(* Staged: property dispatch and clause selection happen once per
+   config, and the per-leaf closure chains the clauses with an explicit
+   first-error-wins match instead of materializing a result list —
+   this closure runs at every leaf of multi-million-leaf searches. *)
+let check_of_property property ~crash_tolerant ~inputs =
   let acceptance =
     if crash_tolerant then Spec.acceptance_survivors else Spec.acceptance
   in
   match property with
   | Weak_consensus ->
-    Spec.all
-      [ Spec.validity_decided ~inputs ~outputs;
-        Spec.coherence ~outputs;
-        (if complete then acceptance ~inputs ~outputs else Ok ()) ]
+    fun ~complete outputs ->
+      (match Spec.validity_decided ~inputs ~outputs with
+       | Error _ as e -> e
+       | Ok () ->
+         (match Spec.coherence ~outputs with
+          | Error _ as e -> e
+          | Ok () -> if complete then acceptance ~inputs ~outputs else Ok ()))
   | Valid_coherent ->
-    Spec.all [ Spec.validity_decided ~inputs ~outputs; Spec.coherence ~outputs ]
+    fun ~complete:_ outputs ->
+      (match Spec.validity_decided ~inputs ~outputs with
+       | Error _ as e -> e
+       | Ok () -> Spec.coherence ~outputs)
   | Deciders_agree ->
-    Spec.all
-      [ Spec.validity_decided ~inputs ~outputs;
-        Spec.coherence ~outputs;
-        Spec.agreement ~outputs:(Array.map (Option.map snd) outputs) ]
+    fun ~complete:_ outputs ->
+      (match Spec.validity_decided ~inputs ~outputs with
+       | Error _ as e -> e
+       | Ok () ->
+         (match Spec.coherence ~outputs with
+          | Error _ as e -> e
+          | Ok () -> Spec.agreement_decided ~outputs))
 
 (* A fresh rng per instance: the explorer only branches probabilistic
    writes, so checked protocols must not consume local coins — the rng
@@ -60,10 +73,10 @@ let setup_of config ~n () =
   in
   (memory, body)
 
-let check_of config ~n ~complete outputs =
+let check_of config ~n =
   check_of_property config.property
     ~crash_tolerant:(config.faults.Fault.crashes > 0)
-    ~inputs:(Array.sub config.inputs 0 n) ~complete outputs
+    ~inputs:(Array.sub config.inputs 0 n)
 
 let target_of config =
   { Shrink.n = config.n;
@@ -199,11 +212,11 @@ type failure = {
 
 type outcome = (Por.stats, failure) result
 
-let run ?stop ?max_runs ?sink ?heartbeat ?resume ?checkpoint_every
+let run ?engine ?stop ?max_runs ?sink ?heartbeat ?resume ?checkpoint_every
     ?on_checkpoint config =
   let max_runs = Option.value max_runs ~default:config.max_runs in
   let result =
-    Por.explore ~max_depth:config.max_depth ~max_runs
+    Por.explore ?engine ~max_depth:config.max_depth ~max_runs
       ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop ?sink
       ?heartbeat ?resume ?checkpoint_every ?on_checkpoint ~n:config.n
       ~setup:(setup_of config ~n:config.n)
@@ -223,8 +236,8 @@ let run ?stop ?max_runs ?sink ?heartbeat ?resume ?checkpoint_every
     in
     Error { reason; stats; artifact; shrink_replays = !count }
 
-let replay config artifact =
-  Artifact.replay ~setup:(setup_of config ~n:artifact.Artifact.n)
+let replay ?engine config artifact =
+  Artifact.replay ?engine ~setup:(setup_of config ~n:artifact.Artifact.n)
     ~check:(check_of config ~n:artifact.Artifact.n)
     artifact
 
@@ -237,19 +250,27 @@ type cross = {
   por : Por.stats;
   outcomes_agree : bool;
   outcome_count : int;
+  engines_agree : bool;
 }
 
-let cross_check ?stop ?max_runs ?naive_heartbeat ?por_heartbeat config =
+let cross_check ?(engine = `Vm) ?stop ?max_runs ?naive_heartbeat ?por_heartbeat
+    config =
   let max_runs = Option.value max_runs ~default:config.max_runs in
   let collect () = Hashtbl.create 64 in
   let noting outcomes ~complete outputs =
+    (* Copy before keying: explorers reuse the outputs buffer across
+       leaves, and a hashtable key must not mutate after insertion. *)
     if complete && not (Hashtbl.mem outcomes outputs) then
-      Hashtbl.replace outcomes outputs ();
+      Hashtbl.replace outcomes (Array.copy outputs) ();
     check_of config ~n:config.n ~complete outputs
+  in
+  let sets_equal a b =
+    Hashtbl.length a = Hashtbl.length b
+    && Hashtbl.fold (fun k () acc -> acc && Hashtbl.mem b k) a true
   in
   let naive_outcomes = collect () in
   let naive =
-    Naive.explore ~max_depth:config.max_depth ~max_runs
+    Naive.explore ~engine ~max_depth:config.max_depth ~max_runs
       ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop
       ?heartbeat:naive_heartbeat ~n:config.n
       ~setup:(setup_of config ~n:config.n)
@@ -257,21 +278,32 @@ let cross_check ?stop ?max_runs ?naive_heartbeat ?por_heartbeat config =
   in
   let por_outcomes = collect () in
   let por =
-    Por.explore ~max_depth:config.max_depth ~max_runs
+    Por.explore ~engine ~max_depth:config.max_depth ~max_runs
       ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop
       ?heartbeat:por_heartbeat ~n:config.n
       ~setup:(setup_of config ~n:config.n)
       ~check:(noting por_outcomes) ()
   in
-  match (naive, por) with
-  | Ok naive, Ok por ->
-    let agree =
-      Hashtbl.length naive_outcomes = Hashtbl.length por_outcomes
-      && Hashtbl.fold
-           (fun k () acc -> acc && Hashtbl.mem por_outcomes k)
-           naive_outcomes true
-    in
-    Ok { naive; por; outcomes_agree = agree;
-         outcome_count = Hashtbl.length naive_outcomes }
-  | Error (reason, _), _ -> Error ("naive: " ^ reason)
-  | _, Error (reason, _, _) -> Error ("por: " ^ reason)
+  (* The engine differential: repeat the POR search under the other
+     program engine and demand identical statistics (hence identical
+     leaf order and pruning) and the identical complete-outcome set. *)
+  let other : Conrat_sim.Machine.engine =
+    match engine with `Vm -> `Tree | `Tree -> `Vm
+  in
+  let oracle_outcomes = collect () in
+  let oracle =
+    Por.explore ~engine:other ~max_depth:config.max_depth ~max_runs
+      ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop
+      ~n:config.n
+      ~setup:(setup_of config ~n:config.n)
+      ~check:(noting oracle_outcomes) ()
+  in
+  match (naive, por, oracle) with
+  | Ok naive, Ok por, Ok oracle ->
+    Ok { naive; por;
+         outcomes_agree = sets_equal naive_outcomes por_outcomes;
+         outcome_count = Hashtbl.length naive_outcomes;
+         engines_agree = por = oracle && sets_equal por_outcomes oracle_outcomes }
+  | Error (reason, _), _, _ -> Error ("naive: " ^ reason)
+  | _, Error (reason, _, _), _ -> Error ("por: " ^ reason)
+  | _, _, Error (reason, _, _) -> Error ("por (oracle engine): " ^ reason)

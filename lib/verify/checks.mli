@@ -75,6 +75,7 @@ type failure = {
 type outcome = (Por.stats, failure) result
 
 val run :
+  ?engine:Conrat_sim.Machine.engine ->
   ?stop:(unit -> bool) ->
   ?max_runs:int ->
   ?sink:Conrat_sim.Sink.t ->
@@ -87,9 +88,13 @@ val run :
     to {!Por.explore} (the heartbeat fires per leaf; rate limiting is
     the callback's business).  The config's [faults] model is applied
     to the exploration, the property, the shrinker and the recorded
-    artifact. *)
+    artifact.  [engine] selects the program engine (default the
+    compiled VM); results, checkpoints and artifacts are identical
+    under either. *)
 
-val replay : t -> Artifact.t -> (unit, string) result
+val replay :
+  ?engine:Conrat_sim.Machine.engine ->
+  t -> Artifact.t -> (unit, string) result
 (** Replay an artifact under this config's factory and property (the
     artifact's own [n]/[inputs]/bounds are used).  [Error _] means the
     violation reproduced. *)
@@ -99,13 +104,22 @@ type cross = {
   por : Por.stats;
   outcomes_agree : bool;    (** complete-execution outcome sets equal *)
   outcome_count : int;      (** distinct complete outcomes (naive) *)
+  engines_agree : bool;
+    (** the POR search repeated under the {e other} program engine gave
+        bit-identical statistics and the identical outcome set — the VM
+        vs tree differential *)
 }
 
 val cross_check :
+  ?engine:Conrat_sim.Machine.engine ->
   ?stop:(unit -> bool) ->
   ?max_runs:int ->
   ?naive_heartbeat:(runs:int -> steps:int -> depth:int -> unit) ->
   ?por_heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
   t -> (cross, string) result
-(** [Error _] if either engine found a property violation.  The two
-    heartbeats report the respective engine's progress. *)
+(** [Error _] if either algorithm found a property violation.  The two
+    heartbeats report the respective algorithm's progress.  Besides the
+    naive-vs-POR comparison, the POR search is repeated under the other
+    program engine ([engine] names the primary; default [`Vm]) and the
+    results compared — so one cross-check validates both the reduction
+    and the compiler. *)

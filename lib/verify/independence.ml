@@ -19,11 +19,23 @@ let footprint op =
     in
     { lo = l; hi = l + len; writes = false }
 
-let overlap a b = a.lo < b.hi && b.lo < a.hi
+(* [footprint] unpacked into scalar reads: [independent] sits on the
+   POR sleep-set filter's hot path, where two record allocations per
+   test would be the filter's whole cost. *)
+let op_writes (Op.Any o) =
+  match o with
+  | Op.Write _ | Op.Prob_write _ | Op.Prob_write_detect _ -> true
+  | Op.Read _ | Op.Collect _ -> false
+
+let op_hi (Op.Any o as any) =
+  match o with
+  | Op.Collect (_, len) -> Op.loc any + len
+  | Op.Read _ | Op.Write _ | Op.Prob_write _ | Op.Prob_write_detect _ ->
+    Op.loc any + 1
 
 let independent o1 o2 =
-  let f1 = footprint o1 and f2 = footprint o2 in
-  (not (overlap f1 f2)) || ((not f1.writes) && not f2.writes)
+  ((not (op_writes o1)) && not (op_writes o2))
+  || not (Op.loc o1 < op_hi o2 && Op.loc o2 < op_hi o1)
 
 (* Crash-aware transitions: a scheduling candidate is either executing
    a pending operation or crash-stopping the process. *)

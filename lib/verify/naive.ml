@@ -7,7 +7,7 @@ type stats = {
   steps : int;
 }
 
-let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
+let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     ?(faults = Fault.none) ?(stop = fun () -> false) ?heartbeat
     ?resume ?(checkpoint_every = 100_000) ?on_checkpoint ~n ~setup ~check () =
   let complete_count = ref 0 in
@@ -51,7 +51,7 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     if stopping then Ok (stats false)
     else begin
       incr runs;
-      let run = Explore.run_path ~max_depth ~cheap_collect ~faults ~n ~setup path in
+      let run = Explore.run_path ?engine ~max_depth ~cheap_collect ~faults ~n ~setup path in
       steps := !steps + run.Explore.steps;
       if run.Explore.completed then incr complete_count else incr truncated_count;
       (match heartbeat with

@@ -21,6 +21,7 @@ type stats = {
 }
 
 val explore :
+  ?engine:Conrat_sim.Machine.engine ->
   ?max_depth:int ->
   ?max_runs:int ->
   ?cheap_collect:bool ->
@@ -47,4 +48,6 @@ val explore :
     leaf, and a resumed run's statistics are bit-identical to an
     uninterrupted one ([Checkpoint.counts.pruned] is always [0] here).
     Defaults: [max_depth = 200], [max_runs = 2_000_000],
-    [checkpoint_every = 100_000]. *)
+    [checkpoint_every = 100_000].  [engine] selects the program engine
+    for each re-execution (default the compiled VM); leaf order and
+    statistics are identical under either. *)

@@ -12,62 +12,133 @@ let explored stats = stats.complete + stats.truncated
 
 (* A sleep-set element: a scheduling candidate — execute a process's
    pending operation (fixed until the process is scheduled) or, when
-   [crash] is set, crash-stop it.  A flat record rather than an
-   [Independence.action] wrapper: candidates are rebuilt at every
-   scheduling point of a multi-million-leaf DFS, so one allocation per
-   candidate is the budget ([op] is the already-allocated pending op
-   either way; it is meaningless-but-harmless for crash entries). *)
-type entry = {
-  pid : int;
-  op : Op.any;
-  crash : bool;
-}
+   the low bit is set, crash-stop it — numbered [pid * 2 + crash].
+   Within a state a pid's pending operation is fixed, so that pair
+   determines the transition; the operation itself is fetched from the
+   machine's pending table only when the independence filter actually
+   needs it.  A whole sleep set is then one int bitmask over those
+   element numbers (hence [n <= 31] on a 64-bit host): membership is a
+   bit test, insertion is [lor], and the independence filter builds the
+   child's set with shifts and masks — the sets are immediate values,
+   so the per-node and per-transition set operations of a
+   multi-million-leaf DFS allocate nothing at all.  Candidates are
+   likewise enumerated without materializing anything: candidate [i] of
+   a state with [k] enabled pids executes pid [en.(i)] when [i < k] and
+   crash-stops pid [en.(i - k)] otherwise (crash candidates exist only
+   while crash budget remains). *)
+let key ~pid ~crash = (pid lsl 1) lor (if crash then 1 else 0)
 
 (* Branch-point marks, kept on an explicit stack solely so the current
    path can be reported in Explore.run_path's encoding — when a check
    aborts the search, and as the checkpoint frontier.  All other
    per-node state (sleep sets, snapshots, depth, crash budget) lives in
    the DFS recursion.  Scheduling points with a single candidate are
-   not marked, matching the path encoding. *)
-type sched_mark = { mutable chosen : int }
-type coin_mark = { mutable outcome : int (* 0 = landed/fresh, 1 = missed/stale *) }
+   not marked, matching the path encoding.  A frame is one raw int —
+   the current candidate index at a scheduling point, the current coin
+   outcome (0 = landed/fresh, 1 = missed/stale) at a fork; the path
+   encoding reads the value the same way for both, so the stack needs
+   no tags and marking a branch point allocates nothing. *)
 
-type frame =
-  | Sched of sched_mark
-  | Coin of coin_mark
+let in_sleep sleep ~pid ~crash = sleep land (1 lsl key ~pid ~crash) <> 0
 
-(* Identity of a sleeping transition: pid plus action kind.  Within a
-   state a pid's pending operation is fixed, so (pid, crash?) determines
-   the transition; the op rides along only for the independence filter. *)
-let in_sleep sleep e =
-  List.exists (fun x -> x.pid = e.pid && x.crash = e.crash) sleep
+(* First candidate index at or after [i] not in the sleep set, or -1.
+   Module-level (machine state threaded through) so the per-node scan
+   allocates no closures. *)
+let rec first_awake sleep en k ncands i =
+  if i >= ncands then -1
+  else
+    let crash = i >= k in
+    let pid = if crash then en.(i - k) else en.(i) in
+    if in_sleep sleep ~pid ~crash then first_awake sleep en k ncands (i + 1)
+    else i
 
-(* [Independence.independent_actions] specialized to flat entries: two
+let any_of pending pid =
+  match pending.(pid) with
+  | Some o -> o
+  | None -> assert false (* sleeping/candidate pids are never finished *)
+
+(* [Independence.independent_actions] specialized to packed keys: two
    transitions of distinct processes commute unless both execute and
-   their operations conflict (a crash touches no register). *)
-let independent_entries x e =
-  x.pid <> e.pid && (x.crash || e.crash || Independence.independent x.op e.op)
+   their operations conflict (a crash touches no register).  [eop] is
+   the executing candidate's pending operation; a sleeper's is read
+   from the pending table at test time — it cannot have changed while
+   the entry slept, since executing or crashing its process would have
+   filtered the entry out as dependent (same pid) at that transition. *)
+(* Drop from [z] every sleeping {e execute} entry whose operation
+   conflicts with the executing transition's [eop] ([Independence]'s
+   crash-aware relation: crash entries commute with everything and stay
+   put; the caller already removed both entries of the executing pid).
+   [z] only holds execute bits here, so scanning pids 0..n-1 visits
+   each candidate once. *)
+let rec drop_dependent pending eop z q n =
+  if q >= n then z
+  else
+    let z =
+      if
+        z land (1 lsl (q lsl 1)) <> 0
+        && not (Independence.independent (any_of pending q) eop)
+      then z land lnot (1 lsl (q lsl 1))
+      else z
+    in
+    drop_dependent pending eop z (q + 1) n
+
+(* The child sleep set of descending via [pid]/[crash] from a state
+   asleep at [sleep]: remove both of [pid]'s entries (same-pid
+   transitions never commute), and — when the transition executes an
+   operation — remove sleeping execute entries dependent on it.  A
+   crash touches no register, so crashing keeps everything else. *)
+let filter_indep pending sleep ~pid ~crash ~n =
+  let z = sleep land lnot (3 lsl (pid lsl 1)) in
+  if crash || z land 0x1555555555555555 = 0 then z
+  else drop_dependent pending (any_of pending pid) z 0 n
 
 let corrupt () =
   invalid_arg "Por.explore: checkpoint path inconsistent with this config"
 
-let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
+let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     ?(faults = Fault.none) ?(stop = fun () -> false) ?sink ?heartbeat
     ?resume ?(checkpoint_every = 100_000) ?on_checkpoint ~n ~setup ~check () =
+  (* Sleep sets are int bitmasks over [2n] candidate keys.  Exhaustive
+     exploration is hopeless long before this bound binds. *)
+  if n > 31 then invalid_arg "Por.explore: n must be at most 31";
   let memory, body = setup () in
-  let machine = Machine.create ~cheap_collect ?sink ~n ~memory body in
-  let frames = ref (Array.make 64 (Coin { outcome = 0 })) in
+  let machine = Machine.create ?engine ~cheap_collect ?sink ~n ~memory body in
+  let frames = ref (Array.make 64 0) in
   let nframes = ref 0 in
-  let push f =
+  let push v =
     if !nframes = Array.length !frames then begin
-      let bigger = Array.make (2 * !nframes) f in
+      let bigger = Array.make (2 * !nframes) 0 in
       Array.blit !frames 0 bigger 0 !nframes;
       frames := bigger
     end;
-    !frames.(!nframes) <- f;
+    !frames.(!nframes) <- v;
     incr nframes
   in
   let pop () = decr nframes in
+  (* Snapshot pool, one slot per frame-stack level.  When a branch
+     point (or a fork below a sole-candidate chain) needs a snapshot at
+     level [!nframes], any snapshot previously pooled at that level
+     belonged to a node whose sibling loop has already finished — the
+     stack was back down to this level before control could get here —
+     so it is dead and can be refreshed in place.  This turns the
+     ~2 snapshots-per-leaf allocation stream of a big search into
+     [max_depth] allocations total; the LIFO restore discipline
+     required by {!Memory.restore_backup} is unchanged. *)
+  let snaps = ref (Array.make 64 None) in
+  let take_snapshot () =
+    let lvl = !nframes in
+    if lvl >= Array.length !snaps then begin
+      let bigger = Array.make (2 * Array.length !snaps) None in
+      Array.blit !snaps 0 bigger 0 (Array.length !snaps);
+      snaps := bigger
+    end;
+    match !snaps.(lvl) with
+    | Some s -> Machine.snapshot_into machine s; s
+    | None ->
+      let s = Machine.snapshot machine in
+      !snaps.(lvl) <- Some s;
+      s
+  in
   let complete_count = ref 0 in
   let truncated_count = ref 0 in
   let pruned_count = ref 0 in
@@ -106,12 +177,10 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
   let exception Out_of_budget in
   (* The current position in Explore.run_path's encoding; frames are
      kept on the stack when [Abort] unwinds, root first. *)
-  let current_path () =
-    List.init !nframes (fun i ->
-      match !frames.(i) with
-      | Sched s -> s.chosen
-      | Coin c -> c.outcome)
-  in
+  let current_path () = List.init !nframes (fun i -> !frames.(i)) in
+  (* One leaf-outputs buffer for the whole search: checks see the live
+     contents and must copy what they retain (see the mli). *)
+  let out_buf = Array.make n None in
   let leaf kind =
     (match !pending_offset with
      | Some prior -> steps_offset := prior - Machine.total_steps machine;
@@ -143,125 +212,124 @@ let explore ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     | (`Complete | `Truncated) as kind ->
       let complete = kind = `Complete in
       if complete then incr complete_count else incr truncated_count;
-      (match check ~complete (Machine.outputs machine) with
+      Machine.outputs_into machine out_buf;
+      (match check ~complete out_buf with
        | Ok () -> ()
        | Error reason -> raise (Abort reason))
   in
-  (* Scheduling candidates at the current state: executing each enabled
-     process (ascending pid), then — while crash budget remains —
-     crash-stopping each (same order).  Crashes after steps keeps the
-     all-zeros path the failure-free canonical execution and matches
-     Explore.run_path's arity layout choice for choice. *)
-  let candidates crashes_left =
-    let en = Machine.enabled machine in
-    if crashes_left > 0 then begin
-      let k = Array.length en in
-      Array.init (2 * k) (fun i ->
-        let crash = i >= k in
-        let pid = en.(if crash then i - k else i) in
-        { pid; op = Option.get (Machine.pending_op machine pid); crash })
-    end
-    else
-      (* Failure-free: same shape (and cost) as the pre-fault explorer. *)
-      Array.map
-        (fun pid ->
-          { pid; op = Option.get (Machine.pending_op machine pid); crash = false })
-        en
-  in
-  let rec first_awake entries sleep i =
-    if i >= Array.length entries then None
-    else if in_sleep sleep entries.(i) then first_awake entries sleep (i + 1)
-    else Some i
-  in
+  let pending = Machine.unsafe_pending machine in
   (* [descend z crashes_left depth]: the machine sits at a fresh state
-     whose inherited sleep set is [z].  Pick the first candidate not
-     asleep; if they all are, this path only revisits already-explored
-     traces — prune.  After a scheduling choice is fully explored it
-     enters the state's sleep set, so its subtree is never re-entered
-     from a sibling; trying the sibling restores the state snapshot
-     instead of re-executing from the root. *)
+     whose inherited sleep set is [z].  Scheduling candidates are
+     executing each enabled process (ascending pid), then — while crash
+     budget remains — crash-stopping each (same order); crashes after
+     steps keeps the all-zeros path the failure-free canonical
+     execution and matches Explore.run_path's arity layout choice for
+     choice.  Pick the first candidate not asleep; if they all are,
+     this path only revisits already-explored traces — prune.  After a
+     scheduling choice is fully explored it enters the state's sleep
+     set, so its subtree is never re-entered from a sibling; trying the
+     sibling restores the state snapshot instead of re-executing from
+     the root. *)
   let rec descend z crashes_left depth =
-    let cands = candidates crashes_left in
-    if Array.length cands = 0 then leaf `Complete
+    let en = Machine.enabled machine in
+    let k = Array.length en in
+    let ncands = if crashes_left > 0 then 2 * k else k in
+    if ncands = 0 then leaf `Complete
     else if depth >= max_depth then leaf `Truncated
     else begin
-      match first_awake cands z 0 with
-      | None -> leaf `Pruned
-      | Some i ->
-        if Array.length cands = 1 then
-          (* Sole candidate: no alternative can ever be tried here, so
-             no snapshot and no mark. *)
-          transition ~entry:cands.(0) ~sleep:z ~snap:None ~crashes_left ~depth
-        else begin
-          let snap = Machine.snapshot machine in
-          let mark = { chosen = i } in
-          push (Sched mark);
-          let sleep = ref z in
-          (match take_rail () with
-           | None -> ()
-           | Some c ->
-             (* Fast-forward: advance the first_awake progression to the
-                checkpointed choice, growing the sleep set exactly as
-                the interrupted run did but exploring nothing. *)
-             if c < 0 || c >= Array.length cands then corrupt ();
-             while mark.chosen <> c do
-               let e = cands.(mark.chosen) in
-               sleep := e :: !sleep;
-               match first_awake cands !sleep 0 with
-               | Some j -> mark.chosen <- j
-               | None -> corrupt ()
-             done);
-          let continue = ref true in
-          while !continue do
-            let e = cands.(mark.chosen) in
-            transition ~entry:e ~sleep:!sleep ~snap:(Some snap) ~crashes_left ~depth;
-            sleep := e :: !sleep;
-            match first_awake cands !sleep 0 with
-            | Some j ->
-              mark.chosen <- j;
-              Machine.restore machine snap
-            | None -> continue := false
-          done;
-          pop ()
-        end
+      let i = first_awake z en k ncands 0 in
+      if i < 0 then leaf `Pruned
+      else if ncands = 1 then
+        (* Sole candidate: no alternative can ever be tried here, so
+           no snapshot and no mark. *)
+        transition ~pid:en.(0) ~crash:false ~sleep:z ~snap:None ~crashes_left
+          ~depth
+      else begin
+        let snap = take_snapshot () in
+        let snapo = Some snap in
+        let fi = !nframes in
+        push i;
+        let sleep0 =
+          match take_rail () with
+          | None -> z
+          | Some c ->
+            (* Fast-forward: advance the first_awake progression to the
+               checkpointed choice, growing the sleep set exactly as
+               the interrupted run did but exploring nothing. *)
+            if c < 0 || c >= ncands then corrupt ();
+            let sleep = ref z in
+            while !frames.(fi) <> c do
+              let i = !frames.(fi) in
+              let crash = i >= k in
+              let pid = if crash then en.(i - k) else en.(i) in
+              sleep := !sleep lor (1 lsl key ~pid ~crash);
+              let j = first_awake !sleep en k ncands 0 in
+              if j >= 0 then !frames.(fi) <- j else corrupt ()
+            done;
+            !sleep
+        in
+        siblings fi en k ncands snap snapo crashes_left depth sleep0;
+        pop ()
+      end
+    end
+  (* The sibling loop of one scheduling node, as a recursion so the
+     growing sleep set stays an immediate parameter. *)
+  and siblings fi en k ncands snap snapo crashes_left depth sleep =
+    let i = !frames.(fi) in
+    let crash = i >= k in
+    let pid = if crash then en.(i - k) else en.(i) in
+    transition ~pid ~crash ~sleep ~snap:snapo ~crashes_left ~depth;
+    let sleep = sleep lor (1 lsl key ~pid ~crash) in
+    let j = first_awake sleep en k ncands 0 in
+    if j >= 0 then begin
+      !frames.(fi) <- j;
+      Machine.restore machine snap;
+      siblings fi en k ncands snap snapo crashes_left depth sleep
     end
   (* Descend through one chosen transition: candidates that commute with
      it (crash-aware relation) stay asleep below.  A probabilistic write
      with 0 < p < 1 forks on the coin and a weak-register read forks on
      freshness; either fork's pre-state is the scheduling state itself,
      so the node snapshot is reused when there is one. *)
-  and transition ~entry ~sleep ~snap ~crashes_left ~depth =
-    let z' = List.filter (fun x -> independent_entries x entry) sleep in
-    if entry.crash then begin
-      Machine.crash machine ~pid:entry.pid;
+  and transition ~pid ~crash ~sleep ~snap ~crashes_left ~depth =
+    let z' = if sleep = 0 then 0 else filter_indep pending sleep ~pid ~crash ~n in
+    if crash then begin
+      Machine.crash machine ~pid;
       descend z' (crashes_left - 1) (depth + 1)
     end
     else
-      match Explore.coin_of_op ~memory entry.op with
-      | `Det landed ->
-        Machine.step_forced machine ~pid:entry.pid ~landed;
+      (* [coin_class] reads the machine's pending descriptor for the
+         pid — pending operations are fixed until the process is
+         scheduled.  Under the VM the class is cached per pc, so this
+         allocates nothing. *)
+      match Machine.coin_class machine pid with
+      | 0 ->
+        Machine.step_forced machine ~pid ~landed:false;
         descend z' crashes_left (depth + 1)
-      | `Coin -> fork ~entry ~z' ~snap ~crashes_left ~depth ~landed0:true
-      | `Weak -> fork ~entry ~z' ~snap ~crashes_left ~depth ~landed0:false
+      | 1 ->
+        Machine.step_forced machine ~pid ~landed:true;
+        descend z' crashes_left (depth + 1)
+      | 2 -> fork ~pid ~z' ~snap ~crashes_left ~depth ~landed0:true
+      | _ -> fork ~pid ~z' ~snap ~crashes_left ~depth ~landed0:false
   (* Two-way fork on the coin (choice 0 = [landed0]) or on freshness
      (choice 0 = fresh): straight-line, since this is the inner loop. *)
-  and fork ~entry ~z' ~snap ~crashes_left ~depth ~landed0 =
-    let snap = match snap with Some s -> s | None -> Machine.snapshot machine in
-    let mark = { outcome = 0 } in
-    push (Coin mark);
+  and fork ~pid ~z' ~snap ~crashes_left ~depth ~landed0 =
+    let snap = match snap with Some s -> s | None -> take_snapshot () in
+    let fi = !nframes in
+    push 0;
     let start = match take_rail () with None -> 0 | Some c -> c in
     if start < 0 || start > 1 then corrupt ();
     if start = 0 then begin
-      Machine.step_forced machine ~pid:entry.pid ~landed:landed0;
+      Machine.step_forced machine ~pid ~landed:landed0;
       descend z' crashes_left (depth + 1);
       Machine.restore machine snap
     end;
-    mark.outcome <- 1;
-    Machine.step_forced machine ~pid:entry.pid ~landed:(not landed0);
+    !frames.(fi) <- 1;
+    Machine.step_forced machine ~pid ~landed:(not landed0);
     descend z' crashes_left (depth + 1);
     pop ()
   in
-  match descend [] faults.Fault.crashes 0 with
+  match descend 0 faults.Fault.crashes 0 with
   | () -> Ok (stats true)
   | exception Out_of_budget -> Ok (stats false)
   | exception Abort reason -> Error (reason, current_path (), stats false)

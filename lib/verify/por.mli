@@ -65,6 +65,7 @@ val explored : stats -> int
     reduction. *)
 
 val explore :
+  ?engine:Conrat_sim.Machine.engine ->
   ?max_depth:int ->
   ?max_runs:int ->
   ?cheap_collect:bool ->
@@ -84,7 +85,10 @@ val explore :
     counts pruned paths too (each reaches a leaf), and a [check]
     failure additionally returns the failing branch path, in
     {!Conrat_sim.Explore.run_path}'s encoding, ready for
-    {!Shrink.minimize} and {!Artifact} replay.  [sink] observes every
+    {!Shrink.minimize} and {!Artifact} replay.  One more caveat born of
+    the leaf rate: the outputs array passed to [check] is a single
+    buffer reused across every leaf — copy it to retain it beyond the
+    call.  [sink] observes every
     machine transition (including snapshot/restore backtracking);
     [heartbeat] fires once per leaf (pruned leaves included) with
     running totals — rate limiting is the callback's business.
@@ -103,4 +107,10 @@ val explore :
     re-counting and continues; the completed search's statistics and
     outcome sequence are bit-identical to an uninterrupted run.  A
     [resume] value inconsistent with the config raises
-    [Invalid_argument]. *)
+    [Invalid_argument].
+
+    [engine] selects the program engine behind the machine (default the
+    compiled VM, {!Conrat_sim.Machine.engine}); the traversal order,
+    pruning decisions, statistics, checkpoints and outcome sequence are
+    identical under either engine, so a checkpoint saved under one can
+    be resumed under the other. *)

@@ -360,6 +360,34 @@ let () =
   expect "resume missing file" ~code:2 ~stderr_has:"cannot load checkpoint"
     (run "check --resume /nonexistent/ck.sexp binary_ratifier_n2");
 
+  (* ---- program engine (vm vs tree) -------------------------------- *)
+
+  expect "check --engine tree" ~code:0 ~stdout_has:"exhausted"
+    (run "check --engine tree binary_ratifier_n2");
+  expect "check --engine bad value" ~code:2 ~stderr_has:"bad --engine"
+    (run "check --engine bogus binary_ratifier_n2");
+
+  (* the two program engines report bit-identical statistics *)
+  let _, tree_out, _ = run "check --engine tree binary_ratifier_n3_f1" in
+  if stats_of full_out <> stats_of tree_out then
+    failf "program engines not bit-identical: %S vs %S" (stats_of full_out)
+      (stats_of tree_out);
+
+  (* an artifact found under the vm replays under the tree oracle *)
+  expect "replay artifact under tree engine" ~code:0 ~stdout_has:"reproduced"
+    (run (Printf.sprintf "check --engine tree --replay %s"
+            (Filename.quote artifact)));
+
+  (* --json rows carry the program engine alongside the algorithm *)
+  let code, out, _ = run "check --engine tree binary_ratifier_n2 --json -" in
+  expect "check --json exec_engine runs" ~code:0 (code, out, "");
+  if not (contains ~needle:"\"exec_engine\":\"tree\"" out) then
+    failf "check --json: exec_engine field missing (got: %s)" out;
+  let code, out, _ = run "check binary_ratifier_n2 --json -" in
+  expect "check --json default engine runs" ~code:0 (code, out, "");
+  if not (contains ~needle:"\"exec_engine\":\"vm\"" out) then
+    failf "check --json: default exec_engine not vm (got: %s)" out;
+
   (* ---- sweep: faults + JSON + SIGINT ------------------------------ *)
 
   let code, out, _ = run "sweep -n 3 -t 25 --faults crash:f=1 --json -" in

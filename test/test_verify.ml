@@ -162,7 +162,8 @@ let test_por_conflicting_writers () =
   in
   let outcomes = Hashtbl.create 16 in
   let note ~complete outputs =
-    if complete then Hashtbl.replace outcomes outputs ();
+    (* Copy: Por reuses the outputs buffer across leaves. *)
+    if complete then Hashtbl.replace outcomes (Array.copy outputs) ();
     Ok ()
   in
   let naive_total =

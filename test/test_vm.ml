@@ -1,0 +1,387 @@
+(* Differential tests: the compiled flat-instruction VM vs the tree
+   interpreter.
+
+   The Machine façade runs either program engine (Machine.engine); the
+   refactor's correctness contract is that everything observable —
+   traces, sink event streams, metrics, outputs, crash sets, branch
+   records, leaf order and statistics of all three explorers — is
+   bit-identical under both.  This file checks that contract
+   differentially: every registry config (including the expected-fail
+   demos) × random schedules × random fault models, plus the stateful
+   explorer, POR and naive enumerators leaf for leaf, the Monte Carlo
+   scheduler under randomized adversaries, cross-engine checkpoint
+   resume, and byte-identity of the committed counterexample
+   fixtures. *)
+
+open Conrat_sim
+open Conrat_verify
+
+let checkb = Alcotest.check Alcotest.bool
+let tc = Alcotest.test_case
+
+let config name =
+  match Checks.find name with
+  | Some c -> c
+  | None -> Alcotest.failf "no checker config named %s" name
+
+(* Registry configs plus the expected-fail demos: the differential does
+   not care whether the property holds, only that both engines see the
+   identical execution, so broken protocols are test vectors too. *)
+let all_configs = Checks.all @ Checks.demos
+
+(* ------------------------------------------------------------------ *)
+(* Recording sink: the full observability event stream as data         *)
+(* ------------------------------------------------------------------ *)
+
+type ev =
+  | Ev_op of int * int * Op.kind * Memory.loc * bool * string option
+  | Ev_decide of int * int
+  | Ev_crash of int * int
+  | Ev_snapshot of int
+  | Ev_restore of int
+
+let recording_sink events =
+  Sink.make
+    ~on_op:(fun ~step ~pid ~kind ~loc ~landed ~stage ->
+      events := Ev_op (step, pid, kind, loc, landed, stage) :: !events)
+    ~on_decide:(fun ~step ~pid -> events := Ev_decide (step, pid) :: !events)
+    ~on_crash:(fun ~step ~pid -> events := Ev_crash (step, pid) :: !events)
+    ~on_snapshot:(fun ~step -> events := Ev_snapshot step :: !events)
+    ~on_restore:(fun ~step -> events := Ev_restore step :: !events)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* run_path: random schedules × random fault models (qcheck)           *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_run_path_differential =
+  let gen =
+    QCheck.Gen.(
+      quad
+        (int_bound (List.length all_configs - 1))
+        (list_size (int_bound 80) (int_bound 12))
+        (int_bound 2)
+        bool)
+  in
+  let print (i, path, crashes, weak) =
+    Printf.sprintf "%s path=[%s] crashes=%d weak=%b"
+      (List.nth all_configs i).Checks.name
+      (String.concat ";" (List.map string_of_int path))
+      crashes weak
+  in
+  QCheck.Test.make ~count:300
+    ~name:"run_path: vm = tree (trace, sink events, outputs, branches)"
+    (QCheck.make ~print gen)
+    (fun (i, path, crashes, weak) ->
+      let c0 = List.nth all_configs i in
+      let faults = Fault.model ~crashes ~weak_reads:weak () in
+      let c = { c0 with Checks.faults } in
+      (* Fault injection can break a protocol's internal assumptions
+         (e.g. a stale read of a process's own slot trips an assert in
+         the fallback).  That is a property of the protocol under the
+         fault model, not of the engine — so the differential compares
+         the exception (and the event stream up to it) too. *)
+      let run engine =
+        let events = ref [] in
+        let r =
+          try
+            Ok
+              (Explore.run_path ~engine ~record:true
+                 ~max_depth:c.Checks.max_depth
+                 ~cheap_collect:c.Checks.cheap_collect ~faults
+                 ~sink:(recording_sink events) ~n:c.Checks.n
+                 ~setup:(Checks.setup_of c ~n:c.Checks.n)
+                 path)
+          with e -> Error (Printexc.to_string e)
+        in
+        (r, List.rev !events)
+      in
+      let (a, ea) = run `Vm in
+      let (b, eb) = run `Tree in
+      let agree =
+        ea = eb
+        &&
+        match (a, b) with
+        | Error ma, Error mb -> ma = mb
+        | Ok a, Ok b ->
+          (match (a.Explore.trace, b.Explore.trace) with
+           | Some ta, Some tb -> Trace.equal ta tb
+           | _ -> false)
+          && a.Explore.outputs = b.Explore.outputs
+          && a.Explore.completed = b.Explore.completed
+          && a.Explore.crashed = b.Explore.crashed
+          && a.Explore.branches = b.Explore.branches
+          && a.Explore.steps = b.Explore.steps
+        | Ok _, Error _ | Error _, Ok _ -> false
+      in
+      if not agree then
+        QCheck.Test.fail_reportf "%s: vm and tree executions diverge"
+          (print (i, path, crashes, weak))
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Explorers: identical leaf sequences and statistics                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A leaf is (complete?, outputs, crash set); comparing the sequences
+   (not just the sets) pins the traversal order, which the committed
+   checkpoints and BENCH_VERIFY statistics depend on.  The run cap
+   keeps big configs cheap — identical traversal means the capped
+   prefixes coincide leaf for leaf, exhausted flag included. *)
+let explore_leaves engine (c : Checks.t) ~max_runs =
+  let acc = ref [] in
+  let result =
+    Explore.explore ~engine ~max_depth:c.Checks.max_depth ~max_runs
+      ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults
+      ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(fun ~complete outputs ->
+        acc := (complete, Array.copy outputs) :: !acc;
+        Ok ())
+      ()
+  in
+  (result, List.rev !acc)
+
+let test_explore_leaf_differential name () =
+  let c = config name in
+  let a = explore_leaves `Vm c ~max_runs:5_000 in
+  let b = explore_leaves `Tree c ~max_runs:5_000 in
+  checkb (name ^ ": explore leaf sequences and stats agree") true (a = b)
+
+let por_leaves engine (c : Checks.t) ~max_runs =
+  let acc = ref [] in
+  let result =
+    Por.explore ~engine ~max_depth:c.Checks.max_depth ~max_runs
+      ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults
+      ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(fun ~complete outputs ->
+        acc := (complete, Array.copy outputs) :: !acc;
+        Ok ())
+      ()
+  in
+  (result, List.rev !acc)
+
+let test_por_leaf_differential (c : Checks.t) () =
+  let a = por_leaves `Vm c ~max_runs:3_000 in
+  let b = por_leaves `Tree c ~max_runs:3_000 in
+  checkb (c.Checks.name ^ ": por leaf sequences and stats agree") true (a = b)
+
+let naive_leaves engine (c : Checks.t) ~max_runs =
+  let acc = ref [] in
+  let result =
+    Naive.explore ~engine ~max_depth:c.Checks.max_depth ~max_runs
+      ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults
+      ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(fun ~complete outputs ->
+        acc := (complete, Array.copy outputs) :: !acc;
+        Ok ())
+      ()
+  in
+  (result, List.rev !acc)
+
+let test_naive_leaf_differential (c : Checks.t) () =
+  let a = naive_leaves `Vm c ~max_runs:300 in
+  let b = naive_leaves `Tree c ~max_runs:300 in
+  checkb (c.Checks.name ^ ": naive leaf sequences and stats agree") true (a = b)
+
+(* The built-in triple differential: naive vs POR outcome sets AND the
+   POR search repeated under the other program engine. *)
+let test_cross_check_engines name () =
+  match Checks.cross_check ~max_runs:100_000 (config name) with
+  | Ok x ->
+    checkb (name ^ ": naive and por outcome sets agree") true
+      x.Checks.outcomes_agree;
+    checkb (name ^ ": vm and tree engines agree") true x.Checks.engines_agree
+  | Error e -> Alcotest.failf "%s: cross_check violation: %s" name e
+
+(* ------------------------------------------------------------------ *)
+(* Monte Carlo scheduler: trace, metrics and work identical (qcheck)   *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_scheduler_differential =
+  let adversaries =
+    [| Adversary.round_robin; Adversary.random_uniform; Adversary.write_stalker |]
+  in
+  QCheck.Test.make ~count:120
+    ~name:"scheduler: vm = tree (trace, outputs, metrics)"
+    QCheck.(triple (int_range 1 5) (int_range 0 1_000_000) (int_range 0 2))
+    (fun (n, seed, adv) ->
+      let adversary = adversaries.(adv) in
+      let protocol = Conrat_core.Consensus.standard ~m:2 in
+      let inputs = Array.init n (fun pid -> pid mod 2) in
+      let run engine =
+        let memory = Memory.create () in
+        let instance = protocol.Conrat_core.Consensus.instantiate ~n memory in
+        Scheduler.run ~engine ~record:true ~max_steps:100_000 ~n ~adversary
+          ~rng:(Rng.create seed) ~memory (fun ~pid ~rng ->
+            instance.Conrat_core.Consensus.decide ~pid ~rng inputs.(pid))
+      in
+      let a = run `Vm in
+      let b = run `Tree in
+      let traces_equal =
+        match (a.Scheduler.trace, b.Scheduler.trace) with
+        | Some ta, Some tb -> Trace.equal ta tb
+        | _ -> false
+      in
+      if
+        not
+          (traces_equal
+          && a.Scheduler.outputs = b.Scheduler.outputs
+          && a.Scheduler.completed = b.Scheduler.completed
+          && a.Scheduler.steps = b.Scheduler.steps
+          && a.Scheduler.registers = b.Scheduler.registers
+          && Metrics.counts_to_array (Metrics.counts a.Scheduler.metrics)
+             = Metrics.counts_to_array (Metrics.counts b.Scheduler.metrics)
+          && Metrics.individual a.Scheduler.metrics
+             = Metrics.individual b.Scheduler.metrics)
+      then
+        QCheck.Test.fail_reportf
+          "scheduler(n=%d, seed=%d, %s): vm and tree diverge" n seed
+          adversary.Adversary.name
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints round-trip across engines                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A checkpoint is a DFS frontier in the path encoding, which both
+   engines traverse identically — so a run interrupted under one
+   program engine must resume under the other with final statistics
+   bit-identical to an uninterrupted run. *)
+let test_checkpoint_cross_engine ~from_engine ~to_engine name () =
+  let c = config name in
+  let explore ?resume ?on_checkpoint ~engine ~max_runs () =
+    Por.explore ~engine ~max_depth:c.Checks.max_depth ~max_runs
+      ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults
+      ?resume ?on_checkpoint ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(Checks.check_of c ~n:c.Checks.n)
+      ()
+  in
+  let full =
+    match explore ~engine:from_engine ~max_runs:2_000_000 () with
+    | Ok s -> s
+    | Error (e, _, _) -> Alcotest.failf "%s: unexpected violation: %s" name e
+  in
+  checkb (name ^ ": uninterrupted run exhausts") true full.Por.exhausted;
+  let saved = ref None in
+  (match
+     explore ~engine:from_engine ~max_runs:40
+       ~on_checkpoint:(fun cts -> saved := Some cts)
+       ()
+   with
+   | Ok s -> checkb (name ^ ": interrupted run hit the cap") false s.Por.exhausted
+   | Error (e, _, _) -> Alcotest.failf "%s: unexpected violation: %s" name e);
+  let resume =
+    match !saved with
+    | Some cts -> cts
+    | None -> Alcotest.failf "%s: no checkpoint was saved" name
+  in
+  match explore ~engine:to_engine ~resume ~max_runs:2_000_000 () with
+  | Ok s ->
+    checkb (name ^ ": cross-engine resume = uninterrupted stats") true (s = full)
+  | Error (e, _, _) -> Alcotest.failf "%s: resumed run violation: %s" name e
+
+(* ------------------------------------------------------------------ *)
+(* Committed fixtures replay byte-identically through the VM           *)
+(* ------------------------------------------------------------------ *)
+
+let load_fixture name =
+  match Artifact.load (Filename.concat "fixtures" name) with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "cannot load fixture %s: %s" name e
+
+(* Rebuild the artifact from scratch by re-running its path (through
+   the default engine, the VM) and compare the serialized bytes with
+   the committed file — reason, trace and float serialization must all
+   reproduce exactly. *)
+let test_fixture_bytes_identical file () =
+  let a = load_fixture file in
+  let c = config a.Artifact.checker in
+  let rebuilt =
+    Artifact.of_failure ~checker:a.Artifact.checker ~n:a.Artifact.n
+      ~inputs:a.Artifact.inputs ~max_depth:a.Artifact.max_depth
+      ~cheap_collect:a.Artifact.cheap_collect ~faults:a.Artifact.faults
+      ~setup:(Checks.setup_of c ~n:a.Artifact.n)
+      ~check:(Checks.check_of c ~n:a.Artifact.n)
+      a.Artifact.path
+  in
+  let tmpdir = Filename.temp_file "conrat_vm_fixture" "" in
+  Sys.remove tmpdir;
+  Sys.mkdir tmpdir 0o700;
+  (* The header comment embeds the basename the artifact was saved
+     under; the committed fixtures were written by `conrat check` as
+     <checker>.counterexample.sexp before being moved into fixtures/. *)
+  let tmp =
+    Filename.concat tmpdir (a.Artifact.checker ^ ".counterexample.sexp")
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists tmp then Sys.remove tmp;
+      Sys.rmdir tmpdir)
+    (fun () ->
+      Artifact.save tmp rebuilt;
+      let bytes f = In_channel.with_open_bin f In_channel.input_all in
+      checkb (file ^ ": regenerated bytes = committed bytes") true
+        (bytes tmp = bytes (Filename.concat "fixtures" file)))
+
+(* Both engines reproduce the fixture's recorded violation verbatim. *)
+let test_fixture_replays_both_engines file () =
+  let a = load_fixture file in
+  let c = config a.Artifact.checker in
+  List.iter
+    (fun engine ->
+      match Checks.replay ~engine c a with
+      | Error reason ->
+        checkb (file ^ ": replay reproduces the recorded reason") true
+          (reason = a.Artifact.reason)
+      | Ok () -> Alcotest.failf "%s: fixture did not reproduce" file)
+    [ `Vm; `Tree ]
+
+let fixture_files =
+  Sys.readdir "fixtures" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "conrat vm"
+    [ ( "differential",
+        [ QCheck_alcotest.to_alcotest qcheck_run_path_differential;
+          QCheck_alcotest.to_alcotest qcheck_scheduler_differential ] );
+      ( "explore",
+        List.map
+          (fun name -> tc name `Quick (test_explore_leaf_differential name))
+          [ "binary_ratifier_n2"; "binary_ratifier_n3";
+            "cheap_collect_ratifier_n2"; "conciliator_n2"; "composite_n2";
+            "fallback_n2_d28"; "binary_ratifier_n2_f1"; "binary_ratifier_n2_weak" ] );
+      ( "por",
+        List.map
+          (fun c -> tc c.Checks.name `Quick (test_por_leaf_differential c))
+          all_configs );
+      ( "naive",
+        List.map
+          (fun c -> tc c.Checks.name `Quick (test_naive_leaf_differential c))
+          all_configs );
+      ( "cross-check",
+        List.map
+          (fun name -> tc name `Quick (test_cross_check_engines name))
+          [ "binary_ratifier_n2"; "cheap_collect_ratifier_n2";
+            "binary_ratifier_n2_f1" ] );
+      ( "checkpoint",
+        [ tc "vm save, tree resume" `Quick
+            (test_checkpoint_cross_engine ~from_engine:`Vm ~to_engine:`Tree
+               "binary_ratifier_n3_f1");
+          tc "tree save, vm resume" `Quick
+            (test_checkpoint_cross_engine ~from_engine:`Tree ~to_engine:`Vm
+               "binary_ratifier_n3_f1") ] );
+      ( "fixtures",
+        List.concat_map
+          (fun file ->
+            [ tc (file ^ " bytes") `Quick (test_fixture_bytes_identical file);
+              tc (file ^ " replays") `Quick
+                (test_fixture_replays_both_engines file) ])
+          fixture_files ) ]
