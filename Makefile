@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke verify fault-verify perf-verify obs-bench perf-step bench-gates check bench clean
+.PHONY: all build test smoke verify fault-verify par-verify perf-verify obs-bench perf-step bench-gates check bench clean
 
 all: build
 
@@ -52,6 +52,27 @@ fault-verify:
 	then echo "fault-verify: binary_ratifier_n2_weak unexpectedly passed"; exit 1; \
 	else echo "fault-verify: binary_ratifier_n2_weak caught (expected)"; fi
 
+# Parallel determinism gate: the differential suite (every registry
+# config at --jobs N vs sequential, dedup on/off, DPOR cross-checks,
+# steal/resume bit-identity, hash soundness), then an end-to-end CLI
+# smoke — the same config explored sequentially and at --jobs 2 must
+# produce byte-identical JSON reports once wall clock and the jobs
+# field are masked.
+par-verify:
+	$(DUNE) exec test/test_parallel.exe
+	$(DUNE) exec bin/conrat_cli.exe -- check fallback_n2_d28 \
+	  --json .par-verify-seq.json
+	$(DUNE) exec bin/conrat_cli.exe -- check fallback_n2_d28 --jobs 2 \
+	  --json .par-verify-j2.json
+	@sed -E 's/"jobs":[0-9]+/"jobs":_/; s/"wall_clock_seconds":[0-9.]+/"wall_clock_seconds":_/' \
+	  .par-verify-seq.json > .par-verify-seq.norm
+	@sed -E 's/"jobs":[0-9]+/"jobs":_/; s/"wall_clock_seconds":[0-9.]+/"wall_clock_seconds":_/' \
+	  .par-verify-j2.json > .par-verify-j2.norm
+	@diff -u .par-verify-seq.norm .par-verify-j2.norm \
+	  && echo "par-verify: --jobs 2 report bit-identical to sequential"
+	@rm -f .par-verify-seq.json .par-verify-j2.json \
+	  .par-verify-seq.norm .par-verify-j2.norm
+
 # Exploration-speed benchmark: the same configs under the same budget,
 # but also emitting BENCH_VERIFY.json (schema v1: executions explored,
 # machine steps, wall-clock per config) so exploration-speed
@@ -66,9 +87,17 @@ fault-verify:
 # and fail if the toggled bookkeeping costs more than FAULT_MAX_PCT
 # percent.  Writes BENCH_FAULT.json (committed; CI uploads the fresh
 # one).
+#
+# The third step is the parallel-scaling gate: fallback_n2_d34 at
+# jobs 1/2/4 through Parallel.explore_por, enforcing bit-identical
+# merged statistics, gating the jobs=2 speedup at PAR_MIN_SPEEDUP on
+# multi-core hosts (reported but not gated on single-core runners),
+# writing BENCH_PAR.json and splicing the per-jobs scaling rows into
+# $(PERF_VERIFY_JSON).
 PERF_VERIFY_BUDGET ?= 120
 PERF_VERIFY_JSON ?= BENCH_VERIFY.json
 FAULT_MAX_PCT ?= 3.0
+PAR_MIN_SPEEDUP ?= 1.6
 perf-verify:
 ifeq ($(PERF_VERIFY_BUDGET),0)
 	$(DUNE) exec bin/conrat_cli.exe -- check all --json $(PERF_VERIFY_JSON)
@@ -79,6 +108,9 @@ endif
 	@test -s $(PERF_VERIFY_JSON) && echo "perf-verify: $(PERF_VERIFY_JSON) written"
 	$(DUNE) exec bench/fault_overhead.exe -- --max-overhead-pct $(FAULT_MAX_PCT)
 	@test -s BENCH_FAULT.json && echo "perf-verify: BENCH_FAULT.json written"
+	$(DUNE) exec bench/par_scaling.exe -- \
+	  --min-speedup $(PAR_MIN_SPEEDUP) --splice $(PERF_VERIFY_JSON)
+	@test -s BENCH_PAR.json && echo "perf-verify: BENCH_PAR.json written"
 
 # Observability-overhead gate: POR-explore fallback_n2_d28 with no
 # sink vs a null sink, best-of-5, and fail if the disabled-sink hot
@@ -110,8 +142,9 @@ perf-step:
 
 # Every committed performance gate in one target — what CI runs after
 # the correctness stages: exploration speed (BENCH_VERIFY.json) +
-# fault-plane overhead (BENCH_FAULT.json), observability overhead
-# (BENCH_OBS.json), and the VM step-rate floor (BENCH_STEP.json).
+# fault-plane overhead (BENCH_FAULT.json) + parallel scaling
+# (BENCH_PAR.json), observability overhead (BENCH_OBS.json), and the
+# VM step-rate floor (BENCH_STEP.json).
 bench-gates: perf-verify obs-bench perf-step
 
 check: build test smoke verify

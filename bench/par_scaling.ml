@@ -1,0 +1,212 @@
+(* Parallel-scaling gate: explore one committed checker config to
+   exhaustion through {!Parallel.explore_por} at jobs = 1, 2 and 4, and
+   record the per-jobs wall clock as scaling rows in the bench
+   trajectory.
+
+   Two checks ride on the measurement:
+
+   - Bit-identity (always enforced): the merged statistics at every
+     jobs count — complete, truncated, pruned, steps, exhausted — must
+     equal the sequential run's exactly.  This is the cheap end-to-end
+     echo of test_parallel.ml's differential suite, run on the real
+     depth-34 workload.
+
+   - Speedup (multi-core hosts only): jobs = 2 must beat jobs = 1 by
+     --min-speedup (default 1.6x).  On a single-core host
+     (Domain.recommended_domain_count () < 2) extra domains are pure
+     overhead, so the floor is reported but not gated — the JSON
+     records "gated": false and CI on such a runner still exercises
+     the machinery without a meaningless failure.
+
+   Writes BENCH_PAR.json, and with --splice FILE appends the rows
+   (tagged "scaling": true) to the results array of an existing
+   verify-bench JSON (BENCH_VERIFY.json), after the sequential rows so
+   the Baseline reader's first-match lookup keeps resolving to the
+   jobs = 1 numbers.  `make perf-verify` is the entry point. *)
+
+open Conrat_verify
+
+let config_name = ref "fallback_n2_d34"
+let min_speedup = ref 1.6
+let out_file = ref "BENCH_PAR.json"
+let splice_file = ref ""
+
+let args =
+  [ ("--config", Arg.Set_string config_name,
+     "NAME  checker config to explore (default fallback_n2_d34)");
+    ("--min-speedup", Arg.Set_float min_speedup,
+     "X  required jobs=2 speedup on multi-core hosts (default 1.6)");
+    ("--out", Arg.Set_string out_file,
+     "FILE  JSON result file (default BENCH_PAR.json)");
+    ("--splice", Arg.Set_string splice_file,
+     "FILE  verify-bench JSON to append the scaling rows to") ]
+
+let usage = "par_scaling [--config NAME] [--min-speedup X] [--splice FILE]"
+
+(* Append [rows] (pre-rendered JSON objects) to the "results" array of
+   a verify-bench file, replacing any rows from a previous splice
+   (identified by their "scaling":true tag) so the operation is
+   idempotent.  The producer writes one flat object per line, which is
+   what makes the line-level rewrite exact. *)
+let splice path rows =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lines = String.split_on_char '\n' contents in
+  let is_row l = String.length (String.trim l) > 0 && (String.trim l).[0] = '{'
+                 && String.length l > 4 (* not the document brace *)
+                 && l.[0] = ' ' in
+  let contains l sub =
+    let ll = String.length l and sl = String.length sub in
+    let rec scan i =
+      i + sl <= ll && (String.sub l i sl = sub || scan (i + 1))
+    in
+    scan 0
+  in
+  let header, rest =
+    let rec split acc = function
+      | [] -> (List.rev acc, [])
+      | l :: tl when contains l "\"results\"" -> (List.rev (l :: acc), tl)
+      | l :: tl -> split (l :: acc) tl
+    in
+    split [] lines
+  in
+  if rest = [] then begin
+    Printf.eprintf "par-bench: %s has no \"results\" array; not splicing\n" path;
+    exit 2
+  end;
+  let old_rows, footer =
+    let rec split acc = function
+      | [] -> (List.rev acc, [])
+      | l :: tl when is_row l -> split (l :: acc) tl
+      | l :: tl -> (List.rev acc, l :: tl)
+    in
+    split [] rest
+  in
+  let strip_comma l =
+    let l = String.trim l in
+    if String.length l > 0 && l.[String.length l - 1] = ',' then
+      String.sub l 0 (String.length l - 1)
+    else l
+  in
+  let kept =
+    List.filter (fun l -> not (contains l "\"scaling\":true")) old_rows
+    |> List.map strip_comma
+  in
+  let all = kept @ rows in
+  let n = List.length all in
+  let body =
+    List.mapi
+      (fun i l -> "    " ^ l ^ if i < n - 1 then "," else "")
+      all
+  in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) (header @ body @ footer);
+  close_out oc
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let config =
+    match Checks.find !config_name with
+    | Some c -> c
+    | None ->
+      Printf.eprintf "par_scaling: unknown checker config %s\n" !config_name;
+      exit 2
+  in
+  let n = config.Checks.n in
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    match
+      Parallel.explore_por ~jobs ~max_depth:config.Checks.max_depth
+        ~max_runs:config.Checks.max_runs
+        ~cheap_collect:config.Checks.cheap_collect
+        ~faults:config.Checks.faults ~n
+        ~setup:(Checks.setup_of config ~n)
+        ~check:(Checks.check_of config ~n) ()
+    with
+    | Ok s ->
+      let dt = Unix.gettimeofday () -. t0 in
+      if not s.Por.exhausted then begin
+        Printf.eprintf "par_scaling: %s did not exhaust under its budget\n"
+          !config_name;
+        exit 2
+      end;
+      (s, dt)
+    | Error (reason, _, _) ->
+      Printf.eprintf "par_scaling: %s violated its property: %s\n"
+        !config_name reason;
+      exit 2
+  in
+  let cores = Domain.recommended_domain_count () in
+  let measured =
+    List.map
+      (fun jobs ->
+        let s, dt = run jobs in
+        Printf.eprintf
+          "[par-bench] jobs=%d: %d executions, %d steps, %.3fs\n%!" jobs
+          (Por.explored s) s.Por.steps dt;
+        (jobs, s, dt))
+      [ 1; 2; 4 ]
+  in
+  let _, s1, t1 = List.hd measured in
+  List.iter
+    (fun (jobs, s, _) ->
+      if
+        s.Por.complete <> s1.Por.complete
+        || s.Por.truncated <> s1.Por.truncated
+        || s.Por.pruned <> s1.Por.pruned
+        || s.Por.steps <> s1.Por.steps
+      then begin
+        Printf.eprintf
+          "par_scaling: jobs=%d statistics differ from sequential \
+           (complete %d/%d truncated %d/%d pruned %d/%d steps %d/%d)\n"
+          jobs s.Por.complete s1.Por.complete s.Por.truncated s1.Por.truncated
+          s.Por.pruned s1.Por.pruned s.Por.steps s1.Por.steps;
+        exit 1
+      end)
+    measured;
+  let t2 =
+    match List.find_opt (fun (j, _, _) -> j = 2) measured with
+    | Some (_, _, t) -> t
+    | None -> nan
+  in
+  let speedup = t1 /. t2 in
+  let gated = cores >= 2 in
+  let ok = (not gated) || speedup >= !min_speedup in
+  let row (jobs, s, dt) =
+    Printf.sprintf
+      "{\"name\":%S,\"engine\":\"por\",\"exec_engine\":\"vm\",\"jobs\":%d,\
+       \"scaling\":true,\"executions\":%d,\"complete\":%d,\"truncated\":%d,\
+       \"pruned\":%d,\"steps\":%d,\"wall_clock_seconds\":%.3f,\
+       \"exhausted\":%b,\"ok\":%b}"
+      !config_name jobs (Por.explored s) s.Por.complete s.Por.truncated
+      s.Por.pruned s.Por.steps dt s.Por.exhausted ok
+  in
+  let rows = List.map row measured in
+  let oc = open_out !out_file in
+  Printf.fprintf oc
+    "{\n  \"schema_version\": 1,\n  \"kind\": \"par-scaling\",\n  \
+     \"config\": %S,\n  \"cores\": %d,\n  \"results\": [\n"
+    !config_name cores;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    %s%s\n" r
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"speedup_jobs2\": %.2f,\n  \"min_speedup\": %.2f,\n  \
+     \"gated\": %b,\n  \"ok\": %b\n}\n"
+    speedup !min_speedup gated ok;
+  close_out oc;
+  if !splice_file <> "" then splice !splice_file rows;
+  Printf.printf
+    "par-bench: %s jobs=2 speedup %.2fx over jobs=1 (floor %.1fx, %d core%s): %s\n"
+    !config_name speedup !min_speedup cores
+    (if cores = 1 then "" else "s")
+    (if not gated then "bit-identity OK, speedup not gated on a single core"
+     else if ok then "OK"
+     else "UNDER FLOOR");
+  if not ok then exit 1

@@ -358,8 +358,10 @@ let experiment_cmd =
 
 let check_cmd =
   let open Conrat_verify in
-  let action naive cross engine_s budget timeout max_runs artifact_dir replay json
-      faults checkpoint resume progress progress_interval quiet names =
+  let action naive cross dpor engine_s budget timeout max_runs artifact_dir
+      replay json faults checkpoint resume jobs dedup progress
+      progress_interval quiet names =
+    let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
     (* The program engine (VM vs tree interpreter) is orthogonal to the
        exploration algorithm (--naive / --cross): every algorithm runs
        on either engine with bit-identical results. *)
@@ -407,7 +409,8 @@ let check_cmd =
       (match List.find_opt (fun n -> Checks.find n = None) names with
        | Some bad ->
          Printf.eprintf "conrat: unknown checker %s (expected %s or 'all')\n" bad
-           (String.concat ", " (Checks.names @ Checks.demo_names));
+           (String.concat ", "
+              (Checks.names @ Checks.demo_names @ Checks.extended_names));
          exit 2
        | None -> ());
       let fault_override =
@@ -420,7 +423,45 @@ let check_cmd =
              Printf.eprintf "conrat: bad --faults %S: %s\n" s msg;
              exit 2)
       in
-      let engine_name = if cross then "cross" else if naive then "naive" else "por" in
+      let engine_name =
+        if cross then "cross"
+        else if naive then "naive"
+        else if dpor then "dpor"
+        else "por"
+      in
+      if dpor && (naive || cross) then begin
+        Printf.eprintf "conrat: --dpor excludes --naive/--cross\n";
+        exit 2
+      end;
+      if dpor && (jobs > 1 || dedup || checkpoint <> None || resume <> None)
+      then begin
+        Printf.eprintf
+          "conrat: --dpor is the sequential reduction oracle; it supports \
+           neither --jobs, --dedup nor checkpointing\n";
+        exit 2
+      end;
+      if dedup && (naive || cross) then begin
+        Printf.eprintf "conrat: --dedup applies to the POR engine only\n";
+        exit 2
+      end;
+      if dedup && engine_s = "tree" then begin
+        Printf.eprintf
+          "conrat: --dedup needs the VM engine's state hash (drop \
+           --engine tree)\n";
+        exit 2
+      end;
+      if dedup && (checkpoint <> None || resume <> None) then begin
+        Printf.eprintf
+          "conrat: --dedup does not combine with --checkpoint/--resume (the \
+           visited-state table is not serialized)\n";
+        exit 2
+      end;
+      if jobs > 1 && (checkpoint <> None || resume <> None) then begin
+        Printf.eprintf
+          "conrat: --checkpoint/--resume apply to sequential runs only (drop \
+           --jobs)\n";
+        exit 2
+      end;
       if (checkpoint <> None || resume <> None) && cross then begin
         Printf.eprintf "conrat: --checkpoint/--resume do not apply to --cross\n";
         exit 2
@@ -501,10 +542,19 @@ let check_cmd =
           let baseline_seconds =
             Option.map (fun e -> e.Conrat_obs.Baseline.wall_clock_seconds) b
           in
+          (* A fleet's heartbeat arrives pre-batched (one call per
+             worker flush, not one per leaf), so the tick countdown
+             that amortises clock reads on the sequential per-leaf
+             path would starve emission — check the clock every
+             call instead. *)
+          let check_every = if jobs > 1 then Some 1 else None in
           Some
             (Conrat_obs.Progress.create ?interval:progress_interval ?expected
-               ?baseline_seconds
-               ~label:(Printf.sprintf "%s/%s" name engine)
+               ?baseline_seconds ?check_every
+               ~label:
+                 (if jobs > 1 then
+                    Printf.sprintf "%s/%s (j%d)" name engine jobs
+                  else Printf.sprintf "%s/%s" name engine)
                ())
         end
       in
@@ -550,11 +600,11 @@ let check_cmd =
            "exec_engine" is the program engine (vm/tree). *)
         json_results :=
           Printf.sprintf
-            "{\"name\":%S,\"engine\":%S,\"exec_engine\":%S,\"executions\":%d,\
-             \"complete\":%d,\
+            "{\"name\":%S,\"engine\":%S,\"exec_engine\":%S,\"jobs\":%d,\
+             \"executions\":%d,\"complete\":%d,\
              \"truncated\":%d%s,\"steps\":%d,\"wall_clock_seconds\":%.3f,\
              \"exhausted\":%b,\"ok\":%b}"
-            name engine engine_s (complete + truncated) complete truncated
+            name engine engine_s jobs (complete + truncated) complete truncated
             pruned_field steps elapsed exhausted ok
           :: !json_results
       in
@@ -571,8 +621,12 @@ let check_cmd =
       let report_por ~stop name (s : Por.stats) elapsed =
         if not quiet then
           say
-            "%-26s explored=%d (complete=%d truncated=%d) pruned=%d steps=%d %s (%.1fs)"
-            name (Por.explored s) s.complete s.truncated s.pruned s.steps
+            "%-26s explored=%d (complete=%d truncated=%d) pruned=%d%s steps=%d %s (%.1fs)"
+            name (Por.explored s) s.complete s.truncated s.pruned
+            (if s.dedup_hits > 0 then
+               Printf.sprintf " (dedup_hits=%d)" s.dedup_hits
+             else "")
+            s.steps
             (if s.exhausted then "exhausted"
              else if stop () then "BUDGET EXCEEDED"
              else "run budget exceeded")
@@ -602,7 +656,7 @@ let check_cmd =
             let por_rep = reporter ~engine:"por" name in
             let result =
               Checks.cross_check ~engine:exec_engine ~stop
-                ~max_runs:(max_runs_of config)
+                ~max_runs:(max_runs_of config) ~jobs
                 ?naive_heartbeat:(naive_heartbeat naive_rep)
                 ?por_heartbeat:(por_heartbeat por_rep) config
             in
@@ -633,17 +687,29 @@ let check_cmd =
           else if naive then begin
             let rep = reporter ~engine:"naive" name in
             let result =
-              Naive.explore ~engine:exec_engine ~max_depth:config.Checks.max_depth
-                ~max_runs:(max_runs_of config)
-                ~cheap_collect:config.Checks.cheap_collect
-                ~faults:config.Checks.faults ~stop
-                ?heartbeat:(naive_heartbeat rep)
-                ?resume:resume_counts
-                ?on_checkpoint:(on_checkpoint ~name)
-                ~n:config.Checks.n
-                ~setup:(Checks.setup_of config ~n:config.Checks.n)
-                ~check:(Checks.check_of config ~n:config.Checks.n)
-                ()
+              if jobs > 1 then
+                Parallel.explore_naive ~jobs ~engine:exec_engine
+                  ~max_depth:config.Checks.max_depth
+                  ~max_runs:(max_runs_of config)
+                  ~cheap_collect:config.Checks.cheap_collect
+                  ~faults:config.Checks.faults ~stop
+                  ?heartbeat:(naive_heartbeat rep)
+                  ~n:config.Checks.n
+                  ~setup:(Checks.setup_of config ~n:config.Checks.n)
+                  ~check:(Checks.check_of config ~n:config.Checks.n)
+                  ()
+              else
+                Naive.explore ~engine:exec_engine ~max_depth:config.Checks.max_depth
+                  ~max_runs:(max_runs_of config)
+                  ~cheap_collect:config.Checks.cheap_collect
+                  ~faults:config.Checks.faults ~stop
+                  ?heartbeat:(naive_heartbeat rep)
+                  ?resume:resume_counts
+                  ?on_checkpoint:(on_checkpoint ~name)
+                  ~n:config.Checks.n
+                  ~setup:(Checks.setup_of config ~n:config.Checks.n)
+                  ~check:(Checks.check_of config ~n:config.Checks.n)
+                  ()
             in
             finish rep;
             match result with
@@ -663,13 +729,46 @@ let check_cmd =
               note_naive ~name ~ok:false s (elapsed ());
               failed := true
           end
+          else if dpor then begin
+            (* The dynamic-DPOR oracle: sequential, no artifacts — a
+               violation here reports and fails; re-run with the default
+               engine for a shrunk counterexample. *)
+            let rep = reporter ~engine:"dpor" name in
+            let result =
+              Por.explore_source ~engine:exec_engine
+                ~max_depth:config.Checks.max_depth
+                ~max_runs:(max_runs_of config)
+                ~cheap_collect:config.Checks.cheap_collect
+                ~faults:config.Checks.faults ~stop
+                ?heartbeat:(por_heartbeat rep)
+                ~n:config.Checks.n
+                ~setup:(Checks.setup_of config ~n:config.Checks.n)
+                ~check:(Checks.check_of config ~n:config.Checks.n)
+                ()
+            in
+            finish rep;
+            match result with
+            | Ok s ->
+              report_por ~stop name s (elapsed ());
+              note ~name ~engine:"dpor" ~complete:s.Por.complete
+                ~truncated:s.Por.truncated ~pruned:s.Por.pruned
+                ~steps:s.Por.steps ~exhausted:s.Por.exhausted ~ok:true
+                (elapsed ())
+            | Error (reason, _path, s) ->
+              say "%-26s VIOLATION: %s" name reason;
+              note ~name ~engine:"dpor" ~complete:s.Por.complete
+                ~truncated:s.Por.truncated ~pruned:s.Por.pruned
+                ~steps:s.Por.steps ~exhausted:s.Por.exhausted ~ok:false
+                (elapsed ());
+              failed := true
+          end
           else begin
             let rep = reporter ~engine:"por" name in
             let result =
               Checks.run ~engine:exec_engine ~stop ~max_runs:(max_runs_of config)
                 ?heartbeat:(por_heartbeat rep)
                 ?resume:resume_counts
-                ?on_checkpoint:(on_checkpoint ~name) config
+                ?on_checkpoint:(on_checkpoint ~name) ~jobs ~dedup config
             in
             finish rep;
             match result with
@@ -726,6 +825,25 @@ let check_cmd =
              ~doc:"Run both exploration algorithms (naive and POR) and compare \
                    complete-execution outcome sets; also repeats the POR search \
                    under the other program engine (vm vs tree) and compares.")
+  in
+  let dpor_arg =
+    Arg.(value & flag
+         & info [ "dpor" ]
+             ~doc:"Use the dynamic (source-set-style) partial-order-reduction \
+                   engine: backtracking points are added only where executed \
+                   transitions race, so it explores fewer executions than the \
+                   sleep-set engine while preserving the complete-execution \
+                   outcome set.  Sequential oracle only — excludes --jobs, \
+                   --dedup, --naive, --cross and checkpointing.")
+  in
+  let check_dedup_arg =
+    Arg.(value & flag
+         & info [ "dedup" ]
+             ~doc:"Prune scheduling states already visited at the same depth \
+                   and crash budget (hashed VM snapshots: program counters, \
+                   memory, fault bits).  Preserves the complete-execution \
+                   outcome set; execution counts shrink.  VM engine only; \
+                   excludes --naive/--cross/--dpor and checkpointing.")
   in
   let engine_arg =
     Arg.(value & opt string "vm"
@@ -822,10 +940,11 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Exhaustively verify named checker configs (POR engine by default)")
-    Term.(const action $ naive_arg $ cross_arg $ engine_arg $ budget_arg
-          $ timeout_arg
+    Term.(const action $ naive_arg $ cross_arg $ dpor_arg $ engine_arg
+          $ budget_arg $ timeout_arg
           $ max_runs_arg $ artifact_dir_arg $ replay_arg $ json_arg
-          $ faults_arg $ checkpoint_arg $ resume_arg $ progress_arg
+          $ faults_arg $ checkpoint_arg $ resume_arg $ jobs_arg
+          $ check_dedup_arg $ progress_arg
           $ progress_interval_arg $ quiet_arg $ names_arg)
 
 (* trace *)

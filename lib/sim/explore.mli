@@ -94,6 +94,14 @@ val next_path : (int * int) list -> int list option
     last alternative.  With {!run_path} this reconstitutes the
     historical re-execution enumerator (see [Conrat_verify.Naive]). *)
 
+val next_path_from : lo:int -> (int * int) list -> int list option
+(** Like {!next_path}, but branch points at positions [< lo] (from the
+    root) are pinned and never bumped: the enumeration covers exactly
+    the subtree sharing the record's first [lo] choices and returns
+    [None] when that subtree is exhausted.  [next_path] is
+    [next_path_from ~lo:0].  This is the unit of sharded naive
+    enumeration (see [Conrat_verify.Parallel]). *)
+
 val explore :
   ?engine:Machine.engine ->
   ?max_depth:int ->

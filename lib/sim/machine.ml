@@ -178,6 +178,32 @@ let coin_class t pid =
         | Op.Write _ -> 1
         | Op.Collect _ -> 0))
 
+(* Duplicate-detection hash over the machine's semantic state: the VM
+   pc file (pcs determine pending operations, stages and results), the
+   memory's cells and weak shadows, and the crashed set.  [steps] and
+   [total_steps] are work measures, not state, and the enabled set is
+   derived — none are folded.  VM-only: tree program states are
+   closures without a canonical encoding, which is exactly why the VM
+   exists; callers gate on [supports_state_hash]. *)
+let supports_state_hash t =
+  match t.state with Compiled _ -> true | Tree _ -> false
+
+let state_hash t =
+  match t.state with
+  | Tree _ -> invalid_arg "Machine.state_hash: the tree engine has no state hash"
+  | Compiled vm ->
+    let h1, h2 = Vm.hash_fold vm 0x3243F6A8 0x13198A2E in
+    let h1, h2 = Memory.hash_fold t.memory h1 h2 in
+    let m1 = ref h1 and m2 = ref h2 in
+    if t.ever_crashed then
+      for pid = 0 to t.n - 1 do
+        if t.crashed.(pid) then begin
+          m1 := Memory.mix1 !m1 (pid + 1);
+          m2 := Memory.mix2 !m2 (pid + 1)
+        end
+      done;
+    (!m1, !m2)
+
 (* The tree engine's op interpreter.  The coin outcome for
    probabilistic writes has already been decided by the caller; [apply]
    just carries it out and reports what a read observed (for trace

@@ -115,6 +115,24 @@ val coin_class : 'r t -> int -> int
     under the VM engine.  Raises {!Stuck} on a finished process under
     the tree engine. *)
 
+val supports_state_hash : 'r t -> bool
+(** Whether {!state_hash} is available — true exactly for the VM
+    engine, whose interned program counters give each program state a
+    canonical encoding.  Tree program states are closures and have
+    none; that engine exists as the differential oracle, not for
+    hashed exploration. *)
+
+val state_hash : 'r t -> int * int
+(** Two independent 63-bit hashes of the machine's semantic state: the
+    pc file, the memory (cells plus weak-register stale shadows, see
+    {!Memory.hash_fold}) and the crashed set.  Machines of one
+    exploration in semantically equal states — equal pending
+    operations, outputs, memory views and crash status for every
+    process — hash equal; step counters are work measures, not state,
+    and do not participate.  The explorers' duplicate-detection key
+    ([Conrat_verify.Por] dedup).  Raises [Invalid_argument] under the
+    tree engine; gate on {!supports_state_hash}. *)
+
 val step_forced : 'r t -> pid:int -> landed:bool -> unit
 (** Apply [pid]'s pending operation with the coin outcome already
     decided.  For reads, [landed = true] delivers the stale (pre-write)

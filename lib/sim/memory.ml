@@ -280,6 +280,35 @@ let restore_backup t b =
      journals (truncation is its undo). *)
   t.len <- b.b_len
 
+(* Two independent 63-bit FNV-1a-style folds over the live semantic
+   state, for the explorers' duplicate detection: the cell contents and
+   — on weak registers only, where it is observable — the stale-read
+   shadow.  Journals, capacities and marks are bookkeeping, not state,
+   and are deliberately excluded: two stores reached by different paths
+   are semantically equal iff their folds agree (up to collisions; two
+   multipliers make a collision need ~2^63 states per hash).  Weak
+   flags are configuration fixed at setup, identical across all states
+   of one exploration, so conditioning on them is stable. *)
+let mix1 h v = ((h lxor v) * 0x100000001B3) land max_int
+let mix2 h v = ((h lxor v) * 0x27D4EB2F165667C5) land max_int
+
+(* [None] (never-written) and [Some v] must hash apart for every v. *)
+let enc = function None -> 0x5bd1e995 | Some v -> (v lsl 1) lor 1
+
+let hash_fold t h1 h2 =
+  let h1 = ref (mix1 h1 t.len) and h2 = ref (mix2 h2 t.len) in
+  for i = 0 to t.len - 1 do
+    let c = enc t.cells.(i) in
+    h1 := mix1 !h1 c;
+    h2 := mix2 !h2 c;
+    if t.has_weak && t.weak.(i) then begin
+      let p = enc t.prev.(i) in
+      h1 := mix1 !h1 p;
+      h2 := mix2 !h2 p
+    end
+  done;
+  (!h1, !h2)
+
 let pp ppf t =
   Format.fprintf ppf "@[<hov 1>[";
   for i = 0 to t.len - 1 do

@@ -109,4 +109,20 @@ val restore_backup : t -> backup -> unit
     several times); restoring one invalidates every backup taken after
     it.  Do not mix with plain {!restore} on a journaling store. *)
 
+val mix1 : int -> int -> int
+val mix2 : int -> int -> int
+(** The two 63-bit hash folds behind {!hash_fold}, exposed so the other
+    state-bearing layers ({!Vm}, [Machine]) extend the same pair of
+    accumulators: [mixK h v] absorbs [v] into accumulator [h]. *)
+
+val hash_fold : t -> int -> int -> int * int
+(** [hash_fold t h1 h2] folds the store's semantic state — live cell
+    contents plus, on weak registers, the stale-read shadow — into two
+    independent 63-bit accumulators and returns them.  Two stores of
+    one exploration that are semantically equal (same {!size}, same
+    {!read} and {!read_stale} views) fold equally; journals and pooled
+    bookkeeping are excluded, so equality of state reached by different
+    paths still agrees.  The explorers' duplicate-detection primitive
+    (see [Conrat_verify.Por] dedup). *)
+
 val pp : Format.formatter -> t -> unit

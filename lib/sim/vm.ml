@@ -25,6 +25,19 @@ let result t pid = Code.result t.code t.pcs.(pid)
 let coin_class t pid = Code.coin_class t.code t.pcs.(pid)
 let code_size t = Code.size t.code
 
+(* Fold the pc file into the two duplicate-detection accumulators (see
+   {!Memory.hash_fold}): a pc is the whole per-process program state,
+   interned per continuation, so equal pc files mean equal pending
+   operations, stages and results. *)
+let hash_fold t h1 h2 =
+  let h1 = ref h1 and h2 = ref h2 in
+  for pid = 0 to Array.length t.pcs - 1 do
+    let pc = t.pcs.(pid) in
+    h1 := Memory.mix1 !h1 pc;
+    h2 := Memory.mix2 !h2 pc
+  done;
+  (!h1, !h2)
+
 type snapshot = int array
 
 let snapshot t = Array.copy t.pcs

@@ -40,6 +40,11 @@ val coin_class : 'r t -> int -> int
 val code_size : 'r t -> int
 (** Instructions interned so far in the underlying store. *)
 
+val hash_fold : 'r t -> int -> int -> int * int
+(** Fold the pc file into the two duplicate-detection accumulators
+    (see {!Memory.hash_fold}): pcs are interned per continuation, so
+    equal pc files mean equal program states. *)
+
 type snapshot = int array
 
 val snapshot : 'r t -> snapshot

@@ -173,7 +173,27 @@ let all =
       ~doc:"impatient first-mover conciliator, n=2, depth 60, crash-closed f=1"
       ~factory:(Conrat_core.Conciliator.impatient_first_mover ())
       ~inputs:[| 0; 1 |] ~property:Valid_coherent ~max_depth:60
-      ~faults:(Fault.crash_only 1) ]
+      ~faults:(Fault.crash_only 1);
+    config "binary_ratifier_n5"
+      ~doc:"binary ratifier, n=5, alternating inputs (parallel/dedup bound)"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1; 0; 1; 0 |] ~property:Weak_consensus;
+    config "binary_ratifier_n4_f2"
+      ~doc:"binary ratifier, n=4, alternating inputs, crash-closed f=2"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1; 0; 1 |] ~property:Weak_consensus
+      ~faults:(Fault.crash_only 2) ]
+
+(* Extended-frontier configs: sound members of the registry whose trees
+   are too large for [check all]'s budget on commodity hardware — run
+   them by name ([conrat check fallback_n2_d46 --jobs N --dedup]).
+   Kept out of [all] so CI stays bounded; [find] still resolves them. *)
+let extended =
+  [ config "fallback_n2_d46"
+      ~doc:"racing fallback, n=2, full tree to depth 46 (dedup-frontier bound)"
+      ~factory:(Conrat_core.Fallback.racing ~m:2 ())
+      ~inputs:[| 0; 1 |] ~property:Deciders_agree ~max_depth:46
+      ~max_runs:20_000_000_000 ]
 
 (* Expected-failure demos: excluded from [all]; runnable by name to
    exercise the find → shrink → artifact pipeline end to end. *)
@@ -194,10 +214,11 @@ let demos =
       ~faults:(Fault.model ~weak_reads:true ()) ]
 
 let find name =
-  List.find_opt (fun c -> c.name = name) (all @ demos)
+  List.find_opt (fun c -> c.name = name) (all @ demos @ extended)
 
 let names = List.map (fun c -> c.name) all
 let demo_names = List.map (fun c -> c.name) demos
+let extended_names = List.map (fun c -> c.name) extended
 
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
@@ -213,15 +234,25 @@ type failure = {
 type outcome = (Por.stats, failure) result
 
 let run ?engine ?stop ?max_runs ?sink ?heartbeat ?resume ?checkpoint_every
-    ?on_checkpoint config =
+    ?on_checkpoint ?(jobs = 1) ?(dedup = false) config =
   let max_runs = Option.value max_runs ~default:config.max_runs in
   let result =
-    Por.explore ?engine ~max_depth:config.max_depth ~max_runs
-      ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop ?sink
-      ?heartbeat ?resume ?checkpoint_every ?on_checkpoint ~n:config.n
-      ~setup:(setup_of config ~n:config.n)
-      ~check:(check_of config ~n:config.n)
-      ()
+    if jobs > 1 then
+      (* The parallel driver carries no sink or checkpointing; the CLI
+         rejects those combinations before reaching here. *)
+      Parallel.explore_por ~jobs ?engine ~max_depth:config.max_depth ~max_runs
+        ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop
+        ?heartbeat ~dedup ~n:config.n
+        ~setup:(setup_of config ~n:config.n)
+        ~check:(check_of config ~n:config.n)
+        ()
+    else
+      Por.explore ?engine ~max_depth:config.max_depth ~max_runs
+        ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop ?sink
+        ?heartbeat ?resume ?checkpoint_every ?on_checkpoint ~dedup ~n:config.n
+        ~setup:(setup_of config ~n:config.n)
+        ~check:(check_of config ~n:config.n)
+        ()
   in
   match result with
   | Ok stats -> Ok stats
@@ -254,14 +285,19 @@ type cross = {
 }
 
 let cross_check ?(engine = `Vm) ?stop ?max_runs ?naive_heartbeat ?por_heartbeat
-    config =
+    ?(jobs = 1) config =
   let max_runs = Option.value max_runs ~default:config.max_runs in
   let collect () = Hashtbl.create 64 in
+  (* Copy before keying: explorers reuse the outputs buffer across
+     leaves, and a hashtable key must not mutate after insertion.  With
+     [jobs > 1] the collecting check runs from several domains, so the
+     outcome table is mutex-guarded (membership peeks included). *)
+  let lock = Mutex.create () in
   let noting outcomes ~complete outputs =
-    (* Copy before keying: explorers reuse the outputs buffer across
-       leaves, and a hashtable key must not mutate after insertion. *)
-    if complete && not (Hashtbl.mem outcomes outputs) then
-      Hashtbl.replace outcomes (Array.copy outputs) ();
+    if complete then
+      Mutex.protect lock (fun () ->
+          if not (Hashtbl.mem outcomes outputs) then
+            Hashtbl.replace outcomes (Array.copy outputs) ());
     check_of config ~n:config.n ~complete outputs
   in
   let sets_equal a b =
@@ -270,7 +306,7 @@ let cross_check ?(engine = `Vm) ?stop ?max_runs ?naive_heartbeat ?por_heartbeat
   in
   let naive_outcomes = collect () in
   let naive =
-    Naive.explore ~engine ~max_depth:config.max_depth ~max_runs
+    Parallel.explore_naive ~jobs ~engine ~max_depth:config.max_depth ~max_runs
       ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop
       ?heartbeat:naive_heartbeat ~n:config.n
       ~setup:(setup_of config ~n:config.n)
@@ -278,7 +314,7 @@ let cross_check ?(engine = `Vm) ?stop ?max_runs ?naive_heartbeat ?por_heartbeat
   in
   let por_outcomes = collect () in
   let por =
-    Por.explore ~engine ~max_depth:config.max_depth ~max_runs
+    Parallel.explore_por ~jobs ~engine ~max_depth:config.max_depth ~max_runs
       ~cheap_collect:config.cheap_collect ~faults:config.faults ?stop
       ?heartbeat:por_heartbeat ~n:config.n
       ~setup:(setup_of config ~n:config.n)

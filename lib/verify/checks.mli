@@ -41,9 +41,9 @@ type t = {
 
 val all : t list
 (** Every config expected to pass, in increasing cost order; includes
-    the POR-only bounds (binary ratifier n=4, fallback depths 34
-    and 40) and the crash-closed configs (binary ratifier f ≤ 2,
-    conciliator f = 1). *)
+    the POR-only bounds (binary ratifier n=4 and n=5, fallback depths
+    34 and 40) and the crash-closed configs (binary ratifier f ≤ 2 at
+    n ≤ 4, conciliator f = 1). *)
 
 val demos : t list
 (** Expected-failure demos — runnable by name, excluded from {!all}:
@@ -51,8 +51,14 @@ val demos : t list
     helper (fails survivor acceptance at f = 1), and the binary
     ratifier on weak registers (fails coherence). *)
 
+val extended : t list
+(** Extended-frontier configs — sound, but too large for {!all}'s CI
+    budget; runnable by name with [--jobs]/[--dedup] (currently the
+    depth-46 racing fallback). *)
+
 val names : string list
 val demo_names : string list
+val extended_names : string list
 val find : string -> t option
 
 val check_of :
@@ -83,6 +89,8 @@ val run :
   ?resume:Checkpoint.counts ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(Checkpoint.counts -> unit) ->
+  ?jobs:int ->
+  ?dedup:bool ->
   t -> outcome
 (** [sink], [heartbeat] and the checkpointing triple are passed through
     to {!Por.explore} (the heartbeat fires per leaf; rate limiting is
@@ -90,7 +98,15 @@ val run :
     to the exploration, the property, the shrinker and the recorded
     artifact.  [engine] selects the program engine (default the
     compiled VM); results, checkpoints and artifacts are identical
-    under either. *)
+    under either.
+
+    [jobs > 1] dispatches to {!Parallel.explore_por} — same
+    statistics, outcome set and failure artifacts for exhaustive runs;
+    [sink] and checkpointing are unsupported there and the heartbeat
+    switches to fleet-wide totals.  [dedup] enables duplicate-state
+    suppression (VM engine only; see {!Por.explore}).  A parallel
+    failure is shrunk and frozen exactly like a sequential one — the
+    shard's path is a root path. *)
 
 val replay :
   ?engine:Conrat_sim.Machine.engine ->
@@ -116,10 +132,14 @@ val cross_check :
   ?max_runs:int ->
   ?naive_heartbeat:(runs:int -> steps:int -> depth:int -> unit) ->
   ?por_heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
+  ?jobs:int ->
   t -> (cross, string) result
 (** [Error _] if either algorithm found a property violation.  The two
     heartbeats report the respective algorithm's progress.  Besides the
     naive-vs-POR comparison, the POR search is repeated under the other
     program engine ([engine] names the primary; default [`Vm]) and the
     results compared — so one cross-check validates both the reduction
-    and the compiler. *)
+    and the compiler.  [jobs > 1] runs the naive and primary POR sweeps
+    under {!Parallel} (statistics are [jobs]-invariant for exhaustive
+    runs, so the differential is unaffected); the oracle-engine sweep
+    stays sequential. *)

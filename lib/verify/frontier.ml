@@ -1,0 +1,42 @@
+type t = int list array
+
+let target ~jobs = max 64 (16 * jobs)
+
+(* Deepening heuristic: a cut at frame nesting [lvl] yields one shard
+   per sleep-surviving candidate of each first-branch-point-at-or-below
+   [lvl]; going deeper multiplies shards by the branching beneath, at
+   the price of the generator exploring longer corridors itself.  We
+   start shallow and deepen by two frames while the count still grows
+   and remains short of [target]; a pass whose count stops growing
+   (same branch points, or a narrow chain) is kept as-is — each pass is
+   a complete partition, so any pass is correct, and the stagnation
+   pass is the cheapest correct one.  Zero shards means the cut never
+   fired: the whole tree sits above the cut and the residue statistics
+   of that pass already cover it. *)
+let generate ~target ~run =
+  let rec go lvl prev_count =
+    let shards = ref [] in
+    let nshards = ref 0 in
+    let emit path =
+      shards := path :: !shards;
+      incr nshards
+    in
+    match run ~cut:(lvl, emit) with
+    | Error _ as e -> e
+    | Ok residue ->
+      let count = !nshards in
+      if count = 0 || count >= target || count <= prev_count then
+        Ok (residue, Array.of_list (List.rev !shards))
+      else go (lvl + 2) count
+  in
+  go 2 0
+
+type pool = { shards : t; cursor : int Atomic.t }
+
+let pool shards = { shards; cursor = Atomic.make 0 }
+
+let steal p =
+  let i = Atomic.fetch_and_add p.cursor 1 in
+  if i < Array.length p.shards then Some (i, p.shards.(i)) else None
+
+let remaining p = max 0 (Array.length p.shards - Atomic.get p.cursor)

@@ -22,6 +22,8 @@ let footprint op =
 (* [footprint] unpacked into scalar reads: [independent] sits on the
    POR sleep-set filter's hot path, where two record allocations per
    test would be the filter's whole cost. *)
+(* Scalar views of the footprint, for hot paths that must not allocate
+   the record ([Por]'s per-event race bookkeeping). *)
 let op_writes (Op.Any o) =
   match o with
   | Op.Write _ | Op.Prob_write _ | Op.Prob_write_detect _ -> true

@@ -29,6 +29,13 @@ type footprint = {
 
 val footprint : Conrat_sim.Op.any -> footprint
 
+val op_writes : Conrat_sim.Op.any -> bool
+val op_hi : Conrat_sim.Op.any -> int
+(** Scalar views of {!footprint} ([footprint].writes / [footprint].hi)
+    that allocate nothing — the per-event race bookkeeping of the
+    dynamic POR engine reads them once per transition.  The low end of
+    the footprint is [Conrat_sim.Op.loc]. *)
+
 val independent : Conrat_sim.Op.any -> Conrat_sim.Op.any -> bool
 (** Symmetric and irreflexive-agnostic (only ever consulted for ops of
     two different processes). *)

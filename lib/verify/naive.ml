@@ -9,7 +9,10 @@ type stats = {
 
 let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     ?(faults = Fault.none) ?(stop = fun () -> false) ?heartbeat
-    ?resume ?(checkpoint_every = 100_000) ?on_checkpoint ~n ~setup ~check () =
+    ?resume ?(path_floor = 0) ?(checkpoint_every = 100_000) ?on_checkpoint
+    ~n ~setup ~check () =
+  if path_floor > 0 && resume = None then
+    invalid_arg "Naive.explore: path_floor requires resume";
   let complete_count = ref 0 in
   let truncated_count = ref 0 in
   let runs = ref 0 in
@@ -60,7 +63,7 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
       match check ~complete:run.Explore.completed run.Explore.outputs with
       | Error reason -> Error (reason, stats false)
       | Ok () ->
-        (match Explore.next_path run.Explore.branches with
+        (match Explore.next_path_from ~lo:path_floor run.Explore.branches with
          | Some next -> drive next
          | None -> Ok (stats true))
     end

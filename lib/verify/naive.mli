@@ -29,6 +29,7 @@ val explore :
   ?stop:(unit -> bool) ->
   ?heartbeat:(runs:int -> steps:int -> depth:int -> unit) ->
   ?resume:Checkpoint.counts ->
+  ?path_floor:int ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(Checkpoint.counts -> unit) ->
   n:int ->
@@ -50,4 +51,11 @@ val explore :
     Defaults: [max_depth = 200], [max_runs = 2_000_000],
     [checkpoint_every = 100_000].  [engine] selects the program engine
     for each re-execution (default the compiled VM); leaf order and
-    statistics are identical under either. *)
+    statistics are identical under either.
+
+    [~path_floor:l] (requires [resume]) pins the first [l] branch
+    entries: successor computation uses
+    {!Conrat_sim.Explore.next_path_from}, so positions below [l] are
+    never bumped and the enumeration covers exactly the subtree under
+    the resume path's length-[l] prefix — the parallel driver's shard
+    unit (see {!Parallel}). *)

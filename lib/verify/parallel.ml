@@ -1,0 +1,314 @@
+open Conrat_sim
+
+(* Workers flush their locally accumulated leaf/step counts into the
+   fleet-wide atomics every [flush_every] leaves: often enough for the
+   budget check and progress display to track the fleet, rarely enough
+   that the shared cache lines stay out of the hot leaf loop. *)
+let flush_every = 1024
+
+let zero_counts path =
+  { Checkpoint.path; complete = 0; truncated = 0; pruned = 0; steps = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* POR                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let merge_por residue results =
+  let complete = ref residue.Por.complete in
+  let truncated = ref residue.Por.truncated in
+  let pruned = ref residue.Por.pruned in
+  let dedup_hits = ref residue.Por.dedup_hits in
+  let steps = ref residue.Por.steps in
+  let exhausted = ref residue.Por.exhausted in
+  let err = ref None in
+  let add (s : Por.stats) =
+    complete := !complete + s.complete;
+    truncated := !truncated + s.truncated;
+    pruned := !pruned + s.pruned;
+    dedup_hits := !dedup_hits + s.dedup_hits;
+    steps := !steps + s.steps;
+    if not s.exhausted then exhausted := false
+  in
+  Array.iter
+    (function
+      | None -> exhausted := false
+      | Some (Ok s) -> add s
+      | Some (Error (reason, path, s)) ->
+        add s;
+        exhausted := false;
+        if !err = None then err := Some (reason, path))
+    results;
+  let stats exhausted =
+    { Por.complete = !complete;
+      truncated = !truncated;
+      pruned = !pruned;
+      dedup_hits = !dedup_hits;
+      exhausted;
+      steps = !steps }
+  in
+  match !err with
+  | Some (reason, path) -> Error (reason, path, stats false)
+  | None -> Ok (stats !exhausted)
+
+let explore_por ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
+    ?(cheap_collect = false) ?(faults = Fault.none)
+    ?(stop = fun () -> false) ?heartbeat ?(dedup = false) ?shard_target ~n
+    ~setup ~check () =
+  if jobs <= 1 then
+    Por.explore ?engine ~max_depth ~max_runs ~cheap_collect ~faults ~stop
+      ?heartbeat ~dedup ~n ~setup ~check ()
+  else
+    let target =
+      match shard_target with Some t -> t | None -> Frontier.target ~jobs
+    in
+    let gen =
+      Frontier.generate ~target ~run:(fun ~cut ->
+          Por.explore ?engine ~max_depth ~max_runs ~cheap_collect ~faults
+            ~stop ?heartbeat ~cut ~n ~setup ~check ())
+    in
+    match gen with
+    | Error _ as e -> e
+    | Ok (residue, shards) ->
+      if Array.length shards = 0 || not residue.Por.exhausted then
+        (* The generator pass already covered the whole tree, or the
+           budget/stop bound during generation — either way the
+           residue statistics are the answer. *)
+        Ok residue
+      else begin
+        let nshards = Array.length shards in
+        let results = Array.make nshards None in
+        let pool = Frontier.pool shards in
+        let fleet_runs = Atomic.make (Por.explored residue + residue.pruned) in
+        let fleet_pruned = Atomic.make residue.Por.pruned in
+        let fleet_steps = Atomic.make residue.Por.steps in
+        let hb_mutex = Mutex.create () in
+        let worker () =
+          let pending_runs = ref 0 in
+          let pending_pruned = ref 0 in
+          let pending_steps = ref 0 in
+          let flush depth =
+            if !pending_runs > 0 || !pending_steps > 0 then begin
+              ignore (Atomic.fetch_and_add fleet_runs !pending_runs);
+              ignore (Atomic.fetch_and_add fleet_pruned !pending_pruned);
+              ignore (Atomic.fetch_and_add fleet_steps !pending_steps);
+              pending_runs := 0;
+              pending_pruned := 0;
+              pending_steps := 0;
+              match heartbeat with
+              | None -> ()
+              | Some hb ->
+                (* Snapshot the fleet totals under the mutex, not at the
+                   atomic add: calls then observe monotone totals, so a
+                   rate computed from successive heartbeats is the
+                   fleet-wide executions/sec. *)
+                Mutex.protect hb_mutex (fun () ->
+                    hb ~runs:(Atomic.get fleet_runs)
+                      ~pruned:(Atomic.get fleet_pruned)
+                      ~steps:(Atomic.get fleet_steps) ~depth)
+            end
+          in
+          let stop_w () =
+            stop () || Atomic.get fleet_runs + !pending_runs >= max_runs
+          in
+          let rec loop () =
+            if not (stop_w ()) then
+              match Frontier.steal pool with
+              | None -> ()
+              | Some (i, path) ->
+                let last_runs = ref 0 in
+                let last_pruned = ref 0 in
+                let last_steps = ref 0 in
+                let last_depth = ref 0 in
+                let hb ~runs ~pruned ~steps ~depth =
+                  pending_runs := !pending_runs + runs - !last_runs;
+                  pending_pruned := !pending_pruned + pruned - !last_pruned;
+                  pending_steps := !pending_steps + steps - !last_steps;
+                  last_runs := runs;
+                  last_pruned := pruned;
+                  last_steps := steps;
+                  last_depth := depth;
+                  if !pending_runs >= flush_every then flush depth
+                in
+                let res =
+                  Por.explore ?engine ~max_depth ~max_runs:max_int
+                    ~cheap_collect ~faults ~stop:stop_w ~heartbeat:hb
+                    ~resume:(zero_counts path)
+                    ~subtree_prefix:(List.length path) ~dedup ~n ~setup
+                    ~check ()
+                in
+                flush !last_depth;
+                results.(i) <- Some res;
+                loop ()
+          in
+          loop ()
+        in
+        let extra = min jobs nshards - 1 in
+        let domains = Array.init extra (fun _ -> Domain.spawn worker) in
+        worker ();
+        Array.iter Domain.join domains;
+        merge_por residue results
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Naive                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let merge_naive residue results =
+  let complete = ref residue.Naive.complete in
+  let truncated = ref residue.Naive.truncated in
+  let steps = ref residue.Naive.steps in
+  let exhausted = ref residue.Naive.exhausted in
+  let err = ref None in
+  let add (s : Naive.stats) =
+    complete := !complete + s.complete;
+    truncated := !truncated + s.truncated;
+    steps := !steps + s.steps;
+    if not s.exhausted then exhausted := false
+  in
+  Array.iter
+    (function
+      | None -> exhausted := false
+      | Some (Ok s) -> add s
+      | Some (Error (reason, s)) ->
+        add s;
+        exhausted := false;
+        if !err = None then err := Some reason)
+    results;
+  let stats exhausted =
+    { Naive.complete = !complete;
+      truncated = !truncated;
+      exhausted;
+      steps = !steps }
+  in
+  match !err with
+  | Some reason -> Error (reason, stats false)
+  | None -> Ok (stats !exhausted)
+
+(* Breadth-first prefix expansion.  A probe run re-executes the
+   all-zeros continuation of a prefix; only {e terminal} probes — the
+   prefix's subtree is that single leaf — count and check it (its
+   steps charged then, exactly once).  Interior probes merely read the
+   arity at the expansion level and fan the prefix out; their steps are
+   generation overhead, excluded from the statistics so the merged
+   report stays bit-identical to the sequential enumerator's. *)
+exception Gen_fail of string
+exception Gen_stop
+
+let explore_naive ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
+    ?(cheap_collect = false) ?(faults = Fault.none)
+    ?(stop = fun () -> false) ?heartbeat ?shard_target ~n ~setup ~check () =
+  if jobs <= 1 then
+    Naive.explore ?engine ~max_depth ~max_runs ~cheap_collect ~faults ~stop
+      ?heartbeat ~n ~setup ~check ()
+  else
+    let target =
+      match shard_target with Some t -> t | None -> Frontier.target ~jobs
+    in
+    let complete = ref 0 in
+    let truncated = ref 0 in
+    let steps = ref 0 in
+    let runs = ref 0 in
+    let probe path = Explore.run_path ?engine ~max_depth ~cheap_collect ~faults ~n ~setup path in
+    let terminal (run : _ Explore.run) =
+      if !runs >= max_runs || stop () then raise Gen_stop;
+      incr runs;
+      steps := !steps + run.Explore.steps;
+      if run.Explore.completed then incr complete else incr truncated;
+      (match heartbeat with
+       | None -> ()
+       | Some hb -> hb ~runs:!runs ~steps:!steps ~depth:run.Explore.steps);
+      match check ~complete:run.Explore.completed run.Explore.outputs with
+      | Ok () -> ()
+      | Error reason -> raise (Gen_fail reason)
+    in
+    let rec expand level frontier =
+      if frontier = [] || List.length frontier >= target then frontier
+      else
+        let next =
+          List.concat_map
+            (fun path ->
+              let run = probe path in
+              match List.nth_opt run.Explore.branches level with
+              | None ->
+                terminal run;
+                []
+              | Some (_, arity) -> List.init arity (fun c -> path @ [ c ]))
+            frontier
+        in
+        expand (level + 1) next
+    in
+    let residue exhausted =
+      { Naive.complete = !complete;
+        truncated = !truncated;
+        exhausted;
+        steps = !steps }
+    in
+    match expand 0 [ [] ] with
+    | exception Gen_stop -> Ok (residue false)
+    | exception Gen_fail reason -> Error (reason, residue false)
+    | frontier ->
+      let shards = Array.of_list frontier in
+      if Array.length shards = 0 then Ok (residue true)
+      else begin
+        let nshards = Array.length shards in
+        let results = Array.make nshards None in
+        let pool = Frontier.pool shards in
+        let fleet_runs = Atomic.make !runs in
+        let fleet_steps = Atomic.make !steps in
+        let hb_mutex = Mutex.create () in
+        let worker () =
+          let pending_runs = ref 0 in
+          let pending_steps = ref 0 in
+          let flush depth =
+            if !pending_runs > 0 || !pending_steps > 0 then begin
+              ignore (Atomic.fetch_and_add fleet_runs !pending_runs);
+              ignore (Atomic.fetch_and_add fleet_steps !pending_steps);
+              pending_runs := 0;
+              pending_steps := 0;
+              match heartbeat with
+              | None -> ()
+              | Some hb ->
+                (* See explore_por: totals snapshotted under the mutex
+                   stay monotone across heartbeat calls. *)
+                Mutex.protect hb_mutex (fun () ->
+                    hb ~runs:(Atomic.get fleet_runs)
+                      ~steps:(Atomic.get fleet_steps) ~depth)
+            end
+          in
+          let stop_w () =
+            stop () || Atomic.get fleet_runs + !pending_runs >= max_runs
+          in
+          let rec loop () =
+            if not (stop_w ()) then
+              match Frontier.steal pool with
+              | None -> ()
+              | Some (i, path) ->
+                let last_runs = ref 0 in
+                let last_steps = ref 0 in
+                let last_depth = ref 0 in
+                let hb ~runs ~steps ~depth =
+                  pending_runs := !pending_runs + runs - !last_runs;
+                  pending_steps := !pending_steps + steps - !last_steps;
+                  last_runs := runs;
+                  last_steps := steps;
+                  last_depth := depth;
+                  if !pending_runs >= flush_every then flush depth
+                in
+                let res =
+                  Naive.explore ?engine ~max_depth ~max_runs:max_int
+                    ~cheap_collect ~faults ~stop:stop_w ~heartbeat:hb
+                    ~resume:(zero_counts path)
+                    ~path_floor:(List.length path) ~n ~setup ~check ()
+                in
+                flush !last_depth;
+                results.(i) <- Some res;
+                loop ()
+          in
+          loop ()
+        in
+        let extra = min jobs nshards - 1 in
+        let domains = Array.init extra (fun _ -> Domain.spawn worker) in
+        worker ();
+        Array.iter Domain.join domains;
+        merge_naive (residue true) results
+      end

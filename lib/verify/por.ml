@@ -4,6 +4,7 @@ type stats = {
   complete : int;
   truncated : int;
   pruned : int;
+  dedup_hits : int;
   exhausted : bool;
   steps : int;
 }
@@ -97,12 +98,35 @@ let corrupt () =
 
 let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
     ?(faults = Fault.none) ?(stop = fun () -> false) ?sink ?heartbeat
-    ?resume ?(checkpoint_every = 100_000) ?on_checkpoint ~n ~setup ~check () =
+    ?resume ?(subtree_prefix = 0) ?cut ?(dedup = false)
+    ?(checkpoint_every = 100_000) ?on_checkpoint ~n ~setup ~check () =
   (* Sleep sets are int bitmasks over [2n] candidate keys.  Exhaustive
      exploration is hopeless long before this bound binds. *)
   if n > 31 then invalid_arg "Por.explore: n must be at most 31";
+  if subtree_prefix < 0 then
+    invalid_arg "Por.explore: subtree_prefix must be nonnegative";
+  (match resume with
+   | None ->
+     if subtree_prefix > 0 then
+       invalid_arg "Por.explore: subtree_prefix needs a resume path to pin"
+   | Some (c : Checkpoint.counts) ->
+     if subtree_prefix > List.length c.path then
+       invalid_arg "Por.explore: subtree_prefix longer than the resume path");
+  if cut <> None && (Option.is_some resume || Option.is_some on_checkpoint || dedup)
+  then invalid_arg "Por.explore: cut excludes resume, checkpointing and dedup";
+  if dedup && Option.is_some on_checkpoint then
+    invalid_arg "Por.explore: dedup cannot checkpoint (the visited table is not saved)";
+  (match resume with
+   | Some (c : Checkpoint.counts) when dedup && List.length c.path > subtree_prefix ->
+     (* A resumed run starts with an empty visited table; anywhere but
+        at a subtree root that would prune differently than the
+        interrupted run, losing bit-identical resume. *)
+     invalid_arg "Por.explore: dedup cannot resume mid-subtree"
+   | _ -> ());
   let memory, body = setup () in
   let machine = Machine.create ?engine ~cheap_collect ?sink ~n ~memory body in
+  if dedup && not (Machine.supports_state_hash machine) then
+    invalid_arg "Por.explore: dedup needs the VM engine (state hashing)";
   let frames = ref (Array.make 64 0) in
   let nframes = ref 0 in
   let push v =
@@ -165,11 +189,61 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
     match !rail with [] -> None | c :: tl -> rail := tl; Some c
   in
   let total_steps () = !steps_offset + Machine.total_steps machine in
+  (* Crossing into the shard subtree on a fresh shard (the rail was
+     exactly the pinned prefix): the transitions replayed so far are
+     the shard generator's work, already counted by the generator, not
+     this shard's — rebase the step counter right here so the pinned
+     choice at the deepest prefix frame and everything below it are
+     what this run's statistics measure.  A mid-shard resume (rail
+     longer than the pin) keeps the standard first-leaf rebase
+     instead, continuing the interrupted shard's totals. *)
+  let entry_rebased = ref false in
+  let maybe_entry_rebase fi =
+    if fi = subtree_prefix - 1 && !rail = [] && not !entry_rebased then begin
+      entry_rebased := true;
+      match !pending_offset with
+      | Some prior ->
+        steps_offset := prior - Machine.total_steps machine;
+        pending_offset := None
+      | None -> ()
+    end
+  in
+  (* Duplicate detection: a hash table over (state hash, depth, crash
+     budget) at marked scheduling nodes, storing the sleep set the
+     state was first visited with.  Godefroid's rule for combining
+     sleep sets with state caching: a revisit whose sleep set covers
+     the stored one can only explore a subset of what the first visit
+     did — prune it; a revisit with a fresh awake candidate must be
+     re-explored, and the entry is narrowed to the intersection so
+     later revisits compare against everything now covered.  Depth
+     participates in the key because [max_depth] truncation gives
+     equal states at different depths different subtrees; diamonds of
+     commuting transitions — the duplicates worth catching — converge
+     at equal depth anyway.  The table is per-call, so per-shard under
+     [Parallel]: shard counts stay deterministic regardless of how
+     shards land on workers. *)
+  let visited : (int * int, int) Hashtbl.t = Hashtbl.create (if dedup then 4096 else 0) in
+  let dedup_hits = ref 0 in
+  let dedup_covered z depth crashes_left =
+    let h1, h2 = Machine.state_hash machine in
+    let h1 = Memory.mix1 (Memory.mix1 h1 depth) crashes_left in
+    let h2 = Memory.mix2 (Memory.mix2 h2 depth) crashes_left in
+    let key = (h1, h2) in
+    match Hashtbl.find_opt visited key with
+    | None -> Hashtbl.add visited key z; false
+    | Some z_old ->
+      if z_old land lnot z = 0 then true
+      else begin
+        Hashtbl.replace visited key (z_old land z);
+        false
+      end
+  in
   let last_saved = ref !runs in
   let stats exhausted =
     { complete = !complete_count;
       truncated = !truncated_count;
       pruned = !pruned_count;
+      dedup_hits = !dedup_hits;
       exhausted;
       steps = total_steps () }
   in
@@ -245,33 +319,83 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
         transition ~pid:en.(0) ~crash:false ~sleep:z ~snap:None ~crashes_left
           ~depth
       else begin
-        let snap = take_snapshot () in
-        let snapo = Some snap in
-        let fi = !nframes in
-        push i;
-        let sleep0 =
-          match take_rail () with
-          | None -> z
-          | Some c ->
-            (* Fast-forward: advance the first_awake progression to the
-               checkpointed choice, growing the sleep set exactly as
-               the interrupted run did but exploring nothing. *)
+        match cut with
+        | Some (lvl, emit) when !nframes >= lvl ->
+          (* Shard generation: first marked node at or past the cut
+             level — emit one shard per candidate the sibling loop
+             would explore, in its exact progression order, and
+             explore nothing below. *)
+          emit_cut emit z en k ncands i
+        | _ ->
+          let fi = !nframes in
+          if fi < subtree_prefix then begin
+            (* Pinned shard-prefix frame: replay exactly the railed
+               candidate, rebuilding the sleep progression the shard
+               generator walked when it emitted this path, exploring
+               no sibling.  No snapshot: nothing backtracks to here. *)
+            let c = match take_rail () with Some c -> c | None -> corrupt () in
             if c < 0 || c >= ncands then corrupt ();
+            push c;
             let sleep = ref z in
-            while !frames.(fi) <> c do
-              let i = !frames.(fi) in
-              let crash = i >= k in
-              let pid = if crash then en.(i - k) else en.(i) in
+            let cur = ref i in
+            while !cur <> c do
+              let crash = !cur >= k in
+              let pid = if crash then en.(!cur - k) else en.(!cur) in
               sleep := !sleep lor (1 lsl key ~pid ~crash);
               let j = first_awake !sleep en k ncands 0 in
-              if j >= 0 then !frames.(fi) <- j else corrupt ()
+              if j >= 0 then cur := j else corrupt ()
             done;
-            !sleep
-        in
-        siblings fi en k ncands snap snapo crashes_left depth sleep0;
-        pop ()
+            maybe_entry_rebase fi;
+            let crash = c >= k in
+            let pid = if crash then en.(c - k) else en.(c) in
+            transition ~pid ~crash ~sleep:!sleep ~snap:None ~crashes_left ~depth;
+            pop ()
+          end
+          else if dedup && dedup_covered z depth crashes_left then begin
+            incr dedup_hits;
+            leaf `Pruned
+          end
+          else begin
+            let snap = take_snapshot () in
+            let snapo = Some snap in
+            push i;
+            let sleep0 =
+              match take_rail () with
+              | None -> z
+              | Some c ->
+                (* Fast-forward: advance the first_awake progression to the
+                   checkpointed choice, growing the sleep set exactly as
+                   the interrupted run did but exploring nothing. *)
+                if c < 0 || c >= ncands then corrupt ();
+                let sleep = ref z in
+                while !frames.(fi) <> c do
+                  let i = !frames.(fi) in
+                  let crash = i >= k in
+                  let pid = if crash then en.(i - k) else en.(i) in
+                  sleep := !sleep lor (1 lsl key ~pid ~crash);
+                  let j = first_awake !sleep en k ncands 0 in
+                  if j >= 0 then !frames.(fi) <- j else corrupt ()
+                done;
+                !sleep
+            in
+            siblings fi en k ncands snap snapo crashes_left depth sleep0;
+            pop ()
+          end
       end
     end
+  (* Emit one shard path per candidate of this node, walking the same
+     first_awake progression the sibling loop would: shard paths
+     partition the node's subtrees exactly as sequential exploration
+     orders them. *)
+  and emit_cut emit z en k ncands i =
+    push i;
+    emit (current_path ());
+    pop ();
+    let crash = i >= k in
+    let pid = if crash then en.(i - k) else en.(i) in
+    let z = z lor (1 lsl key ~pid ~crash) in
+    let j = first_awake z en k ncands 0 in
+    if j >= 0 then emit_cut emit z en k ncands j
   (* The sibling loop of one scheduling node, as a recursion so the
      growing sleep set stays an immediate parameter. *)
   and siblings fi en k ncands snap snapo crashes_left depth sleep =
@@ -314,22 +438,327 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
   (* Two-way fork on the coin (choice 0 = [landed0]) or on freshness
      (choice 0 = fresh): straight-line, since this is the inner loop. *)
   and fork ~pid ~z' ~snap ~crashes_left ~depth ~landed0 =
-    let snap = match snap with Some s -> s | None -> take_snapshot () in
-    let fi = !nframes in
-    push 0;
-    let start = match take_rail () with None -> 0 | Some c -> c in
-    if start < 0 || start > 1 then corrupt ();
-    if start = 0 then begin
-      Machine.step_forced machine ~pid ~landed:landed0;
-      descend z' crashes_left (depth + 1);
-      Machine.restore machine snap
-    end;
-    !frames.(fi) <- 1;
-    Machine.step_forced machine ~pid ~landed:(not landed0);
-    descend z' crashes_left (depth + 1);
-    pop ()
+    match cut with
+    | Some (lvl, emit) when !nframes >= lvl ->
+      (* Fork at or past the cut level: one shard per outcome.  Forks
+         must be cut points too, or coin-heavy subtrees (the fallback's
+         corridor of forks) would all land in the generator's residue. *)
+      push 0;
+      emit (current_path ());
+      !frames.(!nframes - 1) <- 1;
+      emit (current_path ());
+      pop ()
+    | _ ->
+      let fi = !nframes in
+      if fi < subtree_prefix then begin
+        (* Pinned fork frame: replay the railed outcome only. *)
+        let c = match take_rail () with Some c -> c | None -> corrupt () in
+        if c < 0 || c > 1 then corrupt ();
+        push c;
+        maybe_entry_rebase fi;
+        Machine.step_forced machine ~pid
+          ~landed:(if c = 0 then landed0 else not landed0);
+        descend z' crashes_left (depth + 1);
+        pop ()
+      end
+      else begin
+        let snap = match snap with Some s -> s | None -> take_snapshot () in
+        push 0;
+        let start = match take_rail () with None -> 0 | Some c -> c in
+        if start < 0 || start > 1 then corrupt ();
+        if start = 0 then begin
+          Machine.step_forced machine ~pid ~landed:landed0;
+          descend z' crashes_left (depth + 1);
+          Machine.restore machine snap
+        end;
+        !frames.(fi) <- 1;
+        Machine.step_forced machine ~pid ~landed:(not landed0);
+        descend z' crashes_left (depth + 1);
+        pop ()
+      end
   in
   match descend 0 faults.Fault.crashes 0 with
+  | () -> Ok (stats true)
+  | exception Out_of_budget -> Ok (stats false)
+  | exception Abort reason -> Error (reason, current_path (), stats false)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic partial-order reduction (toward source sets)                *)
+(* ------------------------------------------------------------------ *)
+
+(* [explore] above restricts each node to its not-yet-slept candidates
+   but still tries every one of them; the reduction is the sleep sets'
+   alone.  This entry point adds Flanagan–Godefroid-style dynamic
+   backtracking on top: a node starts with a minimal backtracking set
+   (its first awake candidate, plus every crash candidate — crashes
+   race with nothing, so detection below would never request them and
+   crash-closure would be lost) and grows it on demand.  When a
+   transition of process p executes at depth d, the latest executed
+   event of another process whose operation conflicts with p's marks a
+   race: p is added to the backtracking set of that event's pre-state
+   node (or, if p was not enabled there, every enabled candidate is —
+   the conservative fallback).  Candidates never requested are never
+   explored, which is where the asymptotic reduction over pure sleep
+   sets comes from.
+
+   Completeness bookkeeping beyond the classic loop: leaves that do not
+   run to completion (depth-truncated or sleep-blocked) race-scan the
+   pending operation of every still-enabled process as if it executed
+   there, so a dependency whose second half lies beyond the cut still
+   registers its backtracking point.  Detection on execution (rather
+   than at every state a transition is pending) finds the same races
+   one branch later: the run where p executes adds p's backtracking
+   point at the latest conflicting event, and the branch explored from
+   there repeats the scan against the then-shorter past, percolating
+   the point as far up as it must go.
+
+   Same guarantee as [explore]: the complete-execution outcome set is
+   preserved exactly (verified differentially against both [explore]
+   and [Naive.explore] in test/test_parallel.ml); executions explored
+   never exceed the unreduced tree's and drop below pure sleep sets
+   wherever candidates go unrequested.  No checkpoint, shard or dedup
+   support — this engine is the reduction oracle, not the workhorse. *)
+let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
+    ?(cheap_collect = false) ?(faults = Fault.none) ?(stop = fun () -> false)
+    ?sink ?heartbeat ~n ~setup ~check () =
+  if n > 31 then invalid_arg "Por.explore_source: n must be at most 31";
+  let memory, body = setup () in
+  let machine = Machine.create ?engine ~cheap_collect ?sink ~n ~memory body in
+  let pending = Machine.unsafe_pending machine in
+  let frames = ref (Array.make 64 0) in
+  let nframes = ref 0 in
+  let push v =
+    if !nframes = Array.length !frames then begin
+      let bigger = Array.make (2 * !nframes) 0 in
+      Array.blit !frames 0 bigger 0 !nframes;
+      frames := bigger
+    end;
+    !frames.(!nframes) <- v;
+    incr nframes
+  in
+  let pop () = decr nframes in
+  let current_path () = List.init !nframes (fun i -> !frames.(i)) in
+  let complete_count = ref 0 in
+  let truncated_count = ref 0 in
+  let pruned_count = ref 0 in
+  let runs = ref 0 in
+  let stats exhausted =
+    { complete = !complete_count;
+      truncated = !truncated_count;
+      pruned = !pruned_count;
+      dedup_hits = 0;
+      exhausted;
+      steps = Machine.total_steps machine }
+  in
+  let exception Abort of string in
+  let exception Out_of_budget in
+  let out_buf = Array.make n None in
+  let leaf kind =
+    if !runs >= max_runs || stop () then raise Out_of_budget;
+    incr runs;
+    (match heartbeat with
+     | None -> ()
+     | Some hb ->
+       hb ~runs:!runs ~pruned:!pruned_count
+         ~steps:(Machine.total_steps machine) ~depth:(Machine.steps machine));
+    match kind with
+    | `Pruned -> incr pruned_count
+    | (`Complete | `Truncated) as kind ->
+      let complete = kind = `Complete in
+      if complete then incr complete_count else incr truncated_count;
+      Machine.outputs_into machine out_buf;
+      (match check ~complete out_buf with
+       | Ok () -> ()
+       | Error reason -> raise (Abort reason))
+  in
+  (* Executed events, indexed by execution depth: process, operation
+     footprint (a crash's is empty, so it races with nothing), and the
+     nesting level of the scheduling node whose pre-state chose it
+     (-1 below sole-candidate corridors, where a backtracking request
+     is vacuous — no other process is enabled there). *)
+  let cap = max_depth + 1 in
+  let ev_pid = Array.make cap 0 in
+  let ev_lo = Array.make cap 0 in
+  let ev_hi = Array.make cap 0 in
+  let ev_writes = Array.make cap false in
+  let ev_node = Array.make cap (-1) in
+  (* Per-node mutable state, indexed by node nesting level: the
+     backtracking set (as a candidate-key mask, grown by race
+     detection from anywhere below) and the node's enabled array
+     (aliased, not copied: enabled arrays are interned/rebuilt, never
+     mutated in place). *)
+  let bt = ref (Array.make 64 0) in
+  let node_en = ref (Array.make 64 [||]) in
+  let ensure_node lvl =
+    if lvl >= Array.length !bt then begin
+      let b = Array.make (2 * Array.length !bt) 0 in
+      Array.blit !bt 0 b 0 (Array.length !bt);
+      bt := b;
+      let e = Array.make (2 * Array.length !node_en) [||] in
+      Array.blit !node_en 0 e 0 (Array.length !node_en);
+      node_en := e
+    end
+  in
+  let add_backtrack lvl p =
+    let en = !node_en.(lvl) in
+    let k = Array.length en in
+    let rec enabled_at i = i < k && (en.(i) = p || enabled_at (i + 1)) in
+    if enabled_at 0 then
+      !bt.(lvl) <- !bt.(lvl) lor (1 lsl key ~pid:p ~crash:false)
+    else begin
+      (* p was not schedulable at that node: fall back to requesting
+         every execute candidate (the classic conservative clause). *)
+      let m = ref !bt.(lvl) in
+      for i = 0 to k - 1 do
+        m := !m lor (1 lsl key ~pid:en.(i) ~crash:false)
+      done;
+      !bt.(lvl) <- !m
+    end
+  in
+  (* Latest executed event of another process conflicting with [pid]'s
+     operation; request [pid] at its pre-state node. *)
+  let race ~pid ~lo ~hi ~writes d =
+    let rec scan j =
+      if j >= 0 then
+        if
+          ev_pid.(j) <> pid
+          && (writes || ev_writes.(j))
+          && ev_lo.(j) < hi && lo < ev_hi.(j)
+        then (if ev_node.(j) >= 0 then add_backtrack ev_node.(j) pid)
+        else scan (j - 1)
+    in
+    scan (d - 1)
+  in
+  let race_op ~pid ~node d =
+    let op = any_of pending pid in
+    let lo = Op.loc op in
+    let hi = Independence.op_hi op in
+    let writes = Independence.op_writes op in
+    race ~pid ~lo ~hi ~writes d;
+    ev_pid.(d) <- pid;
+    ev_lo.(d) <- lo;
+    ev_hi.(d) <- hi;
+    ev_writes.(d) <- writes;
+    ev_node.(d) <- node
+  in
+  let record_crash ~pid ~node d =
+    ev_pid.(d) <- pid;
+    ev_lo.(d) <- 0;
+    ev_hi.(d) <- 0;
+    ev_writes.(d) <- false;
+    ev_node.(d) <- node
+  in
+  (* A leaf cut before completion: scan every still-enabled process's
+     pending operation as if it executed here, so races whose second
+     half lies past the cut still register. *)
+  let pending_races d =
+    let en = Machine.enabled machine in
+    for i = 0 to Array.length en - 1 do
+      let p = en.(i) in
+      let op = any_of pending p in
+      race ~pid:p ~lo:(Op.loc op) ~hi:(Independence.op_hi op)
+        ~writes:(Independence.op_writes op) d
+    done
+  in
+  let rec descend z lvl crashes_left depth =
+    let en = Machine.enabled machine in
+    let k = Array.length en in
+    let ncands = if crashes_left > 0 then 2 * k else k in
+    if ncands = 0 then leaf `Complete
+    else if depth >= max_depth then begin
+      pending_races depth;
+      leaf `Truncated
+    end
+    else begin
+      let i = first_awake z en k ncands 0 in
+      if i < 0 then begin
+        pending_races depth;
+        leaf `Pruned
+      end
+      else if ncands = 1 then
+        execute ~pid:en.(0) ~crash:false ~node:(-1) ~sleep:z ~snap:None ~lvl
+          ~crashes_left ~depth
+      else begin
+        ensure_node lvl;
+        !node_en.(lvl) <- en;
+        let m = ref 0 in
+        let crash0 = i >= k in
+        m := 1 lsl key ~pid:(if crash0 then en.(i - k) else en.(i)) ~crash:crash0;
+        for j = k to ncands - 1 do
+          m := !m lor (1 lsl key ~pid:en.(j - k) ~crash:true)
+        done;
+        !bt.(lvl) <- !m;
+        let snap = Machine.snapshot machine in
+        let fi = !nframes in
+        push i;
+        (* Candidate loop: lowest-index requested, not-slept candidate;
+           re-scanned from the node's set each round because race
+           detection below grows it.  Explored candidates enter the
+           node sleep set exactly as in [explore]. *)
+        let rec loop sleep first =
+          let c = pick lvl en k ncands sleep in
+          if c >= 0 then begin
+            if not first then Machine.restore machine snap;
+            !frames.(fi) <- c;
+            let crash = c >= k in
+            let pid = if crash then en.(c - k) else en.(c) in
+            execute ~pid ~crash ~node:lvl ~sleep ~snap:(Some snap) ~lvl
+              ~crashes_left ~depth;
+            loop (sleep lor (1 lsl key ~pid ~crash)) false
+          end
+        in
+        loop z true;
+        pop ()
+      end
+    end
+  and pick lvl en k ncands sleep =
+    let m = !bt.(lvl) in
+    let rec go c =
+      if c >= ncands then -1
+      else
+        let crash = c >= k in
+        let pid = if crash then en.(c - k) else en.(c) in
+        let b = 1 lsl key ~pid ~crash in
+        if m land b <> 0 && sleep land b = 0 then c else go (c + 1)
+    in
+    go 0
+  and execute ~pid ~crash ~node ~sleep ~snap ~lvl ~crashes_left ~depth =
+    let z' = if sleep = 0 then 0 else filter_indep pending sleep ~pid ~crash ~n in
+    if crash then begin
+      record_crash ~pid ~node depth;
+      Machine.crash machine ~pid;
+      descend z' (lvl + 1) (crashes_left - 1) (depth + 1)
+    end
+    else begin
+      race_op ~pid ~node depth;
+      match Machine.coin_class machine pid with
+      | 0 ->
+        Machine.step_forced machine ~pid ~landed:false;
+        descend z' (lvl + 1) crashes_left (depth + 1)
+      | 1 ->
+        Machine.step_forced machine ~pid ~landed:true;
+        descend z' (lvl + 1) crashes_left (depth + 1)
+      | cls ->
+        (* Coin / freshness fork: both outcomes, always.  The fork's
+           pre-state is the scheduling state itself, so the node
+           snapshot is reused when there is one; the event at this
+           depth is identical on both sides and stays recorded. *)
+        let landed0 = cls = 2 in
+        let snap =
+          match snap with Some s -> s | None -> Machine.snapshot machine
+        in
+        let fi = !nframes in
+        push 0;
+        Machine.step_forced machine ~pid ~landed:landed0;
+        descend z' (lvl + 1) crashes_left (depth + 1);
+        Machine.restore machine snap;
+        !frames.(fi) <- 1;
+        Machine.step_forced machine ~pid ~landed:(not landed0);
+        descend z' (lvl + 1) crashes_left (depth + 1);
+        pop ()
+    end
+  in
+  match descend 0 0 faults.Fault.crashes 0 with
   | () -> Ok (stats true)
   | exception Out_of_budget -> Ok (stats false)
   | exception Abort reason -> Error (reason, current_path (), stats false)

@@ -54,7 +54,10 @@
 type stats = {
   complete : int;    (** complete executions checked *)
   truncated : int;   (** paths cut off at [max_depth] and checked *)
-  pruned : int;      (** paths abandoned sleep-blocked, without a check *)
+  pruned : int;      (** paths abandoned sleep-blocked or as duplicate
+                         states, without a check *)
+  dedup_hits : int;  (** of [pruned], how many were duplicate-state
+                         hits (always 0 without [~dedup:true]) *)
   exhausted : bool;  (** the whole reduced tree fit within [max_runs] *)
   steps : int;       (** machine transitions applied in total *)
 }
@@ -74,6 +77,9 @@ val explore :
   ?sink:Conrat_sim.Sink.t ->
   ?heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
   ?resume:Checkpoint.counts ->
+  ?subtree_prefix:int ->
+  ?cut:int * (int list -> unit) ->
+  ?dedup:bool ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(Checkpoint.counts -> unit) ->
   n:int ->
@@ -113,4 +119,79 @@ val explore :
     compiled VM, {!Conrat_sim.Machine.engine}); the traversal order,
     pruning decisions, statistics, checkpoints and outcome sequence are
     identical under either engine, so a checkpoint saved under one can
-    be resumed under the other. *)
+    be resumed under the other.
+
+    {2 Sharding}
+
+    [~subtree_prefix:l] with [~resume] pins the first [l] entries of the
+    resume path: the search replays them as the only candidate at each
+    of the first [l] branch points (validating against the config,
+    rebuilding sleep sets along the corridor) and explores {e no
+    siblings} there — only the subtree below the pinned prefix.  Step
+    and count accounting is rebased so that the reported [stats] cover
+    exactly that subtree, the pinned transitions of the cut node's own
+    choice included once.  A resume path {e longer} than
+    [subtree_prefix] additionally fast-forwards within the subtree as a
+    normal checkpoint resume, so an interrupted shard continues
+    bit-identically.
+
+    [~cut:(lvl, emit)] turns the search into a {e shard generator}: at
+    the first branch point of each path whose frame nesting is at least
+    [lvl], the search calls [emit] once per sleep-surviving candidate
+    with the path selecting it (in exploration order) and backs out
+    without descending.  Leaves reached before any such branch point —
+    the generator {e residue} — are explored and counted normally.  The
+    emitted paths, each run under [~resume:{path; zeros}]
+    [~subtree_prefix:(List.length path)], partition the remaining tree:
+    residue stats plus the per-shard stats sum to exactly the
+    unsharded totals, and concatenating per-shard outcome sequences in
+    emission order replays the sequential outcome sequence.  [cut] is
+    exclusive with [resume], [dedup] and checkpointing.
+
+    {2 Duplicate detection}
+
+    [~dedup:true] (VM engine only — raises [Invalid_argument] under the
+    tree engine, see {!Conrat_sim.Machine.supports_state_hash}) prunes a
+    branch point whose machine state was already visited at the same
+    depth and crash budget with a sleep set no larger than the current
+    one; such a node can only re-derive already-covered executions.
+    Hits are counted in [pruned] and [dedup_hits].  Keys are two
+    independent 63-bit hashes; a collision would need both to collide
+    simultaneously (probability ~2⁻¹²⁶ per pair).  Complete-execution
+    {e outcome sets} are preserved ([test/test_parallel.ml] verifies
+    this differentially); per-leaf sequences and counts are generally
+    smaller than without dedup.  Exclusive with checkpointing and with
+    mid-subtree resume (a fresh shard — [List.length resume.path =
+    subtree_prefix] with zero counts — is fine; the visited table is
+    per-call and is not serialized). *)
+
+val explore_source :
+  ?engine:Conrat_sim.Machine.engine ->
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?cheap_collect:bool ->
+  ?faults:Conrat_sim.Fault.model ->
+  ?stop:(unit -> bool) ->
+  ?sink:Conrat_sim.Sink.t ->
+  ?heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
+  n:int ->
+  setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
+  check:(complete:bool -> 'r option array -> (unit, string) result) ->
+  unit ->
+  (stats, string * int list * stats) result
+(** Dynamic partial-order reduction in the source-set style, layered on
+    the same sleep sets as {!explore}: each branch point starts with a
+    minimal backtracking set (its first awake candidate plus every
+    crash candidate) and grows it only when an executed transition is
+    found to race with a later one — candidates never requested are
+    never explored.  Leaves cut before completion (depth-truncated or
+    sleep-blocked) scan every still-pending operation for races so
+    truncation cannot hide a dependency.
+
+    Preserves the complete-execution outcome set exactly, like
+    {!explore}; {!explored} counts and per-leaf sequences are generally
+    {e smaller} and are not comparable leaf-for-leaf.  A [check]
+    failure still returns a replayable {!Conrat_sim.Explore.run_path}
+    path.  No checkpointing, sharding or dedup: this engine is the
+    reduction oracle the differential suite cross-checks {!explore}
+    and {!Naive.explore} against ([conrat check --dpor]). *)

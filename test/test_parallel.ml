@@ -1,0 +1,500 @@
+(* Differential determinism suite for the parallel explorer
+   (lib/verify/parallel.ml) and the machinery underneath it: shard
+   frontiers, duplicate-state detection, the source-set DPOR oracle and
+   the VM state hash.
+
+   The headline properties, each checked over the checker registry:
+
+   - jobs-invariance: Parallel.explore_por at any --jobs reports the
+     exact statistics and complete-execution outcome set of the
+     sequential search (and Parallel.explore_naive likewise).
+   - partition exactness: a generated frontier's residue plus its
+     per-shard subtree runs sum to the sequential totals, steps
+     included.
+   - steal/resume: a shard interrupted mid-subtree and resumed from its
+     checkpoint (as a stealing worker would) finishes bit-identically.
+   - dedup soundness: duplicate-state suppression never changes the
+     outcome set, only the leaf counts.
+   - DPOR cross-check: the source-set oracle explores the same outcome
+     set as the sleep-set engine and the naive enumerator.
+   - hash soundness: machines in equal states hash equal; perturbing a
+     pc, a memory cell or a crash bit changes the hash. *)
+
+open Conrat_sim
+open Conrat_verify
+
+let check = Alcotest.check
+let checkb msg expected actual = check Alcotest.bool msg expected actual
+let checki msg expected actual = check Alcotest.int msg expected actual
+let tc = Alcotest.test_case
+
+let config name =
+  match Checks.find name with
+  | Some c -> c
+  | None -> Alcotest.failf "no checker config named %s" name
+
+(* The depth-34/40 fallback bounds are the depth-28 machinery with more
+   minutes attached; d28 stays in the loop, the big two are covered by
+   `make par-verify` / `make bench-gates` wall-clock runs. *)
+let heavy = [ "fallback_n2_d34"; "fallback_n2_d40" ]
+
+let configs =
+  List.filter (fun c -> not (List.mem c.Checks.name heavy)) Checks.all
+
+(* ------------------------------------------------------------------ *)
+(* Outcome-set recording (domain-safe)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The outputs buffer is reused across leaves and, under a fleet, the
+   wrapped check runs on several domains at once — copy under a lock. *)
+let outcomes () =
+  let tbl = Hashtbl.create 97 in
+  let lock = Mutex.create () in
+  let wrap inner ~complete outputs =
+    if complete then begin
+      let key = Array.to_list outputs in
+      Mutex.protect lock (fun () -> Hashtbl.replace tbl key ())
+    end;
+    inner ~complete outputs
+  in
+  let sorted () =
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+  in
+  (wrap, sorted)
+
+let por ?(jobs = 1) ?(dedup = false) c =
+  let wrap, sorted = outcomes () in
+  match
+    Parallel.explore_por ~jobs ~max_depth:c.Checks.max_depth
+      ~max_runs:c.Checks.max_runs ~cheap_collect:c.Checks.cheap_collect
+      ~faults:c.Checks.faults ~dedup ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(wrap (Checks.check_of c ~n:c.Checks.n))
+      ()
+  with
+  | Ok s -> (s, sorted ())
+  | Error (reason, _, _) -> Alcotest.failf "%s violated: %s" c.Checks.name reason
+
+let naive ?(jobs = 1) ?max_runs c =
+  let wrap, sorted = outcomes () in
+  match
+    Parallel.explore_naive ~jobs ~max_depth:c.Checks.max_depth
+      ~max_runs:(Option.value max_runs ~default:c.Checks.max_runs)
+      ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults
+      ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(wrap (Checks.check_of c ~n:c.Checks.n))
+      ()
+  with
+  | Ok s -> (s, sorted ())
+  | Error (reason, _) -> Alcotest.failf "%s violated: %s" c.Checks.name reason
+
+let dpor c =
+  let wrap, sorted = outcomes () in
+  match
+    Por.explore_source ~max_depth:c.Checks.max_depth ~max_runs:c.Checks.max_runs
+      ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults
+      ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(wrap (Checks.check_of c ~n:c.Checks.n))
+      ()
+  with
+  | Ok s -> (s, sorted ())
+  | Error (reason, _, _) -> Alcotest.failf "%s violated: %s" c.Checks.name reason
+
+(* ------------------------------------------------------------------ *)
+(* jobs-invariance                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_por_jobs_invariant () =
+  List.iter
+    (fun c ->
+      let s1, o1 = por c in
+      checkb (c.Checks.name ^ " sequential exhausts") true s1.Por.exhausted;
+      List.iter
+        (fun jobs ->
+          let sj, oj = por ~jobs c in
+          checkb
+            (Printf.sprintf "%s jobs=%d statistics bit-identical" c.Checks.name
+               jobs)
+            true (sj = s1);
+          checkb
+            (Printf.sprintf "%s jobs=%d outcome set identical" c.Checks.name
+               jobs)
+            true (oj = o1))
+        [ 2; 4 ])
+    configs
+
+let test_naive_jobs_invariant () =
+  (* Naive enumeration re-executes every prefix, so gate the comparison
+     to configs whose full naive tree fits a small budget (the heavy
+     fallback trees would dominate the suite's wall clock). *)
+  let compared = ref 0 in
+  List.iter
+    (fun c ->
+      let s1, o1 = naive ~max_runs:100_000 c in
+      if s1.Naive.exhausted then begin
+        incr compared;
+        let s3, o3 = naive ~jobs:3 c in
+        checkb (c.Checks.name ^ " naive jobs=3 statistics bit-identical") true
+          (s3 = s1);
+        checkb (c.Checks.name ^ " naive jobs=3 outcome set identical") true
+          (o3 = o1)
+      end)
+    configs;
+  checkb "the gate left a meaningful sample" true (!compared >= 5)
+
+let test_jobs_exceed_frontier () =
+  (* More workers than the tree has shards (here: than it has leaves):
+     generation explores everything as residue and the fleet is idle. *)
+  let c = config "binary_ratifier_n2" in
+  let s1, o1 = por c in
+  let s8, o8 = por ~jobs:8 c in
+  checkb "jobs=8 on a 6-leaf tree bit-identical" true (s8 = s1 && o8 = o1)
+
+(* ------------------------------------------------------------------ *)
+(* Shard partition and steal/resume                                    *)
+(* ------------------------------------------------------------------ *)
+
+let explore_shard ?max_runs ?on_checkpoint c resume prefix =
+  Por.explore ~max_depth:c.Checks.max_depth
+    ~max_runs:(Option.value max_runs ~default:c.Checks.max_runs)
+    ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults ~resume
+    ~subtree_prefix:prefix ~checkpoint_every:max_int ?on_checkpoint
+    ~n:c.Checks.n
+    ~setup:(Checks.setup_of c ~n:c.Checks.n)
+    ~check:(Checks.check_of c ~n:c.Checks.n)
+    ()
+
+let zero_counts path =
+  { Checkpoint.path; complete = 0; truncated = 0; pruned = 0; steps = 0 }
+
+let generate c ~target =
+  match
+    Frontier.generate ~target ~run:(fun ~cut ->
+        Por.explore ~max_depth:c.Checks.max_depth ~max_runs:c.Checks.max_runs
+          ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults ~cut
+          ~n:c.Checks.n
+          ~setup:(Checks.setup_of c ~n:c.Checks.n)
+          ~check:(Checks.check_of c ~n:c.Checks.n)
+          ())
+  with
+  | Ok (residue, shards) -> (residue, shards)
+  | Error (reason, _, _) ->
+    Alcotest.failf "%s violated during generation: %s" c.Checks.name reason
+
+let add_stats (a : Por.stats) (b : Por.stats) =
+  { Por.complete = a.complete + b.complete;
+    truncated = a.truncated + b.truncated;
+    pruned = a.pruned + b.pruned;
+    dedup_hits = a.dedup_hits + b.dedup_hits;
+    exhausted = a.exhausted && b.exhausted;
+    steps = a.steps + b.steps }
+
+let test_shard_partition_exact () =
+  List.iter
+    (fun name ->
+      let c = config name in
+      let seq, _ = por c in
+      let residue, shards = generate c ~target:16 in
+      let total =
+        Array.fold_left
+          (fun acc path ->
+            match
+              explore_shard c (zero_counts path) (List.length path)
+            with
+            | Ok s -> add_stats acc s
+            | Error (reason, _, _) ->
+              Alcotest.failf "%s shard violated: %s" name reason)
+          residue shards
+      in
+      checkb (name ^ " residue + shards = sequential, steps included") true
+        (total = seq))
+    [ "binary_ratifier_n4"; "binary_ratifier_n3_f2"; "conciliator_n2";
+      "composite_n2" ]
+
+let test_steal_mid_shard_resume () =
+  (* Interrupt a shard on a small budget, hand its checkpoint to a
+     "different worker" (a fresh explore call with the same pinned
+     prefix), repeat until exhausted: the final statistics must equal
+     the uninterrupted shard's.  This is exactly the state a stolen
+     shard migrates between domains as. *)
+  let c = config "binary_ratifier_n4" in
+  let _, shards = generate c ~target:8 in
+  checkb "frontier is nontrivial" true (Array.length shards >= 8);
+  let segmented = ref 0 in
+  Array.iter
+    (fun path ->
+      let prefix = List.length path in
+      let full =
+        match explore_shard c (zero_counts path) prefix with
+        | Ok s -> s
+        | Error (reason, _, _) -> Alcotest.failf "shard violated: %s" reason
+      in
+      let saved = ref (zero_counts path) in
+      let budget = ref 200 in
+      let final = ref None in
+      let segments = ref 0 in
+      while !final = None do
+        incr segments;
+        if !segments > 1000 then Alcotest.fail "shard resume does not converge";
+        match
+          explore_shard c !saved prefix ~max_runs:!budget
+            ~on_checkpoint:(fun counts -> saved := counts)
+        with
+        | Ok s when s.Por.exhausted -> final := Some s
+        | Ok _ -> budget := !budget + 200
+        | Error (reason, _, _) ->
+          Alcotest.failf "shard violated mid-segment: %s" reason
+      done;
+      if !segments >= 2 then incr segmented;
+      checkb "resumed shard bit-identical to uninterrupted" true
+        (Option.get !final = full))
+    shards;
+  checkb "≥ 1 shard actually crossed a segment boundary" true (!segmented >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Dedup soundness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_dedup_preserves_outcomes () =
+  List.iter
+    (fun c ->
+      let s0, o0 = por c in
+      let s1, o1 = por ~dedup:true c in
+      checki (c.Checks.name ^ " dedup off reports no hits") 0 s0.Por.dedup_hits;
+      checkb (c.Checks.name ^ " dedup run exhausts") true s1.Por.exhausted;
+      checkb (c.Checks.name ^ " dedup never explores more") true
+        (Por.explored s1 <= Por.explored s0);
+      checkb (c.Checks.name ^ " dedup outcome set identical") true (o1 = o0))
+    configs
+
+let test_dedup_bites_on_fallback () =
+  (* The racing-fallback tree revisits states massively; lock in that
+     the suppression actually fires there (exact counts are wall-clock
+     facts recorded in EXPERIMENTS.md; here we pin the invariants). *)
+  let c = config "fallback_n2_d28" in
+  let s0, _ = por c in
+  let s1, _ = por ~dedup:true c in
+  checkb "dedup_hits > 0" true (s1.Por.dedup_hits > 0);
+  checkb "dedup shrinks the explored tree" true
+    (Por.explored s1 < Por.explored s0);
+  checkb "hits are counted inside pruned" true (s1.Por.dedup_hits <= s1.Por.pruned)
+
+let test_dedup_rejected_on_tree_engine () =
+  let c = config "binary_ratifier_n2" in
+  try
+    ignore
+      (Por.explore ~engine:`Tree ~max_depth:c.Checks.max_depth ~dedup:true
+         ~n:c.Checks.n
+         ~setup:(Checks.setup_of c ~n:c.Checks.n)
+         ~check:(Checks.check_of c ~n:c.Checks.n)
+         ());
+    Alcotest.fail "dedup accepted under the tree engine (no state hash there)"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Source-set DPOR cross-check                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_dpor_outcome_sets () =
+  List.iter
+    (fun c ->
+      let s_por, o_por = por c in
+      let s_dpor, o_dpor = dpor c in
+      checkb (c.Checks.name ^ " dpor exhausts") true s_dpor.Por.exhausted;
+      checkb (c.Checks.name ^ " dpor outcome set = sleep-set outcome set")
+        true (o_dpor = o_por);
+      ignore s_por)
+    configs
+
+let test_dpor_vs_naive_outcomes () =
+  (* Close the triangle against ground truth where the naive tree is
+     affordable. *)
+  let compared = ref 0 in
+  List.iter
+    (fun c ->
+      let s_n, o_n = naive ~max_runs:100_000 c in
+      if s_n.Naive.exhausted then begin
+        incr compared;
+        let _, o_d = dpor c in
+        checkb (c.Checks.name ^ " dpor outcome set = naive outcome set") true
+          (o_d = o_n)
+      end)
+    configs;
+  checkb "the gate left a meaningful sample" true (!compared >= 5)
+
+let test_dpor_reduces_fallback () =
+  let c = config "fallback_n2_d28" in
+  let s_por, o_por = por c in
+  let s_dpor, o_dpor = dpor c in
+  checkb "outcome sets equal" true (o_dpor = o_por);
+  checkb "dpor explores strictly fewer executions" true
+    (Por.explored s_dpor < Por.explored s_por)
+
+(* ------------------------------------------------------------------ *)
+(* State-hash soundness                                                *)
+(* ------------------------------------------------------------------ *)
+
+let machine_of c =
+  let memory, body = Checks.setup_of c ~n:c.Checks.n () in
+  Machine.create ~cheap_collect:c.Checks.cheap_collect ~n:c.Checks.n ~memory
+    body
+
+let test_hash_equal_states () =
+  let c = config "binary_ratifier_n3" in
+  let m1 = machine_of c and m2 = machine_of c in
+  checkb "VM machines support hashing" true (Machine.supports_state_hash m1);
+  checkb "fresh identical setups hash equal" true
+    (Machine.state_hash m1 = Machine.state_hash m2);
+  (* Drive both through the same schedule with the same coin stream:
+     equal at every prefix. *)
+  let r1 = Rng.create 7 and r2 = Rng.create 7 in
+  let stepped = ref 0 in
+  while Machine.running m1 && !stepped < 50 do
+    let en = Machine.enabled m1 in
+    let pid = en.(!stepped mod Array.length en) in
+    Machine.step_random m1 ~pid ~coin:r1;
+    Machine.step_random m2 ~pid ~coin:r2;
+    incr stepped;
+    checkb "same schedule, same hash" true
+      (Machine.state_hash m1 = Machine.state_hash m2)
+  done;
+  checkb "the walk actually stepped" true (!stepped > 0)
+
+let test_hash_restore_roundtrip () =
+  let c = config "binary_ratifier_n3" in
+  let m = machine_of c in
+  let h0 = Machine.state_hash m in
+  let snap = Machine.snapshot m in
+  let rng = Rng.create 11 in
+  Machine.step_random m ~pid:(Machine.enabled m).(0) ~coin:rng;
+  checkb "a step changes the hash" true (Machine.state_hash m <> h0);
+  Machine.restore m snap;
+  checkb "restore returns the original hash" true (Machine.state_hash m = h0)
+
+let test_hash_perturbation_sensitive () =
+  let c = config "binary_ratifier_n3" in
+  (* One pc: stepping pid 0 vs stepping pid 1 (both advance one pc;
+     their memory effects also differ, which is the point — these are
+     semantically distinct states). *)
+  let ma = machine_of c and mb = machine_of c in
+  let ra = Rng.create 3 and rb = Rng.create 3 in
+  Machine.step_random ma ~pid:0 ~coin:ra;
+  Machine.step_random mb ~pid:1 ~coin:rb;
+  checkb "stepping different pids hashes differently" true
+    (Machine.state_hash ma <> Machine.state_hash mb);
+  (* One crash bit: crashing is one transition that touches no memory,
+     so fresh-vs-crashed and crashed(0)-vs-crashed(1) isolate the
+     crashed-set contribution. *)
+  let mc = machine_of c and md = machine_of c and me = machine_of c in
+  Machine.crash mc ~pid:0;
+  Machine.crash md ~pid:1;
+  checkb "a crash changes the hash" true
+    (Machine.state_hash mc <> Machine.state_hash me);
+  checkb "crashing pid 0 differs from crashing pid 1" true
+    (Machine.state_hash mc <> Machine.state_hash md)
+
+let qcheck_hash_schedule_deterministic =
+  (* Any config, any schedule/coin seed: two machines driven
+     identically hash identically at every prefix — the property the
+     dedup table's correctness rides on. *)
+  let gen =
+    QCheck.Gen.(
+      triple
+        (int_bound (List.length configs - 1))
+        (list_size (int_bound 60) (int_bound 11))
+        (int_bound 1000))
+  in
+  let print (i, picks, seed) =
+    Printf.sprintf "%s picks=%s seed=%d" (List.nth configs i).Checks.name
+      (String.concat "," (List.map string_of_int picks))
+      seed
+  in
+  QCheck.Test.make ~count:150 ~name:"identical schedules hash identically"
+    (QCheck.make ~print gen)
+    (fun (i, picks, seed) ->
+      let c = List.nth configs i in
+      let m1 = machine_of c and m2 = machine_of c in
+      if not (Machine.supports_state_hash m1) then true
+      else begin
+        let r1 = Rng.create seed and r2 = Rng.create seed in
+        List.for_all
+          (fun pick ->
+            if not (Machine.running m1) then true
+            else begin
+              let en = Machine.enabled m1 in
+              let pid = en.(pick mod Array.length en) in
+              Machine.step_random m1 ~pid ~coin:r1;
+              Machine.step_random m2 ~pid ~coin:r2;
+              Machine.state_hash m1 = Machine.state_hash m2
+            end)
+          picks
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet heartbeat aggregation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fleet_heartbeat_totals () =
+  (* Workers flush running totals into the shared atomics and report
+     them under a mutex; the largest value any heartbeat ever saw must
+     be the final fleet total (the last worker's flush happens after
+     every other worker already flushed its shards).  Full-stream
+     monotonicity is not asserted: the generation passes that precede
+     the fleet report their own residue-local counts. *)
+  let c = config "binary_ratifier_n4" in
+  let seen = ref [] in
+  let hb ~runs ~pruned:_ ~steps:_ ~depth:_ = seen := runs :: !seen in
+  match
+    Parallel.explore_por ~jobs:2 ~max_depth:c.Checks.max_depth
+      ~max_runs:c.Checks.max_runs ~cheap_collect:c.Checks.cheap_collect
+      ~faults:c.Checks.faults ~heartbeat:hb ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(Checks.check_of c ~n:c.Checks.n)
+      ()
+  with
+  | Error (reason, _, _) -> Alcotest.failf "unexpected violation: %s" reason
+  | Ok s ->
+    checkb "exhausted" true s.Por.exhausted;
+    checkb "heartbeats fired" true (!seen <> []);
+    let m = List.fold_left max 0 !seen in
+    checki "max heartbeat total = explored + pruned" (Por.explored s + s.Por.pruned)
+      m
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "parallel"
+    [ ( "jobs_invariance",
+        [ tc "por jobs 2/4 vs sequential, all configs" `Quick
+            test_por_jobs_invariant;
+          tc "naive jobs 3 vs sequential, small configs" `Quick
+            test_naive_jobs_invariant;
+          tc "jobs exceed frontier" `Quick test_jobs_exceed_frontier ] );
+      ( "sharding",
+        [ tc "partition exact incl. steps" `Quick test_shard_partition_exact;
+          tc "steal mid-shard, resume elsewhere" `Quick
+            test_steal_mid_shard_resume ] );
+      ( "dedup",
+        [ tc "outcome sets preserved" `Quick test_dedup_preserves_outcomes;
+          tc "hits on the fallback tree" `Quick test_dedup_bites_on_fallback;
+          tc "rejected on tree engine" `Quick test_dedup_rejected_on_tree_engine
+        ] );
+      ( "dpor",
+        [ tc "outcome sets = sleep-set engine" `Quick test_dpor_outcome_sets;
+          tc "outcome sets = naive ground truth" `Quick
+            test_dpor_vs_naive_outcomes;
+          tc "strictly fewer executions on fallback" `Quick
+            test_dpor_reduces_fallback ] );
+      ( "state_hash",
+        [ tc "equal states hash equal" `Quick test_hash_equal_states;
+          tc "snapshot/step/restore round-trip" `Quick
+            test_hash_restore_roundtrip;
+          tc "perturbations change the hash" `Quick
+            test_hash_perturbation_sensitive;
+          qc qcheck_hash_schedule_deterministic ] );
+      ( "fleet",
+        [ tc "heartbeat totals aggregate" `Quick test_fleet_heartbeat_totals ]
+      ) ]
