@@ -29,14 +29,17 @@
    stalls that hide the call latency), so the same tap measures ~10%
    on the VM and 0–4% on the tree oracle (`--engine tree`).  A 3%
    budget against the VM would allow ~5ns/step — less than one
-   indirect call — which no call-per-event design can meet; the
-   default budget is therefore 12%, tight enough that an accidental
-   allocation or a second call on the disabled path still fails the
-   gate. *)
+   indirect call — which no call-per-event design can meet.  The
+   budget started at 12% when the VM landed; re-measured after the
+   telemetry plane (2026-08, best-of-5 interleaved, repeated runs)
+   the null-sink arm spans 0.5–6.8% on a noisy single-core host, so
+   the default is now 9% — max observed plus headroom, still tight
+   enough that an accidental allocation or a second call on the
+   disabled path fails the gate. *)
 
 let config_name = ref "fallback_n2_d28"
 let reps = ref 5
-let max_pct = ref 12.0
+let max_pct = ref 9.0
 let out_file = ref "BENCH_OBS.json"
 let engine = ref `Vm
 
@@ -52,7 +55,7 @@ let args =
      "  program engine under the tap (default vm)");
     ("--reps", Arg.Set_int reps, "N  timed repetitions per arm (default 5)");
     ("--max-overhead-pct", Arg.Set_float max_pct,
-     "PCT  fail when the null-sink overhead exceeds this (default 12.0)");
+     "PCT  fail when the null-sink overhead exceeds this (default 9.0)");
     ("--out", Arg.Set_string out_file,
      "FILE  JSON result file (default BENCH_OBS.json)") ]
 

@@ -1,0 +1,101 @@
+(* The telemetry tax: what does the counters probe cost the POR hot
+   path when attached, against the one-branch-per-site cost of running
+   with no probe at all?
+
+   Methodology is the obs/fault gate's: explore one committed checker
+   config (default fallback_n2_d28, ~1.2M executions) [reps] times with
+   no probe and [reps] times with a counters-only registry attached,
+   interleaved so both arms see the same thermal/allocator conditions,
+   and compare the best (minimum) processor time of each arm
+   (Sys.time).  The counters arm is what `conrat check --json` pays on
+   every row: uncontended atomic adds at snapshot/dedup/checkpoint
+   events plus exit-time delta accounting — nothing per leaf.
+
+   Coverage collection (depth histograms, stage signatures) does do
+   per-leaf work; it is the priced artifact mode behind
+   `conrat telemetry` and is measured here informationally
+   (coverage_overhead_pct, not gated — see EXPERIMENTS.md).
+
+   Exits non-zero when the counters overhead exceeds
+   --max-overhead-pct, and writes BENCH_TELEMETRY.json so the number is
+   tracked in the bench trajectory.  `make telemetry-bench` is the
+   entry point; CI runs it in bench-gates on every push. *)
+
+module Telemetry = Conrat_obs.Telemetry
+
+let config_name = ref "fallback_n2_d28"
+let reps = ref 5
+let max_pct = ref 3.0
+let out_file = ref "BENCH_TELEMETRY.json"
+
+let args =
+  [ ("--config", Arg.Set_string config_name,
+     "NAME  checker config to explore (default fallback_n2_d28)");
+    ("--reps", Arg.Set_int reps, "N  timed repetitions per arm (default 5)");
+    ("--max-overhead-pct", Arg.Set_float max_pct,
+     "PCT  fail when the counters-probe overhead exceeds this (default 3.0)");
+    ("--out", Arg.Set_string out_file,
+     "FILE  JSON result file (default BENCH_TELEMETRY.json)") ]
+
+let usage = "telemetry_overhead [--config NAME] [--reps N] [--max-overhead-pct PCT]"
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let config =
+    match Conrat_verify.Checks.find !config_name with
+    | Some c -> c
+    | None ->
+      Printf.eprintf "telemetry_overhead: unknown checker config %s\n"
+        !config_name;
+      exit 2
+  in
+  let explore ?telemetry () =
+    let t0 = Sys.time () in
+    (match Conrat_verify.Checks.run ?telemetry config with
+     | Ok _ -> ()
+     | Error f ->
+       Printf.eprintf "telemetry_overhead: %s violated its property: %s\n"
+         config.Conrat_verify.Checks.name f.Conrat_verify.Checks.reason;
+       exit 2);
+    Sys.time () -. t0
+  in
+  let counters () = Telemetry.create ~domains:1 () in
+  let coverage () = Telemetry.create ~coverage:true ~domains:1 () in
+  (* One untimed warmup per arm, then interleave the timed reps. *)
+  ignore (explore ());
+  ignore (explore ~telemetry:(counters ()) ());
+  ignore (explore ~telemetry:(coverage ()) ());
+  let bare = ref infinity and probed = ref infinity and covered = ref infinity in
+  for i = 1 to !reps do
+    let b = explore () in
+    let p = explore ~telemetry:(counters ()) () in
+    let c = explore ~telemetry:(coverage ()) () in
+    bare := Float.min !bare b;
+    probed := Float.min !probed p;
+    covered := Float.min !covered c;
+    Printf.eprintf
+      "[telemetry-bench] rep %d/%d: no probe %.3fs, counters %.3fs, \
+       +coverage %.3fs\n%!"
+      i !reps b p c
+  done;
+  let pct arm = (arm -. !bare) /. !bare *. 100.0 in
+  let overhead_pct = pct !probed in
+  let coverage_pct = pct !covered in
+  let ok = overhead_pct <= !max_pct in
+  let oc = open_out !out_file in
+  Printf.fprintf oc
+    "{\n  \"schema_version\": 1,\n  \"kind\": \"telemetry-overhead\",\n  \
+     \"config\": %S,\n  \"reps\": %d,\n  \"no_probe_seconds\": %.3f,\n  \
+     \"counters_seconds\": %.3f,\n  \"coverage_seconds\": %.3f,\n  \
+     \"overhead_pct\": %.2f,\n  \"coverage_overhead_pct\": %.2f,\n  \
+     \"max_overhead_pct\": %.2f,\n  \"ok\": %b\n}\n"
+    !config_name !reps !bare !probed !covered overhead_pct coverage_pct
+    !max_pct ok;
+  close_out oc;
+  Printf.printf
+    "telemetry-bench: %s best-of-%d — no probe %.3fs, counters %.3fs \
+     (%+.2f%%, limit %.1f%%), +coverage %.3fs (%+.2f%%, informational): %s\n"
+    !config_name !reps !bare !probed overhead_pct !max_pct !covered
+    coverage_pct
+    (if ok then "OK" else "OVER BUDGET");
+  if not ok then exit 1

@@ -5,6 +5,7 @@
      experiment  — run the E1..E10 paper-claim reproductions
      sweep       — Monte-Carlo sweep of a protocol at one configuration
      check       — exhaustively verify a named checker configuration
+     telemetry   — one checker run with the full telemetry plane on
      trace       — record one execution as a Chrome/Perfetto trace
      list        — list protocols, adversaries, workloads, experiments
 
@@ -359,7 +360,7 @@ let experiment_cmd =
 let check_cmd =
   let open Conrat_verify in
   let action naive cross dpor engine_s budget timeout max_runs artifact_dir
-      replay json faults checkpoint resume jobs dedup progress
+      replay json faults checkpoint resume jobs dedup no_telemetry progress
       progress_interval quiet names =
     let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
     (* The program engine (VM vs tree interpreter) is orthogonal to the
@@ -558,18 +559,48 @@ let check_cmd =
                ())
         end
       in
-      let por_heartbeat rep =
+      (* Heartbeat details: the base counts always; when a telemetry
+         registry is live, the fleet extras — steal count and shards
+         still in flight under --jobs, dedup hit-rate under --dedup —
+         read racily off the registry ([Telemetry.live]). *)
+      let fleet_detail telemetry =
+        match telemetry with
+        | None -> ""
+        | Some t ->
+          let module T = Conrat_obs.Telemetry in
+          let parts = ref [] in
+          if dedup then begin
+            let h = T.live t T.dedup_hits and m = T.live t T.dedup_misses in
+            if h + m > 0 then
+              parts :=
+                Printf.sprintf "dedup %.0f%%"
+                  (100. *. float_of_int h /. float_of_int (h + m))
+                :: !parts
+          end;
+          if jobs > 1 then begin
+            let steals = T.live t T.steals in
+            parts :=
+              Printf.sprintf "steals %d (%d live)" steals
+                (steals - T.live t T.shards_done)
+              :: !parts
+          end;
+          String.concat "" (List.map (fun s -> ", " ^ s) !parts)
+      in
+      let por_heartbeat ?telemetry rep =
         Option.map
           (fun r ~runs ~pruned ~steps ~depth:_ ->
             Conrat_obs.Progress.tick r ~done_:runs
-              ~detail:(fun () -> Printf.sprintf "pruned %d, %d steps" pruned steps))
+              ~detail:(fun () ->
+                Printf.sprintf "pruned %d, %d steps%s" pruned steps
+                  (fleet_detail telemetry)))
           rep
       in
-      let naive_heartbeat rep =
+      let naive_heartbeat ?telemetry rep =
         Option.map
           (fun r ~runs ~steps ~depth:_ ->
             Conrat_obs.Progress.tick r ~done_:runs
-              ~detail:(fun () -> Printf.sprintf "%d steps" steps))
+              ~detail:(fun () ->
+                Printf.sprintf "%d steps%s" steps (fleet_detail telemetry)))
           rep
       in
       let finish rep = Option.iter Conrat_obs.Progress.finish rep in
@@ -584,15 +615,28 @@ let check_cmd =
         match max_runs with Some r -> r | None -> config.Checks.max_runs
       in
       let failed = ref false in
-      (* BENCH_VERIFY records: one JSON object per (config, engine) run,
-         schema v1 — executions explored, machine steps executed, wall
-         clock.  Written at the end when --json is given. *)
+      (* BENCH_VERIFY records: one JSON object per (config, engine) run
+         — executions explored, machine steps executed, wall clock, and
+         (unless --no-telemetry) the schema-v3 telemetry block as the
+         row's LAST field: [Baseline.raw_field] takes the first
+         occurrence of a key in a row, so the nested block's own
+         "steps"/"executions" keys must come after the row's.  Written
+         at the end when --json is given. *)
+      let telemetry_json_on = json <> None && not no_telemetry in
+      let any_telemetry = ref false in
       let json_results = ref [] in
       let note ~name ~engine ~complete ~truncated ?pruned ~steps ~exhausted ~ok
-          elapsed =
+          ?telemetry elapsed =
         let pruned_field =
           match pruned with
           | Some p -> Printf.sprintf ",\"pruned\":%d" p
+          | None -> ""
+        in
+        let telemetry_field =
+          match telemetry with
+          | Some doc ->
+            any_telemetry := true;
+            Printf.sprintf ",\"telemetry\":%s" doc
           | None -> ""
         in
         (* "engine" stays the exploration algorithm (por/naive), the key
@@ -603,20 +647,20 @@ let check_cmd =
             "{\"name\":%S,\"engine\":%S,\"exec_engine\":%S,\"jobs\":%d,\
              \"executions\":%d,\"complete\":%d,\
              \"truncated\":%d%s,\"steps\":%d,\"wall_clock_seconds\":%.3f,\
-             \"exhausted\":%b,\"ok\":%b}"
+             \"exhausted\":%b,\"ok\":%b%s}"
             name engine engine_s jobs (complete + truncated) complete truncated
-            pruned_field steps elapsed exhausted ok
+            pruned_field steps elapsed exhausted ok telemetry_field
           :: !json_results
       in
-      let note_por ~name ~ok (s : Por.stats) elapsed =
+      let note_por ~name ~ok ?telemetry (s : Por.stats) elapsed =
         note ~name ~engine:"por" ~complete:s.Por.complete ~truncated:s.Por.truncated
           ~pruned:s.Por.pruned ~steps:s.Por.steps ~exhausted:s.Por.exhausted ~ok
-          elapsed
+          ?telemetry elapsed
       in
-      let note_naive ~name ~ok (s : Naive.stats) elapsed =
+      let note_naive ~name ~ok ?telemetry (s : Naive.stats) elapsed =
         note ~name ~engine:"naive" ~complete:s.Naive.complete
           ~truncated:s.Naive.truncated ~steps:s.Naive.steps
-          ~exhausted:s.Naive.exhausted ~ok elapsed
+          ~exhausted:s.Naive.exhausted ~ok ?telemetry elapsed
       in
       let report_por ~stop name (s : Por.stats) elapsed =
         if not quiet then
@@ -642,6 +686,30 @@ let check_cmd =
           in
           let t1 = Unix.gettimeofday () in
           let elapsed () = Unix.gettimeofday () -. t1 in
+          (* One registry per config run: coverage (the per-leaf work)
+             only when the block lands in --json; counters alone when a
+             progress heartbeat wants the fleet extras.  --cross runs
+             two engines over the same config and gets none. *)
+          let telem =
+            if cross then None
+            else if telemetry_json_on then
+              Some (Conrat_obs.Telemetry.create ~coverage:true ~domains:jobs ())
+            else if progress_on && (jobs > 1 || dedup) then
+              Some (Conrat_obs.Telemetry.create ~domains:jobs ())
+            else None
+          in
+          let probe0 =
+            Option.map (fun t -> Conrat_obs.Telemetry.probe t ~domain:0) telem
+          in
+          let telem_json () =
+            if not telemetry_json_on then None
+            else
+              Option.map
+                (fun t ->
+                  Conrat_obs.Telemetry.finalize t;
+                  Conrat_obs.Telemetry.to_json t)
+                telem
+          in
           (* [--timeout] bounds each config separately, on top of the
              global [--budget]; either way the explorer stops cleanly
              and its partial statistics are still reported/noted. *)
@@ -693,7 +761,8 @@ let check_cmd =
                   ~max_runs:(max_runs_of config)
                   ~cheap_collect:config.Checks.cheap_collect
                   ~faults:config.Checks.faults ~stop
-                  ?heartbeat:(naive_heartbeat rep)
+                  ?heartbeat:(naive_heartbeat ?telemetry:telem rep)
+                  ?telemetry:telem
                   ~n:config.Checks.n
                   ~setup:(Checks.setup_of config ~n:config.Checks.n)
                   ~check:(Checks.check_of config ~n:config.Checks.n)
@@ -704,6 +773,7 @@ let check_cmd =
                   ~cheap_collect:config.Checks.cheap_collect
                   ~faults:config.Checks.faults ~stop
                   ?heartbeat:(naive_heartbeat rep)
+                  ?probe:probe0
                   ?resume:resume_counts
                   ?on_checkpoint:(on_checkpoint ~name)
                   ~n:config.Checks.n
@@ -720,13 +790,13 @@ let check_cmd =
                   s.steps
                   (if s.exhausted then "exhausted" else "budget exceeded")
                   (elapsed ());
-              note_naive ~name ~ok:true s (elapsed ())
+              note_naive ~name ~ok:true ?telemetry:(telem_json ()) s (elapsed ())
             | Error (reason, s) ->
               (* The naive engine reports but cannot shrink (it does not
                  return the failing path); re-run without --naive for an
                  artifact. *)
               say "%-26s VIOLATION: %s" name reason;
-              note_naive ~name ~ok:false s (elapsed ());
+              note_naive ~name ~ok:false ?telemetry:(telem_json ()) s (elapsed ());
               failed := true
           end
           else if dpor then begin
@@ -741,6 +811,7 @@ let check_cmd =
                 ~cheap_collect:config.Checks.cheap_collect
                 ~faults:config.Checks.faults ~stop
                 ?heartbeat:(por_heartbeat rep)
+                ?probe:probe0
                 ~n:config.Checks.n
                 ~setup:(Checks.setup_of config ~n:config.Checks.n)
                 ~check:(Checks.check_of config ~n:config.Checks.n)
@@ -753,28 +824,29 @@ let check_cmd =
               note ~name ~engine:"dpor" ~complete:s.Por.complete
                 ~truncated:s.Por.truncated ~pruned:s.Por.pruned
                 ~steps:s.Por.steps ~exhausted:s.Por.exhausted ~ok:true
-                (elapsed ())
+                ?telemetry:(telem_json ()) (elapsed ())
             | Error (reason, _path, s) ->
               say "%-26s VIOLATION: %s" name reason;
               note ~name ~engine:"dpor" ~complete:s.Por.complete
                 ~truncated:s.Por.truncated ~pruned:s.Por.pruned
                 ~steps:s.Por.steps ~exhausted:s.Por.exhausted ~ok:false
-                (elapsed ());
+                ?telemetry:(telem_json ()) (elapsed ());
               failed := true
           end
           else begin
             let rep = reporter ~engine:"por" name in
             let result =
               Checks.run ~engine:exec_engine ~stop ~max_runs:(max_runs_of config)
-                ?heartbeat:(por_heartbeat rep)
+                ?heartbeat:(por_heartbeat ?telemetry:telem rep)
                 ?resume:resume_counts
-                ?on_checkpoint:(on_checkpoint ~name) ~jobs ~dedup config
+                ?on_checkpoint:(on_checkpoint ~name) ~jobs ~dedup
+                ?telemetry:telem config
             in
             finish rep;
             match result with
             | Ok s ->
               report_por ~stop name s (elapsed ());
-              note_por ~name ~ok:true s (elapsed ())
+              note_por ~name ~ok:true ?telemetry:(telem_json ()) s (elapsed ())
             | Error f ->
               let file =
                 Filename.concat artifact_dir (name ^ ".counterexample.sexp")
@@ -788,17 +860,22 @@ let check_cmd =
                 (List.length f.Checks.artifact.Artifact.path)
                 f.Checks.shrink_replays;
               say "  counterexample written to %s" file;
-              note_por ~name ~ok:false f.Checks.stats (elapsed ());
+              note_por ~name ~ok:false ?telemetry:(telem_json ())
+                f.Checks.stats (elapsed ());
               failed := true
           end)
         names;
       (match json with
        | None -> ()
        | Some file ->
+         (* Rows without telemetry are the historical schema v1; the
+            nested per-row telemetry/coverage block is schema v3 (v2 was
+            the fault-plane artifact schema). *)
          let doc =
            Printf.sprintf
-             "{\n  \"schema_version\": 1,\n  \"kind\": \"verify-bench\",\n  \
+             "{\n  \"schema_version\": %d,\n  \"kind\": \"verify-bench\",\n  \
               \"results\": [\n    %s\n  ]\n}\n"
+             (if !any_telemetry then 3 else 1)
              (String.concat ",\n    " (List.rev !json_results))
          in
          if json_stdout then (print_string doc; flush stdout)
@@ -915,6 +992,15 @@ let check_cmd =
                    and BENCH_VERIFY.json.  FILE '-' writes the document to \
                    stdout and moves all human-facing lines to stderr.")
   in
+  let no_telemetry_arg =
+    Arg.(value & flag
+         & info [ "no-telemetry" ]
+             ~doc:"Skip the per-run telemetry/coverage block that $(b,--json) \
+                   includes by default (schema v3); rows revert to the plain \
+                   schema-v1 shape and the run pays no per-leaf coverage \
+                   cost — used by `make perf-verify` to keep \
+                   BENCH_VERIFY.json timings comparable across releases.")
+  in
   let progress_arg =
     Arg.(value & flag
          & info [ "progress" ]
@@ -944,8 +1030,123 @@ let check_cmd =
           $ budget_arg $ timeout_arg
           $ max_runs_arg $ artifact_dir_arg $ replay_arg $ json_arg
           $ faults_arg $ checkpoint_arg $ resume_arg $ jobs_arg
-          $ check_dedup_arg $ progress_arg
+          $ check_dedup_arg $ no_telemetry_arg $ progress_arg
           $ progress_interval_arg $ quiet_arg $ names_arg)
+
+(* telemetry *)
+
+let telemetry_cmd =
+  let open Conrat_verify in
+  let action name jobs dedup engine_s max_runs out trace =
+    let jobs = if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs in
+    match Checks.find name with
+    | None ->
+      Printf.eprintf "conrat: unknown checker %s (expected %s)\n" name
+        (String.concat ", "
+           (Checks.names @ Checks.demo_names @ Checks.extended_names));
+      exit 2
+    | Some config ->
+      let exec_engine : Conrat_sim.Machine.engine =
+        match engine_s with
+        | "vm" -> `Vm
+        | "tree" -> `Tree
+        | other ->
+          Printf.eprintf "conrat: bad --engine %S (expected 'vm' or 'tree')\n"
+            other;
+          exit 2
+      in
+      if dedup && engine_s = "tree" then begin
+        Printf.eprintf
+          "conrat: --dedup needs the VM engine's state hash (drop \
+           --engine tree)\n";
+        exit 2
+      end;
+      let telem = Conrat_obs.Telemetry.create ~coverage:true ~domains:jobs () in
+      let chrome =
+        Option.map
+          (fun _ -> Conrat_obs.Chrome_trace.create_fleet ~workers:jobs)
+          trace
+      in
+      let sink = Option.map Conrat_obs.Chrome_trace.fleet_sink chrome in
+      let t0 = Unix.gettimeofday () in
+      let result =
+        Checks.run ~engine:exec_engine ?max_runs ~jobs ~dedup ~telemetry:telem
+          ?sink config
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Conrat_obs.Telemetry.finalize telem;
+      let doc = Conrat_obs.Telemetry.to_json telem ^ "\n" in
+      if out = "-" then (print_string doc; flush stdout)
+      else begin
+        let oc = open_out out in
+        output_string oc doc;
+        close_out oc;
+        Report.info "[telemetry] wrote %s" out
+      end;
+      (match (trace, chrome) with
+       | Some file, Some ct ->
+         write_chrome_trace ct file;
+         if file <> "-" then
+           Report.info
+             "[telemetry] wrote fleet trace to %s (one track per worker \
+              domain; open in ui.perfetto.dev)"
+             file
+       | _ -> ());
+      (match result with
+       | Ok s ->
+         Report.info
+           "[telemetry] %s: explored=%d pruned=%d steps=%d %s (%.1fs, jobs=%d%s)"
+           name (Por.explored s) s.Por.pruned s.Por.steps
+           (if s.Por.exhausted then "exhausted" else "budget exceeded")
+           elapsed jobs
+           (if dedup then ", dedup" else "")
+       | Error f ->
+         Report.info "[telemetry] %s: VIOLATION: %s" name f.Checks.reason;
+         exit 1)
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"CHECKER"
+             ~doc:"Checker config name to profile (see `conrat list`).")
+  in
+  let telemetry_dedup_arg =
+    Arg.(value & flag
+         & info [ "dedup" ]
+             ~doc:"Enable duplicate-state suppression (VM engine only), so the \
+                   dedup hit/miss/saturation telemetry is populated.")
+  in
+  let engine_arg =
+    Arg.(value & opt string "vm"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Program engine: 'vm' (default) or 'tree'.")
+  in
+  let max_runs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-runs" ] ~docv:"RUNS"
+             ~doc:"Override the config's execution budget.")
+  in
+  let out_arg =
+    Arg.(value & opt string "-"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Where to write the schema-v3 telemetry document (fleet-total \
+                   counters, per-domain rows, per-shard records, coverage \
+                   signatures); '-' = stdout (the default).")
+  in
+  let fleet_trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Also record the fleet as a Chrome trace-event JSON file with \
+                   one track per worker domain: a span per explored shard \
+                   (shard id, prefix depth) and instant markers at steals and \
+                   checkpoint saves.  Meaningful with --jobs > 1; loadable in \
+                   ui.perfetto.dev.")
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:"Exhaustively verify one checker config with the full telemetry \
+             plane on, and dump the counters/coverage document")
+    Term.(const action $ name_arg $ jobs_arg $ telemetry_dedup_arg $ engine_arg
+          $ max_runs_arg $ out_arg $ fleet_trace_arg)
 
 (* trace *)
 
@@ -1015,4 +1216,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; experiment_cmd; check_cmd; trace_cmd; list_cmd ]))
+          [ run_cmd; sweep_cmd; experiment_cmd; check_cmd; telemetry_cmd;
+            trace_cmd; list_cmd ]))

@@ -4,10 +4,18 @@ type t = {
   n : int;
   buf : Buffer.t;
   mutable count : int;
-  (* Currently open stage span per pid: (stage, step it opened at). *)
+  (* Currently open stage span per pid: (stage, step it opened at).
+     In fleet mode the array is per worker domain and holds the open
+     shard span. *)
   open_stage : (string * int) option array;
   mutable last_step : int;
   mutable finalized : bool;
+  (* Fleet mode: tracks are worker domains, timestamps are wall-clock
+     microseconds since [t0], and events arrive from several domains —
+     hence the mutex (machine mode is single-domain and never locks). *)
+  fleet : bool;
+  t0 : float;
+  mutex : Mutex.t;
 }
 
 let json_string s =
@@ -56,7 +64,10 @@ let create ~n =
       count = 0;
       open_stage = Array.make n None;
       last_step = 0;
-      finalized = false }
+      finalized = false;
+      fleet = false;
+      t0 = 0.;
+      mutex = Mutex.create () }
   in
   metadata t ~name:"process_name" ~tid:0 ~value:"conrat";
   for pid = 0 to n - 1 do
@@ -64,6 +75,29 @@ let create ~n =
   done;
   metadata t ~name:"thread_name" ~tid:n ~value:"explorer";
   t
+
+let create_fleet ~workers =
+  let t =
+    { n = workers;
+      buf = Buffer.create 4096;
+      count = 0;
+      open_stage = Array.make (max workers 1) None;
+      last_step = 0;
+      finalized = false;
+      fleet = true;
+      t0 = Unix.gettimeofday ();
+      mutex = Mutex.create () }
+  in
+  metadata t ~name:"process_name" ~tid:0 ~value:"conrat fleet";
+  for w = 0 to workers - 1 do
+    metadata t ~name:"thread_name" ~tid:w ~value:(strf "worker %d" w)
+  done;
+  t
+
+let now_us t =
+  let us = int_of_float ((Unix.gettimeofday () -. t.t0) *. 1e6) in
+  if us > t.last_step then t.last_step <- us;
+  us
 
 let kind_name = function
   | Op.Read_op -> "read"
@@ -149,6 +183,55 @@ let sink t =
     ~on_crash:(fun ~step ~pid -> on_crash t ~step ~pid)
     ~on_snapshot:(fun ~step -> explorer_instant t "snapshot" ~step)
     ~on_restore:(fun ~step -> explorer_instant t "restore" ~step)
+    ~on_checkpoint:(fun ~step -> explorer_instant t "checkpoint" ~step)
+    ()
+
+(* Fleet events: a steal is an instant on the worker's track followed
+   by the opening of that shard's span; completion closes the span with
+   the shard's leaf/step counts in the closing args. *)
+
+let fleet_steal t ~domain ~shard ~prefix =
+  Mutex.protect t.mutex (fun () ->
+      let ts = now_us t in
+      close_span t domain ~step:ts;
+      event t
+        [ "\"name\":\"steal\"";
+          "\"ph\":\"i\"";
+          "\"s\":\"t\"";
+          "\"pid\":1";
+          strf "\"tid\":%d" domain;
+          strf "\"ts\":%d" ts;
+          strf "\"args\":{\"shard\":%d,\"prefix\":%d}" shard prefix ];
+      t.open_stage.(domain) <- Some (strf "shard %d" shard, ts);
+      event t
+        [ strf "\"name\":\"shard %d\"" shard;
+          "\"ph\":\"B\"";
+          "\"pid\":1";
+          strf "\"tid\":%d" domain;
+          strf "\"ts\":%d" ts;
+          strf "\"args\":{\"shard\":%d,\"prefix\":%d}" shard prefix ])
+
+let fleet_shard_done t ~domain ~shard:_ ~leaves ~steps =
+  Mutex.protect t.mutex (fun () ->
+      let ts = now_us t in
+      match t.open_stage.(domain) with
+      | None -> ()
+      | Some _ ->
+        t.open_stage.(domain) <- None;
+        event t
+          [ "\"ph\":\"E\"";
+            "\"pid\":1";
+            strf "\"tid\":%d" domain;
+            strf "\"ts\":%d" ts;
+            strf "\"args\":{\"leaves\":%d,\"steps\":%d}" leaves steps ])
+
+let fleet_sink t =
+  if not t.fleet then
+    invalid_arg "Chrome_trace.fleet_sink: not a fleet collector";
+  Sink.make
+    ~on_steal:(fun ~domain ~shard ~prefix -> fleet_steal t ~domain ~shard ~prefix)
+    ~on_shard_done:(fun ~domain ~shard ~leaves ~steps ->
+      fleet_shard_done t ~domain ~shard ~leaves ~steps)
     ()
 
 let events t = t.count

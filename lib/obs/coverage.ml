@@ -1,0 +1,424 @@
+(* Coverage signatures: what the search saw, as opposed to how hard it
+   worked (Telemetry's counters).  One instance is single-writer — each
+   explorer worker owns one — and instances merge commutatively, so the
+   fleet's signature is independent of shard placement. *)
+
+type kind = [ `Complete | `Truncated | `Pruned ]
+
+(* Stage ids are 6-bit: id 0 is "no stage", 63 the overflow bucket once
+   62 distinct labels have been seen (registry protocols use a
+   handful).  A leaf signature packs one id per process into a single
+   int, so collecting a signature allocates nothing once the labels are
+   interned; signatures are only widened to name arrays at export. *)
+let id_bits = 6
+let id_mask = 63
+let overflow_id = 63
+let max_ids = 62
+let max_sig_n = 10 (* 10 * 6 bits < 63; wider configs skip signatures *)
+
+type t = {
+  mutable dc : int array; (* depth histogram of complete leaves *)
+  mutable dt : int array; (* ... truncated *)
+  mutable dp : int array; (* ... pruned *)
+  interner : (string, int) Hashtbl.t;
+  mutable names : string array; (* id -> label *)
+  mutable nnames : int;
+  mutable sig_n : int; (* processes per signature; 0 until first leaf *)
+  sigs : (int, int) Hashtbl.t; (* packed signature -> leaf count *)
+  mutable curves : (int * int) array list; (* sealed saturation curves *)
+  mutable live : (int * int) list; (* current curve, newest first *)
+}
+
+let create () =
+  let names = Array.make 8 "" in
+  names.(0) <- "-";
+  { dc = [||];
+    dt = [||];
+    dp = [||];
+    interner = Hashtbl.create 16;
+    names;
+    nnames = 1;
+    sig_n = 0;
+    sigs = Hashtbl.create 64;
+    curves = [];
+    live = [] }
+
+let intern t s =
+  match Hashtbl.find_opt t.interner s with
+  | Some id -> id
+  | None ->
+    if t.nnames > max_ids then overflow_id
+    else begin
+      let id = t.nnames in
+      if id >= Array.length t.names then begin
+        let bigger = Array.make (2 * Array.length t.names) "" in
+        Array.blit t.names 0 bigger 0 (Array.length t.names);
+        t.names <- bigger
+      end;
+      t.names.(id) <- s;
+      t.nnames <- id + 1;
+      Hashtbl.add t.interner s id;
+      id
+    end
+
+let name_of t id =
+  if id = overflow_id && id >= t.nnames then "…" else t.names.(id)
+
+let bump_depth arr d =
+  let arr =
+    if d < Array.length arr then arr
+    else begin
+      let bigger = Array.make (max (2 * Array.length arr) (d + 1)) 0 in
+      Array.blit arr 0 bigger 0 (Array.length arr);
+      bigger
+    end
+  in
+  arr.(d) <- arr.(d) + 1;
+  arr
+
+let leaf t ~kind ~depth ~n ~stage =
+  (match kind with
+   | `Complete -> t.dc <- bump_depth t.dc depth
+   | `Truncated -> t.dt <- bump_depth t.dt depth
+   | `Pruned -> t.dp <- bump_depth t.dp depth);
+  match kind with
+  | `Pruned -> ()
+  | `Complete | `Truncated ->
+    if n <= max_sig_n then begin
+      if t.sig_n = 0 then t.sig_n <- n;
+      let packed = ref 0 in
+      for pid = n - 1 downto 0 do
+        let id =
+          match stage pid with None -> 0 | Some s -> intern t s
+        in
+        packed := (!packed lsl id_bits) lor id
+      done;
+      let cur =
+        match Hashtbl.find_opt t.sigs !packed with Some c -> c | None -> 0
+      in
+      Hashtbl.replace t.sigs !packed (cur + 1)
+    end
+
+let saturate t ~leaves ~table = t.live <- (leaves, table) :: t.live
+
+let seal t =
+  if t.live <> [] then begin
+    t.curves <- Array.of_list (List.rev t.live) :: t.curves;
+    t.live <- []
+  end
+
+let unpack t packed n =
+  Array.init n (fun i -> name_of t ((packed lsr (i * id_bits)) land id_mask))
+
+let add_arrays a b =
+  if Array.length b = 0 then a
+  else begin
+    let a =
+      if Array.length a >= Array.length b then a
+      else begin
+        let bigger = Array.make (Array.length b) 0 in
+        Array.blit a 0 bigger 0 (Array.length a);
+        bigger
+      end
+    in
+    Array.iteri (fun i v -> a.(i) <- a.(i) + v) b;
+    a
+  end
+
+(* Merge [b] into [a].  [b]'s live curve is sealed first; [b] itself is
+   otherwise unchanged and may be merged again (double-counting is the
+   caller's problem, as with any counter). *)
+let merge a b =
+  seal a;
+  seal b;
+  a.dc <- add_arrays a.dc b.dc;
+  a.dt <- add_arrays a.dt b.dt;
+  a.dp <- add_arrays a.dp b.dp;
+  if a.sig_n = 0 then a.sig_n <- b.sig_n;
+  Hashtbl.iter
+    (fun packed count ->
+      let names = unpack b packed b.sig_n in
+      let repacked = ref 0 in
+      for i = b.sig_n - 1 downto 0 do
+        let id = if names.(i) = "-" then 0 else intern a names.(i) in
+        repacked := (!repacked lsl id_bits) lor id
+      done;
+      let cur =
+        match Hashtbl.find_opt a.sigs !repacked with Some c -> c | None -> 0
+      in
+      Hashtbl.replace a.sigs !repacked (cur + count))
+    b.sigs;
+  a.curves <- a.curves @ b.curves
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let trim arr =
+  let len = ref (Array.length arr) in
+  while !len > 0 && arr.(!len - 1) = 0 do
+    decr len
+  done;
+  Array.sub arr 0 !len
+
+let int_array_json arr =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int arr)) ^ "]"
+
+(* Canonical rendering: depth arrays trimmed of trailing zeros,
+   signatures sorted by their rendered name tuples, curves sorted
+   structurally — so [to_json] is a function of the abstract contents,
+   not of interning or merge order, and the qcheck round-trip in the
+   test suite can compare documents as strings. *)
+let to_json t =
+  seal t;
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"schema_version\":3";
+  Buffer.add_string b ",\"depth_profile\":{";
+  Buffer.add_string b ("\"complete\":" ^ int_array_json (trim t.dc));
+  Buffer.add_string b (",\"truncated\":" ^ int_array_json (trim t.dt));
+  Buffer.add_string b (",\"pruned\":" ^ int_array_json (trim t.dp));
+  Buffer.add_string b "}";
+  let sigs =
+    Hashtbl.fold
+      (fun packed count acc -> (unpack t packed t.sig_n, count) :: acc)
+      t.sigs []
+    |> List.sort compare
+  in
+  Buffer.add_string b ",\"stage_signatures\":[";
+  List.iteri
+    (fun i (names, count) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"sig\":[";
+      Array.iteri
+        (fun j s ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (json_string s))
+        names;
+      Buffer.add_string b (Printf.sprintf "],\"count\":%d}" count))
+    sigs;
+  Buffer.add_string b "]";
+  let curves = List.sort compare t.curves in
+  Buffer.add_string b ",\"dedup_saturation\":[";
+  List.iteri
+    (fun i curve ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '[';
+      Array.iteri
+        (fun j (leaves, table) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "[%d,%d]" leaves table))
+        curve;
+      Buffer.add_char b ']')
+    curves;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* Minimal JSON reader for the subset [to_json] emits: objects, arrays,
+   strings (with escapes) and integers. *)
+type json =
+  | O of (string * json) list
+  | A of json list
+  | S of string
+  | I of int
+
+exception Parse of string
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then s.[!pos] else '\000' in
+  let next () =
+    if !pos >= len then raise (Parse "unexpected end");
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let rec skip_ws () =
+    if !pos < len then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        incr pos;
+        skip_ws ()
+      | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if next () <> c then raise (Parse (Printf.sprintf "expected %c" c))
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        (match next () with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 't' -> Buffer.add_char b '\t'
+         | 'r' -> Buffer.add_char b '\r'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+           let hex = String.init 4 (fun _ -> next ()) in
+           let code = int_of_string ("0x" ^ hex) in
+           if code < 0x80 then Buffer.add_char b (Char.chr code)
+           else
+             (* Non-ASCII escapes never come from [to_json]; keep the
+                reader total anyway. *)
+             Buffer.add_string b (Printf.sprintf "\\u%s" hex)
+         | c -> raise (Parse (Printf.sprintf "bad escape \\%c" c)));
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        go ()
+    in
+    go ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      ignore (next ());
+      skip_ws ();
+      if peek () = '}' then begin
+        ignore (next ());
+        O []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match next () with
+          | ',' -> members ((k, v) :: acc)
+          | '}' -> O (List.rev ((k, v) :: acc))
+          | c -> raise (Parse (Printf.sprintf "bad object char %c" c))
+        in
+        members []
+      end
+    | '[' ->
+      ignore (next ());
+      skip_ws ();
+      if peek () = ']' then begin
+        ignore (next ());
+        A []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match next () with
+          | ',' -> elems (v :: acc)
+          | ']' -> A (List.rev (v :: acc))
+          | c -> raise (Parse (Printf.sprintf "bad array char %c" c))
+        in
+        elems []
+      end
+    | '"' -> S (parse_string ())
+    | '-' | '0' .. '9' ->
+      let start = !pos in
+      if peek () = '-' then ignore (next ());
+      while
+        match peek () with '0' .. '9' -> true | _ -> false
+      do
+        ignore (next ())
+      done;
+      I (int_of_string (String.sub s start (!pos - start)))
+    | c -> raise (Parse (Printf.sprintf "unexpected %c" c))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then raise (Parse "trailing input");
+  v
+
+let field name = function
+  | O members ->
+    (match List.assoc_opt name members with
+     | Some v -> v
+     | None -> raise (Parse ("missing field " ^ name)))
+  | _ -> raise (Parse "expected object")
+
+let as_int = function I i -> i | _ -> raise (Parse "expected int")
+let as_string = function S s -> s | _ -> raise (Parse "expected string")
+let as_list = function A l -> l | _ -> raise (Parse "expected array")
+
+let int_array v = Array.of_list (List.map as_int (as_list v))
+
+let of_json s =
+  match parse_json s with
+  | exception Parse msg -> Error ("coverage JSON: " ^ msg)
+  | exception Failure msg -> Error ("coverage JSON: " ^ msg)
+  | doc ->
+    (try
+       (match field "schema_version" doc with
+        | I 3 -> ()
+        | _ -> raise (Parse "unsupported schema_version"));
+       let t = create () in
+       let dp = field "depth_profile" doc in
+       t.dc <- int_array (field "complete" dp);
+       t.dt <- int_array (field "truncated" dp);
+       t.dp <- int_array (field "pruned" dp);
+       List.iter
+         (fun entry ->
+           let names =
+             List.map as_string (as_list (field "sig" entry))
+           in
+           let count = as_int (field "count" entry) in
+           if t.sig_n = 0 then t.sig_n <- List.length names;
+           let packed = ref 0 in
+           List.iteri
+             (fun i nm ->
+               let id = if nm = "-" then 0 else intern t nm in
+               packed := !packed lor (id lsl (i * id_bits)))
+             names;
+           let cur =
+             match Hashtbl.find_opt t.sigs !packed with
+             | Some c -> c
+             | None -> 0
+           in
+           Hashtbl.replace t.sigs !packed (cur + count))
+         (as_list (field "stage_signatures" doc));
+       t.curves <-
+         List.map
+           (fun curve ->
+             Array.of_list
+               (List.map
+                  (fun pt ->
+                    match as_list pt with
+                    | [ l; tbl ] -> (as_int l, as_int tbl)
+                    | _ -> raise (Parse "bad saturation sample"))
+                  (as_list curve)))
+           (as_list (field "dedup_saturation" doc));
+       Ok t
+     with Parse msg -> Error ("coverage JSON: " ^ msg))
+
+let equal a b = String.equal (to_json a) (to_json b)
+
+let signatures t = Hashtbl.length t.sigs
+
+let leaves t =
+  Array.fold_left ( + ) 0 t.dc
+  + Array.fold_left ( + ) 0 t.dt
+  + Array.fold_left ( + ) 0 t.dp

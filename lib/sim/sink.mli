@@ -8,6 +8,12 @@
     the whole mechanism costs a single branch per transition (see
     [bench/obs_overhead.ml] and the [obs-bench] CI gate).
 
+    Three callbacks sit above the machine: the fleet-level steal and
+    shard-completion events fired by the parallel driver, and the
+    checkpoint-save event fired by a sequential explorer.  They share
+    the sink record so one tap (e.g. the Chrome-trace exporter in
+    [Conrat_obs]) can observe a whole run, sequential or sharded.
+
     Concrete sinks live in [Conrat_obs]: a Chrome trace-event exporter,
     a live work-bound checker, and a per-stage work histogram.  This
     module only defines the interface (it must be visible to the
@@ -26,6 +32,16 @@ type t = {
       (** [pid] crash-stopped (a fault-plane pseudo-transition). *)
   on_snapshot : step:int -> unit;  (** an explorer snapshotted the state *)
   on_restore : step:int -> unit;   (** an explorer backtracked to a snapshot *)
+  on_steal : domain:int -> shard:int -> prefix:int -> unit;
+      (** a parallel worker stole shard [shard] (frontier index) whose
+          path prefix has length [prefix] — fleet-level, fired by
+          {!section-"Conrat_verify"}[.Parallel], not the machine *)
+  on_shard_done : domain:int -> shard:int -> leaves:int -> steps:int -> unit;
+      (** the worker finished the shard: [leaves] leaves reached,
+          [steps] rebased machine transitions *)
+  on_checkpoint : step:int -> unit;
+      (** a sequential explorer saved a checkpoint frontier; [step] is
+          the current path depth *)
 }
 
 val make :
@@ -36,6 +52,9 @@ val make :
   ?on_crash:(step:int -> pid:int -> unit) ->
   ?on_snapshot:(step:int -> unit) ->
   ?on_restore:(step:int -> unit) ->
+  ?on_steal:(domain:int -> shard:int -> prefix:int -> unit) ->
+  ?on_shard_done:(domain:int -> shard:int -> leaves:int -> steps:int -> unit) ->
+  ?on_checkpoint:(step:int -> unit) ->
   unit ->
   t
 (** A sink with the given callbacks; omitted ones do nothing. *)

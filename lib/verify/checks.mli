@@ -91,6 +91,7 @@ val run :
   ?on_checkpoint:(Checkpoint.counts -> unit) ->
   ?jobs:int ->
   ?dedup:bool ->
+  ?telemetry:Conrat_obs.Telemetry.t ->
   t -> outcome
 (** [sink], [heartbeat] and the checkpointing triple are passed through
     to {!Por.explore} (the heartbeat fires per leaf; rate limiting is
@@ -102,11 +103,18 @@ val run :
 
     [jobs > 1] dispatches to {!Parallel.explore_por} — same
     statistics, outcome set and failure artifacts for exhaustive runs;
-    [sink] and checkpointing are unsupported there and the heartbeat
-    switches to fleet-wide totals.  [dedup] enables duplicate-state
-    suppression (VM engine only; see {!Por.explore}).  A parallel
-    failure is shrunk and frozen exactly like a sequential one — the
-    shard's path is a root path. *)
+    checkpointing is unsupported there, [sink] degrades to the
+    fleet-level steal/shard events, and the heartbeat switches to
+    fleet-wide totals.  [dedup] enables duplicate-state suppression
+    (VM engine only; see {!Por.explore}).  A parallel failure is
+    shrunk and frozen exactly like a sequential one — the shard's path
+    is a root path.
+
+    [telemetry] attaches a {!section-"obs"}[Telemetry] registry: the
+    sequential path bumps domain row [0], the parallel path maps
+    worker [w] to row [w] (see {!Parallel.explore_por}).  Shrinking
+    replays after a violation are {e not} counted — the telemetry
+    covers the search itself. *)
 
 val replay :
   ?engine:Conrat_sim.Machine.engine ->

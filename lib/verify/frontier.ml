@@ -1,3 +1,5 @@
+module Telemetry = Conrat_obs.Telemetry
+
 type t = int list array
 
 let target ~jobs = max 64 (16 * jobs)
@@ -13,7 +15,7 @@ let target ~jobs = max 64 (16 * jobs)
    pass is the cheapest correct one.  Zero shards means the cut never
    fired: the whole tree sits above the cut and the residue statistics
    of that pass already cover it. *)
-let generate ~target ~run =
+let generate ?probe ~target ~run () =
   let rec go lvl prev_count =
     let shards = ref [] in
     let nshards = ref 0 in
@@ -21,12 +23,19 @@ let generate ~target ~run =
       shards := path :: !shards;
       incr nshards
     in
+    (match probe with
+     | Some p -> Telemetry.bump p Telemetry.frontier_passes
+     | None -> ());
     match run ~cut:(lvl, emit) with
     | Error _ as e -> e
     | Ok residue ->
       let count = !nshards in
-      if count = 0 || count >= target || count <= prev_count then
+      if count = 0 || count >= target || count <= prev_count then begin
+        (match probe with
+         | Some p -> Telemetry.peak p Telemetry.shards_generated count
+         | None -> ());
         Ok (residue, Array.of_list (List.rev !shards))
+      end
       else go (lvl + 2) count
   in
   go 2 0

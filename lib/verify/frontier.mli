@@ -23,8 +23,10 @@ val target : jobs:int -> int
     the load balancer — work stealing does the rest. *)
 
 val generate :
+  ?probe:Conrat_obs.Telemetry.probe ->
   target:int ->
   run:(cut:int * (int list -> unit) -> ('s, 'e) result) ->
+  unit ->
   ('s * t, 'e) result
 (** Drive one cut-mode search ([run ~cut:(lvl, emit)] must be the
     caller's explorer with every other parameter already applied) at
@@ -35,7 +37,11 @@ val generate :
     shard array means the generator pass explored the whole tree (the
     search was shallower than the shallowest cut); the residue
     statistics are then the full answer.  A residue leaf failing its
-    check aborts generation with the underlying error. *)
+    check aborts generation with the underlying error.  [probe] counts
+    deepening passes ([frontier_passes]) and gauges the kept frontier
+    size ([shards_generated]); it is {e not} threaded into [run] — the
+    caller decides which pass's exploration counters survive (see
+    {!Parallel}). *)
 
 type pool
 (** A work-stealing pool over a frontier: one atomic cursor, stolen in

@@ -1,4 +1,5 @@
 open Conrat_sim
+module Telemetry = Conrat_obs.Telemetry
 
 type stats = {
   complete : int;
@@ -8,7 +9,7 @@ type stats = {
 }
 
 let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
-    ?(faults = Fault.none) ?(stop = fun () -> false) ?heartbeat
+    ?(faults = Fault.none) ?(stop = fun () -> false) ?probe ?heartbeat
     ?resume ?(path_floor = 0) ?(checkpoint_every = 100_000) ?on_checkpoint
     ~n ~setup ~check () =
   if path_floor > 0 && resume = None then
@@ -31,6 +32,11 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
       c.path
   in
   let last_saved = ref !runs in
+  (* Probe adds are exit-time deltas against the resume baseline — see
+     Por.explore. *)
+  let c0_complete = !complete_count in
+  let c0_truncated = !truncated_count in
+  let c0_steps = !steps in
   let stats exhausted =
     { complete = !complete_count;
       truncated = !truncated_count;
@@ -49,6 +55,9 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
            truncated = !truncated_count;
            pruned = 0;
            steps = !steps };
+       (match probe with
+        | Some p -> Telemetry.bump p Telemetry.checkpoints
+        | None -> ());
        last_saved := !runs
      | Some _ | None -> ());
     if stopping then Ok (stats false)
@@ -68,4 +77,13 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
          | None -> Ok (stats true))
     end
   in
-  drive start_path
+  let finish r =
+    (match probe with
+     | None -> ()
+     | Some p ->
+       Telemetry.add p Telemetry.leaves_complete (!complete_count - c0_complete);
+       Telemetry.add p Telemetry.leaves_truncated (!truncated_count - c0_truncated);
+       Telemetry.add p Telemetry.steps (!steps - c0_steps));
+    r
+  in
+  finish (drive start_path)

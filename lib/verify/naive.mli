@@ -27,6 +27,7 @@ val explore :
   ?cheap_collect:bool ->
   ?faults:Conrat_sim.Fault.model ->
   ?stop:(unit -> bool) ->
+  ?probe:Conrat_obs.Telemetry.probe ->
   ?heartbeat:(runs:int -> steps:int -> depth:int -> unit) ->
   ?resume:Checkpoint.counts ->
   ?path_floor:int ->
@@ -52,6 +53,10 @@ val explore :
     [checkpoint_every = 100_000].  [engine] selects the program engine
     for each re-execution (default the compiled VM); leaf order and
     statistics are identical under either.
+
+    [probe] feeds the telemetry plane with exit-time leaf/step deltas
+    against the [resume] baseline and checkpoint-save counts (see
+    {!Por.explore}).
 
     [~path_floor:l] (requires [resume]) pins the first [l] branch
     entries: successor computation uses

@@ -1,4 +1,5 @@
 open Conrat_sim
+module Telemetry = Conrat_obs.Telemetry
 
 (* Workers flush their locally accumulated leaf/step counts into the
    fleet-wide atomics every [flush_every] leaves: often enough for the
@@ -50,25 +51,53 @@ let merge_por residue results =
   | Some (reason, path) -> Error (reason, path, stats false)
   | None -> Ok (stats !exhausted)
 
+let check_telemetry ~who ~jobs = function
+  | Some t when Telemetry.domains t < jobs ->
+    invalid_arg (who ^ ": telemetry registry has fewer domains than jobs")
+  | _ -> ()
+
 let explore_por ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
     ?(cheap_collect = false) ?(faults = Fault.none)
-    ?(stop = fun () -> false) ?heartbeat ?(dedup = false) ?shard_target ~n
-    ~setup ~check () =
+    ?(stop = fun () -> false) ?heartbeat ?(dedup = false) ?shard_target
+    ?telemetry ?sink ~n ~setup ~check () =
+  let reg_probe d = Option.map (fun t -> Telemetry.probe t ~domain:d) telemetry in
   if jobs <= 1 then
     Por.explore ?engine ~max_depth ~max_runs ~cheap_collect ~faults ~stop
-      ?heartbeat ~dedup ~n ~setup ~check ()
-  else
+      ?probe:(reg_probe 0) ?heartbeat ~dedup ~n ~setup ~check ()
+  else begin
+    check_telemetry ~who:"Parallel.explore_por" ~jobs telemetry;
     let target =
       match shard_target with Some t -> t | None -> Frontier.target ~jobs
     in
+    (* Each generator deepening pass explores the residue afresh, and
+       only the last pass's statistics survive — so each pass gets a
+       fresh free-standing probe and only the winner is absorbed, or
+       multi-pass generation would inflate the registry and break
+       [--jobs]-invariance. *)
+    let coverage =
+      match telemetry with Some t -> Telemetry.coverage_on t | None -> false
+    in
+    let gen_probe = ref None in
     let gen =
-      Frontier.generate ~target ~run:(fun ~cut ->
+      Frontier.generate ?probe:(reg_probe 0) ~target ~run:(fun ~cut ->
+          let p =
+            match telemetry with
+            | Some _ ->
+              let p = Telemetry.fresh_probe ~coverage () in
+              gen_probe := Some p;
+              Some p
+            | None -> None
+          in
           Por.explore ?engine ~max_depth ~max_runs ~cheap_collect ~faults
-            ~stop ?heartbeat ~cut ~n ~setup ~check ())
+            ~stop ?probe:p ?heartbeat ~cut ~n ~setup ~check ())
+        ()
     in
     match gen with
     | Error _ as e -> e
     | Ok (residue, shards) ->
+      (match (telemetry, !gen_probe) with
+       | Some t, Some p -> Telemetry.absorb t ~domain:0 p
+       | _ -> ());
       if Array.length shards = 0 || not residue.Por.exhausted then
         (* The generator pass already covered the whole tree, or the
            budget/stop bound during generation — either way the
@@ -82,7 +111,8 @@ let explore_por ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
         let fleet_pruned = Atomic.make residue.Por.pruned in
         let fleet_steps = Atomic.make residue.Por.steps in
         let hb_mutex = Mutex.create () in
-        let worker () =
+        let worker w =
+          let probe_w = reg_probe w in
           let pending_runs = ref 0 in
           let pending_pruned = ref 0 in
           let pending_steps = ref 0 in
@@ -115,6 +145,14 @@ let explore_por ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
               match Frontier.steal pool with
               | None -> ()
               | Some (i, path) ->
+                let prefix = List.length path in
+                (match probe_w with
+                 | Some p -> Telemetry.bump p Telemetry.steals
+                 | None -> ());
+                (match sink with
+                 | Some s -> s.Sink.on_steal ~domain:w ~shard:i ~prefix
+                 | None -> ());
+                let t_start = Unix.gettimeofday () in
                 let last_runs = ref 0 in
                 let last_pruned = ref 0 in
                 let last_steps = ref 0 in
@@ -131,23 +169,44 @@ let explore_por ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
                 in
                 let res =
                   Por.explore ?engine ~max_depth ~max_runs:max_int
-                    ~cheap_collect ~faults ~stop:stop_w ~heartbeat:hb
-                    ~resume:(zero_counts path)
-                    ~subtree_prefix:(List.length path) ~dedup ~n ~setup
+                    ~cheap_collect ~faults ~stop:stop_w ?probe:probe_w
+                    ~heartbeat:hb ~resume:(zero_counts path)
+                    ~subtree_prefix:prefix ~dedup ~n ~setup
                     ~check ()
                 in
                 flush !last_depth;
+                let s = match res with Ok s | Error (_, _, s) -> s in
+                let leaves = Por.explored s + s.Por.pruned in
+                (match telemetry with
+                 | Some t ->
+                   Telemetry.record_shard t
+                     { Telemetry.shard = i;
+                       domain = w;
+                       prefix;
+                       leaves;
+                       steps = s.Por.steps;
+                       seconds = Unix.gettimeofday () -. t_start }
+                 | None -> ());
+                (match probe_w with
+                 | Some p -> Telemetry.bump p Telemetry.shards_done
+                 | None -> ());
+                (match sink with
+                 | Some sk ->
+                   sk.Sink.on_shard_done ~domain:w ~shard:i ~leaves
+                     ~steps:s.Por.steps
+                 | None -> ());
                 results.(i) <- Some res;
                 loop ()
           in
           loop ()
         in
         let extra = min jobs nshards - 1 in
-        let domains = Array.init extra (fun _ -> Domain.spawn worker) in
-        worker ();
+        let domains = Array.init extra (fun j -> Domain.spawn (fun () -> worker (j + 1))) in
+        worker 0;
         Array.iter Domain.join domains;
         merge_por residue results
       end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Naive                                                               *)
@@ -196,11 +255,14 @@ exception Gen_stop
 
 let explore_naive ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
     ?(cheap_collect = false) ?(faults = Fault.none)
-    ?(stop = fun () -> false) ?heartbeat ?shard_target ~n ~setup ~check () =
+    ?(stop = fun () -> false) ?heartbeat ?shard_target ?telemetry ?sink
+    ~n ~setup ~check () =
+  let reg_probe d = Option.map (fun t -> Telemetry.probe t ~domain:d) telemetry in
   if jobs <= 1 then
     Naive.explore ?engine ~max_depth ~max_runs ~cheap_collect ~faults ~stop
-      ?heartbeat ~n ~setup ~check ()
-  else
+      ?probe:(reg_probe 0) ?heartbeat ~n ~setup ~check ()
+  else begin
+    check_telemetry ~who:"Parallel.explore_naive" ~jobs telemetry;
     let target =
       match shard_target with Some t -> t | None -> Frontier.target ~jobs
     in
@@ -243,11 +305,30 @@ let explore_naive ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
         exhausted;
         steps = !steps }
     in
+    (* The generator's terminal probes are the residue: real counted
+       leaves, charged to domain 0. *)
+    let tally () =
+      match reg_probe 0 with
+      | None -> ()
+      | Some p ->
+        Telemetry.add p Telemetry.leaves_complete !complete;
+        Telemetry.add p Telemetry.leaves_truncated !truncated;
+        Telemetry.add p Telemetry.steps !steps
+    in
     match expand 0 [ [] ] with
-    | exception Gen_stop -> Ok (residue false)
-    | exception Gen_fail reason -> Error (reason, residue false)
+    | exception Gen_stop ->
+      tally ();
+      Ok (residue false)
+    | exception Gen_fail reason ->
+      tally ();
+      Error (reason, residue false)
     | frontier ->
+      tally ();
       let shards = Array.of_list frontier in
+      (match reg_probe 0 with
+       | Some p ->
+         Telemetry.peak p Telemetry.shards_generated (Array.length shards)
+       | None -> ());
       if Array.length shards = 0 then Ok (residue true)
       else begin
         let nshards = Array.length shards in
@@ -256,7 +337,8 @@ let explore_naive ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
         let fleet_runs = Atomic.make !runs in
         let fleet_steps = Atomic.make !steps in
         let hb_mutex = Mutex.create () in
-        let worker () =
+        let worker w =
+          let probe_w = reg_probe w in
           let pending_runs = ref 0 in
           let pending_steps = ref 0 in
           let flush depth =
@@ -283,6 +365,14 @@ let explore_naive ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
               match Frontier.steal pool with
               | None -> ()
               | Some (i, path) ->
+                let prefix = List.length path in
+                (match probe_w with
+                 | Some p -> Telemetry.bump p Telemetry.steals
+                 | None -> ());
+                (match sink with
+                 | Some s -> s.Sink.on_steal ~domain:w ~shard:i ~prefix
+                 | None -> ());
+                let t_start = Unix.gettimeofday () in
                 let last_runs = ref 0 in
                 let last_steps = ref 0 in
                 let last_depth = ref 0 in
@@ -296,19 +386,40 @@ let explore_naive ~jobs ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
                 in
                 let res =
                   Naive.explore ?engine ~max_depth ~max_runs:max_int
-                    ~cheap_collect ~faults ~stop:stop_w ~heartbeat:hb
-                    ~resume:(zero_counts path)
-                    ~path_floor:(List.length path) ~n ~setup ~check ()
+                    ~cheap_collect ~faults ~stop:stop_w ?probe:probe_w
+                    ~heartbeat:hb ~resume:(zero_counts path)
+                    ~path_floor:prefix ~n ~setup ~check ()
                 in
                 flush !last_depth;
+                let s = match res with Ok s | Error (_, s) -> s in
+                let leaves = s.Naive.complete + s.Naive.truncated in
+                (match telemetry with
+                 | Some t ->
+                   Telemetry.record_shard t
+                     { Telemetry.shard = i;
+                       domain = w;
+                       prefix;
+                       leaves;
+                       steps = s.Naive.steps;
+                       seconds = Unix.gettimeofday () -. t_start }
+                 | None -> ());
+                (match probe_w with
+                 | Some p -> Telemetry.bump p Telemetry.shards_done
+                 | None -> ());
+                (match sink with
+                 | Some sk ->
+                   sk.Sink.on_shard_done ~domain:w ~shard:i ~leaves
+                     ~steps:s.Naive.steps
+                 | None -> ());
                 results.(i) <- Some res;
                 loop ()
           in
           loop ()
         in
         let extra = min jobs nshards - 1 in
-        let domains = Array.init extra (fun _ -> Domain.spawn worker) in
-        worker ();
+        let domains = Array.init extra (fun j -> Domain.spawn (fun () -> worker (j + 1))) in
+        worker 0;
         Array.iter Domain.join domains;
         merge_naive (residue true) results
       end
+  end

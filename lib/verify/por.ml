@@ -1,4 +1,6 @@
 open Conrat_sim
+module Telemetry = Conrat_obs.Telemetry
+module Coverage = Conrat_obs.Coverage
 
 type stats = {
   complete : int;
@@ -97,7 +99,7 @@ let corrupt () =
   invalid_arg "Por.explore: checkpoint path inconsistent with this config"
 
 let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect = false)
-    ?(faults = Fault.none) ?(stop = fun () -> false) ?sink ?heartbeat
+    ?(faults = Fault.none) ?(stop = fun () -> false) ?sink ?probe ?heartbeat
     ?resume ?(subtree_prefix = 0) ?cut ?(dedup = false)
     ?(checkpoint_every = 100_000) ?on_checkpoint ~n ~setup ~check () =
   (* Sleep sets are int bitmasks over [2n] candidate keys.  Exhaustive
@@ -149,6 +151,17 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
      [max_depth] allocations total; the LIFO restore discipline
      required by {!Memory.restore_backup} is unchanged. *)
   let snaps = ref (Array.make 64 None) in
+  (* Telemetry accumulators for the per-branch-point events.  Plain
+     (non-atomic) increments, cheaper than the events they count; the
+     probe's atomic cells only see them in batches — every 4096 leaves
+     (so fleet heartbeats lag boundedly) and at exit — keeping the
+     probe-attached hot path within the telemetry-bench budget.  The
+     deepest pool slot is likewise gauged locally and peaked at exit. *)
+  let pool_high = ref 0 in
+  let hot_refreshes = ref 0 in
+  let hot_snapshots = ref 0 in
+  let hot_dedup_misses = ref 0 in
+  let hot_dedup_inters = ref 0 in
   let take_snapshot () =
     let lvl = !nframes in
     if lvl >= Array.length !snaps then begin
@@ -157,8 +170,12 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
       snaps := bigger
     end;
     match !snaps.(lvl) with
-    | Some s -> Machine.snapshot_into machine s; s
+    | Some s ->
+      incr hot_refreshes;
+      Machine.snapshot_into machine s; s
     | None ->
+      incr hot_snapshots;
+      if lvl > !pool_high then pool_high := lvl;
       let s = Machine.snapshot machine in
       !snaps.(lvl) <- Some s;
       s
@@ -230,15 +247,29 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
     let h2 = Memory.mix2 (Memory.mix2 h2 depth) crashes_left in
     let key = (h1, h2) in
     match Hashtbl.find_opt visited key with
-    | None -> Hashtbl.add visited key z; false
+    | None ->
+      Hashtbl.add visited key z;
+      incr hot_dedup_misses;
+      false
     | Some z_old ->
       if z_old land lnot z = 0 then true
       else begin
         Hashtbl.replace visited key (z_old land z);
+        incr hot_dedup_inters;
         false
       end
   in
   let last_saved = ref !runs in
+  (* Telemetry baseline: counts carried in by [resume] are the
+     interrupted run's work, not this call's — exit-time probe adds
+     report deltas against them, so per-shard contributions sum to the
+     sequential totals. *)
+  let c0_complete = !complete_count in
+  let c0_truncated = !truncated_count in
+  let c0_pruned = !pruned_count in
+  let c0_steps = match resume with None -> 0 | Some c -> c.Checkpoint.steps in
+  let cov = match probe with Some p -> Telemetry.coverage p | None -> None in
+  let stage_of pid = Machine.stage machine pid in
   let stats exhausted =
     { complete = !complete_count;
       truncated = !truncated_count;
@@ -255,6 +286,27 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
   (* One leaf-outputs buffer for the whole search: checks see the live
      contents and must copy what they retain (see the mli). *)
   let out_buf = Array.make n None in
+  (* Drain the hot accumulators into the probe: only the growth since
+     the last drain, so repeated flushes never double-count. *)
+  let f_refreshes = ref 0 in
+  let f_snapshots = ref 0 in
+  let f_dedup_hits = ref 0 in
+  let f_dedup_misses = ref 0 in
+  let f_dedup_inters = ref 0 in
+  let flush_hot p =
+    let drain r f c =
+      let v = !r - !f in
+      if v > 0 then begin
+        Telemetry.add p c v;
+        f := !r
+      end
+    in
+    drain hot_refreshes f_refreshes Telemetry.snapshot_refreshes;
+    drain hot_snapshots f_snapshots Telemetry.snapshots;
+    drain dedup_hits f_dedup_hits Telemetry.dedup_hits;
+    drain hot_dedup_misses f_dedup_misses Telemetry.dedup_misses;
+    drain hot_dedup_inters f_dedup_inters Telemetry.dedup_intersections
+  in
   let leaf kind =
     (match !pending_offset with
      | Some prior -> steps_offset := prior - Machine.total_steps machine;
@@ -272,10 +324,25 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
            truncated = !truncated_count;
            pruned = !pruned_count;
            steps = total_steps () };
+       (match probe with
+        | Some p -> Telemetry.bump p Telemetry.checkpoints
+        | None -> ());
+       (match sink with
+        | Some s -> s.Sink.on_checkpoint ~step:(Machine.steps machine)
+        | None -> ());
        last_saved := !runs
      | Some _ | None -> ());
     if stopping then raise Out_of_budget;
     incr runs;
+    (match probe with
+     | Some p when !runs land 4095 = 0 -> flush_hot p
+     | Some _ | None -> ());
+    (match cov with
+     | None -> ()
+     | Some cv ->
+       Coverage.leaf cv ~kind ~depth:(Machine.steps machine) ~n ~stage:stage_of;
+       if dedup && !runs land 16383 = 0 then
+         Coverage.saturate cv ~leaves:!runs ~table:(Hashtbl.length visited));
     (match heartbeat with
      | None -> ()
      | Some hb ->
@@ -477,10 +544,33 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
         pop ()
       end
   in
+  (* Leaf and step totals land in the probe once, on the way out —
+     deltas against the resume baseline, so the disabled-probe hot path
+     stays branch-only and shard contributions sum to the sequential
+     totals ([--jobs]-invariance, asserted in test/test_parallel.ml). *)
+  let finish r =
+    (match probe with
+     | None -> ()
+     | Some p ->
+       flush_hot p;
+       Telemetry.add p Telemetry.leaves_complete (!complete_count - c0_complete);
+       Telemetry.add p Telemetry.leaves_truncated (!truncated_count - c0_truncated);
+       Telemetry.add p Telemetry.leaves_pruned (!pruned_count - c0_pruned);
+       Telemetry.add p Telemetry.steps (max 0 (total_steps () - c0_steps));
+       Telemetry.peak p Telemetry.snapshot_pool_high !pool_high;
+       if dedup then begin
+         Telemetry.peak p Telemetry.dedup_table_peak (Hashtbl.length visited);
+         match cov with
+         | Some cv ->
+           Coverage.saturate cv ~leaves:!runs ~table:(Hashtbl.length visited)
+         | None -> ()
+       end);
+    r
+  in
   match descend 0 faults.Fault.crashes 0 with
-  | () -> Ok (stats true)
-  | exception Out_of_budget -> Ok (stats false)
-  | exception Abort reason -> Error (reason, current_path (), stats false)
+  | () -> finish (Ok (stats true))
+  | exception Out_of_budget -> finish (Ok (stats false))
+  | exception Abort reason -> finish (Error (reason, current_path (), stats false))
 
 (* ------------------------------------------------------------------ *)
 (* Dynamic partial-order reduction (toward source sets)                *)
@@ -520,7 +610,7 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
    support — this engine is the reduction oracle, not the workhorse. *)
 let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
     ?(cheap_collect = false) ?(faults = Fault.none) ?(stop = fun () -> false)
-    ?sink ?heartbeat ~n ~setup ~check () =
+    ?sink ?probe ?heartbeat ~n ~setup ~check () =
   if n > 31 then invalid_arg "Por.explore_source: n must be at most 31";
   let memory, body = setup () in
   let machine = Machine.create ?engine ~cheap_collect ?sink ~n ~memory body in
@@ -542,6 +632,9 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
   let truncated_count = ref 0 in
   let pruned_count = ref 0 in
   let runs = ref 0 in
+  (* Snapshot count stays in a plain local and lands in the probe once
+     at exit, like [explore]'s batched hot counters. *)
+  let src_snapshots = ref 0 in
   let stats exhausted =
     { complete = !complete_count;
       truncated = !truncated_count;
@@ -599,7 +692,9 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
       node_en := e
     end
   in
+  let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
   let add_backtrack lvl p =
+    let before = !bt.(lvl) in
     let en = !node_en.(lvl) in
     let k = Array.length en in
     let rec enabled_at i = i < k && (en.(i) = p || enabled_at (i + 1)) in
@@ -613,7 +708,13 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
         m := !m lor (1 lsl key ~pid:en.(i) ~crash:false)
       done;
       !bt.(lvl) <- !m
-    end
+    end;
+    match probe with
+    | Some pr ->
+      let added = !bt.(lvl) land lnot before in
+      if added <> 0 then
+        Telemetry.add pr Telemetry.dpor_backtracks (popcount added)
+    | None -> ()
   in
   (* Latest executed event of another process conflicting with [pid]'s
      operation; request [pid] at its pre-state node. *)
@@ -624,7 +725,12 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
           ev_pid.(j) <> pid
           && (writes || ev_writes.(j))
           && ev_lo.(j) < hi && lo < ev_hi.(j)
-        then (if ev_node.(j) >= 0 then add_backtrack ev_node.(j) pid)
+        then begin
+          (match probe with
+           | Some pr -> Telemetry.bump pr Telemetry.dpor_races
+           | None -> ());
+          if ev_node.(j) >= 0 then add_backtrack ev_node.(j) pid
+        end
         else scan (j - 1)
     in
     scan (d - 1)
@@ -688,6 +794,7 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
           m := !m lor (1 lsl key ~pid:en.(j - k) ~crash:true)
         done;
         !bt.(lvl) <- !m;
+        incr src_snapshots;
         let snap = Machine.snapshot machine in
         let fi = !nframes in
         push i;
@@ -745,7 +852,11 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
            depth is identical on both sides and stays recorded. *)
         let landed0 = cls = 2 in
         let snap =
-          match snap with Some s -> s | None -> Machine.snapshot machine
+          match snap with
+          | Some s -> s
+          | None ->
+            incr src_snapshots;
+            Machine.snapshot machine
         in
         let fi = !nframes in
         push 0;
@@ -758,7 +869,18 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
         pop ()
     end
   in
+  let finish r =
+    (match probe with
+     | None -> ()
+     | Some p ->
+       Telemetry.add p Telemetry.snapshots !src_snapshots;
+       Telemetry.add p Telemetry.leaves_complete !complete_count;
+       Telemetry.add p Telemetry.leaves_truncated !truncated_count;
+       Telemetry.add p Telemetry.leaves_pruned !pruned_count;
+       Telemetry.add p Telemetry.steps (Machine.total_steps machine));
+    r
+  in
   match descend 0 0 faults.Fault.crashes 0 with
-  | () -> Ok (stats true)
-  | exception Out_of_budget -> Ok (stats false)
-  | exception Abort reason -> Error (reason, current_path (), stats false)
+  | () -> finish (Ok (stats true))
+  | exception Out_of_budget -> finish (Ok (stats false))
+  | exception Abort reason -> finish (Error (reason, current_path (), stats false))

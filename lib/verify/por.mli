@@ -75,6 +75,7 @@ val explore :
   ?faults:Conrat_sim.Fault.model ->
   ?stop:(unit -> bool) ->
   ?sink:Conrat_sim.Sink.t ->
+  ?probe:Conrat_obs.Telemetry.probe ->
   ?heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
   ?resume:Checkpoint.counts ->
   ?subtree_prefix:int ->
@@ -95,9 +96,25 @@ val explore :
     the leaf rate: the outputs array passed to [check] is a single
     buffer reused across every leaf — copy it to retain it beyond the
     call.  [sink] observes every
-    machine transition (including snapshot/restore backtracking);
+    machine transition (including snapshot/restore backtracking), and
+    its [on_checkpoint] fires at each checkpoint save;
     [heartbeat] fires once per leaf (pruned leaves included) with
     running totals — rate limiting is the callback's business.
+
+    [probe] feeds the search telemetry plane
+    ({!section-"obs"}[Telemetry]): dedup hit/miss/intersection and
+    table-peak counters, snapshot-pool allocation/refresh/high-water,
+    checkpoint saves, and — on the way out, as deltas against the
+    [resume] baseline so shard contributions sum to sequential totals —
+    leaf and step counts.  The per-branch-point counters (snapshots,
+    refreshes, dedup outcomes) accumulate in plain locals and flush to
+    the probe's atomic cells every 4096 leaves and at exit, so live
+    fleet reads lag by a bounded window while the probe-attached hot
+    path stays within the telemetry-bench budget.  When the probe
+    carries a {!section-"obs"}[Coverage.t], every counted leaf also
+    lands in the depth-profile and stage-signature histograms (per-leaf
+    cost; the counters alone are branch-only when disabled — see
+    [bench/telemetry_overhead.ml]).
 
     [faults] closes the tree under crash-stops and weak-register reads
     (default {!Conrat_sim.Fault.none}; registers must additionally be
@@ -173,6 +190,7 @@ val explore_source :
   ?faults:Conrat_sim.Fault.model ->
   ?stop:(unit -> bool) ->
   ?sink:Conrat_sim.Sink.t ->
+  ?probe:Conrat_obs.Telemetry.probe ->
   ?heartbeat:(runs:int -> pruned:int -> steps:int -> depth:int -> unit) ->
   n:int ->
   setup:(unit -> Conrat_sim.Memory.t * (pid:int -> 'r Conrat_sim.Program.t)) ->
@@ -192,6 +210,9 @@ val explore_source :
     {!explore}; {!explored} counts and per-leaf sequences are generally
     {e smaller} and are not comparable leaf-for-leaf.  A [check]
     failure still returns a replayable {!Conrat_sim.Explore.run_path}
-    path.  No checkpointing, sharding or dedup: this engine is the
-    reduction oracle the differential suite cross-checks {!explore}
-    and {!Naive.explore} against ([conrat check --dpor]). *)
+    path.  [probe] counts detected races ([dpor_races]) and
+    backtrack-set candidates added ([dpor_backtracks]) besides the
+    leaf/step/snapshot counters.  No checkpointing, sharding or dedup:
+    this engine is the reduction oracle the differential suite
+    cross-checks {!explore} and {!Naive.explore} against
+    ([conrat check --dpor]). *)

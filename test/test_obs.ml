@@ -229,6 +229,105 @@ let test_chrome_trace_structure () =
   checki "events accessor agrees" (Chrome_trace.events ct)
     (count_occurrences "\"ph\":")
 
+let test_chrome_trace_fleet_structure () =
+  (* Drive the fleet collector through the Sink interface exactly as
+     Parallel does: a steal opens the shard's span on the worker's
+     track (closing any still-open one), completion closes it with the
+     leaf/step counts.  Domain 1 steals twice before reporting, so one
+     span is closed by the next steal rather than by shard_done. *)
+  let ct = Chrome_trace.create_fleet ~workers:2 in
+  let sink = Chrome_trace.fleet_sink ct in
+  sink.Sink.on_steal ~domain:0 ~shard:0 ~prefix:3;
+  sink.Sink.on_shard_done ~domain:0 ~shard:0 ~leaves:10 ~steps:40;
+  sink.Sink.on_steal ~domain:1 ~shard:1 ~prefix:2;
+  sink.Sink.on_steal ~domain:1 ~shard:2 ~prefix:2;
+  sink.Sink.on_shard_done ~domain:1 ~shard:2 ~leaves:5 ~steps:20;
+  let doc = Chrome_trace.to_string ct in
+  let count_occurrences needle =
+    let ln = String.length needle and n = String.length doc in
+    let c = ref 0 in
+    for i = 0 to n - ln do
+      if String.sub doc i ln = needle then incr c
+    done;
+    !c
+  in
+  checkb "document shape" true
+    (String.length doc > 2
+     && String.sub doc 0 16 = "{\"traceEvents\":["
+     && doc.[String.length doc - 2] = '}');
+  (* Metadata: the fleet process name plus one thread name per worker. *)
+  checki "metadata events" 3 (count_occurrences "\"ph\":\"M\"");
+  checkb "worker tracks named" true
+    (count_occurrences "worker 0" = 1 && count_occurrences "worker 1" = 1);
+  checki "steal instants" 3 (count_occurrences "\"name\":\"steal\"");
+  checki "shard spans open per steal" 3 (count_occurrences "\"ph\":\"B\"");
+  checki "shard spans balanced" (count_occurrences "\"ph\":\"B\"")
+    (count_occurrences "\"ph\":\"E\"");
+  checkb "completion args carried" true
+    (count_occurrences "\"args\":{\"leaves\":10,\"steps\":40}" = 1
+     && count_occurrences "\"args\":{\"leaves\":5,\"steps\":20}" = 1);
+  checki "events accessor agrees" (Chrome_trace.events ct)
+    (count_occurrences "\"ph\":")
+
+(* --- Telemetry counter monoid and coverage signatures ---------------- *)
+
+let qcheck_telemetry_monoid =
+  (* Snapshots under merge: associative, commutative, empty as identity
+     — the laws the --jobs-invariant fleet totals rest on. *)
+  let cells = QCheck.Gen.(array_size (return Telemetry.ncounters) (int_bound 10_000)) in
+  let gen = QCheck.Gen.triple cells cells cells in
+  let print (a, b, c) =
+    let row x =
+      String.concat "," (Array.to_list (Array.map string_of_int x))
+    in
+    Printf.sprintf "[%s] [%s] [%s]" (row a) (row b) (row c)
+  in
+  QCheck.Test.make ~count:200
+    ~name:"telemetry snapshots form a commutative monoid"
+    (QCheck.make ~print gen)
+    (fun (a, b, c) ->
+      let s = Telemetry.of_values in
+      let ( +@ ) = Telemetry.merge in
+      let eq x y = Telemetry.to_alist x = Telemetry.to_alist y in
+      eq (s a +@ s b) (s b +@ s a)
+      && eq (s a +@ s b +@ s c) (s a +@ (s b +@ s c))
+      && eq (s a +@ Telemetry.empty ()) (s a)
+      && eq (Telemetry.empty () +@ s a) (s a))
+
+let qcheck_coverage_json_roundtrip =
+  (* Arbitrary leaf streams and saturation curves: the canonical JSON
+     rendering must parse back to an equal signature and re-render to
+     the identical string (the schema-v3 "coverage" block contract). *)
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_bound 60)
+           (triple (int_bound 2) (int_bound 40) (int_bound 17)))
+        (list_size (int_bound 10) (pair (int_bound 1000) (int_bound 200))))
+  in
+  let print (leaves, sat) =
+    Printf.sprintf "%d leaves, %d saturation samples" (List.length leaves)
+      (List.length sat)
+  in
+  QCheck.Test.make ~count:100 ~name:"coverage JSON round-trips canonically"
+    (QCheck.make ~print gen)
+    (fun (leaves, sat) ->
+      let c = Coverage.create () in
+      List.iter
+        (fun (k, depth, sseed) ->
+          let kind =
+            match k with 0 -> `Complete | 1 -> `Truncated | _ -> `Pruned
+          in
+          Coverage.leaf c ~kind ~depth ~n:2 ~stage:(fun pid ->
+              if (sseed + pid) mod 3 = 0 then None
+              else Some (Printf.sprintf "stage%d" ((sseed + pid) mod 5))))
+        leaves;
+      List.iter (fun (l, t) -> Coverage.saturate c ~leaves:l ~table:t) sat;
+      let json = Coverage.to_json c in
+      match Coverage.of_json json with
+      | Error e -> QCheck.Test.fail_reportf "of_json failed: %s" e
+      | Ok c' -> Coverage.equal c c' && String.equal (Coverage.to_json c') json)
+
 (* --- Live bound checking --------------------------------------------- *)
 
 let conciliator_specs n =
@@ -390,6 +489,7 @@ let test_progress_default_enabled_respects_ci () =
 
 let () =
   let tc = Alcotest.test_case in
+  let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "obs"
     [ ( "trace_sexp",
         [ tc "round-trips every op kind" `Quick test_trace_roundtrip_all_kinds;
@@ -403,7 +503,11 @@ let () =
         [ tc "histogram over a composed run" `Quick test_stage_work_histogram;
           tc "merge laws" `Quick test_stage_work_merge_laws ] );
       ( "chrome_trace",
-        [ tc "document structure" `Quick test_chrome_trace_structure ] );
+        [ tc "document structure" `Quick test_chrome_trace_structure;
+          tc "fleet tracks and shard spans" `Quick
+            test_chrome_trace_fleet_structure ] );
+      ( "telemetry",
+        [ qc qcheck_telemetry_monoid; qc qcheck_coverage_json_roundtrip ] );
       ( "bound_check",
         [ tc "paper bounds hold on the conciliator" `Quick
             test_bound_check_passes_conciliator;

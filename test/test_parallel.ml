@@ -178,6 +178,7 @@ let generate c ~target =
           ~setup:(Checks.setup_of c ~n:c.Checks.n)
           ~check:(Checks.check_of c ~n:c.Checks.n)
           ())
+      ()
   with
   | Ok (residue, shards) -> (residue, shards)
   | Error (reason, _, _) ->
@@ -433,6 +434,87 @@ let qcheck_hash_schedule_deterministic =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry counter totals                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = Conrat_obs.Telemetry
+
+let por_telemetry ~jobs c =
+  let t = Telemetry.create ~domains:(max 1 jobs) () in
+  match
+    Parallel.explore_por ~jobs ~max_depth:c.Checks.max_depth
+      ~max_runs:c.Checks.max_runs ~cheap_collect:c.Checks.cheap_collect
+      ~faults:c.Checks.faults ~telemetry:t ~n:c.Checks.n
+      ~setup:(Checks.setup_of c ~n:c.Checks.n)
+      ~check:(Checks.check_of c ~n:c.Checks.n)
+      ()
+  with
+  | Ok s -> (s, t)
+  | Error (reason, _, _) -> Alcotest.failf "%s violated: %s" c.Checks.name reason
+
+(* The work counters: what the search did, as opposed to how it was
+   scheduled (steals, snapshots, refreshes all legitimately vary with
+   shard placement).  Dedup stays off here — duplicate suppression
+   depends on visit order, which sharding changes. *)
+let work_counters =
+  [ ("leaves_complete", Telemetry.leaves_complete);
+    ("leaves_truncated", Telemetry.leaves_truncated);
+    ("leaves_pruned", Telemetry.leaves_pruned);
+    ("steps", Telemetry.steps) ]
+
+let test_telemetry_jobs_invariant () =
+  List.iter
+    (fun name ->
+      let c = config name in
+      let s1, t1 = por_telemetry ~jobs:1 c in
+      let g1 = Telemetry.totals t1 in
+      checkb (name ^ " sequential exhausts") true s1.Por.exhausted;
+      (* The probe rows must agree with the merged Por.stats exactly. *)
+      checki (name ^ " complete counter = stats") s1.Por.complete
+        (Telemetry.get g1 Telemetry.leaves_complete);
+      checki (name ^ " truncated counter = stats") s1.Por.truncated
+        (Telemetry.get g1 Telemetry.leaves_truncated);
+      checki (name ^ " pruned counter = stats") s1.Por.pruned
+        (Telemetry.get g1 Telemetry.leaves_pruned);
+      checki (name ^ " steps counter = stats") s1.Por.steps
+        (Telemetry.get g1 Telemetry.steps);
+      List.iter
+        (fun jobs ->
+          let _, tj = por_telemetry ~jobs c in
+          let gj = Telemetry.totals tj in
+          List.iter
+            (fun (cname, ctr) ->
+              checki
+                (Printf.sprintf "%s jobs=%d %s grand total invariant" name
+                   jobs cname)
+                (Telemetry.get g1 ctr) (Telemetry.get gj ctr))
+            work_counters)
+        [ 2; 4 ])
+    [ "binary_ratifier_n4"; "conciliator_n2"; "composite_n2" ]
+
+let test_telemetry_domain_merge_is_total () =
+  let c = config "binary_ratifier_n4" in
+  let _, t = por_telemetry ~jobs:4 c in
+  let merged =
+    let rec go d acc =
+      if d >= Telemetry.domains t then acc
+      else
+        go (d + 1)
+          (Telemetry.merge acc (Telemetry.snapshot_of_domain t ~domain:d))
+    in
+    go 0 (Telemetry.empty ())
+  in
+  Alcotest.(check (list (pair string int)))
+    "per-domain snapshots merge to the grand total"
+    (Telemetry.to_alist (Telemetry.totals t))
+    (Telemetry.to_alist merged);
+  (* The fleet actually sharded, so the merge folded real rows. *)
+  checkb "steals counted" true (Telemetry.get merged Telemetry.steals > 0);
+  checki "every steal completed"
+    (Telemetry.get merged Telemetry.steals)
+    (Telemetry.get merged Telemetry.shards_done)
+
+(* ------------------------------------------------------------------ *)
 (* Fleet heartbeat aggregation                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -495,6 +577,11 @@ let () =
           tc "perturbations change the hash" `Quick
             test_hash_perturbation_sensitive;
           qc qcheck_hash_schedule_deterministic ] );
+      ( "telemetry",
+        [ tc "work totals jobs-invariant (jobs 1/2/4)" `Quick
+            test_telemetry_jobs_invariant;
+          tc "per-domain merge = grand total" `Quick
+            test_telemetry_domain_merge_is_total ] );
       ( "fleet",
         [ tc "heartbeat totals aggregate" `Quick test_fleet_heartbeat_totals ]
       ) ]
