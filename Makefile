@@ -42,6 +42,7 @@ fault-verify:
 	$(DUNE) exec bin/conrat_cli.exe -- check \
 	  binary_ratifier_n2_f1 binary_ratifier_n3_f1 binary_ratifier_n3_f2 \
 	  binary_ratifier_accept_n3_f2 conciliator_n2_f1 \
+	  binary_ratifier_rec_n2_f1 binary_ratifier_rec_n3_f1 \
 	  --artifact-dir $(FAULT_VERIFY_DIR)
 	@if $(DUNE) exec bin/conrat_cli.exe -- check ratifier_await_ack \
 	    --artifact-dir $(FAULT_VERIFY_DIR) >/dev/null 2>&1; \
@@ -51,6 +52,10 @@ fault-verify:
 	    --artifact-dir $(FAULT_VERIFY_DIR) >/dev/null 2>&1; \
 	then echo "fault-verify: binary_ratifier_n2_weak unexpectedly passed"; exit 1; \
 	else echo "fault-verify: binary_ratifier_n2_weak caught (expected)"; fi
+	@if $(DUNE) exec bin/conrat_cli.exe -- check binary_ratifier_n3_rec \
+	    --artifact-dir $(FAULT_VERIFY_DIR) >/dev/null 2>&1; \
+	then echo "fault-verify: binary_ratifier_n3_rec unexpectedly passed"; exit 1; \
+	else echo "fault-verify: binary_ratifier_n3_rec caught (expected)"; fi
 
 # Parallel determinism gate: the differential suite (every registry
 # config at --jobs N vs sequential, dedup on/off, DPOR cross-checks,

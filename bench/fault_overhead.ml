@@ -2,19 +2,22 @@
    into the machine cost on the failure-free fast path where it is
    disabled?
 
-   The plane's hot-path costs are all behind two flags that stay false
-   in a failure-free exploration — [Memory.t]'s shadow tracking (writes
-   maintain the previous-value shadow, backups capture it) and the
-   machine's crash bookkeeping (snapshots capture the crashed set).
-   This gate measures the toggleable part the way BENCH_OBS.json
-   measures the observability tax: explore one committed checker config
-   under the POR engine, [reps] times with the plane fully disabled and
-   [reps] times with the shadow bookkeeping engaged but inert
-   ({!Memory.engage_shadow}: every conditional branch taken, no
-   register actually weak, so the explored tree is bit-identical),
-   interleaved, comparing best-of-N processor times (Sys.time — the
-   gate runs on shared machines where wall clock is too noisy to
-   resolve 3%).
+   The plane's hot-path costs are all behind flags that stay false in
+   a failure-free exploration — [Memory.t]'s shadow tracking (writes
+   maintain the previous-value shadow, backups capture it), the
+   machine's crash bookkeeping (snapshots capture the crashed set),
+   and since the crash-recovery plane the last-writer ownership
+   tracking ([Memory.track_writers]: every step sets the acting pid,
+   every write records its owner, backups capture the array).  This
+   gate measures the toggleable part the way BENCH_OBS.json measures
+   the observability tax: explore one committed checker config under
+   the POR engine, [reps] times with the plane fully disabled and
+   [reps] times with the shadow and writer bookkeeping engaged but
+   inert ({!Memory.engage_shadow} + {!Memory.track_writers}: every
+   conditional branch taken, no register weak, nothing ever wiped, so
+   the explored tree is bit-identical), interleaved, comparing
+   best-of-N processor times (Sys.time — the gate runs on shared
+   machines where wall clock is too noisy to resolve 3%).
 
    Exits non-zero when the engaged-but-inert overhead exceeds
    --max-overhead-pct (default 3%), and writes BENCH_FAULT.json so the
@@ -59,7 +62,10 @@ let () =
   let explore ~engaged () =
     let setup () =
       let memory, body = Checks.setup_of config ~n () in
-      if engaged then Conrat_sim.Memory.engage_shadow memory;
+      if engaged then begin
+        Conrat_sim.Memory.engage_shadow memory;
+        Conrat_sim.Memory.track_writers memory
+      end;
       (memory, body)
     in
     let t0 = Sys.time () in

@@ -220,8 +220,11 @@ let sweep_cmd =
         agg.Engine.agreements agg.Engine.trials agg.Engine.space
         (List.length agg.Engine.failures);
       if agg.Engine.crash_total > 0 || agg.Engine.quarantined <> [] then
-        Printf.printf "faults:    crashes=%d quarantined=%d\n"
-          agg.Engine.crash_total
+        Printf.printf
+          "faults:    crashes=%d recoveries=%d overrides_ignored=%d \
+           quarantined=%d\n"
+          agg.Engine.crash_total agg.Engine.recover_total
+          agg.Engine.plan_ignored_total
           (List.length agg.Engine.quarantined);
       List.iteri
         (fun i (seed, reason) ->
@@ -255,6 +258,18 @@ let sweep_cmd =
              field_name s.Stats.mean s.Stats.stddev s.Stats.median s.Stats.p95
              s.Stats.maximum
        in
+       (* Fold the fault totals into a counter registry under the same
+          names check --json uses ([recovers],
+          [plan_overrides_ignored]), so degraded plan overrides surface
+          in the shared telemetry vocabulary, not only as sweep-local
+          fields. *)
+       let telem = Conrat_obs.Telemetry.create ~domains:1 () in
+       let tp = Conrat_obs.Telemetry.probe telem ~domain:0 in
+       Conrat_obs.Telemetry.add tp Conrat_obs.Telemetry.recovers
+         agg.Engine.recover_total;
+       Conrat_obs.Telemetry.add tp Conrat_obs.Telemetry.plan_overrides_ignored
+         agg.Engine.plan_ignored_total;
+       Conrat_obs.Telemetry.finalize telem;
        let doc =
          Printf.sprintf
            "{\n  \"schema_version\": 1,\n  \"kind\": \"sweep\",\n  \
@@ -263,17 +278,21 @@ let sweep_cmd =
             \"faults\": %S,\n  \"trials_requested\": %d,\n  \
             \"trials_completed\": %d,\n  \"agreements\": %d,\n  \
             \"registers\": %d,\n  \"crash_total\": %d,\n  \
-            \"interrupted\": %b,\n  %s,\n  %s,\n  %s,\n  %s\n}\n"
+            \"recover_total\": %d,\n  \"plan_overrides_ignored\": %d,\n  \
+            \"interrupted\": %b,\n  %s,\n  %s,\n  %s,\n  %s,\n  \
+            \"telemetry\": %s\n}\n"
            protocol adversary.Adversary.name workload.Workload.wname n m seed
            (Fault.to_string
               (Option.value fault_model ~default:Fault.none))
            trials agg.Engine.trials agg.Engine.agreements agg.Engine.space
-           agg.Engine.crash_total
+           agg.Engine.crash_total agg.Engine.recover_total
+           agg.Engine.plan_ignored_total
            (Atomic.get interrupted)
            (pairs_obj "violations" agg.Engine.failures)
            (pairs_obj "quarantined" agg.Engine.quarantined)
            (works "total_work" (Engine.total_works agg))
            (works "individual_work" (Engine.individual_works agg))
+           (Conrat_obs.Telemetry.to_json telem)
        in
        if json_stdout then (print_string doc; flush stdout)
        else begin
@@ -301,8 +320,11 @@ let sweep_cmd =
          & info [ "faults" ] ~docv:"SPEC"
              ~doc:"Inject faults into every trial: 'crash:f=K' (up to K \
                    random crash-stops), 'weak' (stale reads on weakened \
-                   registers), 'crash:f=K,weak', or 'none'.  Safety is still \
-                   checked on the survivors; crashed processes are excused.")
+                   registers), 'recover[:r=R]' (restart up to R crashed \
+                   processes with volatile registers wiped; needs a crash \
+                   budget), combinations like 'crash:f=1,recover,weak', or \
+                   'none'.  Safety is still checked on the survivors; crashed \
+                   processes are excused.")
   in
   let json_arg =
     Arg.(value & opt (some string) None
@@ -949,8 +971,10 @@ let check_cmd =
          & info [ "faults" ] ~docv:"SPEC"
              ~doc:"Override every requested config's fault model: 'none', \
                    'crash:f=K' (crash-closed exploration of up to K \
-                   crash-stops), 'weak' (regular-register read forks), or \
-                   'crash:f=K,weak'.")
+                   crash-stops), 'weak' (regular-register read forks), \
+                   'recover[:r=R]' (crash-recovery closure: restart up to R \
+                   crashed processes, volatile registers wiped; needs a crash \
+                   budget), or combinations like 'crash:f=1,recover'.")
   in
   let checkpoint_arg =
     Arg.(value & opt (some string) None

@@ -37,6 +37,51 @@ let binary () = of_quorum Quorum.binary
 let bollobas ~m = of_quorum (Quorum.bollobas_optimal ~m)
 let bitvector ~m = of_quorum (Quorum.bitvector ~m)
 
+(* Crash-recovery hardening of [of_quorum], Golab-style: every
+   decision-critical register — the announcement pool and the proposal
+   — is persistent, so a recovery wipe removes nothing the protocol
+   relies on; and the declared recovery continuation re-validates from
+   scratch rather than resuming mid-flight.  Re-running the whole
+   sequence is sound precisely because every step either reads durable
+   state or rewrites it idempotently: the re-announcement marks the
+   same quorum cells, and the proposal read-or-write adopts whatever
+   value was durably proposed first (possibly the recoverer's own
+   earlier write).  Contrast [of_quorum] under recovery: there the
+   wipe can erase a surviving process's announcement out from under a
+   concurrent conflict scan (the recoverer was the cell's last writer),
+   letting a decider miss the conflicting value — the coherence
+   violation the expected-fail fixture pins down. *)
+let of_quorum_rec (q : Quorum.t) =
+  let fname = Printf.sprintf "ratifier_rec(%s,m=%d)" q.name q.m in
+  Deciding.make_factory fname (fun ~n:_ memory ->
+    let pool = Memory.alloc_n memory q.pool in
+    let proposal = Memory.alloc memory in
+    Array.iter (fun loc -> Memory.mark_persistent memory loc) pool;
+    Memory.mark_persistent memory proposal;
+    Deciding.instance fname ~space:(q.pool + 1) (fun ~pid:_ ~rng:_ v ->
+      let validate () =
+        let* () = iter_array (fun i -> write pool.(i) 1) (q.write_quorum v) in
+        let* proposed = read proposal in
+        let* preference =
+          match proposed with
+          | Some u -> return u
+          | None ->
+            let* () = write proposal v in
+            return v
+        in
+        let* conflict =
+          exists_array
+            (fun i ->
+              let* c = read pool.(i) in
+              return (c <> None))
+            (q.read_quorum preference)
+        in
+        return { Deciding.decide = not conflict; value = preference }
+      in
+      recoverable ~recover:(validate ()) (validate ())))
+
+let binary_rec () = of_quorum_rec Quorum.binary
+
 (* Deliberately NOT wait-free: a §7-style test double for the fault
    plane.  Process 0 announces its value then spins until some reader
    acknowledges; readers that catch the announcement ack and decide,

@@ -19,6 +19,37 @@ let crashing ?(rate = 0.05) ~f () =
           end
           else Fault.Step chosen) }
 
+let recover_at ~step ~pid =
+  { Fault.plan_name = Printf.sprintf "recover_at(step=%d,pid=%d)" step pid;
+    plan_fresh =
+      (fun ~n:_ _rng ->
+        fun (v : View.full) ~chosen ->
+          if v.step = step then Fault.Recover pid else Fault.Step chosen) }
+
+let recovering ?(rate = 0.05) ~r () =
+  { Fault.plan_name = Printf.sprintf "recovering(r=%d,rate=%g)" r rate;
+    plan_fresh =
+      (fun ~n rng ->
+        let left = ref r in
+        fun (v : View.full) ~chosen ->
+          (* The view does not expose the crashed set; pick any pid that
+             is neither enabled nor pending (crashed or finished) — a
+             finished pick degrades to a plain step at the machine and
+             is counted in [plan_ignored]. *)
+          if !left > 0 && Rng.float rng < rate then begin
+            let down = ref [] in
+            for p = n - 1 downto 0 do
+              if v.pending.(p) = None then down := p :: !down
+            done;
+            match !down with
+            | [] -> Fault.Step chosen
+            | down ->
+              decr left;
+              let down = Array.of_list down in
+              Fault.Recover down.(Rng.int rng (Array.length down))
+          end
+          else Fault.Step chosen) }
+
 let byzantine_reads ?(rate = 0.5) () =
   { Fault.plan_name = Printf.sprintf "byzantine_reads(rate=%g)" rate;
     plan_fresh =
@@ -53,11 +84,17 @@ let mix plans =
             in
             first injectors) }
 
-let of_model ?(crash_rate = 0.05) ?(stale_rate = 0.5) (m : Fault.model) =
+let of_model ?(crash_rate = 0.05) ?(stale_rate = 0.5) ?(recover_rate = 0.05)
+    (m : Fault.model) =
   mix
     ((if m.Fault.crashes > 0 then [ crashing ~rate:crash_rate ~f:m.Fault.crashes () ]
       else [])
+     @ (if m.Fault.recoveries > 0 then
+          [ recovering ~rate:recover_rate ~r:m.Fault.recoveries () ]
+        else [])
      @ (if m.Fault.weak_reads then [ byzantine_reads ~rate:stale_rate () ] else []))
 
-let of_spec ?crash_rate ?stale_rate s =
-  Result.map (fun m -> of_model ?crash_rate ?stale_rate m) (Fault.of_string s)
+let of_spec ?crash_rate ?stale_rate ?recover_rate s =
+  Result.map
+    (fun m -> of_model ?crash_rate ?stale_rate ?recover_rate m)
+    (Fault.of_string s)

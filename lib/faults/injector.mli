@@ -23,6 +23,20 @@ val crashing : ?rate:float -> f:int -> unit -> Conrat_sim.Fault.plan
     (default 0.05), crash a uniformly random enabled process — at most
     [f] times per execution. *)
 
+val recover_at : step:int -> pid:int -> Conrat_sim.Fault.plan
+(** Deterministic: recover [pid] exactly when the global step counter
+    hits [step].  Degrades to a plain step unless [pid] is crashed
+    there — the reproducible building block for recovery tests. *)
+
+val recovering : ?rate:float -> r:int -> unit -> Conrat_sim.Fault.plan
+(** Budgeted random recoveries: each step, with probability [rate]
+    (default 0.05), recover a uniformly random process that is neither
+    enabled nor pending — at most [r] times per execution.  The view
+    does not distinguish crashed from finished processes, so a pick
+    that merely finished degrades to a plain step at the machine (and
+    is counted in the scheduler result's [plan_ignored]); the budget is
+    spent either way, keeping draws reproducible. *)
+
 val byzantine_reads : ?rate:float -> unit -> Conrat_sim.Fault.plan
 (** Each time the scheduled process is about to read, deliver the value
     stale with probability [rate] (default 0.5).  Only takes effect on
@@ -36,15 +50,15 @@ val mix : Conrat_sim.Fault.plan list -> Conrat_sim.Fault.plan
     {!Conrat_sim.Fault.no_plan}]. *)
 
 val of_model :
-  ?crash_rate:float -> ?stale_rate:float ->
+  ?crash_rate:float -> ?stale_rate:float -> ?recover_rate:float ->
   Conrat_sim.Fault.model -> Conrat_sim.Fault.plan
 (** The default Monte-Carlo interpretation of a fault model: a
-    {!crashing} budget for [crashes] and {!byzantine_reads} when
-    [weak_reads] — mixed, either, or {!Conrat_sim.Fault.no_plan} as the
-    model dictates. *)
+    {!crashing} budget for [crashes], a {!recovering} budget for
+    [recoveries] and {!byzantine_reads} when [weak_reads] — mixed, any
+    subset, or {!Conrat_sim.Fault.no_plan} as the model dictates. *)
 
 val of_spec :
-  ?crash_rate:float -> ?stale_rate:float ->
+  ?crash_rate:float -> ?stale_rate:float -> ?recover_rate:float ->
   string -> (Conrat_sim.Fault.plan, string) result
 (** [of_model] ∘ {!Conrat_sim.Fault.of_string} — the CLI's [--faults]
     argument to a runnable plan. *)

@@ -11,6 +11,8 @@ type outcome = {
   safety : (unit, string) result;
   completed : bool;
   crashes : int;
+  recoveries : int;
+  plan_ignored : int;
   total_work : int;
   individual_work : int;
   steps : int;
@@ -43,6 +45,10 @@ let fault_setup faults memory =
     if Fault.is_none m then None
     else begin
       if m.Fault.weak_reads then Memory.weaken_all memory;
+      (* Recovery wipes need last-writer ownership (Machine.recover
+         consults it to erase exactly the crashed pid's volatile
+         writes); engage tracking before the protocol's first write. *)
+      if m.Fault.recoveries > 0 then Memory.track_writers memory;
       Some (Conrat_faults.Injector.of_model m)
     end
 
@@ -69,6 +75,8 @@ let run_consensus ?max_steps ?cheap_collect ?(stages = false) ?faults ~n
         ~completed:result.completed;
     completed = result.completed;
     crashes = count_crashed result.crashed;
+    recoveries = result.recoveries;
+    plan_ignored = result.plan_ignored;
     total_work = Metrics.total result.metrics;
     individual_work = Metrics.individual result.metrics;
     steps = result.steps;
@@ -103,6 +111,8 @@ let run_deciding ?max_steps ?cheap_collect ?(stages = false) ?faults ~n
             Spec.coherence ~outputs:decisions ];
       completed = result.completed;
       crashes = count_crashed result.crashed;
+      recoveries = result.recoveries;
+      plan_ignored = result.plan_ignored;
       total_work = Metrics.total result.metrics;
       individual_work = Metrics.individual result.metrics;
       steps = result.steps;
@@ -131,12 +141,15 @@ type aggregate = {
   space : int;
   probe_total : int;
   crash_total : int;
+  recover_total : int;
+  plan_ignored_total : int;
   stage_work : (string * (int * int)) list;
 }
 
 let empty_aggregate =
   { trials = 0; agreements = 0; failures = []; quarantined = []; samples = [];
-    space = 0; probe_total = 0; crash_total = 0; stage_work = [] }
+    space = 0; probe_total = 0; crash_total = 0; recover_total = 0;
+    plan_ignored_total = 0; stage_work = [] }
 
 (* Merge two lists that are already in canonical (ascending) order.
    Ties fall back to full polymorphic comparison so the result is a
@@ -165,6 +178,8 @@ let merge a b =
     space = max a.space b.space;
     probe_total = a.probe_total + b.probe_total;
     crash_total = a.crash_total + b.crash_total;
+    recover_total = a.recover_total + b.recover_total;
+    plan_ignored_total = a.plan_ignored_total + b.plan_ignored_total;
     (* Stage union-combine (totals add, maxima max) is commutative and
        associative with identity [[]], so the order-canonicity argument
        covers it too. *)
@@ -181,6 +196,8 @@ let of_outcome ~seed ~probe (o : outcome) =
     space = o.registers;
     probe_total = probe;
     crash_total = o.crashes;
+    recover_total = o.recoveries;
+    plan_ignored_total = o.plan_ignored;
     stage_work = o.stage_work }
 
 let of_quarantined ~seed exn =

@@ -22,6 +22,11 @@ type outcome = {
         for consensus; conciliators may legitimately disagree) *)
   completed : bool;        (** every surviving process finished in the cap *)
   crashes : int;           (** crash-stops injected into this trial *)
+  recoveries : int;        (** crash-recovery events injected *)
+  plan_ignored : int;
+    (** invalid fault-plan overrides degraded to plain steps (the
+        scheduler's [plan_ignored], a.k.a. the [plan_overrides_ignored]
+        telemetry counter) *)
   total_work : int;
   individual_work : int;
   steps : int;
@@ -83,6 +88,9 @@ type aggregate = {
   space : int;                     (** registers (max across trials) *)
   probe_total : int;               (** sum of probe counters *)
   crash_total : int;               (** injected crash-stops, summed *)
+  recover_total : int;             (** injected recoveries, summed *)
+  plan_ignored_total : int;
+    (** invalid fault-plan overrides degraded to plain steps, summed *)
   stage_work : (string * (int * int)) list;
     (** per-stage (summed total, max individual) work across trials,
         stage-name ascending; [[]] unless [stages] was enabled *)

@@ -8,6 +8,8 @@ type outcome = Engine.outcome = {
   safety : (unit, string) result;
   completed : bool;
   crashes : int;
+  recoveries : int;
+  plan_ignored : int;
   total_work : int;
   individual_work : int;
   steps : int;

@@ -17,6 +17,8 @@ type outcome = Engine.outcome = {
         for consensus; conciliators may legitimately disagree) *)
   completed : bool;
   crashes : int;           (** injected crash-stops (0 without faults) *)
+  recoveries : int;        (** injected crash-recoveries (0 without faults) *)
+  plan_ignored : int;      (** invalid plan overrides degraded to steps *)
   total_work : int;
   individual_work : int;
   steps : int;

@@ -27,7 +27,9 @@ let snapshot_pool_high = 14
 let dpor_races = 15
 let dpor_backtracks = 16
 let checkpoints = 17
-let ncounters = 18
+let recovers = 18
+let plan_overrides_ignored = 19
+let ncounters = 20
 
 let registry =
   [| ("leaves_complete", Sum);
@@ -47,7 +49,9 @@ let registry =
      ("snapshot_pool_high", Max);
      ("dpor_races", Sum);
      ("dpor_backtracks", Sum);
-     ("checkpoints", Sum) |]
+     ("checkpoints", Sum);
+     ("recovers", Sum);
+     ("plan_overrides_ignored", Sum) |]
 
 let () = assert (Array.length registry = ncounters)
 let name c = fst registry.(c)

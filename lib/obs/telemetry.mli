@@ -35,7 +35,11 @@ type counter = private int
    allocated; snapshot_refreshes = pool slots refreshed in place;
    snapshot_pool_high (Max) = deepest pool slot used; dpor_races =
    races the DPOR oracle detected; dpor_backtracks = backtrack-set
-   candidates added; checkpoints = checkpoint frontiers saved. *)
+   candidates added; checkpoints = checkpoint frontiers saved;
+   recovers = crash-recovery events applied; plan_overrides_ignored =
+   invalid Monte-Carlo fault-plan overrides degraded to plain steps.
+   Ids are append-only: new counters go at the end so persisted
+   snapshots and dashboards never reinterpret an old id. *)
 
 val leaves_complete : counter
 val leaves_truncated : counter
@@ -55,6 +59,8 @@ val snapshot_pool_high : counter
 val dpor_races : counter
 val dpor_backtracks : counter
 val checkpoints : counter
+val recovers : counter
+val plan_overrides_ignored : counter
 
 val ncounters : int
 val name : counter -> string

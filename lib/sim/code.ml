@@ -80,6 +80,9 @@ let no_allocs : int option array = [||]
 type 'r t = {
   memory : Memory.t;
   roots : int array;
+  (* Recover continuation entry per pid, -1 when the protocol declares
+     none (a restarted process then re-enters at its main root). *)
+  rec_roots : int array;
   mutable instrs : 'r instr array;
   mutable pend : Op.any option array;   (* pending descriptor, shared *)
   mutable stages : string option array; (* absolute stage label here *)
@@ -158,6 +161,10 @@ let intern t ~stage ~prelen ~allocs p =
   let stage, p = peel stage p in
   match p with
   | Program.Label _ -> assert false (* peeled *)
+  | Program.Recoverable _ ->
+    (* Root-only: [compile] peels the declaration before interning;
+       one reached mid-program escaped a protocol author's root. *)
+    invalid_arg "Code: Recoverable below the protocol root"
   | Program.Done r ->
     add t Halt ~pend:None ~stage ~result:(Some r) ~coin:0 ~allocs ~prelen
   | Program.Step (op, k) ->
@@ -179,6 +186,7 @@ let compile ~memory ~n body =
   let t =
     { memory;
       roots = Array.make n (-1);
+      rec_roots = Array.make n (-1);
       instrs = Array.make 64 Halt;
       pend = Array.make 64 None;
       stages = Array.make 64 None;
@@ -192,15 +200,29 @@ let compile ~memory ~n body =
   in
   (* Bodies are evaluated in pid order, like the tree interpreter's
      [create]: any pure prefix (including register allocation) runs
-     here.  Roots are never re-dispatched, so they record no allocs. *)
+     here.  Roots are never re-dispatched, so they record no allocs —
+     which also makes them valid re-entry points at any store length,
+     exactly what crash-recovery needs. *)
   for pid = 0 to n - 1 do
-    t.roots.(pid) <-
-      intern t ~stage:None ~prelen:(Memory.size memory) ~allocs:no_allocs
-        (body ~pid)
+    let stage, p = peel None (body ~pid) in
+    match p with
+    | Program.Recoverable { main; recover } ->
+      t.roots.(pid) <-
+        intern t ~stage ~prelen:(Memory.size memory) ~allocs:no_allocs main;
+      t.rec_roots.(pid) <-
+        intern t ~stage ~prelen:(Memory.size memory) ~allocs:no_allocs recover
+    | p ->
+      t.roots.(pid) <-
+        intern t ~stage ~prelen:(Memory.size memory) ~allocs:no_allocs p
   done;
   t
 
 let root t pid = t.roots.(pid)
+
+(* Re-entry pc for a recovering process: the declared recover
+   continuation, or the main root (restart from the top) without one. *)
+let rec_root t pid =
+  if t.rec_roots.(pid) >= 0 then t.rec_roots.(pid) else t.roots.(pid)
 let pending t pc = t.pend.(pc)
 let stage t pc = t.stages.(pc)
 let result t pc = t.results.(pc)

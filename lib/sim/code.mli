@@ -38,6 +38,13 @@ val compile : memory:Memory.t -> n:int -> (pid:int -> 'r Program.t) -> 'r t
 val root : 'r t -> int -> int
 (** Entry pc of a process. *)
 
+val rec_root : 'r t -> int -> int
+(** Re-entry pc for a recovering process: the recover continuation the
+    protocol declared via {!Program.Recoverable}, or the main root
+    (restart from the top) when it declared none.  Like roots, re-entry
+    pcs record no allocations, so they are valid at any store
+    length. *)
+
 val pending : 'r t -> int -> Op.any option
 (** The pending-operation descriptor at a pc — allocated once at intern
     time and shared, wrapping the original [Op.t] value so serialized

@@ -29,6 +29,15 @@ let coin_of_op ~memory op =
      | Op.Any (Op.Read l) when Memory.is_weak memory l -> `Weak
      | _ -> `Det (Op.is_write op))
 
+(* The currently crash-stopped pids, ascending — the candidate set for
+   a recovery choice.  Rebuilt per branch point; n is tiny. *)
+let crashed_pids machine ~n =
+  let acc = ref [] in
+  for pid = n - 1 downto 0 do
+    if Machine.is_crashed machine pid then acc := pid :: !acc
+  done;
+  Array.of_list !acc
+
 (* Run one execution following [path] (list of branch choices); choices
    beyond the path default to 0, and out-of-range choices are clamped to
    0 so that a schedule recorded against one protocol can be replayed
@@ -41,7 +50,15 @@ let coin_of_op ~memory op =
    enabled set [en] widens from |en| to 2|en| choices while budget
    remains: index i < |en| steps en.(i), index |en| + j crash-stops
    en.(j).  Crash choices come after step choices so the all-zeros path
-   is still the failure-free canonical execution. *)
+   is still the failure-free canonical execution.
+
+   With additionally a recovery budget r > 0, a third band of m choices
+   follows (m = currently crash-stopped pids, ascending): index
+   |bands| + j recovers the j-th crashed pid.  When every live process
+   has finished but crashed pids remain recoverable, the point becomes
+   a stop-or-recover node of arity 1 + m: choice 0 ends the execution
+   (complete leaf, keeping all-zeros canonical), choice 1 + j recovers.
+   With r = 0 the tree is bit-identical to the crash-only one. *)
 let run_path ?engine ?(record = false) ?(max_depth = 200) ?(cheap_collect = false)
     ?(faults = Fault.none) ?sink ~n ~setup path =
   let memory, body = setup () in
@@ -56,20 +73,43 @@ let run_path ?engine ?(record = false) ?(max_depth = 200) ?(cheap_collect = fals
     recorded := (chosen, arity) :: !recorded;
     chosen
   in
+  let recoveries_left = ref faults.Fault.recoveries in
   let completed = ref false in
   let running = ref true in
   while !running do
     let en = Machine.enabled machine in
     let arity = Array.length en in
-    if arity = 0 then begin
+    let rec_pids =
+      if !recoveries_left > 0 then crashed_pids machine ~n else [||]
+    in
+    let m = Array.length rec_pids in
+    if arity = 0 && m = 0 then begin
       completed := true;
       running := false
     end
     else if Machine.steps machine >= max_depth then running := false
+    else if arity = 0 then begin
+      (* Stop-or-recover node: every live process finished, but crashed
+         pids remain recoverable.  Choice 0 ends the execution. *)
+      let idx = take (1 + m) in
+      if idx = 0 then begin
+        completed := true;
+        running := false
+      end
+      else begin
+        decr recoveries_left;
+        Machine.recover machine ~pid:rec_pids.(idx - 1)
+      end
+    end
     else begin
-      let total = if !crashes_left > 0 then 2 * arity else arity in
+      let base = if !crashes_left > 0 then 2 * arity else arity in
+      let total = base + m in
       let idx = if total = 1 then 0 else take total in
-      if idx >= arity then begin
+      if idx >= base then begin
+        decr recoveries_left;
+        Machine.recover machine ~pid:rec_pids.(idx - base)
+      end
+      else if idx >= arity then begin
         decr crashes_left;
         Machine.crash machine ~pid:en.(idx - arity)
       end
@@ -153,30 +193,54 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
     | Ok () -> ()
     | Error reason -> raise (Abort reason)
   in
-  let rec go ~crashes_left depth =
+  let rec go ~crashes_left ~recoveries_left depth =
     let en = Machine.enabled machine in
     let arity = Array.length en in
-    if arity = 0 then leaf true
+    let rec_pids =
+      if recoveries_left > 0 then crashed_pids machine ~n else [||]
+    in
+    let m = Array.length rec_pids in
+    if arity = 0 && m = 0 then leaf true
     else if depth >= max_depth then leaf false
+    else if arity = 0 then begin
+      (* Stop-or-recover node: choice 0 is a complete leaf, choice
+         1 + j recovers rec_pids.(j) — same encoding as [run_path]. *)
+      let snap = Machine.snapshot machine in
+      leaf true;
+      for j = 0 to m - 1 do
+        if j > 0 then Machine.restore machine snap;
+        Machine.recover machine ~pid:rec_pids.(j);
+        go ~crashes_left ~recoveries_left:(recoveries_left - 1) (depth + 1)
+      done
+    end
     else begin
-      let total = if crashes_left > 0 then 2 * arity else arity in
-      if total = 1 then visit ~snap:None ~crashes_left ~idx:0 ~en (depth + 1)
+      let base = if crashes_left > 0 then 2 * arity else arity in
+      let total = base + m in
+      if total = 1 then
+        visit ~snap:None ~crashes_left ~recoveries_left ~idx:0 ~en ~rec_pids
+          (depth + 1)
       else begin
         (* The machine's enabled array mutates as we step; iterate a copy. *)
         let en = Array.copy en in
         let snap = Machine.snapshot machine in
         for idx = 0 to total - 1 do
           if idx > 0 then Machine.restore machine snap;
-          visit ~snap:(Some snap) ~crashes_left ~idx ~en (depth + 1)
+          visit ~snap:(Some snap) ~crashes_left ~recoveries_left ~idx ~en
+            ~rec_pids (depth + 1)
         done
       end
     end
-  and visit ~snap ~crashes_left ~idx ~en depth =
+  and visit ~snap ~crashes_left ~recoveries_left ~idx ~en ~rec_pids depth =
     (* Machine is at the branch state; apply the idx-th choice. *)
     let arity = Array.length en in
-    if idx >= arity then begin
+    let base = if crashes_left > 0 then 2 * arity else arity in
+    if idx >= base then begin
+      Machine.recover machine ~pid:rec_pids.(idx - base);
+      go ~crashes_left ~recoveries_left:(recoveries_left - 1) depth
+    end
+    else if idx >= arity then begin
       Machine.crash machine ~pid:en.(idx - arity);
-      go ~crashes_left:(crashes_left - 1) depth
+      go ~crashes_left:(crashes_left - 1) ~recoveries_left depth
     end
     else begin
       let pid = en.(idx) in
@@ -185,23 +249,26 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
            the node snapshot rather than a second one. *)
         let snap = match snap with Some s -> s | None -> Machine.snapshot machine in
         Machine.step_forced machine ~pid ~landed:first;
-        go ~crashes_left depth;
+        go ~crashes_left ~recoveries_left depth;
         Machine.restore machine snap;
         Machine.step_forced machine ~pid ~landed:second;
-        go ~crashes_left depth
+        go ~crashes_left ~recoveries_left depth
       in
       match Machine.coin_class machine pid with
       | 0 ->
         Machine.step_forced machine ~pid ~landed:false;
-        go ~crashes_left depth
+        go ~crashes_left ~recoveries_left depth
       | 1 ->
         Machine.step_forced machine ~pid ~landed:true;
-        go ~crashes_left depth
+        go ~crashes_left ~recoveries_left depth
       | 2 -> branch true false
       | _ -> branch false true
     end
   in
-  match go ~crashes_left:faults.Fault.crashes 0 with
+  match
+    go ~crashes_left:faults.Fault.crashes
+      ~recoveries_left:faults.Fault.recoveries 0
+  with
   | () -> Ok (stats true)
   | exception Out_of_budget -> Ok (stats false)
   | exception Abort reason -> Error (reason, stats false)

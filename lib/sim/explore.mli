@@ -48,6 +48,11 @@ type 'r run = {
   steps : int;                    (** operations executed on this path *)
 }
 
+val crashed_pids : 'r Machine.t -> n:int -> int array
+(** The currently crash-stopped pids, ascending — the candidate set for
+    a recovery choice.  Shared with the POR engine so both enumerate
+    recover candidates identically. *)
+
 val coin_of_op : memory:Memory.t -> Op.any -> [ `Det of bool | `Coin | `Weak ]
 (** The explorer's branching convention for a pending operation:
     probabilistic writes with [0 < p < 1] branch on the coin ([`Coin],
@@ -84,7 +89,14 @@ val run_path :
     indices below [|en|] step the corresponding process, the rest
     crash-stop it (so the all-zeros path remains the failure-free
     canonical execution, and such points always consume a path element
-    even with one enabled process).  [faults.weak_reads] itself has no
+    even with one enabled process).  When it additionally carries a
+    recovery budget r > 0, a third band of [m] recovery choices follows
+    while that budget remains, one per currently crash-stopped pid in
+    ascending order; and when every live process has finished but
+    crashed pids remain recoverable, the point becomes a stop-or-recover
+    node of arity [1 + m] whose choice 0 ends the execution — keeping
+    the all-zeros path canonical and recovery-free trees bit-identical
+    to their crash-only form.  [faults.weak_reads] itself has no
     effect here — weakness lives in the registers the setup marked via
     {!Memory.mark_weak} / {!Memory.weaken_all}. *)
 
@@ -129,8 +141,9 @@ val explore :
     receives per-transition observability events; [heartbeat] is
     called once per leaf with the running totals ([depth] is the leaf's
     own path length) — rate limiting is the callback's business.
-    [faults] widens scheduling points with crash choices exactly as in
-    {!run_path}, keeping the two engines' path encodings aligned.
+    [faults] widens scheduling points with crash (and, with a recovery
+    budget, recover) choices exactly as in {!run_path}, keeping the two
+    engines' path encodings aligned.
     [engine] selects the program engine (default the compiled VM); the
     leaf order, statistics and outcome sequence are identical under
     either.  Defaults: [max_depth = 200], [max_runs = 2_000_000],

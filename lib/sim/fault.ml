@@ -7,57 +7,102 @@
 
 type model = {
   crashes : int;
+  recoveries : int;
   weak_reads : bool;
 }
 
-let none = { crashes = 0; weak_reads = false }
+let none = { crashes = 0; recoveries = 0; weak_reads = false }
 
-let is_none m = m.crashes = 0 && not m.weak_reads
+let is_none m = m.crashes = 0 && m.recoveries = 0 && not m.weak_reads
 
 let crash_only f =
   if f < 0 then invalid_arg "Fault.crash_only: negative budget";
-  { crashes = f; weak_reads = false }
+  { crashes = f; recoveries = 0; weak_reads = false }
 
-let model ?(crashes = 0) ?(weak_reads = false) () =
+let model ?(crashes = 0) ?(recoveries = 0) ?(weak_reads = false) () =
   if crashes < 0 then invalid_arg "Fault.model: negative crash budget";
-  { crashes; weak_reads }
+  if recoveries < 0 then invalid_arg "Fault.model: negative recovery budget";
+  if recoveries > 0 && crashes = 0 then
+    invalid_arg "Fault.model: recovery budget without a crash budget";
+  { crashes; recoveries; weak_reads }
 
 let to_string m =
   if is_none m then "none"
   else
     String.concat ","
       ((if m.crashes > 0 then [ Printf.sprintf "crash:f=%d" m.crashes ] else [])
+       @ (if m.recoveries > 0 then [ Printf.sprintf "recover:r=%d" m.recoveries ]
+          else [])
        @ (if m.weak_reads then [ "weak" ] else []))
 
 (* Accepted spec grammar (the CLI's --faults argument):
-     none | crash:f=K | weak | crash:f=K,weak   (parts in any order) *)
+     none | crash:f=K | weak | recover | recover:r=R
+   — comma-separated parts in any order.  Bare [recover] resolves to
+   r = f once all parts are parsed; [recover] without a crash budget is
+   contradictory (nothing can ever be down to restart) and is rejected
+   with a spec-specific message rather than the generic one. *)
 let of_string s =
-  let err () = Error (Printf.sprintf "bad fault spec %S (try crash:f=2,weak)" s) in
+  let err () =
+    Error
+      (Printf.sprintf "bad fault spec %S (try crash:f=2,weak or crash:f=1,recover)" s)
+  in
   match String.trim s with
   | "" | "none" -> Ok none
   | s ->
     let parts = String.split_on_char ',' s in
-    let rec go acc = function
-      | [] -> Ok acc
+    (* recover_req: None = no recover part seen; Some None = bare
+       [recover] (budget defaults to f); Some (Some r) = recover:r=R. *)
+    let rec go acc recover_req = function
+      | [] ->
+        (match recover_req with
+         | None -> Ok acc
+         | Some req ->
+           if acc.crashes = 0 then
+             Error
+               (Printf.sprintf
+                  "bad fault spec %S: recover needs a crash budget (add crash:f=K)" s)
+           else
+             let r = match req with None -> acc.crashes | Some r -> r in
+             Ok { acc with recoveries = r })
       | part :: rest ->
         (match String.trim part with
-         | "weak" -> go { acc with weak_reads = true } rest
+         | "weak" -> go { acc with weak_reads = true } recover_req rest
+         | "recover" -> go acc (Some None) rest
          | part ->
-           let prefix = "crash:f=" in
-           let pl = String.length prefix in
-           if String.length part > pl && String.sub part 0 pl = prefix then
-             match int_of_string_opt (String.sub part pl (String.length part - pl)) with
-             | Some f when f >= 0 -> go { acc with crashes = f } rest
-             | Some _ | None -> err ()
-           else err ())
+           let with_prefix prefix k =
+             let pl = String.length prefix in
+             if String.length part > pl && String.sub part 0 pl = prefix then
+               Some (k (String.sub part pl (String.length part - pl)))
+             else None
+           in
+           let parsed =
+             match with_prefix "crash:f=" (fun v -> `Crash v) with
+             | Some _ as p -> p
+             | None -> with_prefix "recover:r=" (fun v -> `Recover v)
+           in
+           (match parsed with
+            | Some (`Crash v) ->
+              (match int_of_string_opt v with
+               | Some f when f >= 0 -> go { acc with crashes = f } recover_req rest
+               | Some _ | None -> err ())
+            | Some (`Recover v) ->
+              (match int_of_string_opt v with
+               | Some r when r >= 0 -> go acc (Some (Some r)) rest
+               | Some _ | None -> err ())
+            | None -> err ()))
     in
-    go none parts
+    go none None parts
 
 let to_sexp m =
   Sexp.List
-    [ Sexp.Atom "faults";
-      Sexp.List [ Sexp.Atom "crashes"; Sexp.of_int m.crashes ];
-      Sexp.List [ Sexp.Atom "weak-reads"; Sexp.of_bool m.weak_reads ] ]
+    ([ Sexp.Atom "faults";
+       Sexp.List [ Sexp.Atom "crashes"; Sexp.of_int m.crashes ] ]
+     (* Emitted only when non-zero so recovery-free models — including
+        every pre-existing artifact — keep their exact bytes. *)
+     @ (if m.recoveries > 0 then
+          [ Sexp.List [ Sexp.Atom "recoveries"; Sexp.of_int m.recoveries ] ]
+        else [])
+     @ [ Sexp.List [ Sexp.Atom "weak-reads"; Sexp.of_bool m.weak_reads ] ])
 
 let of_sexp sexp =
   match sexp with
@@ -67,8 +112,19 @@ let of_sexp sexp =
       | Some v -> decode v
       | None -> None
     in
-    (match (field "crashes" Sexp.to_int, field "weak-reads" Sexp.to_bool) with
-     | Some crashes, Some weak_reads when crashes >= 0 -> Ok { crashes; weak_reads }
+    let recoveries =
+      (* Absent in every pre-recovery artifact: default 0. *)
+      match Sexp.assoc1 "recoveries" sexp with
+      | None -> Some 0
+      | Some v -> Sexp.to_int v
+    in
+    (match
+       (field "crashes" Sexp.to_int, recoveries, field "weak-reads" Sexp.to_bool)
+     with
+     | Some crashes, Some recoveries, Some weak_reads
+       when crashes >= 0 && recoveries >= 0
+            && not (recoveries > 0 && crashes = 0) ->
+       Ok { crashes; recoveries; weak_reads }
      | _ -> Error "Fault.of_sexp: bad faults record")
   | _ -> Error "Fault.of_sexp: expected (faults ...)"
 
@@ -79,13 +135,15 @@ let pp ppf m = Format.pp_print_string ppf (to_string m)
 (* ------------------------------------------------------------------ *)
 
 (* The plan sees the adversary's choice and may override it: schedule
-   it normally, crash-stop a process instead, or deliver the chosen
+   it normally, crash-stop a process instead, deliver the chosen
    process's pending read stale (only meaningful on a weak register —
-   the scheduler silently downgrades [Stale] to [Step] otherwise). *)
+   the scheduler silently downgrades [Stale] to [Step] otherwise), or
+   restart a crashed process. *)
 type action =
   | Step of int
   | Crash of int
   | Stale of int
+  | Recover of int
 
 type plan = {
   plan_name : string;

@@ -12,7 +12,17 @@ type engine = [ `Vm | `Tree ]
    layers through exactly the same code. *)
 type 'r engine_state =
   | Compiled of 'r Vm.t
-  | Tree of { programs : 'r Program.t array; stages : string option array }
+  | Tree of {
+      programs : 'r Program.t array;
+      stages : string option array;
+      (* Crash-recovery re-entry targets, mirroring the VM's
+         [Code.rec_root]: the declared recover continuation (raw — its
+         leading labels are re-peeled at each recovery) or the settled
+         main root when the protocol declared none, with the stage to
+         restore on re-entry alongside. *)
+      rec_programs : 'r Program.t array;
+      rec_stages : string option array;
+    }
 
 type 'r t = {
   n : int;
@@ -22,9 +32,12 @@ type 'r t = {
   pending : Op.any option array;
   crashed : bool array;
   mutable crash_count : int;
+  mutable recover_count : int;
   (* Sticky: set by the first [crash] and never cleared, so failure-free
      explorations (the common case) know [crashed] is all-false without
-     scanning it and skip capturing it in snapshots. *)
+     scanning it and skip capturing it in snapshots.  ([recover] clears
+     [crashed] bits but deliberately not this flag: once a path has
+     crashed, snapshots keep capturing the array.) *)
   mutable ever_crashed : bool;
   mutable enabled : int array;
   (* All [2^n] possible enabled sets, interned at creation and indexed
@@ -65,15 +78,25 @@ let rebuild_enabled_alloc pending n =
   Array.of_list !pids
 
 (* Peel stage labels off the front of a program, recording the
-   innermost one as [pid]'s current stage.  Stored programs are always
-   label-free at the top, so the hot path below pays one constructor
-   check per transition. *)
+   innermost one as [pid]'s current stage.  A root-level [Recoverable]
+   declaration is transparent here (its recover branch is peeled off by
+   [create]).  Stored programs are always label-free at the top, so the
+   hot path below pays one constructor check per transition. *)
 let rec settle stages pid p =
   match p with
   | Program.Label (s, p) ->
     stages.(pid) <- Some s;
     settle stages pid p
+  | Program.Recoverable { main; _ } -> settle stages pid main
   | p -> p
+
+(* Root peel without stage recording, mirroring [Code.peel]: the stage
+   at the protocol's entry, which is also the stage a declared recover
+   continuation re-enters at. *)
+let rec peel_root stage p =
+  match p with
+  | Program.Label (s, p) -> peel_root (Some s) p
+  | p -> (stage, p)
 
 let create ?(engine = `Vm) ?(cheap_collect = false) ?metrics ?trace ?sink ~n
     ~memory body =
@@ -83,8 +106,34 @@ let create ?(engine = `Vm) ?(cheap_collect = false) ?metrics ?trace ?sink ~n
     | `Vm -> Compiled (Vm.create ~cheap_collect ~n ~memory body)
     | `Tree ->
       let stages = Array.make n None in
-      let programs = Array.init n (fun pid -> settle stages pid (body ~pid)) in
-      Tree { programs; stages }
+      (* Evaluated in pid order (pure prefixes, incl. allocation, run
+         here), exactly as before; the root peel splits off a
+         [Recoverable] declaration when present. *)
+      let parts =
+        Array.init n (fun pid ->
+          let stage0, p0 = peel_root None (body ~pid) in
+          stages.(pid) <- stage0;
+          match p0 with
+          | Program.Recoverable { main; recover } ->
+            (settle stages pid main, Some recover, stage0)
+          | p -> (settle stages pid p, None, stage0))
+      in
+      let programs = Array.map (fun (m, _, _) -> m) parts in
+      (* Without a declaration a restarted process re-enters at its
+         settled main root, whose stage is the innermost root label —
+         matching the VM, where [Code.rec_root] falls back to the main
+         root pc and its interned stage. *)
+      let rec_programs =
+        Array.init n (fun pid ->
+          match parts.(pid) with _, Some r, _ -> r | m, None, _ -> m)
+      in
+      let rec_stages =
+        Array.init n (fun pid ->
+          match parts.(pid) with
+          | _, Some _, stage0 -> stage0
+          | _, None, _ -> stages.(pid))
+      in
+      Tree { programs; stages; rec_programs; rec_stages }
   in
   let pending =
     match state with
@@ -103,6 +152,7 @@ let create ?(engine = `Vm) ?(cheap_collect = false) ?metrics ?trace ?sink ~n
     pending;
     crashed = Array.make n false;
     crash_count = 0;
+    recover_count = 0;
     ever_crashed = false;
     enabled = rebuild_enabled_alloc pending n;
     enabled_tab;
@@ -153,6 +203,7 @@ let outputs_into t buf =
     buf.(pid) <- output t pid
   done
 let crashes t = t.crash_count
+let recovers t = t.recover_count
 let is_crashed t pid = t.crashed.(pid)
 
 let classify t pid =
@@ -242,6 +293,10 @@ let step_forced t ~pid ~landed =
        — this loop runs millions of times per exploration and every
        branch below is written to stay allocation-free when the
        corresponding instrument is absent. *)
+    (* Ownership attribution for the crash-recovery wipe: one
+       predictable branch when tracking is off (the recovery-free
+       case). *)
+    if Memory.tracking t.memory then Memory.set_actor t.memory pid;
     let observed, stage =
       match t.state with
       | Compiled vm ->
@@ -250,9 +305,9 @@ let step_forced t ~pid ~landed =
         in
         let observed = Vm.exec vm ~pid ~landed in
         (observed, stage)
-      | Tree { programs; stages } ->
+      | Tree { programs; stages; _ } ->
         (match programs.(pid) with
-         | Program.Done _ | Program.Label _ ->
+         | Program.Done _ | Program.Label _ | Program.Recoverable _ ->
            (* Stored programs are settled and [pending] already
               screened finished ones; listed to keep the match total. *)
            raise (Stuck "scheduled a finished process")
@@ -327,6 +382,40 @@ let crash t ~pid =
   t.steps <- t.steps + 1;
   t.total_steps <- t.total_steps + 1
 
+(* Crash-recovery: the symmetric pseudo-event.  The crashed process's
+   volatile registers (those it last wrote and did not mark persistent)
+   are wiped back to ⊥, its program state is reset to the protocol's
+   recover continuation (or the main root without one), and it rejoins
+   the enabled set.  Like [crash] it consumes a step, so trace
+   positions and depth accounting line up across engines, and every
+   effect goes through the journalled paths so [restore] undoes it
+   exactly.  The trace encoding is [op = None, landed = true] — crash
+   stays [op = None, landed = false] — keeping crash bytes unchanged. *)
+let recover t ~pid =
+  if not t.crashed.(pid) then raise (Stuck "recovered a process that is not crashed");
+  Memory.wipe_volatile t.memory ~pid;
+  t.crashed.(pid) <- false;
+  t.recover_count <- t.recover_count + 1;
+  (match t.state with
+   | Compiled vm -> Vm.reenter vm ~pid
+   | Tree { programs; stages; rec_programs; rec_stages } ->
+     stages.(pid) <- rec_stages.(pid);
+     programs.(pid) <- settle stages pid rec_programs.(pid));
+  t.pending.(pid) <-
+    (match t.state with
+     | Compiled vm -> Vm.pending vm pid
+     | Tree { programs; _ } -> Program.pending programs.(pid));
+  rebuild_enabled t;
+  Option.iter
+    (fun tr ->
+      Trace.add tr { Trace.step = t.steps; pid; op = None; landed = true; observed = None })
+    t.trace;
+  (match t.sink with
+   | None -> ()
+   | Some s -> s.Sink.on_recover ~step:t.steps ~pid);
+  t.steps <- t.steps + 1;
+  t.total_steps <- t.total_steps + 1
+
 (* Engine half of a snapshot: the VM's is [n] integers (its program
    state is just the pc file; pending descriptors are recomputed from
    the code store on restore), the tree's is the historical
@@ -350,6 +439,7 @@ type 'r snapshot = {
      crash actually happens below the root. *)
   mutable s_crashed : bool array option;
   mutable s_crash_count : int;
+  mutable s_recover_count : int;
   mutable s_enabled : int array;
   s_memory : Memory.backup;
   mutable s_steps : int;
@@ -368,7 +458,7 @@ let snapshot t =
   let s_engine, s_memory =
     match t.state with
     | Compiled vm -> (Vm_snap (Vm.snapshot vm), Memory.backup t.memory)
-    | Tree { programs; stages } ->
+    | Tree { programs; stages; _ } ->
       ( Tree_snap
           { programs = Array.copy programs;
             pending = Array.copy t.pending;
@@ -378,6 +468,7 @@ let snapshot t =
   { s_engine;
     s_crashed = (if t.ever_crashed then Some (Array.copy t.crashed) else None);
     s_crash_count = t.crash_count;
+    s_recover_count = t.recover_count;
     (* Shared, not copied: enabled arrays are rebuilt immutably on
        every change (decide/crash), never updated in place. *)
     s_enabled = t.enabled;
@@ -395,7 +486,7 @@ let snapshot_into t s =
    | Some k -> k.Sink.on_snapshot ~step:t.steps);
   (match t.state, s.s_engine with
    | Compiled vm, Vm_snap pcs -> Vm.snapshot_into vm pcs
-   | Tree { programs; stages }, Tree_snap snap ->
+   | Tree { programs; stages; _ }, Tree_snap snap ->
      Array.blit programs 0 snap.programs 0 t.n;
      Array.blit t.pending 0 snap.pending 0 t.n;
      Array.blit stages 0 snap.stages 0 t.n
@@ -407,6 +498,7 @@ let snapshot_into t s =
      | Some crashed -> Array.blit t.crashed 0 crashed 0 t.n
      | None -> s.s_crashed <- Some (Array.copy t.crashed));
   s.s_crash_count <- t.crash_count;
+  s.s_recover_count <- t.recover_count;
   s.s_enabled <- t.enabled;
   Memory.backup_into t.memory s.s_memory;
   s.s_steps <- t.steps
@@ -421,6 +513,7 @@ let restore t s =
    | Some crashed -> Array.blit crashed 0 t.crashed 0 t.n
    | None -> if t.ever_crashed then Array.fill t.crashed 0 t.n false);
   t.crash_count <- s.s_crash_count;
+  t.recover_count <- s.s_recover_count;
   (match t.state, s.s_engine with
    | Compiled vm, Vm_snap pcs ->
      Vm.restore vm pcs;
@@ -429,7 +522,7 @@ let restore t s =
      for pid = 0 to t.n - 1 do
        t.pending.(pid) <- (if t.crashed.(pid) then None else Vm.pending vm pid)
      done
-   | Tree { programs; stages }, Tree_snap snap ->
+   | Tree { programs; stages; _ }, Tree_snap snap ->
      Array.blit snap.programs 0 programs 0 t.n;
      Array.blit snap.pending 0 t.pending 0 t.n;
      Array.blit snap.stages 0 stages 0 t.n

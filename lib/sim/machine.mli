@@ -96,8 +96,13 @@ val outputs_into : 'r t -> 'r option array -> unit
     Raises [Invalid_argument] on a length mismatch. *)
 
 val crashes : 'r t -> int
-(** Number of processes crash-stopped so far on the current path
-    (restored by {!restore}). *)
+(** Number of crash events so far on the current path (restored by
+    {!restore}).  Not decremented by {!recover} — it counts events
+    against the crash budget, not currently-down processes. *)
+
+val recovers : 'r t -> int
+(** Number of recovery events so far on the current path (restored by
+    {!restore}). *)
 
 val is_crashed : 'r t -> int -> bool
 
@@ -147,6 +152,18 @@ val crash : 'r t -> pid:int -> unit
     Counts as one step; records a crash trace event and fires the
     sink's [on_crash].  Raises {!Stuck} if [pid] already finished or
     crashed.  Undone by {!restore} like any other transition. *)
+
+val recover : 'r t -> pid:int -> unit
+(** Restart a crashed [pid]: its volatile registers — those it last
+    wrote and did not {!Memory.mark_persistent} — are wiped back to ⊥
+    ({!Memory.wipe_volatile}; requires {!Memory.track_writers} to have
+    been engaged at setup), its program state re-enters the protocol's
+    recover continuation (or the main root when the protocol declared
+    none — see {!Program.Recoverable}), and it rejoins the enabled set.
+    Counts as one step; records a [(step pid recover)] trace event and
+    fires the sink's [on_recover].  Raises {!Stuck} unless [pid] is
+    currently crashed.  Undone by {!restore} like any other
+    transition. *)
 
 val step_random : 'r t -> pid:int -> coin:Rng.t -> unit
 (** Apply [pid]'s pending operation, drawing the coin for a

@@ -28,6 +28,19 @@ type t = {
   mutable cells : int option array;
   mutable prev : int option array;
   mutable weak : bool array;
+  (* Crash-recovery plane: [persistent] marks registers that survive
+     the owner's crash (configuration, like [weak]); [writers] records
+     the pid that last wrote each register (-1 = never written), the
+     dynamic ownership a recovery wipe keys on; both are maintained only
+     while [track_writers] is on, so the recovery-free write path pays
+     exactly one predictable branch. *)
+  mutable persistent : bool array;
+  mutable writers : int array;
+  mutable track_writers : bool;
+  (* The pid about to perform the next operation — stashed by the
+     machine (when tracking) so [write] can record ownership without
+     threading a pid through every op-execution path. *)
+  mutable actor : int;
   mutable len : int;
   mutable weak_default : bool;
   (* Fast path: true iff any register is (or may become, via
@@ -38,10 +51,14 @@ type t = {
   mutable jlocs : int array;
   mutable jvals : int option array;
   mutable jlen : int;
-  (* Cell-contents undo journal; maintained only once a backup exists. *)
+  (* Cell-contents undo journal; maintained only once a backup exists.
+     [cjwrs] rides along with the cell journal and holds the overwritten
+     writer — populated (and popped) only while tracking, so untracked
+     journaling never touches it. *)
   mutable journaling : bool;
   mutable cjlocs : int array;
   mutable cjvals : int option array;
+  mutable cjwrs : int array;
   mutable cjlen : int;
 }
 
@@ -49,6 +66,10 @@ let create () =
   { cells = Array.make 16 None;
     prev = Array.make 16 None;
     weak = Array.make 16 false;
+    persistent = Array.make 16 false;
+    writers = Array.make 16 (-1);
+    track_writers = false;
+    actor = -1;
     len = 0;
     weak_default = false;
     has_weak = false;
@@ -58,6 +79,7 @@ let create () =
     journaling = false;
     cjlocs = Array.make 16 0;
     cjvals = Array.make 16 None;
+    cjwrs = Array.make 16 (-1);
     cjlen = 0 }
 
 let ensure_capacity t needed =
@@ -66,12 +88,18 @@ let ensure_capacity t needed =
     let cells = Array.make cap None in
     let prev = Array.make cap None in
     let weak = Array.make cap false in
+    let persistent = Array.make cap false in
+    let writers = Array.make cap (-1) in
     Array.blit t.cells 0 cells 0 t.len;
     Array.blit t.prev 0 prev 0 t.len;
     Array.blit t.weak 0 weak 0 t.len;
+    Array.blit t.persistent 0 persistent 0 t.len;
+    Array.blit t.writers 0 writers 0 t.len;
     t.cells <- cells;
     t.prev <- prev;
-    t.weak <- weak
+    t.weak <- weak;
+    t.persistent <- persistent;
+    t.writers <- writers
   end
 
 let alloc ?init t =
@@ -82,6 +110,8 @@ let alloc ?init t =
      return: its stale view is its initial contents. *)
   t.prev.(loc) <- init;
   t.weak.(loc) <- t.weak_default;
+  t.persistent.(loc) <- false;
+  t.writers.(loc) <- -1;
   t.len <- t.len + 1;
   loc
 
@@ -119,13 +149,17 @@ let cjournal_push t loc v =
     let cap = 2 * t.cjlen in
     let cjlocs = Array.make cap 0 in
     let cjvals = Array.make cap None in
+    let cjwrs = Array.make cap (-1) in
     Array.blit t.cjlocs 0 cjlocs 0 t.cjlen;
     Array.blit t.cjvals 0 cjvals 0 t.cjlen;
+    Array.blit t.cjwrs 0 cjwrs 0 t.cjlen;
     t.cjlocs <- cjlocs;
-    t.cjvals <- cjvals
+    t.cjvals <- cjvals;
+    t.cjwrs <- cjwrs
   end;
   t.cjlocs.(t.cjlen) <- loc;
   t.cjvals.(t.cjlen) <- v;
+  if t.track_writers then t.cjwrs.(t.cjlen) <- t.writers.(loc);
   t.cjlen <- t.cjlen + 1
 
 let write t loc v =
@@ -135,6 +169,7 @@ let write t loc v =
     journal_push t loc t.prev.(loc);
     t.prev.(loc) <- t.cells.(loc)
   end;
+  if t.track_writers then t.writers.(loc) <- t.actor;
   t.cells.(loc) <- Some v
 
 (* Weakness is configuration: [mark_weak]/[weaken_all] are meant to run
@@ -164,6 +199,53 @@ let is_weak t loc =
    fault-plane overhead gate (bench/fault_overhead.ml), mirroring what
    [Sink.null] is to the observability gate. *)
 let engage_shadow t = t.has_weak <- true
+
+(* Persistence is configuration, exactly like weakness: set at
+   allocation/setup time, identical across all states of one
+   exploration, never undone by backtracking. *)
+let mark_persistent t loc =
+  check t loc;
+  t.persistent.(loc) <- true
+
+let is_persistent t loc =
+  check t loc;
+  t.persistent.(loc)
+
+(* Engage last-writer tracking — the recovery plane's analogue of
+   [engage_shadow]: flipped on at setup time by drivers whose fault
+   model has a recovery budget (and by the overhead bench's
+   engaged-but-inert arm).  Never flips back off: a store that tracked
+   and then stopped would carry half-maintained ownership. *)
+let track_writers t = t.track_writers <- true
+
+let tracking t = t.track_writers
+
+let set_actor t pid = t.actor <- pid
+
+let writer t loc =
+  check t loc;
+  if t.track_writers then t.writers.(loc) else -1
+
+(* Crash-recovery wipe: every volatile register last written by [pid]
+   reverts to never-written.  Each wiped cell goes through the same
+   undo machinery as a write (cell journal, weak shadow, writer
+   journal), so backtracking over a recovery restores the pre-wipe
+   state exactly.  Requires tracking — without ownership there is
+   nothing sound to wipe. *)
+let wipe_volatile t ~pid =
+  if not t.track_writers then
+    invalid_arg "Memory.wipe_volatile: writer tracking not engaged";
+  for loc = 0 to t.len - 1 do
+    if t.writers.(loc) = pid && not t.persistent.(loc) then begin
+      if t.journaling then cjournal_push t loc t.cells.(loc);
+      if t.has_weak && t.weak.(loc) then begin
+        journal_push t loc t.prev.(loc);
+        t.prev.(loc) <- t.cells.(loc)
+      end;
+      t.cells.(loc) <- None;
+      t.writers.(loc) <- -1
+    end
+  done
 
 let weaken_all t =
   for i = 0 to t.len - 1 do
@@ -219,6 +301,10 @@ type backup = {
      explorers can refresh a pooled backup in place ({!backup_into})
      instead of allocating one per branch point. *)
   mutable b_full : int option array option;
+  (* Full backups capture ownership alongside contents when tracking
+     (they never journal, so a blit is their only undo); delta marks
+     leave this [None] — the writer journal rides the cell journal. *)
+  mutable b_writers : int array option;
   mutable b_len : int;
   mutable b_cjlen : int;
   mutable b_jlen : int;
@@ -226,10 +312,13 @@ type backup = {
 
 let backup t =
   t.journaling <- true;
-  { b_full = None; b_len = t.len; b_cjlen = t.cjlen; b_jlen = t.jlen }
+  { b_full = None; b_writers = None; b_len = t.len; b_cjlen = t.cjlen;
+    b_jlen = t.jlen }
 
 let full_backup t =
   { b_full = Some (Array.sub t.cells 0 t.len);
+    b_writers =
+      (if t.track_writers then Some (Array.sub t.writers 0 t.len) else None);
     b_len = t.len;
     b_cjlen = 0;
     b_jlen = t.jlen }
@@ -245,6 +334,11 @@ let backup_into t b =
    | Some cells ->
      if Array.length cells = t.len then Array.blit t.cells 0 cells 0 t.len
      else b.b_full <- Some (Array.sub t.cells 0 t.len);
+     (if t.track_writers then
+        match b.b_writers with
+        | Some writers when Array.length writers = t.len ->
+          Array.blit t.writers 0 writers 0 t.len
+        | Some _ | None -> b.b_writers <- Some (Array.sub t.writers 0 t.len));
      b.b_len <- t.len);
   b.b_jlen <- t.jlen
 
@@ -272,9 +366,15 @@ let restore_backup t b =
        (* Popping in LIFO order ends each cell at its oldest journaled
           value — the contents as of backup time, however many times it
           was written since. *)
-       t.cells.(t.cjlocs.(t.cjlen)) <- t.cjvals.(t.cjlen)
+       t.cells.(t.cjlocs.(t.cjlen)) <- t.cjvals.(t.cjlen);
+       if t.track_writers then
+         t.writers.(t.cjlocs.(t.cjlen)) <- t.cjwrs.(t.cjlen)
      done
-   | Some cells -> Array.blit cells 0 t.cells 0 b.b_len);
+   | Some cells ->
+     Array.blit cells 0 t.cells 0 b.b_len;
+     (match b.b_writers with
+      | Some writers -> Array.blit writers 0 t.writers 0 b.b_len
+      | None -> ()));
   pop_weak_journal t b.b_jlen;
   (* Registers allocated since the backup are dropped; [alloc] never
      journals (truncation is its undo). *)
@@ -305,6 +405,14 @@ let hash_fold t h1 h2 =
       let p = enc t.prev.(i) in
       h1 := mix1 !h1 p;
       h2 := mix2 !h2 p
+    end;
+    (* Ownership decides what a future recovery wipes, so under
+       tracking it is semantic state; +2 keeps the encoding
+       non-negative with -1 (never written) distinct from every pid. *)
+    if t.track_writers then begin
+      let w = t.writers.(i) + 2 in
+      h1 := mix1 !h1 w;
+      h2 := mix2 !h2 w
     end
   done;
   (!h1, !h2)

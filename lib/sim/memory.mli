@@ -59,6 +59,45 @@ val engage_shadow : t -> unit
     fault-plane overhead gate, as {!Sink.null} is to the observability
     gate. *)
 
+(** {1 Crash-recovery plane: persistence and ownership}
+
+    A recovery (see {!Fault.model}[.recoveries]) wipes the registers
+    the crashed process {e last wrote}, except those marked persistent.
+    Ownership is tracked dynamically — the machine stashes the acting
+    pid with {!set_actor} before each operation — and only while
+    {!track_writers} is engaged, so recovery-free runs pay one
+    predictable branch per write and hash identically to a build
+    without the plane. *)
+
+val mark_persistent : t -> loc -> unit
+(** Mark one register as surviving its writer's crash (configuration,
+    set at allocation/setup time like {!mark_weak}; registers default
+    to volatile). *)
+
+val is_persistent : t -> loc -> bool
+
+val track_writers : t -> unit
+(** Engage last-writer tracking.  Required before {!wipe_volatile};
+    engaged by drivers whose fault model has a recovery budget, and by
+    the overhead bench's engaged-but-inert arm.  Never disengages. *)
+
+val tracking : t -> bool
+
+val set_actor : t -> int -> unit
+(** Record the pid about to perform the next operation(s); consulted by
+    {!write} when tracking to attribute ownership. *)
+
+val writer : t -> loc -> int
+(** The pid that last wrote this register, or -1 if never written (or
+    wiped, or tracking is off). *)
+
+val wipe_volatile : t -> pid:int -> unit
+(** The crash-recovery wipe: revert every volatile register last
+    written by [pid] to never-written (⊥, no owner).  Wipes go through
+    the same undo journals as writes, so backtracking over a recovery
+    restores the pre-wipe state exactly.  Raises [Invalid_argument] if
+    tracking is not engaged. *)
+
 val size : t -> int
 (** Number of registers allocated so far — the protocol's space
     complexity in registers. *)
@@ -117,7 +156,9 @@ val mix2 : int -> int -> int
 
 val hash_fold : t -> int -> int -> int * int
 (** [hash_fold t h1 h2] folds the store's semantic state — live cell
-    contents plus, on weak registers, the stale-read shadow — into two
+    contents plus, on weak registers, the stale-read shadow, plus,
+    under {!track_writers}, per-register ownership (it decides what a
+    future recovery wipes) — into two
     independent 63-bit accumulators and returns them.  Two stores of
     one exploration that are semantically equal (same {!size}, same
     {!read} and {!read_stale} views) fold equally; journals and pooled

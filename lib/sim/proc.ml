@@ -10,3 +10,6 @@ let rec exec : 'r. 'r Program.t -> 'r = function
   | Program.Done r -> r
   | Program.Step (op, k) -> exec (k (Effect.perform (Step op)))
   | Program.Label (_, p) -> exec p
+  (* Direct-effects execution never crashes, so the recover branch is
+     simply unreachable. *)
+  | Program.Recoverable { main; _ } -> exec main

@@ -2,6 +2,7 @@ type 'r t =
   | Done of 'r
   | Step : 'a Op.t * ('a -> 'r t) -> 'r t
   | Label of string * 'r t
+  | Recoverable of { main : 'r t; recover : 'r t }
 
 let return x = Done x
 
@@ -10,6 +11,12 @@ let rec bind p f =
   | Done x -> f x
   | Step (op, k) -> Step (op, fun a -> bind (k a) f)
   | Label (s, p) -> Label (s, bind p f)
+  (* Sequencing distributes into both branches: whatever runs after the
+     protocol (e.g. the checker's output mapping) also runs after a
+     restarted attempt, and the declaration stays at the root where the
+     engines peel it off. *)
+  | Recoverable { main; recover } ->
+    Recoverable { main = bind main f; recover = bind recover f }
 
 let map f p = bind p (fun x -> Done (f x))
 
@@ -26,20 +33,30 @@ let collect l len = perform (Op.Collect (l, len))
 
 let label s p = Label (s, p)
 
+let recoverable ~recover main = Recoverable { main; recover }
+
+let rec recovery = function
+  | Recoverable { recover; _ } -> Some recover
+  | Label (_, p) -> recovery p
+  | Done _ | Step _ -> None
+
 let rec pending = function
   | Done _ -> None
   | Step (op, _) -> Some (Op.Any op)
   | Label (_, p) -> pending p
+  | Recoverable { main; _ } -> pending main
 
 let rec is_done = function
   | Done _ -> true
   | Step _ -> false
   | Label (_, p) -> is_done p
+  | Recoverable { main; _ } -> is_done main
 
 let rec result = function
   | Done r -> Some r
   | Step _ -> None
   | Label (_, p) -> result p
+  | Recoverable { main; _ } -> result main
 
 (* Monadic iteration helpers for porting loop-shaped protocol code.
    [exists_array] short-circuits like [Array.exists], preserving the

@@ -34,6 +34,17 @@ type 'r t =
           adversaries and explorers.  {!Compose} emits one per composed
           stage; the {!Sink} receives the innermost enclosing label with
           every operation event. *)
+  | Recoverable of { main : 'r t; recover : 'r t }
+      (** A crash-recovery declaration, valid only at a program's root
+          (possibly under labels): execution proceeds through [main],
+          and a process restarted after a crash re-enters at [recover]
+          instead (typically a persistent-register re-validation that
+          falls through to the main logic).  Programs without the
+          declaration restart at their main root — from the top, with
+          all volatile registers wiped.  Everywhere except the engines'
+          recovery machinery the node is transparent: [bind] distributes
+          into both branches (keeping the declaration at the root), and
+          {!pending}/{!is_done}/{!result} see [main]. *)
 
 val return : 'r -> 'r t
 (** A program that immediately returns. *)
@@ -61,6 +72,14 @@ val collect : Memory.loc -> int -> int option array t
 val label : string -> 'r t -> 'r t
 (** [label s p] marks [p] as (the start of) stage [s].  Labels are part
     of the program value, so labelled programs stay replay-pure. *)
+
+val recoverable : recover:'r t -> 'r t -> 'r t
+(** [recoverable ~recover main] declares a recover continuation on
+    [main] (see {!Recoverable}).  Use at the protocol's root only. *)
+
+val recovery : 'r t -> 'r t option
+(** The declared recover continuation, if any (looks through labels) —
+    the engines' peel when restarting a process. *)
 
 val pending : 'r t -> Op.any option
 (** The operation the program is blocked on, if any (looks through

@@ -4,6 +4,8 @@ type 'r result = {
   steps : int;
   completed : bool;
   crashed : bool array;
+  recoveries : int;
+  plan_ignored : int;
   trace : Trace.t option;
   registers : int;
 }
@@ -33,6 +35,7 @@ let run ?engine ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = fa
       (fun ~pid -> body ~pid ~rng:local_rngs.(pid))
   in
   let completed = ref false in
+  let ignored = ref 0 in
   (* The per-step view is kept incrementally by the machine: only the
      scheduled process's pending descriptor changes, and the enabled
      array only shrinks when a process finishes.  This keeps a
@@ -59,8 +62,12 @@ let run ?engine ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = fa
       (* The fault plan sees the adversary's (already validated) choice
          and may override it.  Invalid overrides — crashing a pid that
          is not enabled, delivering a stale read to a process whose
-         pending operation is not a read on a weak register — degrade
-         to the plain step, so plans never have to track enabledness. *)
+         pending operation is not a read on a weak register, recovering
+         a pid that is not down — degrade to the plain step, so plans
+         never have to track enabledness.  Each degradation is counted
+         in [plan_ignored] (surfaced as the [plan_overrides_ignored]
+         telemetry counter by the CLI), so silent downgrades are
+         visible rather than silently shaping the fault mix. *)
       (match inject with
        | None -> Machine.step_random machine ~pid ~coin:write_coins.(pid)
        | Some inject ->
@@ -73,7 +80,17 @@ let run ?engine ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = fa
                      | Some (Op.Any (Op.Read l)) -> Memory.is_weak memory l
                      | _ -> false) ->
             Machine.step_forced machine ~pid:p ~landed:true
-          | Fault.Step _ | Fault.Crash _ | Fault.Stale _ ->
+          | Fault.Recover p
+            when p >= 0 && p < n
+                 && Machine.is_crashed machine p
+                 && Memory.tracking memory ->
+            (* Recovery needs last-writer tracking for the volatile
+               wipe; a plan recovering over untracked memory degrades
+               like any other invalid override instead of raising. *)
+            Machine.recover machine ~pid:p
+          | Fault.Step _ -> Machine.step_random machine ~pid ~coin:write_coins.(pid)
+          | Fault.Crash _ | Fault.Stale _ | Fault.Recover _ ->
+            incr ignored;
             Machine.step_random machine ~pid ~coin:write_coins.(pid)));
       loop ()
     end
@@ -84,6 +101,8 @@ let run ?engine ?(max_steps = 10_000_000) ?(record = false) ?(cheap_collect = fa
     steps = Machine.steps machine;
     completed = !completed;
     crashed = Array.init n (Machine.is_crashed machine);
+    recoveries = Machine.recovers machine;
+    plan_ignored = !ignored;
     trace;
     registers = Memory.size memory }
 

@@ -19,7 +19,13 @@ type 'r result = {
   metrics : Metrics.t;    (** work accounting for the execution *)
   steps : int;            (** operations executed (= [Metrics.total]) *)
   completed : bool;       (** no process still runnable before [max_steps] *)
-  crashed : bool array;   (** which pids a fault plan crash-stopped *)
+  crashed : bool array;   (** which pids a fault plan left crash-stopped *)
+  recoveries : int;       (** recovery events a fault plan injected *)
+  plan_ignored : int;
+    (** fault-plan overrides that were invalid (crash of a non-enabled
+        pid, stale delivery on a non-weak read, recovery of a pid that
+        is not down) and degraded to a plain step — surfaced by the CLI
+        as the [plan_overrides_ignored] telemetry counter *)
   trace : Trace.t option; (** recorded when [~record:true] *)
   registers : int;        (** registers allocated at the end *)
 }

@@ -4,6 +4,7 @@ type t = {
     stage:string option -> unit;
   on_decide : step:int -> pid:int -> unit;
   on_crash : step:int -> pid:int -> unit;
+  on_recover : step:int -> pid:int -> unit;
   on_snapshot : step:int -> unit;
   on_restore : step:int -> unit;
   on_steal : domain:int -> shard:int -> prefix:int -> unit;
@@ -18,9 +19,10 @@ let nop_steal ~domain:_ ~shard:_ ~prefix:_ = ()
 let nop_shard_done ~domain:_ ~shard:_ ~leaves:_ ~steps:_ = ()
 
 let make ?(on_op = nop_op) ?(on_decide = nop_step_pid) ?(on_crash = nop_step_pid)
-    ?(on_snapshot = nop_step) ?(on_restore = nop_step) ?(on_steal = nop_steal)
+    ?(on_recover = nop_step_pid) ?(on_snapshot = nop_step)
+    ?(on_restore = nop_step) ?(on_steal = nop_steal)
     ?(on_shard_done = nop_shard_done) ?(on_checkpoint = nop_step) () =
-  { on_op; on_decide; on_crash; on_snapshot; on_restore; on_steal;
+  { on_op; on_decide; on_crash; on_recover; on_snapshot; on_restore; on_steal;
     on_shard_done; on_checkpoint }
 
 let null = make ()
@@ -38,6 +40,10 @@ let tee a b =
       (fun ~step ~pid ->
         a.on_crash ~step ~pid;
         b.on_crash ~step ~pid);
+    on_recover =
+      (fun ~step ~pid ->
+        a.on_recover ~step ~pid;
+        b.on_recover ~step ~pid);
     on_snapshot =
       (fun ~step ->
         a.on_snapshot ~step;

@@ -30,6 +30,10 @@ type t = {
       (** [pid]'s program returned; [step] transitions had been applied. *)
   on_crash : step:int -> pid:int -> unit;
       (** [pid] crash-stopped (a fault-plane pseudo-transition). *)
+  on_recover : step:int -> pid:int -> unit;
+      (** [pid] restarted after a crash (the symmetric crash-recovery
+          pseudo-transition: volatile registers wiped, program state
+          re-entered at the recover continuation). *)
   on_snapshot : step:int -> unit;  (** an explorer snapshotted the state *)
   on_restore : step:int -> unit;   (** an explorer backtracked to a snapshot *)
   on_steal : domain:int -> shard:int -> prefix:int -> unit;
@@ -50,6 +54,7 @@ val make :
      stage:string option -> unit) ->
   ?on_decide:(step:int -> pid:int -> unit) ->
   ?on_crash:(step:int -> pid:int -> unit) ->
+  ?on_recover:(step:int -> pid:int -> unit) ->
   ?on_snapshot:(step:int -> unit) ->
   ?on_restore:(step:int -> unit) ->
   ?on_steal:(domain:int -> shard:int -> prefix:int -> unit) ->

@@ -46,6 +46,11 @@ let equal t1 t2 =
 let event_to_sexp e =
   let open Sexp in
   match e.op with
+  | None when e.landed ->
+    (* A crash-recovery pseudo-event: [op = None, landed = true].
+       Crashes keep their historical [landed = false] encoding and
+       bytes. *)
+    List [ of_int e.step; of_int e.pid; Atom "recover" ]
   | None ->
     (* A crash-stop pseudo-event: no operation, no coin, no observation. *)
     List [ of_int e.step; of_int e.pid; Atom "crash" ]
@@ -66,6 +71,10 @@ let event_of_sexp sexp =
   | List [ step; pid; Atom "crash" ] ->
     (match (to_int step, to_int pid) with
      | Some step, Some pid -> Ok { step; pid; op = None; landed = false; observed = None }
+     | _ -> err ())
+  | List [ step; pid; Atom "recover" ] ->
+    (match (to_int step, to_int pid) with
+     | Some step, Some pid -> Ok { step; pid; op = None; landed = true; observed = None }
      | _ -> err ())
   | List [ step; pid; op; landed; observed ] ->
     (match (to_int step, to_int pid, Op.of_sexp op, to_bool landed, observed) with
@@ -96,6 +105,7 @@ let of_sexp sexp =
 
 let pp_event ppf e =
   match e.op with
+  | None when e.landed -> Format.fprintf ppf "#%d p%d RECOVER" e.step e.pid
   | None -> Format.fprintf ppf "#%d p%d CRASH" e.step e.pid
   | Some op ->
     Format.fprintf ppf "#%d p%d %a%s%s" e.step e.pid Op.pp op

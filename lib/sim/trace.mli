@@ -8,9 +8,12 @@
 type event = {
   step : int;            (** 0-based position in the execution *)
   pid : int;             (** the process the adversary scheduled *)
-  op : Op.any option;    (** the operation it executed; [None] = crash-stop *)
+  op : Op.any option;    (** the operation it executed; [None] = a fault
+                             pseudo-event — crash-stop ([landed = false])
+                             or crash-recovery ([landed = true]) *)
   landed : bool;         (** probabilistic writes: did memory change; weak
-                             reads: was the stale value delivered *)
+                             reads: was the stale value delivered; fault
+                             pseudo-events: recover vs crash *)
   observed : int option; (** for reads: the value returned *)
 }
 
@@ -30,7 +33,8 @@ val equal : t -> t -> bool
 val to_sexp : t -> Sexp.t
 val of_sexp : Sexp.t -> (t, string) result
 (** Serialization as a list of [(step pid op landed observed)] events
-    (crash-stop events serialize as the shorter [(step pid crash)]) —
+    (crash-stop and crash-recovery events serialize as the shorter
+    [(step pid crash)] / [(step pid recover)]) —
     the schedule half of a counterexample artifact.  Round-trips
     exactly: [of_sexp (to_sexp t)] is {!equal} to [t]. *)
 

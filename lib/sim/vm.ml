@@ -19,6 +19,11 @@ let exec t ~pid ~landed =
     Code.step t.code ~cheap_collect:t.cheap_collect ~pc:t.pcs.(pid) ~landed;
   Code.last_observed t.code
 
+(* Crash-recovery re-entry: place the pc at the recover continuation
+   (or back at the root without one).  The façade owns the surrounding
+   wipe/enabled/trace bookkeeping. *)
+let reenter t ~pid = t.pcs.(pid) <- Code.rec_root t.code pid
+
 let pending t pid = Code.pending t.code t.pcs.(pid)
 let stage t pid = Code.stage t.code t.pcs.(pid)
 let result t pid = Code.result t.code t.pcs.(pid)

@@ -27,6 +27,11 @@ val exec : 'r t -> pid:int -> landed:bool -> int option
     for other operations) for trace recording — the cell's own option
     value, so the no-instrumentation path allocates nothing. *)
 
+val reenter : 'r t -> pid:int -> unit
+(** Crash-recovery re-entry: place [pid]'s pc at its recover
+    continuation ({!Code.rec_root}) — the recovery analogue of
+    [create]'s root placement.  Driven by [Machine.recover]. *)
+
 val pending : 'r t -> int -> Op.any option
 (** [pid]'s pending-operation descriptor (shared, interned once). *)
 

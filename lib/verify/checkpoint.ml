@@ -23,7 +23,12 @@ type t = {
   counts : counts;
 }
 
-let schema_version = 1
+(* Schema 2 = schema 1 plus the possibility of recover-choice indices
+   inside [path] (the crash-recovery plane); the field layout is
+   unchanged, so schema-1 checkpoints — necessarily recovery-free —
+   still load and replay bit-identically. *)
+let schema_version = 2
+let accepted_schemas = [ 1; 2 ]
 
 let to_sexp t =
   let open Sexp in
@@ -52,7 +57,7 @@ let of_sexp sexp =
   match sexp with
   | List (Atom "checkpoint" :: _) ->
     let* schema = field "schema" to_int in
-    if schema <> schema_version then
+    if not (List.mem schema accepted_schemas) then
       Error (Printf.sprintf "Checkpoint.of_sexp: unsupported schema %d" schema)
     else
       let* engine = field "engine" to_atom in

@@ -30,6 +30,10 @@ type t = {
 }
 
 val schema_version : int
+(** The schema written by {!to_sexp} (currently 2, which added
+    recover-choice path indices).  {!of_sexp} also accepts schema-1
+    checkpoints — necessarily recovery-free — which replay
+    bit-identically. *)
 
 val to_sexp : t -> Conrat_sim.Sexp.t
 val of_sexp : Conrat_sim.Sexp.t -> (t, string) result

@@ -64,6 +64,11 @@ let setup_of config ~n () =
   let rng = Rng.create 0 in
   let memory = Memory.create () in
   if config.faults.Fault.weak_reads then Memory.weaken_all memory;
+  (* Recovery wipes need last-writer ownership; engage tracking before
+     any protocol write so every cell's provenance is known.  Kept off
+     otherwise — recovery-free runs stay bit-identical to the pre-plane
+     explorer. *)
+  if config.faults.Fault.recoveries > 0 then Memory.track_writers memory;
   let instance = config.factory.Deciding.instantiate ~n memory in
   let inputs = Array.sub config.inputs 0 n in
   let body ~pid =
@@ -182,7 +187,23 @@ let all =
       ~doc:"binary ratifier, n=4, alternating inputs, crash-closed f=2"
       ~factory:(Conrat_core.Ratifier.binary ())
       ~inputs:[| 0; 1; 0; 1 |] ~property:Weak_consensus
-      ~faults:(Fault.crash_only 2) ]
+      ~faults:(Fault.crash_only 2);
+    (* Crash-recovery-closed configs: the recoverable ratifier (persistent
+       decision-critical registers + re-validating recovery continuation)
+       proved safe under every joint placement of up to f crash-stops and
+       r recoveries.  The [0; 1; 1] instance is exactly the one where the
+       stock ratifier loses coherence (see the binary_ratifier_n3_rec
+       demo), so the pair is a machine-checked pass/fail contrast. *)
+    config "binary_ratifier_rec_n2_f1"
+      ~doc:"recoverable binary ratifier, n=2, crash-recovery-closed f=1 r=1"
+      ~factory:(Conrat_core.Ratifier.binary_rec ())
+      ~inputs:[| 0; 1 |] ~property:Weak_consensus
+      ~faults:(Fault.model ~crashes:1 ~recoveries:1 ());
+    config "binary_ratifier_rec_n3_f1"
+      ~doc:"recoverable binary ratifier, n=3, crash-recovery-closed f=1 r=1"
+      ~factory:(Conrat_core.Ratifier.binary_rec ())
+      ~inputs:[| 0; 1; 1 |] ~property:Weak_consensus
+      ~faults:(Fault.model ~crashes:1 ~recoveries:1 ()) ]
 
 (* Extended-frontier configs: sound members of the registry whose trees
    are too large for [check all]'s budget on commodity hardware — run
@@ -211,7 +232,20 @@ let demos =
       ~doc:"binary ratifier on weak (regular) registers — must fail coherence"
       ~factory:(Conrat_core.Ratifier.binary ())
       ~inputs:[| 0; 1 |] ~property:Valid_coherent
-      ~faults:(Fault.model ~weak_reads:true ()) ]
+      ~faults:(Fault.model ~weak_reads:true ());
+    (* The stock (volatile-register) ratifier under crash-recovery: a
+       recovering announcer can be the last writer of a pool cell it
+       shares with a surviving same-value process, so the recovery wipe
+       erases the survivor's announcement out from under a concurrent
+       conflict scan — a decider misses the conflicting value and
+       coherence breaks.  Needs n=3 (two same-value announcers plus a
+       conflicting decider); the crash-only f=1 closure of the very same
+       protocol is proved safe above. *)
+    config "binary_ratifier_n3_rec"
+      ~doc:"KNOWN RECOVERY-UNSAFE volatile binary ratifier, crash:f=1,recover — must fail coherence"
+      ~factory:(Conrat_core.Ratifier.binary ())
+      ~inputs:[| 0; 1; 1 |] ~property:Weak_consensus
+      ~faults:(Fault.model ~crashes:1 ~recoveries:1 ()) ]
 
 let find name =
   List.find_opt (fun c -> c.name = name) (all @ demos @ extended)

@@ -39,11 +39,13 @@ let independent o1 o2 =
   ((not (op_writes o1)) && not (op_writes o2))
   || not (Op.loc o1 < op_hi o2 && Op.loc o2 < op_hi o1)
 
-(* Crash-aware transitions: a scheduling candidate is either executing
-   a pending operation or crash-stopping the process. *)
+(* Fault-aware transitions: a scheduling candidate is executing a
+   pending operation, crash-stopping the process, or recovering it from
+   a crash. *)
 type action =
   | Exec of Op.any
   | Crash
+  | Recover
 
 (* Two transitions of distinct processes commute unless their operations
    conflict on memory.  A crash touches no register, so crash(p) is
@@ -54,9 +56,22 @@ type action =
    exhausted transition is inert — crash candidates are only generated
    while budget remains — so treating them as independent stays sound.
    Same-process pairs never commute (executing p removes/changes p's
-   pending transition), including exec(p) vs crash(p). *)
+   pending transition), including exec(p) vs crash(p).
+
+   A recovery wipes the volatile registers its process last wrote — a
+   set static analysis cannot bound, and one that executing another
+   process can change (a write transfers ownership of the register to
+   the writer) — so recover(p) is conservatively dependent on every
+   exec(q).  recover(p) vs crash(q) commutes (the crash touches no
+   register and the pids' program states are disjoint), and recover(p)
+   vs recover(q) commutes (last-writer ownership makes the wiped sets
+   disjoint); like crash/crash under a budget of one, the budget
+   interaction is covered by recover candidates existing only while
+   recovery budget remains. *)
 let independent_actions ~pid1 a1 ~pid2 a2 =
   pid1 <> pid2
   && (match (a1, a2) with
       | Exec o1, Exec o2 -> independent o1 o2
-      | Crash, _ | _, Crash -> true)
+      | Exec _, Recover | Recover, Exec _ -> false
+      | Crash, _ | _, Crash -> true
+      | Recover, Recover -> true)

@@ -43,14 +43,20 @@ val independent : Conrat_sim.Op.any -> Conrat_sim.Op.any -> bool
 type action =
   | Exec of Conrat_sim.Op.any  (** execute the process's pending operation *)
   | Crash                      (** crash-stop the process *)
+  | Recover                    (** recover the process from a crash *)
 
 val independent_actions :
   pid1:int -> action -> pid2:int -> action -> bool
-(** The crash-aware relation used by the fault-enabled POR engine.
+(** The fault-aware relation used by the fault-enabled POR engine.
     Transitions of the same process are always dependent; across
-    processes, [Exec]/[Exec] reduces to {!independent} and a [Crash]
-    is independent of everything (it touches no register).  Crash/crash
-    pairs can disable each other under a budget of one, but crash
-    candidates only exist while budget remains, so a sleeping crash
-    below a budget-exhausting transition is inert — see the soundness
-    note in the implementation. *)
+    processes, [Exec]/[Exec] reduces to {!independent}, a [Crash]
+    is independent of everything (it touches no register), and a
+    [Recover] — which wipes the volatile registers its process last
+    wrote, a footprint no static analysis bounds — is conservatively
+    dependent on every [Exec] but commutes with [Crash] and with other
+    processes' [Recover]s (last-writer ownership makes the wiped sets
+    disjoint).  Crash/crash and recover/recover pairs can disable each
+    other under a budget of one, but fault candidates only exist while
+    their budget remains, so a sleeping entry below a budget-exhausting
+    transition is inert — see the soundness note in the
+    implementation. *)

@@ -14,46 +14,79 @@ type stats = {
 let explored stats = stats.complete + stats.truncated
 
 (* A sleep-set element: a scheduling candidate — execute a process's
-   pending operation (fixed until the process is scheduled) or, when
-   the low bit is set, crash-stop it — numbered [pid * 2 + crash].
-   Within a state a pid's pending operation is fixed, so that pair
-   determines the transition; the operation itself is fetched from the
-   machine's pending table only when the independence filter actually
-   needs it.  A whole sleep set is then one int bitmask over those
-   element numbers (hence [n <= 31] on a 64-bit host): membership is a
-   bit test, insertion is [lor], and the independence filter builds the
-   child's set with shifts and masks — the sets are immediate values,
-   so the per-node and per-transition set operations of a
-   multi-million-leaf DFS allocate nothing at all.  Candidates are
-   likewise enumerated without materializing anything: candidate [i] of
-   a state with [k] enabled pids executes pid [en.(i)] when [i < k] and
-   crash-stops pid [en.(i - k)] otherwise (crash candidates exist only
-   while crash budget remains). *)
-let key ~pid ~crash = (pid lsl 1) lor (if crash then 1 else 0)
+   pending operation (fixed until the process is scheduled), crash-stop
+   it, or recover it from a crash — numbered in 3-bit lanes
+   [pid * 3 + kind] (kind 0 = execute, 1 = crash, 2 = recover), plus
+   one reserved bit for the stop pseudo-candidate of stop-or-recover
+   nodes.  Within a state a pid's pending operation is fixed, so the
+   (pid, kind) pair determines the transition; the operation itself is
+   fetched from the machine's pending table only when the independence
+   filter actually needs it.  A whole sleep set is then one int bitmask
+   over those element numbers (hence [n <= 20] on a 64-bit host:
+   3·20 lanes + the stop bit fit 61 bits): membership is a bit test,
+   insertion is [lor], and the independence filter builds the child's
+   set with shifts and masks — the sets are immediate values, so the
+   per-node and per-transition set operations of a multi-million-leaf
+   DFS allocate nothing at all.  Candidates are likewise enumerated
+   without materializing anything, in Explore.run_path's band order:
+   candidate [i] of a state with [k > 0] enabled pids executes pid
+   [en.(i)] when [i < k], crash-stops [en.(i - k)] when [i < base]
+   ([base = 2k] while crash budget remains, else [k]), and recovers
+   [rec_pids.(i - base)] otherwise (recover candidates exist only while
+   recovery budget remains, over the currently crashed pids ascending).
+   A state with [k = 0] but recoverable crashed pids is a
+   stop-or-recover node: candidate 0 is the stop pseudo-candidate
+   (a complete leaf, no transition), candidate [1 + j] recovers
+   [rec_pids.(j)]. *)
+let kind_exec = 0
+let kind_crash = 1
+let kind_recover = 2
+let kind_stop = 3
+let key ~pid ~kind = pid * 3 + kind
+let stop_bit = 60
+
+(* The execute-candidate bits (3p) and recover-candidate bits (3p + 2)
+   of a sleep mask, for the kind-level filters below. *)
+let exec_bits = 0x1249249249249249
+let recover_bits = 0x1249249249249249 lsl 2
+
+let cand_kind k base c =
+  if k = 0 then (if c = 0 then kind_stop else kind_recover)
+  else if c < k then kind_exec
+  else if c < base then kind_crash
+  else kind_recover
+
+let cand_pid en k base rec_pids c =
+  if k = 0 then (if c = 0 then 0 else rec_pids.(c - 1))
+  else if c < k then en.(c)
+  else if c < base then en.(c - k)
+  else rec_pids.(c - base)
+
+let cand_bit en k base rec_pids c =
+  if cand_kind k base c = kind_stop then stop_bit
+  else key ~pid:(cand_pid en k base rec_pids c) ~kind:(cand_kind k base c)
 
 (* Branch-point marks, kept on an explicit stack solely so the current
    path can be reported in Explore.run_path's encoding — when a check
    aborts the search, and as the checkpoint frontier.  All other
-   per-node state (sleep sets, snapshots, depth, crash budget) lives in
-   the DFS recursion.  Scheduling points with a single candidate are
+   per-node state (sleep sets, snapshots, depth, fault budgets) lives
+   in the DFS recursion.  Scheduling points with a single candidate are
    not marked, matching the path encoding.  A frame is one raw int —
    the current candidate index at a scheduling point, the current coin
    outcome (0 = landed/fresh, 1 = missed/stale) at a fork; the path
    encoding reads the value the same way for both, so the stack needs
    no tags and marking a branch point allocates nothing. *)
 
-let in_sleep sleep ~pid ~crash = sleep land (1 lsl key ~pid ~crash) <> 0
+let in_sleep sleep bit = sleep land (1 lsl bit) <> 0
 
 (* First candidate index at or after [i] not in the sleep set, or -1.
    Module-level (machine state threaded through) so the per-node scan
    allocates no closures. *)
-let rec first_awake sleep en k ncands i =
+let rec first_awake sleep en k base rec_pids ncands i =
   if i >= ncands then -1
-  else
-    let crash = i >= k in
-    let pid = if crash then en.(i - k) else en.(i) in
-    if in_sleep sleep ~pid ~crash then first_awake sleep en k ncands (i + 1)
-    else i
+  else if in_sleep sleep (cand_bit en k base rec_pids i) then
+    first_awake sleep en k base rec_pids ncands (i + 1)
+  else i
 
 let any_of pending pid =
   match pending.(pid) with
@@ -69,31 +102,43 @@ let any_of pending pid =
    filtered the entry out as dependent (same pid) at that transition. *)
 (* Drop from [z] every sleeping {e execute} entry whose operation
    conflicts with the executing transition's [eop] ([Independence]'s
-   crash-aware relation: crash entries commute with everything and stay
-   put; the caller already removed both entries of the executing pid).
-   [z] only holds execute bits here, so scanning pids 0..n-1 visits
-   each candidate once. *)
+   fault-aware relation: crash entries commute with everything and stay
+   put; the caller already removed every entry of the executing pid).
+   The exec bits scanned here belong to live pids, so [any_of] is safe.
+   Scanning pids 0..n-1 visits each candidate once. *)
 let rec drop_dependent pending eop z q n =
   if q >= n then z
   else
     let z =
       if
-        z land (1 lsl (q lsl 1)) <> 0
+        z land (1 lsl (q * 3)) <> 0
         && not (Independence.independent (any_of pending q) eop)
-      then z land lnot (1 lsl (q lsl 1))
+      then z land lnot (1 lsl (q * 3))
       else z
     in
     drop_dependent pending eop z (q + 1) n
 
-(* The child sleep set of descending via [pid]/[crash] from a state
-   asleep at [sleep]: remove both of [pid]'s entries (same-pid
-   transitions never commute), and — when the transition executes an
-   operation — remove sleeping execute entries dependent on it.  A
-   crash touches no register, so crashing keeps everything else. *)
-let filter_indep pending sleep ~pid ~crash ~n =
-  let z = sleep land lnot (3 lsl (pid lsl 1)) in
-  if crash || z land 0x1555555555555555 = 0 then z
-  else drop_dependent pending (any_of pending pid) z 0 n
+(* The child sleep set of descending via [pid]/[kind] from a state
+   asleep at [sleep]: remove all of [pid]'s entries (same-pid
+   transitions never commute) and the stop pseudo-candidate (stopping
+   commutes with nothing — any transition reaches a different final
+   state).  A crash touches no register, so crashing keeps everything
+   else.  A recovery conservatively conflicts with every operation (it
+   wipes the volatile registers its pid last wrote, so reads of those
+   registers observe different values across the swap): recovering
+   wakes every sleeping execute entry, and executing wakes every
+   sleeping recover entry; recover/recover and recover/crash pairs of
+   distinct pids commute (disjoint ownership, disjoint program
+   states — see {!Independence.independent_actions}). *)
+let filter_indep pending sleep ~pid ~kind ~n =
+  let z = sleep land lnot ((7 lsl (pid * 3)) lor (1 lsl stop_bit)) in
+  if kind = kind_crash then z
+  else if kind = kind_recover then z land lnot exec_bits
+  else begin
+    let z = z land lnot recover_bits in
+    if z land exec_bits = 0 then z
+    else drop_dependent pending (any_of pending pid) z 0 n
+  end
 
 let corrupt () =
   invalid_arg "Por.explore: checkpoint path inconsistent with this config"
@@ -102,9 +147,9 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
     ?(faults = Fault.none) ?(stop = fun () -> false) ?sink ?probe ?heartbeat
     ?resume ?(subtree_prefix = 0) ?cut ?(dedup = false)
     ?(checkpoint_every = 100_000) ?on_checkpoint ~n ~setup ~check () =
-  (* Sleep sets are int bitmasks over [2n] candidate keys.  Exhaustive
-     exploration is hopeless long before this bound binds. *)
-  if n > 31 then invalid_arg "Por.explore: n must be at most 31";
+  (* Sleep sets are int bitmasks over [3n] candidate keys plus the stop
+     bit.  Exhaustive exploration is hopeless long before this binds. *)
+  if n > 20 then invalid_arg "Por.explore: n must be at most 20";
   if subtree_prefix < 0 then
     invalid_arg "Por.explore: subtree_prefix must be nonnegative";
   (match resume with
@@ -162,6 +207,7 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
   let hot_snapshots = ref 0 in
   let hot_dedup_misses = ref 0 in
   let hot_dedup_inters = ref 0 in
+  let hot_recovers = ref 0 in
   let take_snapshot () =
     let lvl = !nframes in
     if lvl >= Array.length !snaps then begin
@@ -226,8 +272,8 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
     end
   in
   (* Duplicate detection: a hash table over (state hash, depth, crash
-     budget) at marked scheduling nodes, storing the sleep set the
-     state was first visited with.  Godefroid's rule for combining
+     budget, recovery budget) at marked scheduling nodes, storing the
+     sleep set the state was first visited with.  Godefroid's rule for combining
      sleep sets with state caching: a revisit whose sleep set covers
      the stored one can only explore a subset of what the first visit
      did — prune it; a revisit with a fresh awake candidate must be
@@ -241,10 +287,10 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
      shards land on workers. *)
   let visited : (int * int, int) Hashtbl.t = Hashtbl.create (if dedup then 4096 else 0) in
   let dedup_hits = ref 0 in
-  let dedup_covered z depth crashes_left =
+  let dedup_covered z depth crashes_left recoveries_left =
     let h1, h2 = Machine.state_hash machine in
-    let h1 = Memory.mix1 (Memory.mix1 h1 depth) crashes_left in
-    let h2 = Memory.mix2 (Memory.mix2 h2 depth) crashes_left in
+    let h1 = Memory.mix1 (Memory.mix1 (Memory.mix1 h1 depth) crashes_left) recoveries_left in
+    let h2 = Memory.mix2 (Memory.mix2 (Memory.mix2 h2 depth) crashes_left) recoveries_left in
     let key = (h1, h2) in
     match Hashtbl.find_opt visited key with
     | None ->
@@ -293,6 +339,7 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
   let f_dedup_hits = ref 0 in
   let f_dedup_misses = ref 0 in
   let f_dedup_inters = ref 0 in
+  let f_recovers = ref 0 in
   let flush_hot p =
     let drain r f c =
       let v = !r - !f in
@@ -305,7 +352,8 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
     drain hot_snapshots f_snapshots Telemetry.snapshots;
     drain dedup_hits f_dedup_hits Telemetry.dedup_hits;
     drain hot_dedup_misses f_dedup_misses Telemetry.dedup_misses;
-    drain hot_dedup_inters f_dedup_inters Telemetry.dedup_intersections
+    drain hot_dedup_inters f_dedup_inters Telemetry.dedup_intersections;
+    drain hot_recovers f_recovers Telemetry.recovers
   in
   let leaf kind =
     (match !pending_offset with
@@ -359,32 +407,40 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
        | Error reason -> raise (Abort reason))
   in
   let pending = Machine.unsafe_pending machine in
-  (* [descend z crashes_left depth]: the machine sits at a fresh state
-     whose inherited sleep set is [z].  Scheduling candidates are
-     executing each enabled process (ascending pid), then — while crash
-     budget remains — crash-stopping each (same order); crashes after
-     steps keeps the all-zeros path the failure-free canonical
-     execution and matches Explore.run_path's arity layout choice for
-     choice.  Pick the first candidate not asleep; if they all are,
-     this path only revisits already-explored traces — prune.  After a
-     scheduling choice is fully explored it enters the state's sleep
-     set, so its subtree is never re-entered from a sibling; trying the
-     sibling restores the state snapshot instead of re-executing from
-     the root. *)
-  let rec descend z crashes_left depth =
+  (* [descend z crashes_left recoveries_left depth]: the machine sits at
+     a fresh state whose inherited sleep set is [z].  Scheduling
+     candidates are executing each enabled process (ascending pid),
+     then — while crash budget remains — crash-stopping each (same
+     order), then — while recovery budget remains — recovering each
+     currently crashed pid (ascending); faults after steps keeps the
+     all-zeros path the failure-free canonical execution and matches
+     Explore.run_path's arity layout choice for choice (including the
+     stop-or-recover node when no process is enabled but crashed pids
+     remain recoverable).  Pick the first candidate not asleep; if they
+     all are, this path only revisits already-explored traces — prune.
+     After a scheduling choice is fully explored it enters the state's
+     sleep set, so its subtree is never re-entered from a sibling;
+     trying the sibling restores the state snapshot instead of
+     re-executing from the root. *)
+  let rec descend z crashes_left recoveries_left depth =
     let en = Machine.enabled machine in
     let k = Array.length en in
-    let ncands = if crashes_left > 0 then 2 * k else k in
+    let rec_pids =
+      if recoveries_left > 0 then Explore.crashed_pids machine ~n else [||]
+    in
+    let m = Array.length rec_pids in
+    let base = if crashes_left > 0 then 2 * k else k in
+    let ncands = if k = 0 && m > 0 then 1 + m else base + m in
     if ncands = 0 then leaf `Complete
     else if depth >= max_depth then leaf `Truncated
     else begin
-      let i = first_awake z en k ncands 0 in
+      let i = first_awake z en k base rec_pids ncands 0 in
       if i < 0 then leaf `Pruned
       else if ncands = 1 then
         (* Sole candidate: no alternative can ever be tried here, so
            no snapshot and no mark. *)
-        transition ~pid:en.(0) ~crash:false ~sleep:z ~snap:None ~crashes_left
-          ~depth
+        transition ~pid:en.(0) ~kind:kind_exec ~sleep:z ~snap:None
+          ~crashes_left ~recoveries_left ~depth
       else begin
         match cut with
         | Some (lvl, emit) when !nframes >= lvl ->
@@ -392,7 +448,7 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
              level — emit one shard per candidate the sibling loop
              would explore, in its exact progression order, and
              explore nothing below. *)
-          emit_cut emit z en k ncands i
+          emit_cut emit z en k base rec_pids ncands i
         | _ ->
           let fi = !nframes in
           if fi < subtree_prefix then begin
@@ -406,19 +462,18 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
             let sleep = ref z in
             let cur = ref i in
             while !cur <> c do
-              let crash = !cur >= k in
-              let pid = if crash then en.(!cur - k) else en.(!cur) in
-              sleep := !sleep lor (1 lsl key ~pid ~crash);
-              let j = first_awake !sleep en k ncands 0 in
+              sleep := !sleep lor (1 lsl cand_bit en k base rec_pids !cur);
+              let j = first_awake !sleep en k base rec_pids ncands 0 in
               if j >= 0 then cur := j else corrupt ()
             done;
             maybe_entry_rebase fi;
-            let crash = c >= k in
-            let pid = if crash then en.(c - k) else en.(c) in
-            transition ~pid ~crash ~sleep:!sleep ~snap:None ~crashes_left ~depth;
+            transition ~pid:(cand_pid en k base rec_pids c)
+              ~kind:(cand_kind k base c) ~sleep:!sleep ~snap:None ~crashes_left
+              ~recoveries_left ~depth;
             pop ()
           end
-          else if dedup && dedup_covered z depth crashes_left then begin
+          else if dedup && dedup_covered z depth crashes_left recoveries_left
+          then begin
             incr dedup_hits;
             leaf `Pruned
           end
@@ -437,15 +492,14 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
                 let sleep = ref z in
                 while !frames.(fi) <> c do
                   let i = !frames.(fi) in
-                  let crash = i >= k in
-                  let pid = if crash then en.(i - k) else en.(i) in
-                  sleep := !sleep lor (1 lsl key ~pid ~crash);
-                  let j = first_awake !sleep en k ncands 0 in
+                  sleep := !sleep lor (1 lsl cand_bit en k base rec_pids i);
+                  let j = first_awake !sleep en k base rec_pids ncands 0 in
                   if j >= 0 then !frames.(fi) <- j else corrupt ()
                 done;
                 !sleep
             in
-            siblings fi en k ncands snap snapo crashes_left depth sleep0;
+            siblings fi en k base rec_pids ncands snap snapo crashes_left
+              recoveries_left depth sleep0;
             pop ()
           end
       end
@@ -454,57 +508,67 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
      first_awake progression the sibling loop would: shard paths
      partition the node's subtrees exactly as sequential exploration
      orders them. *)
-  and emit_cut emit z en k ncands i =
+  and emit_cut emit z en k base rec_pids ncands i =
     push i;
     emit (current_path ());
     pop ();
-    let crash = i >= k in
-    let pid = if crash then en.(i - k) else en.(i) in
-    let z = z lor (1 lsl key ~pid ~crash) in
-    let j = first_awake z en k ncands 0 in
-    if j >= 0 then emit_cut emit z en k ncands j
+    let z = z lor (1 lsl cand_bit en k base rec_pids i) in
+    let j = first_awake z en k base rec_pids ncands 0 in
+    if j >= 0 then emit_cut emit z en k base rec_pids ncands j
   (* The sibling loop of one scheduling node, as a recursion so the
      growing sleep set stays an immediate parameter. *)
-  and siblings fi en k ncands snap snapo crashes_left depth sleep =
+  and siblings fi en k base rec_pids ncands snap snapo crashes_left
+      recoveries_left depth sleep =
     let i = !frames.(fi) in
-    let crash = i >= k in
-    let pid = if crash then en.(i - k) else en.(i) in
-    transition ~pid ~crash ~sleep ~snap:snapo ~crashes_left ~depth;
-    let sleep = sleep lor (1 lsl key ~pid ~crash) in
-    let j = first_awake sleep en k ncands 0 in
+    transition ~pid:(cand_pid en k base rec_pids i) ~kind:(cand_kind k base i)
+      ~sleep ~snap:snapo ~crashes_left ~recoveries_left ~depth;
+    let sleep = sleep lor (1 lsl cand_bit en k base rec_pids i) in
+    let j = first_awake sleep en k base rec_pids ncands 0 in
     if j >= 0 then begin
       !frames.(fi) <- j;
       Machine.restore machine snap;
-      siblings fi en k ncands snap snapo crashes_left depth sleep
+      siblings fi en k base rec_pids ncands snap snapo crashes_left
+        recoveries_left depth sleep
     end
   (* Descend through one chosen transition: candidates that commute with
-     it (crash-aware relation) stay asleep below.  A probabilistic write
+     it (fault-aware relation) stay asleep below.  A probabilistic write
      with 0 < p < 1 forks on the coin and a weak-register read forks on
      freshness; either fork's pre-state is the scheduling state itself,
-     so the node snapshot is reused when there is one. *)
-  and transition ~pid ~crash ~sleep ~snap ~crashes_left ~depth =
-    let z' = if sleep = 0 then 0 else filter_indep pending sleep ~pid ~crash ~n in
-    if crash then begin
-      Machine.crash machine ~pid;
-      descend z' (crashes_left - 1) (depth + 1)
+     so the node snapshot is reused when there is one.  The stop
+     pseudo-candidate is a complete leaf in place — no transition. *)
+  and transition ~pid ~kind ~sleep ~snap ~crashes_left ~recoveries_left ~depth =
+    if kind = kind_stop then leaf `Complete
+    else begin
+      let z' =
+        if sleep = 0 then 0 else filter_indep pending sleep ~pid ~kind ~n
+      in
+      if kind = kind_crash then begin
+        Machine.crash machine ~pid;
+        descend z' (crashes_left - 1) recoveries_left (depth + 1)
+      end
+      else if kind = kind_recover then begin
+        incr hot_recovers;
+        Machine.recover machine ~pid;
+        descend z' crashes_left (recoveries_left - 1) (depth + 1)
+      end
+      else
+        (* [coin_class] reads the machine's pending descriptor for the
+           pid — pending operations are fixed until the process is
+           scheduled.  Under the VM the class is cached per pc, so this
+           allocates nothing. *)
+        match Machine.coin_class machine pid with
+        | 0 ->
+          Machine.step_forced machine ~pid ~landed:false;
+          descend z' crashes_left recoveries_left (depth + 1)
+        | 1 ->
+          Machine.step_forced machine ~pid ~landed:true;
+          descend z' crashes_left recoveries_left (depth + 1)
+        | 2 -> fork ~pid ~z' ~snap ~crashes_left ~recoveries_left ~depth ~landed0:true
+        | _ -> fork ~pid ~z' ~snap ~crashes_left ~recoveries_left ~depth ~landed0:false
     end
-    else
-      (* [coin_class] reads the machine's pending descriptor for the
-         pid — pending operations are fixed until the process is
-         scheduled.  Under the VM the class is cached per pc, so this
-         allocates nothing. *)
-      match Machine.coin_class machine pid with
-      | 0 ->
-        Machine.step_forced machine ~pid ~landed:false;
-        descend z' crashes_left (depth + 1)
-      | 1 ->
-        Machine.step_forced machine ~pid ~landed:true;
-        descend z' crashes_left (depth + 1)
-      | 2 -> fork ~pid ~z' ~snap ~crashes_left ~depth ~landed0:true
-      | _ -> fork ~pid ~z' ~snap ~crashes_left ~depth ~landed0:false
   (* Two-way fork on the coin (choice 0 = [landed0]) or on freshness
      (choice 0 = fresh): straight-line, since this is the inner loop. *)
-  and fork ~pid ~z' ~snap ~crashes_left ~depth ~landed0 =
+  and fork ~pid ~z' ~snap ~crashes_left ~recoveries_left ~depth ~landed0 =
     match cut with
     | Some (lvl, emit) when !nframes >= lvl ->
       (* Fork at or past the cut level: one shard per outcome.  Forks
@@ -525,7 +589,7 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
         maybe_entry_rebase fi;
         Machine.step_forced machine ~pid
           ~landed:(if c = 0 then landed0 else not landed0);
-        descend z' crashes_left (depth + 1);
+        descend z' crashes_left recoveries_left (depth + 1);
         pop ()
       end
       else begin
@@ -535,12 +599,12 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
         if start < 0 || start > 1 then corrupt ();
         if start = 0 then begin
           Machine.step_forced machine ~pid ~landed:landed0;
-          descend z' crashes_left (depth + 1);
+          descend z' crashes_left recoveries_left (depth + 1);
           Machine.restore machine snap
         end;
         !frames.(fi) <- 1;
         Machine.step_forced machine ~pid ~landed:(not landed0);
-        descend z' crashes_left (depth + 1);
+        descend z' crashes_left recoveries_left (depth + 1);
         pop ()
       end
   in
@@ -567,7 +631,7 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
        end);
     r
   in
-  match descend 0 faults.Fault.crashes 0 with
+  match descend 0 faults.Fault.crashes faults.Fault.recoveries 0 with
   | () -> finish (Ok (stats true))
   | exception Out_of_budget -> finish (Ok (stats false))
   | exception Abort reason -> finish (Error (reason, current_path (), stats false))
@@ -611,7 +675,7 @@ let explore ?engine ?(max_depth = 200) ?(max_runs = 2_000_000) ?(cheap_collect =
 let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
     ?(cheap_collect = false) ?(faults = Fault.none) ?(stop = fun () -> false)
     ?sink ?probe ?heartbeat ~n ~setup ~check () =
-  if n > 31 then invalid_arg "Por.explore_source: n must be at most 31";
+  if n > 20 then invalid_arg "Por.explore_source: n must be at most 20";
   let memory, body = setup () in
   let machine = Machine.create ?engine ~cheap_collect ?sink ~n ~memory body in
   let pending = Machine.unsafe_pending machine in
@@ -632,9 +696,10 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
   let truncated_count = ref 0 in
   let pruned_count = ref 0 in
   let runs = ref 0 in
-  (* Snapshot count stays in a plain local and lands in the probe once
-     at exit, like [explore]'s batched hot counters. *)
+  (* Snapshot and recovery counts stay in plain locals and land in the
+     probe once at exit, like [explore]'s batched hot counters. *)
   let src_snapshots = ref 0 in
+  let src_recovers = ref 0 in
   let stats exhausted =
     { complete = !complete_count;
       truncated = !truncated_count;
@@ -699,13 +764,13 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
     let k = Array.length en in
     let rec enabled_at i = i < k && (en.(i) = p || enabled_at (i + 1)) in
     if enabled_at 0 then
-      !bt.(lvl) <- !bt.(lvl) lor (1 lsl key ~pid:p ~crash:false)
+      !bt.(lvl) <- !bt.(lvl) lor (1 lsl key ~pid:p ~kind:kind_exec)
     else begin
       (* p was not schedulable at that node: fall back to requesting
          every execute candidate (the classic conservative clause). *)
       let m = ref !bt.(lvl) in
       for i = 0 to k - 1 do
-        m := !m lor (1 lsl key ~pid:en.(i) ~crash:false)
+        m := !m lor (1 lsl key ~pid:en.(i) ~kind:kind_exec)
       done;
       !bt.(lvl) <- !m
     end;
@@ -754,6 +819,19 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
     ev_writes.(d) <- false;
     ev_node.(d) <- node
   in
+  (* A recovery wipes whichever volatile registers its pid last wrote —
+     a footprint that static analysis cannot bound — so it is recorded
+     with a global write footprint: every later operation races with it
+     and registers its backtracking point.  The converse reorderings
+     (recover first) need no race scan of their own, because recover
+     candidates sit in every node's initial backtracking set below. *)
+  let record_recover ~pid ~node d =
+    ev_pid.(d) <- pid;
+    ev_lo.(d) <- 0;
+    ev_hi.(d) <- max_int;
+    ev_writes.(d) <- true;
+    ev_node.(d) <- node
+  in
   (* A leaf cut before completion: scan every still-enabled process's
      pending operation as if it executed here, so races whose second
      half lies past the cut still register. *)
@@ -766,32 +844,43 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
         ~writes:(Independence.op_writes op) d
     done
   in
-  let rec descend z lvl crashes_left depth =
+  let rec descend z lvl crashes_left recoveries_left depth =
     let en = Machine.enabled machine in
     let k = Array.length en in
-    let ncands = if crashes_left > 0 then 2 * k else k in
+    let rec_pids =
+      if recoveries_left > 0 then Explore.crashed_pids machine ~n else [||]
+    in
+    let nrec = Array.length rec_pids in
+    let base = if crashes_left > 0 then 2 * k else k in
+    let ncands = if k = 0 && nrec > 0 then 1 + nrec else base + nrec in
     if ncands = 0 then leaf `Complete
     else if depth >= max_depth then begin
       pending_races depth;
       leaf `Truncated
     end
     else begin
-      let i = first_awake z en k ncands 0 in
+      let i = first_awake z en k base rec_pids ncands 0 in
       if i < 0 then begin
         pending_races depth;
         leaf `Pruned
       end
       else if ncands = 1 then
-        execute ~pid:en.(0) ~crash:false ~node:(-1) ~sleep:z ~snap:None ~lvl
-          ~crashes_left ~depth
+        execute ~pid:en.(0) ~kind:kind_exec ~node:(-1) ~sleep:z ~snap:None ~lvl
+          ~crashes_left ~recoveries_left ~depth
       else begin
         ensure_node lvl;
         !node_en.(lvl) <- en;
-        let m = ref 0 in
-        let crash0 = i >= k in
-        m := 1 lsl key ~pid:(if crash0 then en.(i - k) else en.(i)) ~crash:crash0;
-        for j = k to ncands - 1 do
-          m := !m lor (1 lsl key ~pid:en.(j - k) ~crash:true)
+        (* Initial backtracking set: the first awake candidate, every
+           crash candidate (crashes race with nothing, so detection
+           below would never request them), every recover candidate
+           (likewise unrequestable: race detection asks for execute
+           candidates only, and a crashed pid is never in [en]) and the
+           stop pseudo-candidate when present — crash-closure and
+           recovery-closure would be lost otherwise. *)
+        let m = ref (1 lsl cand_bit en k base rec_pids i) in
+        let nonexec_from = if k = 0 then 0 else k in
+        for j = nonexec_from to ncands - 1 do
+          m := !m lor (1 lsl cand_bit en k base rec_pids j)
         done;
         !bt.(lvl) <- !m;
         incr src_snapshots;
@@ -803,70 +892,79 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
            detection below grows it.  Explored candidates enter the
            node sleep set exactly as in [explore]. *)
         let rec loop sleep first =
-          let c = pick lvl en k ncands sleep in
+          let c = pick lvl en k base rec_pids ncands sleep in
           if c >= 0 then begin
             if not first then Machine.restore machine snap;
             !frames.(fi) <- c;
-            let crash = c >= k in
-            let pid = if crash then en.(c - k) else en.(c) in
-            execute ~pid ~crash ~node:lvl ~sleep ~snap:(Some snap) ~lvl
-              ~crashes_left ~depth;
-            loop (sleep lor (1 lsl key ~pid ~crash)) false
+            execute ~pid:(cand_pid en k base rec_pids c)
+              ~kind:(cand_kind k base c) ~node:lvl ~sleep ~snap:(Some snap)
+              ~lvl ~crashes_left ~recoveries_left ~depth;
+            loop (sleep lor (1 lsl cand_bit en k base rec_pids c)) false
           end
         in
         loop z true;
         pop ()
       end
     end
-  and pick lvl en k ncands sleep =
+  and pick lvl en k base rec_pids ncands sleep =
     let m = !bt.(lvl) in
     let rec go c =
       if c >= ncands then -1
       else
-        let crash = c >= k in
-        let pid = if crash then en.(c - k) else en.(c) in
-        let b = 1 lsl key ~pid ~crash in
+        let b = 1 lsl cand_bit en k base rec_pids c in
         if m land b <> 0 && sleep land b = 0 then c else go (c + 1)
     in
     go 0
-  and execute ~pid ~crash ~node ~sleep ~snap ~lvl ~crashes_left ~depth =
-    let z' = if sleep = 0 then 0 else filter_indep pending sleep ~pid ~crash ~n in
-    if crash then begin
-      record_crash ~pid ~node depth;
-      Machine.crash machine ~pid;
-      descend z' (lvl + 1) (crashes_left - 1) (depth + 1)
-    end
+  and execute ~pid ~kind ~node ~sleep ~snap ~lvl ~crashes_left ~recoveries_left
+      ~depth =
+    if kind = kind_stop then leaf `Complete
     else begin
-      race_op ~pid ~node depth;
-      match Machine.coin_class machine pid with
-      | 0 ->
-        Machine.step_forced machine ~pid ~landed:false;
-        descend z' (lvl + 1) crashes_left (depth + 1)
-      | 1 ->
-        Machine.step_forced machine ~pid ~landed:true;
-        descend z' (lvl + 1) crashes_left (depth + 1)
-      | cls ->
-        (* Coin / freshness fork: both outcomes, always.  The fork's
-           pre-state is the scheduling state itself, so the node
-           snapshot is reused when there is one; the event at this
-           depth is identical on both sides and stays recorded. *)
-        let landed0 = cls = 2 in
-        let snap =
-          match snap with
-          | Some s -> s
-          | None ->
-            incr src_snapshots;
-            Machine.snapshot machine
-        in
-        let fi = !nframes in
-        push 0;
-        Machine.step_forced machine ~pid ~landed:landed0;
-        descend z' (lvl + 1) crashes_left (depth + 1);
-        Machine.restore machine snap;
-        !frames.(fi) <- 1;
-        Machine.step_forced machine ~pid ~landed:(not landed0);
-        descend z' (lvl + 1) crashes_left (depth + 1);
-        pop ()
+      let z' =
+        if sleep = 0 then 0 else filter_indep pending sleep ~pid ~kind ~n
+      in
+      if kind = kind_crash then begin
+        record_crash ~pid ~node depth;
+        Machine.crash machine ~pid;
+        descend z' (lvl + 1) (crashes_left - 1) recoveries_left (depth + 1)
+      end
+      else if kind = kind_recover then begin
+        incr src_recovers;
+        record_recover ~pid ~node depth;
+        Machine.recover machine ~pid;
+        descend z' (lvl + 1) crashes_left (recoveries_left - 1) (depth + 1)
+      end
+      else begin
+        race_op ~pid ~node depth;
+        match Machine.coin_class machine pid with
+        | 0 ->
+          Machine.step_forced machine ~pid ~landed:false;
+          descend z' (lvl + 1) crashes_left recoveries_left (depth + 1)
+        | 1 ->
+          Machine.step_forced machine ~pid ~landed:true;
+          descend z' (lvl + 1) crashes_left recoveries_left (depth + 1)
+        | cls ->
+          (* Coin / freshness fork: both outcomes, always.  The fork's
+             pre-state is the scheduling state itself, so the node
+             snapshot is reused when there is one; the event at this
+             depth is identical on both sides and stays recorded. *)
+          let landed0 = cls = 2 in
+          let snap =
+            match snap with
+            | Some s -> s
+            | None ->
+              incr src_snapshots;
+              Machine.snapshot machine
+          in
+          let fi = !nframes in
+          push 0;
+          Machine.step_forced machine ~pid ~landed:landed0;
+          descend z' (lvl + 1) crashes_left recoveries_left (depth + 1);
+          Machine.restore machine snap;
+          !frames.(fi) <- 1;
+          Machine.step_forced machine ~pid ~landed:(not landed0);
+          descend z' (lvl + 1) crashes_left recoveries_left (depth + 1);
+          pop ()
+      end
     end
   in
   let finish r =
@@ -874,13 +972,14 @@ let explore_source ?engine ?(max_depth = 200) ?(max_runs = 2_000_000)
      | None -> ()
      | Some p ->
        Telemetry.add p Telemetry.snapshots !src_snapshots;
+       Telemetry.add p Telemetry.recovers !src_recovers;
        Telemetry.add p Telemetry.leaves_complete !complete_count;
        Telemetry.add p Telemetry.leaves_truncated !truncated_count;
        Telemetry.add p Telemetry.leaves_pruned !pruned_count;
        Telemetry.add p Telemetry.steps (Machine.total_steps machine));
     r
   in
-  match descend 0 0 faults.Fault.crashes 0 with
+  match descend 0 0 faults.Fault.crashes faults.Fault.recoveries 0 with
   | () -> finish (Ok (stats true))
   | exception Out_of_budget -> finish (Ok (stats false))
   | exception Abort reason -> finish (Error (reason, current_path (), stats false))

@@ -47,9 +47,17 @@
     A crash touches no register and is therefore independent of every
     transition of another process — crash placements commute freely
     with concurrent steps, which is where most of the reduction over
-    the naive crash-closed tree comes from.  Weak registers add a
-    fresh/stale fork to each of their reads, handled exactly like a
-    probabilistic-write coin. *)
+    the naive crash-closed tree comes from.  A recovery budget appends
+    recover candidates for the currently crashed pids (and the
+    stop-or-recover node when no process is live — see
+    {!Conrat_sim.Explore.run_path}); a recovery wipes the volatile
+    registers its pid last wrote, so it is conservatively dependent on
+    every operation but still commutes with crashes and with other
+    pids' recoveries ({!Independence.independent_actions}).  Weak
+    registers add a fresh/stale fork to each of their reads, handled
+    exactly like a probabilistic-write coin.  Sleep sets pack into one
+    immediate int as 3-bit per-pid lanes, so both engines require
+    [n <= 20]. *)
 
 type stats = {
   complete : int;    (** complete executions checked *)

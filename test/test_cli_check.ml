@@ -271,6 +271,32 @@ let () =
   expect "await_ack artifact replays" ~code:0 ~stdout_has:"reproduced"
     (run (Printf.sprintf "check --replay %s" (Filename.quote aa_artifact)));
 
+  (* ---- crash-recovery plane --------------------------------------- *)
+
+  (* recover without a crash budget is contradictory: exit 2 with the
+     spec-specific diagnosis, not the generic bad-spec message *)
+  expect "check --faults recover without crash" ~code:2
+    ~stderr_has:"recover needs a crash budget"
+    (run "check --faults recover binary_ratifier_n2");
+
+  expect "check --faults crash+recover override" ~code:0 ~stdout_has:"exhausted"
+    (run "check --faults crash:f=1,recover binary_ratifier_rec_n2_f1");
+
+  expect "recovery-closed registry config" ~code:0 ~stdout_has:"exhausted"
+    (run "check binary_ratifier_rec_n3_f1");
+
+  (* the recovery-unsafe demo is caught, shrunk, and its artifact replays *)
+  let rec_artifact =
+    Filename.concat tmpdir "binary_ratifier_n3_rec.counterexample.sexp"
+  in
+  expect "recovery demo caught" ~code:1 ~stdout_has:"VIOLATION"
+    (run (Printf.sprintf "check binary_ratifier_n3_rec --artifact-dir %s"
+            (Filename.quote tmpdir)));
+  if not (Sys.file_exists rec_artifact) then
+    failf "recovery demo violation did not write %s" rec_artifact;
+  expect "recovery artifact replays" ~code:0 ~stdout_has:"reproduced"
+    (run (Printf.sprintf "check --replay %s" (Filename.quote rec_artifact)));
+
   (* ---- malformed artifacts never escape as backtraces ------------- *)
 
   let replace ~sub ~by s =
@@ -401,6 +427,19 @@ let () =
 
   expect "sweep --faults bad spec" ~code:2 ~stderr_has:"bad --faults"
     (run "sweep --faults bogus -t 5");
+
+  (* recovery sweep: the JSON document surfaces the recover and
+     degraded-override totals so silent downgrades are visible *)
+  let code, out, _ = run "sweep -n 3 -t 25 --faults crash:f=1,recover --json -" in
+  expect "sweep --json - recovery runs" ~code:0 (code, out, "");
+  if not (is_valid_json out) then
+    failf "recovery sweep --json -: stdout is not one JSON document (got: %s)" out;
+  if not (contains ~needle:"\"faults\": \"crash:f=1,recover:r=1\"" out) then
+    failf "recovery sweep --json -: fault spec not echoed (got: %s)" out;
+  if not (contains ~needle:"\"recover_total\"" out) then
+    failf "recovery sweep --json -: recover_total missing (got: %s)" out;
+  if not (contains ~needle:"\"plan_overrides_ignored\"" out) then
+    failf "recovery sweep --json -: plan_overrides_ignored missing (got: %s)" out;
 
   (* SIGINT mid-sweep: partial JSON still lands, well-formed, exit 130 *)
   let sweep_json = Filename.concat tmpdir "sweep.json" in

@@ -26,6 +26,8 @@ let aggregate_gen =
               safety = (if fail then Error "synthetic violation" else Ok ());
               completed = true;
               crashes = 0;
+              recoveries = 0;
+              plan_ignored = 0;
               total_work = total;
               individual_work = indiv;
               steps = total;
@@ -74,9 +76,9 @@ let test_merge_counts () =
   let o agreed seed : Engine.aggregate =
     Engine.of_outcome ~seed ~probe:2
       { inputs = [| 0 |]; outputs = [| Some 0 |]; agreed; safety = Ok ();
-        completed = true; crashes = 0; total_work = 10 * seed;
-        individual_work = seed; steps = 10 * seed; registers = seed;
-        stage_work = [] }
+        completed = true; crashes = 0; recoveries = 0; plan_ignored = 0;
+        total_work = 10 * seed; individual_work = seed; steps = 10 * seed;
+        registers = seed; stage_work = [] }
   in
   let m = Engine.merge (o true 3) (Engine.merge (o false 1) (o true 2)) in
   checki "trials" 3 m.Engine.trials;

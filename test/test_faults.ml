@@ -22,6 +22,58 @@ let config name =
   | None -> Alcotest.failf "no checker config named %s" name
 
 (* ------------------------------------------------------------------ *)
+(* The --faults grammar round-trips over its full range (qcheck)       *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_fault_spec_roundtrip =
+  (* Generate only constructible models: a recovery budget needs a
+     crash budget (Fault.model enforces it), but r may exceed f — the
+     scheduler just runs out of crashed pids to restart. *)
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun crashes recoveries weak_reads ->
+          let recoveries = if crashes = 0 then 0 else recoveries in
+          Fault.model ~crashes ~recoveries ~weak_reads ())
+        (int_bound 4) (int_bound 4) bool)
+  in
+  QCheck.Test.make ~count:200 ~name:"--faults spec round-trips"
+    (QCheck.make ~print:Fault.to_string gen)
+    (fun m ->
+      match Fault.of_string (Fault.to_string m) with
+      | Ok m' -> m = m'
+      | Error e ->
+        QCheck.Test.fail_reportf "to_string %S did not parse back: %s"
+          (Fault.to_string m) e)
+
+let test_fault_spec_errors () =
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (* contradictory: recovery without anything to recover from *)
+  (match Fault.of_string "recover" with
+   | Error e -> checkb "bare recover names the contradiction" true
+                  (contains ~needle:"crash budget" e)
+   | Ok m -> Alcotest.failf "bare recover accepted as %s" (Fault.to_string m));
+  (match Fault.of_string "crash:f=0,recover:r=1" with
+   | Error e -> checkb "zero-crash recover names the contradiction" true
+                  (contains ~needle:"crash budget" e)
+   | Ok m ->
+     Alcotest.failf "crash:f=0,recover:r=1 accepted as %s" (Fault.to_string m));
+  (* bare recover inherits r = f *)
+  (match Fault.of_string "crash:f=2,recover" with
+   | Ok m -> checkb "bare recover means r=f" true
+               (m = Fault.model ~crashes:2 ~recoveries:2 ())
+   | Error e -> Alcotest.failf "crash:f=2,recover rejected: %s" e);
+  (* an explicit r larger than f is fine — restarts just starve *)
+  match Fault.of_string "crash:f=1,recover:r=3" with
+  | Ok m -> checkb "r may exceed f" true
+              (m = Fault.model ~crashes:1 ~recoveries:3 ())
+  | Error e -> Alcotest.failf "crash:f=1,recover:r=3 rejected: %s" e
+
+(* ------------------------------------------------------------------ *)
 (* Random crash schedules keep validity + coherence (qcheck)           *)
 (* ------------------------------------------------------------------ *)
 
@@ -68,6 +120,66 @@ let qcheck_crash_schedules_safe =
           c.Checks.name reason)
 
 (* ------------------------------------------------------------------ *)
+(* Crash → recover orderings are always valid (qcheck)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay the trace of a random path under a crash-recovery model and
+   check the pseudo-event discipline: a crash only hits a live process,
+   a recovery only restarts a crashed one, and both budgets hold. *)
+let qcheck_crash_recover_orderings_valid =
+  let base = config "binary_ratifier_n3" in
+  let c =
+    { base with
+      Checks.name = "binary_ratifier_n3+crash:f=2,recover:r=2";
+      faults = Fault.model ~crashes:2 ~recoveries:2 () }
+  in
+  let gen = QCheck.Gen.(list_size (int_bound 120) (int_bound 12)) in
+  let print path = String.concat "," (List.map string_of_int path) in
+  QCheck.Test.make ~count:300
+    ~name:"crash/recover pseudo-events well-ordered and within budget"
+    (QCheck.make ~print gen)
+    (fun path ->
+      let run =
+        Explore.run_path ~record:true ~max_depth:c.Checks.max_depth
+          ~cheap_collect:c.Checks.cheap_collect ~faults:c.Checks.faults
+          ~n:c.Checks.n
+          ~setup:(Checks.setup_of c ~n:c.Checks.n)
+          path
+      in
+      let tr =
+        match run.Explore.trace with
+        | Some tr -> tr
+        | None -> QCheck.Test.fail_report "record:true produced no trace"
+      in
+      let crashed = Array.make c.Checks.n false in
+      let crashes = ref 0 and recovers = ref 0 in
+      List.iter
+        (fun e ->
+          match e.Trace.op with
+          | Some _ ->
+            if crashed.(e.Trace.pid) then
+              QCheck.Test.fail_reportf "step %d: crashed p%d executed an op"
+                e.Trace.step e.Trace.pid
+          | None ->
+            if e.Trace.landed then begin
+              (* recovery pseudo-event *)
+              if not crashed.(e.Trace.pid) then
+                QCheck.Test.fail_reportf "step %d: recovered live p%d"
+                  e.Trace.step e.Trace.pid;
+              crashed.(e.Trace.pid) <- false;
+              incr recovers
+            end
+            else begin
+              if crashed.(e.Trace.pid) then
+                QCheck.Test.fail_reportf "step %d: crashed p%d twice"
+                  e.Trace.step e.Trace.pid;
+              crashed.(e.Trace.pid) <- true;
+              incr crashes
+            end)
+        (Trace.events tr);
+      !crashes <= 2 && !recovers <= 2 && !recovers <= !crashes)
+
+(* ------------------------------------------------------------------ *)
 (* Crash-closed exhaustive checks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -82,6 +194,18 @@ let test_crash_closed_registry_configs () =
         checki (name ^ " complete leaves") expected_complete s.Por.complete
       | Error f -> Alcotest.failf "%s violated: %s" name f.Checks.reason)
     [ ("binary_ratifier_n2_f1", 24); ("binary_ratifier_n3_f1", 408) ]
+
+let test_recovery_closed_registry_configs () =
+  (* The recoverable ratifier exhausts its crash-recovery-closed tree
+     with zero violations; leaf counts double as determinism locks. *)
+  List.iter
+    (fun (name, expected_complete) ->
+      match Checks.run (config name) with
+      | Ok s ->
+        checkb (name ^ " exhausted") true s.Por.exhausted;
+        checki (name ^ " complete leaves") expected_complete s.Por.complete
+      | Error f -> Alcotest.failf "%s violated: %s" name f.Checks.reason)
+    [ ("binary_ratifier_rec_n2_f1", 170); ("binary_ratifier_rec_n3_f1", 7696) ]
 
 let test_fault_free_stats_unchanged () =
   (* The fault plane compiled in but disabled must not change the
@@ -140,6 +264,53 @@ let test_weak_read_fixture_reproduces () =
       (reason = a.Artifact.reason)
   | Ok () -> Alcotest.fail "weak-read fixture no longer reproduces"
 
+let test_recovery_demo_caught_and_shrunk () =
+  (* The stock (volatile-register) binary ratifier must fail coherence
+     under crash:f=1,recover — the restarted process loses its
+     announcement and the proposal it wrote, re-proposes, and splits
+     the decision.  The recoverable variant on the same instance is in
+     the crash-closed registry and passes. *)
+  let demo = config "binary_ratifier_n3_rec" in
+  match Checks.run demo with
+  | Ok _ ->
+    Alcotest.fail
+      "volatile ratifier survived crash-recovery; the wipe lost its witness"
+  | Error f ->
+    checkb "violation is about coherence" true
+      (String.length f.Checks.reason >= 9
+       && String.sub f.Checks.reason 0 9 = "coherence");
+    checkb "artifact records the crash-recovery model" true
+      (f.Checks.artifact.Artifact.faults
+       = Fault.model ~crashes:1 ~recoveries:1 ());
+    (* The shrinker may land on a different minimal witness than the
+       first-found one (here it usually drops to an n=2-style split),
+       so the invariant is that the artifact reproduces its *own*
+       recorded reason, not the original find. *)
+    (match Checks.replay demo f.Checks.artifact with
+     | Error reason ->
+       checkb "shrunk artifact reproduces" true
+         (reason = f.Checks.artifact.Artifact.reason)
+     | Ok () -> Alcotest.fail "shrunk artifact does not reproduce")
+
+let test_recovery_fixture_reproduces () =
+  let a = load_fixture "binary_ratifier_n3_rec.sexp" in
+  check Alcotest.string "fixture names the demo" "binary_ratifier_n3_rec"
+    a.Artifact.checker;
+  checkb "fixture carries the crash-recovery model" true
+    (a.Artifact.faults = Fault.model ~crashes:1 ~recoveries:1 ());
+  checkb "fixture trace contains a recovery pseudo-event" true
+    (match a.Artifact.trace with
+     | Some tr ->
+       List.exists
+         (fun e -> e.Trace.op = None && e.Trace.landed)
+         (Trace.events tr)
+     | None -> false);
+  match Checks.replay (config "binary_ratifier_n3_rec") a with
+  | Error reason ->
+    checkb "fixture reproduces its recorded reason" true
+      (reason = a.Artifact.reason)
+  | Ok () -> Alcotest.fail "recovery fixture no longer reproduces"
+
 let test_weak_demo_caught () =
   match Checks.run (config "binary_ratifier_n2_weak") with
   | Ok _ -> Alcotest.fail "weak-read demo passed; stale forks lost the witness"
@@ -175,6 +346,35 @@ let test_por_checkpoint_resume_bit_identical () =
     with
     | Ok s when s.Por.exhausted -> final := Some s
     | Ok _ -> budget := !budget + 150
+    | Error f -> Alcotest.failf "violation mid-segment: %s" f.Checks.reason
+  done;
+  checkb "≥ 2 segments actually exercised resume" true (!segments >= 2);
+  checkb "segmented statistics bit-identical" true (Option.get !final = full)
+
+let test_recovery_checkpoint_resume_bit_identical () =
+  (* Same segmentation discipline over a crash-recovery-closed tree:
+     stop-or-recover nodes and recovery bands must survive the
+     checkpoint frontier encoding unchanged. *)
+  let c = config "binary_ratifier_rec_n2_f1" in
+  let full =
+    match Checks.run c with
+    | Ok s -> s
+    | Error f -> Alcotest.failf "unexpected violation: %s" f.Checks.reason
+  in
+  let saved = ref None in
+  let budget = ref 60 in
+  let final = ref None in
+  let segments = ref 0 in
+  while !final = None do
+    incr segments;
+    if !segments > 100 then Alcotest.fail "segmented run does not converge";
+    match
+      Checks.run ~max_runs:!budget ?resume:!saved ~checkpoint_every:max_int
+        ~on_checkpoint:(fun counts -> saved := Some counts)
+        c
+    with
+    | Ok s when s.Por.exhausted -> final := Some s
+    | Ok _ -> budget := !budget + 60
     | Error f -> Alcotest.failf "violation mid-segment: %s" f.Checks.reason
   done;
   checkb "≥ 2 segments actually exercised resume" true (!segments >= 2);
@@ -362,6 +562,81 @@ let test_fault_free_streams_unperturbed () =
   checkb "same outputs" true (a.Scheduler.outputs = b.Scheduler.outputs);
   checki "same steps" a.Scheduler.steps b.Scheduler.steps
 
+let test_recover_at () =
+  (* Crash p0 before its write lands, restart it two steps later: the
+     restarted process re-enters at its main root (no declared recover
+     continuation), redoes the write and finishes. *)
+  let memory, body = write_then_read ~n:2 () in
+  Memory.track_writers memory;
+  let result =
+    Scheduler.run ~n:2
+      ~adversary:Adversary.round_robin
+      ~rng:(Rng.create 1) ~memory
+      ~faults:
+        (Conrat_faults.Injector.mix
+           [ Conrat_faults.Injector.crash_at ~step:0 ~pid:0;
+             Conrat_faults.Injector.recover_at ~step:2 ~pid:0 ])
+      body
+  in
+  checkb "run completed" true result.Scheduler.completed;
+  checki "one recovery fired" 1 result.Scheduler.recoveries;
+  checkb "p0 is live again" true (not result.Scheduler.crashed.(0));
+  checkb "restarted p0 finished" true (result.Scheduler.outputs.(0) <> None)
+
+let test_invalid_recover_overrides_degrade () =
+  (* Recovering a pid that never crashed degrades to a plain step and
+     is counted, not honoured. *)
+  let memory, body = write_then_read ~n:2 () in
+  Memory.track_writers memory;
+  let result =
+    Scheduler.run ~n:2
+      ~adversary:Adversary.round_robin
+      ~rng:(Rng.create 1) ~memory
+      ~faults:(Conrat_faults.Injector.recover_at ~step:1 ~pid:0)
+      body
+  in
+  checki "no recovery fired" 0 result.Scheduler.recoveries;
+  checkb "degradation counted" true (result.Scheduler.plan_ignored >= 1);
+  checkb "run completed" true result.Scheduler.completed;
+  (* Recovering a genuinely crashed pid over memory without last-writer
+     tracking cannot wipe safely: it degrades too (the scheduler guard),
+     rather than raising mid-run. *)
+  let memory, body = write_then_read ~n:2 () in
+  let result =
+    Scheduler.run ~n:2
+      ~adversary:Adversary.round_robin
+      ~rng:(Rng.create 1) ~memory
+      ~faults:
+        (Conrat_faults.Injector.mix
+           [ Conrat_faults.Injector.crash_at ~step:0 ~pid:0;
+             Conrat_faults.Injector.recover_at ~step:2 ~pid:0 ])
+      body
+  in
+  checki "untracked memory: no recovery" 0 result.Scheduler.recoveries;
+  checkb "untracked memory: p0 stays down" true result.Scheduler.crashed.(0);
+  checkb "untracked memory: degradation counted" true
+    (result.Scheduler.plan_ignored >= 1)
+
+let test_recovering_respects_budget () =
+  (* rate 1.0 wants a restart at every step; the budget caps it at r,
+     and anyone who recovered is no longer crashed at the end. *)
+  for seed = 0 to 9 do
+    let memory, body = write_then_read ~n:3 () in
+    Memory.track_writers memory;
+    let result =
+      Scheduler.run ~n:3
+        ~adversary:Adversary.random_uniform
+        ~rng:(Rng.create seed) ~memory
+        ~faults:
+          (Conrat_faults.Injector.mix
+             [ Conrat_faults.Injector.crashing ~rate:1.0 ~f:2 ();
+               Conrat_faults.Injector.recovering ~rate:1.0 ~r:1 () ])
+        body
+    in
+    checkb "completed" true result.Scheduler.completed;
+    checkb "recoveries within budget" true (result.Scheduler.recoveries <= 1)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Survivor-aware acceptance                                           *)
 (* ------------------------------------------------------------------ *)
@@ -466,20 +741,31 @@ let test_engine_stop_flushes_partial () =
 
 let () =
   Alcotest.run "faults"
-    [ ( "crash_schedules",
+    [ ( "fault_specs",
+        [ QCheck_alcotest.to_alcotest qcheck_fault_spec_roundtrip;
+          tc "spec errors" `Quick test_fault_spec_errors ] );
+      ( "crash_schedules",
         [ QCheck_alcotest.to_alcotest qcheck_crash_schedules_safe;
+          QCheck_alcotest.to_alcotest qcheck_crash_recover_orderings_valid;
           tc "acceptance_survivors" `Quick test_acceptance_survivors ] );
       ( "crash_closed",
         [ tc "registry configs" `Quick test_crash_closed_registry_configs;
+          tc "recovery-closed registry configs" `Quick
+            test_recovery_closed_registry_configs;
           tc "fault-free unchanged" `Quick test_fault_free_stats_unchanged ] );
       ( "demos_and_fixtures",
         [ tc "await_ack caught+shrunk" `Quick test_await_ack_caught_and_shrunk;
           tc "await_ack fixture" `Quick test_await_ack_fixture_reproduces;
+          tc "recovery demo caught+shrunk" `Quick
+            test_recovery_demo_caught_and_shrunk;
+          tc "recovery fixture" `Quick test_recovery_fixture_reproduces;
           tc "weak fixture" `Quick test_weak_read_fixture_reproduces;
           tc "weak demo caught" `Quick test_weak_demo_caught ] );
       ( "checkpoint",
         [ tc "por resume bit-identical" `Quick
             test_por_checkpoint_resume_bit_identical;
+          tc "recovery resume bit-identical" `Quick
+            test_recovery_checkpoint_resume_bit_identical;
           tc "naive resume bit-identical" `Quick
             test_naive_checkpoint_resume_bit_identical;
           tc "corrupt path rejected" `Quick test_resume_rejects_corrupt_path;
@@ -487,6 +773,10 @@ let () =
       ( "injector",
         [ tc "crash_at" `Quick test_crash_at;
           tc "crashing budget" `Quick test_crashing_respects_budget;
+          tc "recover_at" `Quick test_recover_at;
+          tc "invalid recover degrades" `Quick
+            test_invalid_recover_overrides_degrade;
+          tc "recovering budget" `Quick test_recovering_respects_budget;
           tc "byzantine stale" `Quick test_byzantine_reads_deliver_stale;
           tc "byzantine strong no-op" `Quick
             test_byzantine_reads_ignore_strong_registers;

@@ -57,24 +57,29 @@ let recording_sink events =
 let qcheck_run_path_differential =
   let gen =
     QCheck.Gen.(
-      quad
-        (int_bound (List.length all_configs - 1))
-        (list_size (int_bound 80) (int_bound 12))
-        (int_bound 2)
-        bool)
+      pair
+        (quad
+           (int_bound (List.length all_configs - 1))
+           (list_size (int_bound 80) (int_bound 12))
+           (int_bound 2)
+           bool)
+        (int_bound 2))
   in
-  let print (i, path, crashes, weak) =
-    Printf.sprintf "%s path=[%s] crashes=%d weak=%b"
+  let print ((i, path, crashes, weak), recoveries) =
+    Printf.sprintf "%s path=[%s] crashes=%d recoveries=%d weak=%b"
       (List.nth all_configs i).Checks.name
       (String.concat ";" (List.map string_of_int path))
-      crashes weak
+      crashes recoveries weak
   in
   QCheck.Test.make ~count:300
     ~name:"run_path: vm = tree (trace, sink events, outputs, branches)"
     (QCheck.make ~print gen)
-    (fun (i, path, crashes, weak) ->
+    (fun (((i, path, crashes, weak), recoveries) as case) ->
       let c0 = List.nth all_configs i in
-      let faults = Fault.model ~crashes ~weak_reads:weak () in
+      (* A recovery budget is only constructible on top of a crash
+         budget; clamp instead of discarding so every draw tests. *)
+      let recoveries = if crashes = 0 then 0 else recoveries in
+      let faults = Fault.model ~crashes ~recoveries ~weak_reads:weak () in
       let c = { c0 with Checks.faults } in
       (* Fault injection can break a protocol's internal assumptions
          (e.g. a stale read of a process's own slot trips an assert in
@@ -116,7 +121,7 @@ let qcheck_run_path_differential =
       in
       if not agree then
         QCheck.Test.fail_reportf "%s: vm and tree executions diverge"
-          (print (i, path, crashes, weak))
+          (print case)
       else true)
 
 (* ------------------------------------------------------------------ *)
@@ -357,7 +362,8 @@ let () =
           (fun name -> tc name `Quick (test_explore_leaf_differential name))
           [ "binary_ratifier_n2"; "binary_ratifier_n3";
             "cheap_collect_ratifier_n2"; "conciliator_n2"; "composite_n2";
-            "fallback_n2_d28"; "binary_ratifier_n2_f1"; "binary_ratifier_n2_weak" ] );
+            "fallback_n2_d28"; "binary_ratifier_n2_f1"; "binary_ratifier_n2_weak";
+            "binary_ratifier_rec_n2_f1"; "binary_ratifier_n3_rec" ] );
       ( "por",
         List.map
           (fun c -> tc c.Checks.name `Quick (test_por_leaf_differential c))
@@ -370,7 +376,7 @@ let () =
         List.map
           (fun name -> tc name `Quick (test_cross_check_engines name))
           [ "binary_ratifier_n2"; "cheap_collect_ratifier_n2";
-            "binary_ratifier_n2_f1" ] );
+            "binary_ratifier_n2_f1"; "binary_ratifier_rec_n2_f1" ] );
       ( "checkpoint",
         [ tc "vm save, tree resume" `Quick
             (test_checkpoint_cross_engine ~from_engine:`Vm ~to_engine:`Tree
